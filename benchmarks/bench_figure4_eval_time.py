@@ -1,0 +1,56 @@
+"""Benchmark: Figure 4 — average evaluation time vs haplotype size.
+
+Two views of the same experiment:
+
+* per-size pytest-benchmark timings of a single EH-DIALL + CLUMP evaluation
+  (these timings *are* Figure 4's y-axis, on the host machine), and
+* the harness run that samples many random haplotypes per size and fits the
+  exponential cost model, printing the paper-style series.
+
+The paper reports ~6 ms at size 3 growing to ~201 ms at size 7 on a
+Pentium-IV; absolute numbers differ on modern hardware and a vectorised EM,
+but the exponential growth (factor > 1 per added SNP) is the reproduced shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure4 import run_figure4
+
+SIZES = (2, 3, 4, 5, 6, 7)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_figure4_single_evaluation(benchmark, evaluator, size):
+    rng = np.random.default_rng(size)
+    haplotypes = [
+        tuple(sorted(rng.choice(evaluator.n_snps, size=size, replace=False).tolist()))
+        for _ in range(16)
+    ]
+    counter = {"i": 0}
+
+    def evaluate_one():
+        snps = haplotypes[counter["i"] % len(haplotypes)]
+        counter["i"] += 1
+        return evaluator.evaluate(snps)
+
+    result = benchmark(evaluate_one)
+    assert result >= 0.0
+
+
+def test_figure4_harness(benchmark, study, scale):
+    n_samples = 30 if scale == "paper" else 8
+    result = benchmark.pedantic(
+        run_figure4,
+        kwargs=dict(study=study, sizes=SIZES, n_samples=n_samples),
+        rounds=1,
+        iterations=1,
+    )
+    # the reproduced shape: cost grows with the haplotype size
+    means = [point.mean_seconds for point in result.points]
+    assert means[-1] > means[0]
+    assert result.growth_factor > 1.0
+    print()
+    print(result.format())

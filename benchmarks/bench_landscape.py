@@ -1,0 +1,39 @@
+"""Benchmark: Section 3 — landscape study of the problem structure.
+
+Reruns the paper's pre-algorithm study (exhaustive enumeration of small
+haplotype sizes) on a reduced SNP panel and checks the two findings that
+motivated the GA design:
+
+1. the fitness scale grows with the haplotype size, and
+2. the best large haplotypes are not reliably built out of the best smaller
+   ones (so the greedy constructive method falls short of the exhaustive
+   optimum or, at best, merely ties it).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.landscape_study import run_landscape_study
+
+
+def test_landscape_study(benchmark, study, scale):
+    panel_size = 20 if scale == "paper" else 12
+    sizes = (2, 3, 4) if scale == "paper" else (2, 3)
+    result = benchmark.pedantic(
+        run_landscape_study,
+        kwargs=dict(study=study, panel_size=panel_size, sizes=sizes, top_k=10),
+        rounds=1,
+        iterations=1,
+    )
+
+    smallest, largest = min(sizes), max(sizes)
+    # finding 2: the fitness scale grows with the size
+    assert (
+        result.scale_by_size[largest].mean_fitness
+        > result.scale_by_size[smallest].mean_fitness
+    )
+    # finding 1's consequence: greedy construction cannot beat the exhaustive optimum
+    assert result.greedy_gap(largest) >= -1e-9
+    # the planted haplotype's SNPs surface in the exhaustive optimum
+    assert set(result.exhaustive_best[largest].snps) & set(study.causal_snps)
+    print()
+    print(result.format())

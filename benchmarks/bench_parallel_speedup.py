@@ -1,0 +1,74 @@
+"""Benchmark: Section 4.5 — synchronous master/slave evaluation speedup.
+
+The paper parallelises the evaluation phase on a PVM cluster to keep run
+times reasonable.  This benchmark measures the reproduction's two backends on
+one generation-sized batch of evaluations:
+
+* the real ``multiprocessing`` master/slave farm with 1, 2 and 4 workers
+  (pytest-benchmark timings → measured speedup on the host), and
+* the deterministic simulated PVM cluster, whose cost model is calibrated on
+  the measured Figure-4 evaluation times, for 1-32 slaves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.speedup import (
+    generation_batch,
+    run_simulated_speedup,
+)
+from repro.parallel.master_slave import MasterSlaveEvaluator
+from repro.parallel.serial import SerialEvaluator
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def batch(study, scale):
+    n_offspring = 68 if scale == "paper" else 32
+    return generation_batch(
+        n_offspring=n_offspring,
+        sizes=(2, 3, 4, 5, 6),
+        n_snps=study.dataset.n_snps,
+    )
+
+
+def test_speedup_serial_reference(benchmark, evaluator, batch):
+    backend = SerialEvaluator(evaluator)
+    results = benchmark(backend.evaluate_batch, batch)
+    assert len(results) == len(batch)
+
+
+@pytest.mark.parametrize("n_workers", WORKER_COUNTS[1:])
+def test_speedup_master_slave(benchmark, evaluator, batch, n_workers):
+    backend = MasterSlaveEvaluator(evaluator, n_workers=n_workers)
+    try:
+        backend.evaluate_batch(batch[:4])  # warm the workers up
+        results = benchmark(backend.evaluate_batch, batch)
+    finally:
+        backend.close()
+    serial = SerialEvaluator(evaluator).evaluate_batch(batch)
+    assert results == pytest.approx(serial, rel=1e-12)
+
+
+def test_speedup_simulated_pvm(benchmark, study, batch):
+    # calibrate the cluster's cost model on real measured evaluation times
+    figure4 = run_figure4(study=study, sizes=(2, 3, 4, 5, 6), n_samples=5)
+    result = benchmark.pedantic(
+        run_simulated_speedup,
+        kwargs=dict(
+            worker_counts=(1, 2, 4, 8, 16, 32),
+            batch=batch,
+            cost_model=figure4.cost_model,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    # the farm must scale: 4 slaves beat 2, which beat 1
+    assert result.speedups[4] > result.speedups[2] > 0.9 * result.speedups[1]
+    # and saturate well below the slave count once the batch is exhausted
+    assert result.speedups[32] < 32
+    print()
+    print(result.format())

@@ -1,0 +1,26 @@
+"""Benchmark: Table 1 — size of the search space.
+
+Regenerates the paper's Table 1 (number of possible haplotypes per size and
+SNP-panel size).  The table is closed-form, so besides timing it the benchmark
+asserts that every cell matches the published value and prints the table in
+the paper's layout.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import PAPER_TABLE1_VALUES, run_table1
+
+
+def test_table1_search_space(benchmark):
+    result = benchmark(run_table1)
+    for size, row in PAPER_TABLE1_VALUES.items():
+        for n_snps, expected in row.items():
+            assert result.values[size][n_snps] == expected
+    print()
+    print(result.format())
+
+
+def test_table1_large_panels(benchmark):
+    """Scaling check: the closed form stays instantaneous on very large panels."""
+    result = benchmark(run_table1, snp_counts=(500, 1000, 5000), sizes=(2, 3, 4, 5, 6, 7, 8))
+    assert result.values[8][5000] > 0

@@ -1,0 +1,69 @@
+"""Benchmark: Table 2 — GA results on the 51-SNP dataset.
+
+Reruns the paper's main experiment: repeated runs of the full adaptive
+multi-population GA on the (simulated) 106 × 51 dataset, reporting per size
+the best haplotype, its fitness, the mean fitness over runs, the deviation
+from the reference optimum and the min / mean number of evaluations to reach
+the solution — then prints the reproduced table next to the paper's reference
+values.
+
+At the default ``quick`` scale the GA uses a reduced configuration (smaller
+population, shorter stagnation window, max size 5) so the benchmark finishes
+in about a minute; set ``REPRO_BENCH_SCALE=paper`` for the full Section-5.2.1
+configuration (population 150, stagnation 100, max size 6, 10 runs).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.reporting import format_table
+from repro.experiments.table2 import PAPER_TABLE2_REFERENCE, run_table2
+
+
+def test_table2_ga_results(benchmark, study, ga_config, n_runs, scale):
+    exhaustive_sizes = (2, 3) if scale == "paper" else (2,)
+    result = benchmark.pedantic(
+        run_table2,
+        kwargs=dict(
+            study=study,
+            config=ga_config,
+            n_runs=n_runs,
+            exhaustive_reference_sizes=exhaustive_sizes,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    # ---- shape checks mirroring the paper's claims -------------------- #
+    fitnesses = [row.best_fitness for row in result.rows]
+    assert fitnesses == sorted(fitnesses) or fitnesses[-1] > fitnesses[0], (
+        "fitness must grow with the haplotype size"
+    )
+    # the GA explores a vanishing fraction of the search space (Table 1 vs Table 2)
+    n_snps = study.dataset.n_snps
+    searchable = sum(math.comb(n_snps, row.size) for row in result.rows)
+    for run in result.run_results:
+        assert run.n_evaluations < 0.25 * searchable
+    # the exhaustive-reference sizes should be solved to (near) optimality
+    for size in exhaustive_sizes:
+        row = result.row(size)
+        assert row.deviation <= 0.25 * row.reference_fitness
+
+    # ---- report ------------------------------------------------------- #
+    print()
+    print(result.format())
+    print()
+    paper_rows = [
+        [size, " ".join(map(str, ref["haplotype"])), ref["fitness"],
+         ref["min_evals"], ref["mean_evals"]]
+        for size, ref in sorted(PAPER_TABLE2_REFERENCE.items())
+    ]
+    print(
+        format_table(
+            ["Size", "Paper best haplotype", "Paper fitness", "Paper min # eval",
+             "Paper mean # eval"],
+            paper_rows,
+            title="Paper Table 2 (original Lille dataset, for comparison)",
+        )
+    )

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""A full association study, end to end, the way the Lille biologists used the tool.
+
+The paper's motivation (Section 1) is a real workflow: biologists at the
+multi-factorial disease laboratory want to screen a SNP panel for haplotypes
+associated with diabetes/obesity, without fixing the number of SNPs in
+advance, and then inspect the best candidates per size.  This example
+reproduces that workflow:
+
+1. write the study to disk in the paper's three-table layout
+   (genotypes / per-SNP frequencies / pairwise disequilibrium) and read it
+   back, as the original tool did;
+2. build the haplotype-validity constraints of Section 2.3 from those tables
+   (pairwise LD below a threshold, minor-variant frequency difference above a
+   threshold);
+3. run the GA with the constraints, comparing the schemes the paper compares
+   (with and without the mechanisms that link sub-populations);
+4. validate the top haplotypes with CLUMP Monte-Carlo significance and with
+   the building-block analysis of Section 3.
+
+Run with:  python examples/diabetes_study.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import AdaptiveMultiPopulationGA, GAConfig, HaplotypeEvaluator, lille_like_study
+from repro.genetics import HaplotypeConstraints
+from repro.genetics.io import read_study_tables, write_study_tables
+from repro.stats.cache import CachedEvaluator
+
+
+def run_scheme(name: str, config: GAConfig, fitness, n_snps: int,
+               constraints: HaplotypeConstraints):
+    """Run one GA configuration and print its per-size bests."""
+    ga = AdaptiveMultiPopulationGA(fitness, n_snps=n_snps, config=config,
+                                   constraints=constraints)
+    result = ga.run()
+    print(f"\n--- scheme: {name} "
+          f"({result.n_evaluations} evaluations, {result.n_generations} generations) ---")
+    for size in sorted(result.best_per_size):
+        individual = result.best_per_size[size]
+        print(f"  size {size}: {individual.snps}  fitness {individual.fitness_value():.2f}")
+    return result
+
+
+def main() -> None:
+    study = lille_like_study(seed=2004, n_unknown=70)  # 176 individuals as in the paper
+    dataset = study.dataset
+
+    # ------------------------------------------------------------------ #
+    # 1. the paper's three-table study layout on disk
+    # ------------------------------------------------------------------ #
+    with tempfile.TemporaryDirectory() as tmp:
+        study_dir = Path(tmp) / "diabetes_study"
+        paths = write_study_tables(dataset, study_dir)
+        print("study written in the paper's three-table layout:")
+        for table, path in paths.items():
+            print(f"  {table:<12} {path.name}")
+        dataset, frequency_table, ld_table = read_study_tables(study_dir)
+
+    print(f"\nloaded study: {dataset.summary()}")
+
+    # ------------------------------------------------------------------ #
+    # 2. Section 2.3 constraints from the loaded tables
+    # ------------------------------------------------------------------ #
+    constraints = HaplotypeConstraints(
+        ld_table=ld_table,
+        frequency_table=frequency_table,
+        max_pairwise_ld=0.95,               # discard near-duplicate SNP pairs
+        min_minor_frequency_difference=0.0,  # keep the frequency test permissive
+    )
+    n_pairs = dataset.n_snps * (dataset.n_snps - 1) // 2
+    n_valid = sum(
+        1
+        for a in range(dataset.n_snps)
+        for b in range(a + 1, dataset.n_snps)
+        if constraints.pair_is_valid(a, b)
+    )
+    print(f"constraints: {n_valid}/{n_pairs} SNP pairs are admissible")
+
+    # ------------------------------------------------------------------ #
+    # 3. GA runs: stripped-down vs full scheme (Section 5.2 comparison)
+    # ------------------------------------------------------------------ #
+    evaluator = HaplotypeEvaluator(dataset, statistic="t1")
+    cached = CachedEvaluator(evaluator)
+    base = GAConfig(
+        population_size=80,
+        max_haplotype_size=5,
+        termination_stagnation=12,
+        max_generations=50,
+        random_immigrant_stagnation=6,
+        seed=7,
+    )
+    stripped = base.with_scheme(
+        adaptive=False, size_mutations=False,
+        inter_population_crossover=False, random_immigrants=False,
+    )
+    run_scheme("plain multi-population GA", stripped, cached, dataset.n_snps, constraints)
+    full_result = run_scheme("full adaptive GA (paper scheme)", base, cached,
+                             dataset.n_snps, constraints)
+
+    # ------------------------------------------------------------------ #
+    # 4. biological validation of the reported haplotypes
+    # ------------------------------------------------------------------ #
+    print("\nsignificance of the full scheme's best haplotypes (CLUMP Monte-Carlo):")
+    for size in sorted(full_result.best_per_size):
+        individual = full_result.best_per_size[size]
+        p_values = evaluator.significance(individual.snps, n_simulations=300, seed=size)
+        print(
+            f"  size {size}: {individual.snps}  "
+            f"T1={individual.fitness_value():.2f}  p={p_values['t1']:.4f}"
+        )
+    print(f"\nplanted ground-truth haplotype was {study.causal_snps}")
+
+
+if __name__ == "__main__":
+    main()

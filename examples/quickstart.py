@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Quickstart: find disease-associated haplotypes with the adaptive GA.
+
+This example walks through the complete pipeline of the paper on a small
+synthetic case/control study so it finishes in well under a minute:
+
+1. simulate a case/control genotype dataset with a planted causal haplotype
+   (the documented substitute for the paper's proprietary Lille data);
+2. build the EH-DIALL + CLUMP evaluator (the paper's Figure-3 pipeline);
+3. run the parallel adaptive multi-population GA;
+4. report the best haplotype found for every size, its fitness, its
+   Monte-Carlo significance, and how much of the search space was explored.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import (
+    AdaptiveMultiPopulationGA,
+    GAConfig,
+    HaplotypeEvaluator,
+    lille_like_study,
+)
+from repro.stats.cache import CachedEvaluator
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. data: 106 individuals x 51 SNPs, 53 affected / 53 unaffected
+    # ------------------------------------------------------------------ #
+    study = lille_like_study(seed=2004)
+    dataset = study.dataset
+    print(f"dataset: {dataset.summary()}")
+    print(f"planted causal haplotype (ground truth): {study.causal_snps}\n")
+
+    # ------------------------------------------------------------------ #
+    # 2. fitness: EH-DIALL haplotype estimation + CLUMP T1 statistic
+    # ------------------------------------------------------------------ #
+    evaluator = HaplotypeEvaluator(dataset, statistic="t1")
+    cached = CachedEvaluator(evaluator)  # never pay twice for the same haplotype
+
+    planted_fitness = cached(study.causal_snps)
+    print(f"fitness of the planted haplotype {study.causal_snps}: {planted_fitness:.2f}\n")
+
+    # ------------------------------------------------------------------ #
+    # 3. the adaptive multi-population GA (reduced budget for the example)
+    # ------------------------------------------------------------------ #
+    config = GAConfig(
+        population_size=80,
+        min_haplotype_size=2,
+        max_haplotype_size=5,
+        crossover_rate=0.9,
+        termination_stagnation=15,
+        max_generations=60,
+        random_immigrant_stagnation=8,
+        seed=1,
+    )
+    ga = AdaptiveMultiPopulationGA(cached, n_snps=dataset.n_snps, config=config)
+    result = ga.run()
+
+    print(
+        f"GA finished after {result.n_generations} generations, "
+        f"{result.n_evaluations} evaluations "
+        f"({result.termination_reason}), {result.elapsed_seconds:.1f}s"
+    )
+    print(f"distinct haplotypes actually evaluated: {cached.n_distinct_evaluations}\n")
+
+    # ------------------------------------------------------------------ #
+    # 4. results, paper-Table-2 style
+    # ------------------------------------------------------------------ #
+    print(f"{'size':>4}  {'best haplotype':<20} {'fitness':>9}  {'#evals to best':>14}")
+    for size in sorted(result.best_per_size):
+        individual = result.best_per_size[size]
+        print(
+            f"{size:>4}  {' '.join(map(str, individual.snps)):<20} "
+            f"{individual.fitness_value():>9.2f}  "
+            f"{result.evaluations_to_best[size]:>14}"
+        )
+
+    best = result.best_overall()
+    searchable = sum(
+        math.comb(dataset.n_snps, k) for k in config.haplotype_sizes
+    )
+    print(
+        f"\nexplored {result.n_evaluations:,} of {searchable:,} possible haplotypes "
+        f"({result.n_evaluations / searchable:.3%} of the search space)"
+    )
+
+    p_values = evaluator.significance(best.snps, n_simulations=500, seed=0)
+    print(
+        f"best overall haplotype {best.snps}: fitness {best.fitness_value():.2f}, "
+        f"Monte-Carlo p(T1) = {p_values['t1']:.4f}"
+    )
+    overlap = set(best.snps) & set(study.causal_snps)
+    print(f"overlap with the planted haplotype: {sorted(overlap)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Run every experiment harness and save the paper-style reports.
+
+This is the script used to produce the measured numbers recorded in
+``EXPERIMENTS.md``.  It accepts a scale argument:
+
+* ``quick``  — minutes; reduced GA budgets (default);
+* ``medium`` — ~15 minutes; the configuration used for EXPERIMENTS.md;
+* ``paper``  — the full Section-5.2.1 configuration (hours).
+
+Usage:  python scripts/run_experiments.py [quick|medium|paper] [output_path]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.ablation import default_schemes, run_ablation
+from repro.experiments.datasets import lille51
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.landscape_study import run_landscape_study
+from repro.experiments.speedup import generation_batch, run_measured_speedup, run_simulated_speedup
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import paper_scale_config, quick_config, run_table2
+
+
+def configs_for(scale: str):
+    if scale == "paper":
+        return dict(
+            table2_config=paper_scale_config(),
+            table2_runs=10,
+            exhaustive_sizes=(2, 3),
+            ablation_config=paper_scale_config(),
+            ablation_runs=5,
+            figure4_samples=30,
+            landscape_panel=20,
+            landscape_sizes=(2, 3, 4),
+        )
+    if scale == "medium":
+        return dict(
+            table2_config=quick_config(
+                population_size=100, max_haplotype_size=6,
+                termination_stagnation=30, max_generations=120,
+                random_immigrant_stagnation=10,
+            ),
+            table2_runs=5,
+            exhaustive_sizes=(2,),
+            ablation_config=quick_config(
+                population_size=60, max_haplotype_size=5,
+                termination_stagnation=12, max_generations=40,
+            ),
+            ablation_runs=3,
+            figure4_samples=20,
+            landscape_panel=16,
+            landscape_sizes=(2, 3, 4),
+        )
+    return dict(
+        table2_config=quick_config(),
+        table2_runs=2,
+        exhaustive_sizes=(2,),
+        ablation_config=quick_config(
+            population_size=40, max_haplotype_size=4,
+            termination_stagnation=6, max_generations=20,
+        ),
+        ablation_runs=2,
+        figure4_samples=8,
+        landscape_panel=12,
+        landscape_sizes=(2, 3),
+    )
+
+
+def main() -> int:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "quick"
+    output = Path(sys.argv[2]) if len(sys.argv) > 2 else Path(f"experiment_results_{scale}.txt")
+    settings = configs_for(scale)
+    study = lille51()
+    sections: list[str] = [f"scale: {scale}", f"dataset: {study.dataset.summary()}",
+                           f"planted causal haplotype: {study.causal_snps}"]
+
+    def record(title: str, body: str, started: float) -> None:
+        elapsed = time.perf_counter() - started
+        sections.append(f"\n{'=' * 72}\n{title}  (wall clock {elapsed:.1f}s)\n{'=' * 72}\n{body}")
+        print(f"[done] {title} in {elapsed:.1f}s", flush=True)
+
+    start = time.perf_counter()
+    record("Table 1 - search space", run_table1().format(), start)
+
+    start = time.perf_counter()
+    figure4 = run_figure4(study=study, sizes=(2, 3, 4, 5, 6, 7),
+                          n_samples=settings["figure4_samples"])
+    record("Figure 4 - evaluation time vs haplotype size", figure4.format(), start)
+
+    start = time.perf_counter()
+    landscape = run_landscape_study(
+        study=study, panel_size=settings["landscape_panel"],
+        sizes=settings["landscape_sizes"], top_k=10,
+    )
+    record("Section 3 - landscape study", landscape.format(), start)
+
+    start = time.perf_counter()
+    table2 = run_table2(
+        study=study,
+        config=settings["table2_config"],
+        n_runs=settings["table2_runs"],
+        exhaustive_reference_sizes=settings["exhaustive_sizes"],
+    )
+    record("Table 2 - GA results", table2.format(), start)
+
+    start = time.perf_counter()
+    ablation = run_ablation(
+        study=study,
+        config=settings["ablation_config"],
+        schemes=default_schemes(),
+        n_runs=settings["ablation_runs"],
+    )
+    record("Section 5.2 - scheme comparison", ablation.format(), start)
+
+    start = time.perf_counter()
+    batch = generation_batch(n_offspring=68, n_snps=study.dataset.n_snps)
+    simulated = run_simulated_speedup(
+        worker_counts=(1, 2, 4, 8, 16, 32), batch=batch, cost_model=figure4.cost_model
+    )
+    measured = run_measured_speedup(study=study, worker_counts=(1, 2, 4), batch=batch,
+                                    n_repeats=2)
+    record("Section 4.5 - parallel speedup",
+           simulated.format() + "\n\n" + measured.format(), start)
+
+    output.write_text("\n".join(sections) + "\n", encoding="utf-8")
+    print(f"\nwrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment is offline with setuptools 65 and no ``wheel``
+package, so PEP-517/660 editable installs (which need to build a wheel)
+cannot run.  This shim lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` — and plain ``python setup.py develop`` — work from the
+metadata declared in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

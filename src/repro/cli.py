@@ -1,0 +1,270 @@
+"""Command-line interface.
+
+``python -m repro <command>`` (or the ``repro-ga`` console script) exposes the
+main workflows:
+
+* ``simulate``   — generate a synthetic case/control study and write it as the
+  paper's three-table layout;
+* ``evaluate``   — score one haplotype (EH-DIALL + CLUMP) on a dataset;
+* ``run``        — run the adaptive multi-population GA on a dataset;
+* ``table1`` / ``figure4`` / ``table2`` / ``ablation`` / ``speedup`` /
+  ``landscape`` — regenerate the corresponding experiment of the paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ga",
+        description=(
+            "Parallel adaptive GA for linkage disequilibrium "
+            "(reproduction of Vermeulen-Jourdan et al., IPDPS 2004)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="generate a synthetic case/control study")
+    p_sim.add_argument("output", help="directory to write the three-table study layout into")
+    p_sim.add_argument("--n-snps", type=int, default=51)
+    p_sim.add_argument("--n-affected", type=int, default=53)
+    p_sim.add_argument("--n-unaffected", type=int, default=53)
+    p_sim.add_argument("--seed", type=int, default=2004)
+
+    p_eval = sub.add_parser("evaluate", help="evaluate one haplotype on a study directory")
+    p_eval.add_argument("study", help="directory written by the 'simulate' command")
+    p_eval.add_argument("snps", nargs="+", type=int, help="SNP indices of the haplotype")
+    p_eval.add_argument("--statistic", default="t1",
+                        choices=["t1", "t2", "t3", "t4", "lrt"])
+    p_eval.add_argument("--significance", action="store_true",
+                        help="also report Monte-Carlo p-values")
+
+    p_run = sub.add_parser("run", help="run the adaptive multi-population GA on a study")
+    p_run.add_argument("study", nargs="?", default=None,
+                       help="study directory (default: the built-in lille-like dataset)")
+    p_run.add_argument("--population-size", type=int, default=150)
+    p_run.add_argument("--max-size", type=int, default=6)
+    p_run.add_argument("--stagnation", type=int, default=100)
+    p_run.add_argument("--max-generations", type=int, default=600)
+    p_run.add_argument("--workers", type=int, default=1,
+                       help="number of evaluation worker processes (1 = serial)")
+    p_run.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("table1", help="regenerate Table 1 (search-space sizes)")
+
+    p_fig4 = sub.add_parser("figure4", help="regenerate Figure 4 (evaluation time vs size)")
+    p_fig4.add_argument("--samples", type=int, default=20)
+    p_fig4.add_argument("--max-size", type=int, default=7)
+
+    p_t2 = sub.add_parser("table2", help="regenerate Table 2 (GA results over repeated runs)")
+    p_t2.add_argument("--runs", type=int, default=10)
+    p_t2.add_argument("--quick", action="store_true",
+                      help="use the reduced configuration (minutes instead of hours)")
+
+    p_abl = sub.add_parser("ablation", help="regenerate the Section 5.2 scheme comparison")
+    p_abl.add_argument("--runs", type=int, default=3)
+
+    p_speed = sub.add_parser("speedup", help="parallel speedup study")
+    p_speed.add_argument("--measured", action="store_true",
+                         help="also time the real multiprocessing farm")
+
+    p_land = sub.add_parser("landscape", help="regenerate the Section 3 landscape study")
+    p_land.add_argument("--panel-size", type=int, default=16)
+    p_land.add_argument("--max-size", type=int, default=4)
+
+    p_rob = sub.add_parser("robustness",
+                           help="cross-run solution similarity (Section 5.2 claim)")
+    p_rob.add_argument("--runs", type=int, default=5)
+
+    p_obj = sub.add_parser("objectives",
+                           help="compare candidate objective functions (paper conclusion)")
+    p_obj.add_argument("--per-size", type=int, default=40)
+
+    return parser
+
+
+def _load_study_dataset(path: str | None):
+    from .experiments.datasets import lille51
+    from .genetics.io import read_study_tables
+
+    if path is None:
+        return lille51().dataset
+    dataset, _freq, _ld = read_study_tables(path)
+    return dataset
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .genetics.io import write_study_tables
+    from .genetics.simulate import lille_like_study
+
+    study = lille_like_study(
+        seed=args.seed,
+        n_snps=args.n_snps,
+        n_affected=args.n_affected,
+        n_unaffected=args.n_unaffected,
+    )
+    paths = write_study_tables(study.dataset, args.output)
+    print(f"wrote study ({study.dataset.summary()})")
+    for name, path in paths.items():
+        print(f"  {name}: {path}")
+    print(f"planted causal haplotype: {study.causal_snps}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from .stats.evaluation import HaplotypeEvaluator
+
+    dataset = _load_study_dataset(args.study)
+    evaluator = HaplotypeEvaluator(dataset, statistic=args.statistic)
+    record = evaluator.evaluate_detailed(args.snps)
+    print(f"haplotype {record.snps} (size {record.size})")
+    print(f"fitness ({args.statistic.upper()}): {record.fitness:.3f}")
+    for name in ("t1", "t2", "t3", "t4"):
+        print(f"  {name.upper()}: {record.clump.statistic(name):.3f}")
+    if args.significance:
+        p_values = evaluator.significance(args.snps)
+        for name, p in p_values.items():
+            print(f"  Monte-Carlo p({name.upper()}): {p:.4f}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .core.config import GAConfig
+    from .core.ga import AdaptiveMultiPopulationGA
+    from .parallel.master_slave import MasterSlaveEvaluator
+    from .stats.evaluation import HaplotypeEvaluator
+
+    dataset = _load_study_dataset(args.study)
+    evaluator = HaplotypeEvaluator(dataset)
+    config = GAConfig(
+        population_size=args.population_size,
+        max_haplotype_size=args.max_size,
+        termination_stagnation=args.stagnation,
+        max_generations=args.max_generations,
+        seed=args.seed,
+    )
+    batch_evaluator = None
+    if args.workers > 1:
+        batch_evaluator = MasterSlaveEvaluator(evaluator, n_workers=args.workers)
+    try:
+        ga = AdaptiveMultiPopulationGA(
+            evaluator,
+            n_snps=dataset.n_snps,
+            config=config,
+            evaluator=batch_evaluator,
+        )
+        result = ga.run()
+    finally:
+        if batch_evaluator is not None:
+            batch_evaluator.close()
+    print(
+        f"finished after {result.n_generations} generations, "
+        f"{result.n_evaluations} evaluations ({result.termination_reason}), "
+        f"{result.elapsed_seconds:.1f}s"
+    )
+    for row in result.summary_rows():
+        print(
+            f"  size {row['size']}: [{row['haplotype']}] "
+            f"fitness {row['fitness']:.3f} "
+            f"(found after {row['evaluations_to_best']} evaluations)"
+        )
+    return 0
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    from .experiments.table1 import run_table1
+
+    print(run_table1().format())
+    return 0
+
+
+def _cmd_figure4(args: argparse.Namespace) -> int:
+    from .experiments.figure4 import run_figure4
+
+    sizes = tuple(range(2, args.max_size + 1))
+    print(run_figure4(sizes=sizes, n_samples=args.samples).format())
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from .experiments.table2 import paper_scale_config, quick_config, run_table2
+
+    config = quick_config() if args.quick else paper_scale_config()
+    result = run_table2(config=config, n_runs=args.runs)
+    print(result.format())
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from .experiments.ablation import run_ablation
+
+    print(run_ablation(n_runs=args.runs).format())
+    return 0
+
+
+def _cmd_speedup(args: argparse.Namespace) -> int:
+    from .experiments.speedup import run_measured_speedup, run_simulated_speedup
+
+    print(run_simulated_speedup().format())
+    if args.measured:
+        print()
+        print(run_measured_speedup().format())
+    return 0
+
+
+def _cmd_landscape(args: argparse.Namespace) -> int:
+    from .experiments.landscape_study import run_landscape_study
+
+    sizes = tuple(range(2, args.max_size + 1))
+    print(run_landscape_study(panel_size=args.panel_size, sizes=sizes).format())
+    return 0
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    from .experiments.robustness import run_robustness
+
+    result = run_robustness(n_runs=args.runs)
+    print(result.format())
+    print(f"mean similarity across sizes: {result.mean_similarity():.3f}")
+    return 0
+
+
+def _cmd_objectives(args: argparse.Namespace) -> int:
+    from .experiments.objectives import run_objective_comparison
+
+    print(run_objective_comparison(n_per_size=args.per_size).format())
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "evaluate": _cmd_evaluate,
+    "run": _cmd_run,
+    "table1": _cmd_table1,
+    "figure4": _cmd_figure4,
+    "table2": _cmd_table2,
+    "ablation": _cmd_ablation,
+    "speedup": _cmd_speedup,
+    "landscape": _cmd_landscape,
+    "robustness": _cmd_robustness,
+    "objectives": _cmd_objectives,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

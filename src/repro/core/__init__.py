@@ -1,0 +1,51 @@
+"""The paper's contribution: the parallel adaptive multi-population GA."""
+
+from .adaptive import AdaptiveOperatorController, OperatorRateSnapshot
+from .config import GAConfig
+from .ga import AdaptiveMultiPopulationGA
+from .history import GAResult, GenerationRecord, RunHistory
+from .immigrants import ImmigrantPlan, RandomImmigrantPolicy
+from .individual import HaplotypeIndividual, random_individual
+from .operators import (
+    AugmentationMutation,
+    CrossoverOperator,
+    InterPopulationCrossover,
+    IntraPopulationCrossover,
+    MutationOperator,
+    OperatorApplication,
+    PointMutation,
+    ReductionMutation,
+)
+from .population import MultiPopulation, SubPopulation, allocate_capacities
+from .selection import roulette_selection, select_parent_pair, tournament_selection
+from .termination import TerminationCriteria, TerminationState
+
+__all__ = [
+    "GAConfig",
+    "AdaptiveMultiPopulationGA",
+    "GAResult",
+    "GenerationRecord",
+    "RunHistory",
+    "HaplotypeIndividual",
+    "random_individual",
+    "MultiPopulation",
+    "SubPopulation",
+    "allocate_capacities",
+    "AdaptiveOperatorController",
+    "OperatorRateSnapshot",
+    "RandomImmigrantPolicy",
+    "ImmigrantPlan",
+    "TerminationCriteria",
+    "TerminationState",
+    "tournament_selection",
+    "roulette_selection",
+    "select_parent_pair",
+    "MutationOperator",
+    "CrossoverOperator",
+    "OperatorApplication",
+    "PointMutation",
+    "ReductionMutation",
+    "AugmentationMutation",
+    "IntraPopulationCrossover",
+    "InterPopulationCrossover",
+]

@@ -1,0 +1,130 @@
+"""Random immigrants (paper Section 4.4).
+
+When the best individual has not changed for a configured number of
+generations, every individual whose fitness is below its sub-population's
+mean is replaced by a freshly drawn random individual.  This injects diversity
+when the search stalls and helps avoid premature convergence, at the price of
+extra evaluations — which is why the paper counts it among the "advanced
+mechanisms requiring additional computations".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..genetics.constraints import HaplotypeConstraints
+from .individual import HaplotypeIndividual, random_individual
+from .population import MultiPopulation, SubPopulation
+
+__all__ = ["ImmigrantPlan", "RandomImmigrantPolicy"]
+
+
+@dataclass(frozen=True)
+class ImmigrantPlan:
+    """The replacements decided by one random-immigrant trigger.
+
+    ``slots`` maps a haplotype size to the member indices that will be
+    replaced; ``candidates`` holds, in the same order, the new random
+    haplotypes that must be evaluated before taking those slots.
+    """
+
+    slots: dict[int, list[int]]
+    candidates: dict[int, list[tuple[int, ...]]]
+
+    @property
+    def n_replacements(self) -> int:
+        return sum(len(v) for v in self.slots.values())
+
+
+class RandomImmigrantPolicy:
+    """Trigger logic and replacement planning for random immigrants.
+
+    Parameters
+    ----------
+    stagnation_threshold:
+        Number of consecutive generations without improvement of the global
+        best after which the mechanism fires (paper: 20).
+    enabled:
+        When ``False`` the policy never triggers (ablation switch).
+    """
+
+    def __init__(self, stagnation_threshold: int = 20, *, enabled: bool = True) -> None:
+        if stagnation_threshold < 1:
+            raise ValueError("stagnation_threshold must be positive")
+        self.stagnation_threshold = int(stagnation_threshold)
+        self.enabled = bool(enabled)
+        self._n_triggers = 0
+
+    @property
+    def n_triggers(self) -> int:
+        """Number of times the mechanism fired during the run."""
+        return self._n_triggers
+
+    def should_trigger(self, stagnation: int) -> bool:
+        """Whether the mechanism fires for the given stagnation counter."""
+        return self.enabled and stagnation > 0 and stagnation % self.stagnation_threshold == 0
+
+    # ------------------------------------------------------------------ #
+    def plan(
+        self,
+        population: MultiPopulation,
+        constraints: HaplotypeConstraints,
+        rng: np.random.Generator,
+    ) -> ImmigrantPlan:
+        """Plan the replacement of every below-mean individual by a random one."""
+        self._n_triggers += 1
+        slots: dict[int, list[int]] = {}
+        candidates: dict[int, list[tuple[int, ...]]] = {}
+        for subpopulation in population:
+            if subpopulation.is_empty or len(subpopulation) < 2:
+                continue
+            victim_indices = self._below_mean_indices(subpopulation)
+            if not victim_indices:
+                continue
+            size = subpopulation.haplotype_size
+            slots[size] = victim_indices
+            news: list[tuple[int, ...]] = []
+            existing = {member.snps for member in subpopulation}
+            for _ in victim_indices:
+                for _ in range(20):  # avoid planting duplicates of surviving members
+                    immigrant = random_individual(size, constraints, rng)
+                    if immigrant.snps not in existing:
+                        existing.add(immigrant.snps)
+                        news.append(immigrant.snps)
+                        break
+                else:
+                    news.append(random_individual(size, constraints, rng).snps)
+            candidates[size] = news
+        return ImmigrantPlan(slots=slots, candidates=candidates)
+
+    @staticmethod
+    def _below_mean_indices(subpopulation: SubPopulation) -> list[int]:
+        mean = subpopulation.mean_fitness()
+        return [
+            index
+            for index, member in enumerate(subpopulation.members)
+            if member.fitness_value() < mean
+        ]
+
+    @staticmethod
+    def apply(
+        population: MultiPopulation,
+        plan: ImmigrantPlan,
+        evaluated: dict[int, list[HaplotypeIndividual]],
+    ) -> int:
+        """Install the evaluated immigrants into their reserved slots.
+
+        ``evaluated`` maps each haplotype size to the evaluated immigrants in
+        the same order as ``plan.candidates[size]``.  Returns the number of
+        individuals actually replaced.
+        """
+        replaced = 0
+        for size, indices in plan.slots.items():
+            subpopulation = population.subpopulation(size)
+            news = evaluated.get(size, [])
+            for slot, immigrant in zip(indices, news):
+                subpopulation.replace_member(slot, immigrant)
+                replaced += 1
+        return replaced

@@ -1,0 +1,17 @@
+"""Genetic operators of the adaptive multi-population GA."""
+
+from .base import CrossoverOperator, MutationOperator, OperatorApplication, SnpTuple
+from .crossover import InterPopulationCrossover, IntraPopulationCrossover
+from .mutation import AugmentationMutation, PointMutation, ReductionMutation
+
+__all__ = [
+    "SnpTuple",
+    "OperatorApplication",
+    "MutationOperator",
+    "CrossoverOperator",
+    "PointMutation",
+    "ReductionMutation",
+    "AugmentationMutation",
+    "IntraPopulationCrossover",
+    "InterPopulationCrossover",
+]

@@ -1,0 +1,123 @@
+"""Operator interfaces and application records.
+
+The GA engine separates *proposing* new haplotypes from *evaluating* them:
+operators only return candidate SNP sets; the engine batches every candidate
+of a generation into a single parallel evaluation (the paper's master/slave
+farm), then computes each operator application's *progress* — the normalised
+fitness improvement it produced — which feeds the adaptive rate controller.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ...genetics.constraints import HaplotypeConstraints
+from ..individual import HaplotypeIndividual
+
+__all__ = ["SnpTuple", "MutationOperator", "CrossoverOperator", "OperatorApplication"]
+
+#: A candidate haplotype produced by an operator (sorted, duplicate-free).
+SnpTuple = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class OperatorApplication:
+    """Record of one operator application, used by the adaptive controller.
+
+    Attributes
+    ----------
+    operator:
+        Name of the operator that was applied.
+    progress:
+        Normalised fitness progress of the application (non-negative; the
+        adaptive scheme only rewards improvement).
+    """
+
+    operator: str
+    progress: float
+
+
+class MutationOperator(abc.ABC):
+    """A mutation: proposes candidate haplotypes derived from one parent."""
+
+    #: Unique operator name (key of the adaptive controller).
+    name: str = "mutation"
+
+    @abc.abstractmethod
+    def is_applicable(self, parent: HaplotypeIndividual) -> bool:
+        """Whether the operator can act on this parent (size bounds etc.)."""
+
+    @abc.abstractmethod
+    def propose(
+        self,
+        parent: HaplotypeIndividual,
+        constraints: HaplotypeConstraints,
+        rng: np.random.Generator,
+    ) -> list[SnpTuple]:
+        """Candidate haplotypes derived from the parent (possibly empty)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class CrossoverOperator(abc.ABC):
+    """A crossover: proposes candidate haplotypes derived from two parents."""
+
+    name: str = "crossover"
+
+    @abc.abstractmethod
+    def is_applicable(
+        self, parent_a: HaplotypeIndividual, parent_b: HaplotypeIndividual
+    ) -> bool:
+        """Whether the operator can recombine this pair of parents."""
+
+    @abc.abstractmethod
+    def recombine(
+        self,
+        parent_a: HaplotypeIndividual,
+        parent_b: HaplotypeIndividual,
+        constraints: HaplotypeConstraints,
+        rng: np.random.Generator,
+    ) -> list[SnpTuple]:
+        """Candidate children (typically two) derived from the parents."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def repair_to_size(
+    chosen: Sequence[int],
+    target_size: int,
+    pool: Sequence[int],
+    constraints: HaplotypeConstraints,
+    rng: np.random.Generator,
+) -> SnpTuple | None:
+    """Complete a partial haplotype up to ``target_size`` SNPs.
+
+    SNPs are added from ``pool`` first (preferring constraint-compatible
+    ones), then from the full panel if the pool is exhausted.  Returns
+    ``None`` when no feasible completion exists, which callers treat as a
+    failed operator application.
+    """
+    current = list(dict.fromkeys(int(s) for s in chosen))
+    if len(current) > target_size:
+        # keep a random subset of the requested size
+        keep = rng.choice(len(current), size=target_size, replace=False)
+        current = [current[i] for i in sorted(keep)]
+    pool_candidates = [int(s) for s in pool if int(s) not in current]
+    rng.shuffle(pool_candidates)
+    for candidate in pool_candidates:
+        if len(current) == target_size:
+            break
+        if all(constraints.pair_is_valid(candidate, s) for s in current):
+            current.append(candidate)
+    while len(current) < target_size:
+        candidates = constraints.compatible_snps(current)
+        if candidates.size == 0:
+            return None
+        current.append(int(rng.choice(candidates)))
+    return tuple(sorted(current))

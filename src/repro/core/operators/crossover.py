@@ -1,0 +1,93 @@
+"""Uniform crossover, intra- and inter-population (paper Section 4.3.2).
+
+The paper's crossover is uniform: the SNP "sites" of the two parents are
+randomly shuffled between the two children.  Because a haplotype is a *set*
+of SNPs, a naive exchange can create duplicates inside a child; the child is
+then repaired by drawing replacement SNPs from the parents' combined pool
+(preferring constraint-compatible ones), so that
+
+* **intra-population crossover** (two parents of the same size ``s``) yields
+  two children of size ``s`` — they stay in the parents' sub-population;
+* **inter-population crossover** (parents of different sizes ``s1`` and
+  ``s2``) yields "one child of each parent's size": a size-``s1`` child and a
+  size-``s2`` child, each mixing material from both parents.  This is the
+  second cooperation mechanism between sub-populations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...genetics.constraints import HaplotypeConstraints
+from ..individual import HaplotypeIndividual
+from .base import CrossoverOperator, SnpTuple, repair_to_size
+
+__all__ = ["IntraPopulationCrossover", "InterPopulationCrossover"]
+
+
+class IntraPopulationCrossover(CrossoverOperator):
+    """Uniform crossover between two parents of the same haplotype size."""
+
+    name = "intra_population_crossover"
+
+    def is_applicable(
+        self, parent_a: HaplotypeIndividual, parent_b: HaplotypeIndividual
+    ) -> bool:
+        return parent_a.size == parent_b.size and parent_a.snps != parent_b.snps
+
+    def recombine(
+        self,
+        parent_a: HaplotypeIndividual,
+        parent_b: HaplotypeIndividual,
+        constraints: HaplotypeConstraints,
+        rng: np.random.Generator,
+    ) -> list[SnpTuple]:
+        if not self.is_applicable(parent_a, parent_b):
+            return []
+        size = parent_a.size
+        pool = sorted(set(parent_a.snps) | set(parent_b.snps))
+        swap = rng.random(size) < 0.5
+        child_a = [parent_b.snps[i] if swap[i] else parent_a.snps[i] for i in range(size)]
+        child_b = [parent_a.snps[i] if swap[i] else parent_b.snps[i] for i in range(size)]
+        children: list[SnpTuple] = []
+        for raw in (child_a, child_b):
+            repaired = repair_to_size(raw, size, pool, constraints, rng)
+            if repaired is not None and repaired not in (parent_a.snps, parent_b.snps):
+                children.append(repaired)
+        return children
+
+
+class InterPopulationCrossover(CrossoverOperator):
+    """Uniform crossover between parents of different sizes (one child per size)."""
+
+    name = "inter_population_crossover"
+
+    def is_applicable(
+        self, parent_a: HaplotypeIndividual, parent_b: HaplotypeIndividual
+    ) -> bool:
+        return parent_a.size != parent_b.size
+
+    def recombine(
+        self,
+        parent_a: HaplotypeIndividual,
+        parent_b: HaplotypeIndividual,
+        constraints: HaplotypeConstraints,
+        rng: np.random.Generator,
+    ) -> list[SnpTuple]:
+        if not self.is_applicable(parent_a, parent_b):
+            return []
+        pool = sorted(set(parent_a.snps) | set(parent_b.snps))
+        children: list[SnpTuple] = []
+        for recipient, donor in ((parent_a, parent_b), (parent_b, parent_a)):
+            size = recipient.size
+            donor_snps = list(donor.snps)
+            raw: list[int] = []
+            for i in range(size):
+                if rng.random() < 0.5 and donor_snps:
+                    raw.append(int(rng.choice(donor_snps)))
+                else:
+                    raw.append(recipient.snps[i])
+            repaired = repair_to_size(raw, size, pool, constraints, rng)
+            if repaired is not None and repaired != recipient.snps:
+                children.append(repaired)
+        return children

@@ -1,0 +1,116 @@
+"""The three mutation operators of the paper (Section 4.3.1).
+
+* **Point (SNP) mutation** — replace one randomly chosen SNP of the haplotype
+  by another randomly chosen SNP.  The paper applies this mutation "several
+  times in parallel" and keeps the best resulting individual, which makes it
+  behave like a small local search around the parent; accordingly
+  :class:`PointMutation` proposes ``n_trials`` candidates and the engine keeps
+  the fittest.
+* **Reduction mutation** — remove one randomly chosen SNP.  The child is one
+  SNP shorter, so it migrates to the next smaller sub-population; this is one
+  of the cooperation mechanisms between sub-populations.
+* **Augmentation mutation** — add one randomly chosen (constraint-compatible)
+  SNP, migrating the child to the next larger sub-population.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...genetics.constraints import HaplotypeConstraints
+from ..individual import HaplotypeIndividual
+from .base import MutationOperator, SnpTuple
+
+__all__ = ["PointMutation", "ReductionMutation", "AugmentationMutation"]
+
+
+class PointMutation(MutationOperator):
+    """Replace one SNP of the haplotype by another, ``n_trials`` times."""
+
+    name = "point_mutation"
+
+    def __init__(self, n_trials: int = 4) -> None:
+        if n_trials < 1:
+            raise ValueError("n_trials must be at least 1")
+        self.n_trials = int(n_trials)
+
+    def is_applicable(self, parent: HaplotypeIndividual) -> bool:
+        return parent.size >= 1
+
+    def propose(
+        self,
+        parent: HaplotypeIndividual,
+        constraints: HaplotypeConstraints,
+        rng: np.random.Generator,
+    ) -> list[SnpTuple]:
+        candidates: list[SnpTuple] = []
+        seen: set[SnpTuple] = {parent.snps}
+        for _ in range(self.n_trials):
+            position = int(rng.integers(parent.size))
+            remaining = [s for i, s in enumerate(parent.snps) if i != position]
+            compatible = constraints.compatible_snps(remaining)
+            # never re-insert the SNP we just removed (that would be a no-op)
+            compatible = compatible[compatible != parent.snps[position]]
+            if compatible.size == 0:
+                continue
+            replacement = int(rng.choice(compatible))
+            candidate = tuple(sorted(remaining + [replacement]))
+            if candidate not in seen:
+                seen.add(candidate)
+                candidates.append(candidate)
+        return candidates
+
+
+class ReductionMutation(MutationOperator):
+    """Remove one randomly chosen SNP (moves the child one sub-population down)."""
+
+    name = "reduction_mutation"
+
+    def __init__(self, min_size: int = 2) -> None:
+        if min_size < 1:
+            raise ValueError("min_size must be at least 1")
+        self.min_size = int(min_size)
+
+    def is_applicable(self, parent: HaplotypeIndividual) -> bool:
+        return parent.size > self.min_size
+
+    def propose(
+        self,
+        parent: HaplotypeIndividual,
+        constraints: HaplotypeConstraints,
+        rng: np.random.Generator,
+    ) -> list[SnpTuple]:
+        if not self.is_applicable(parent):
+            return []
+        position = int(rng.integers(parent.size))
+        child = tuple(s for i, s in enumerate(parent.snps) if i != position)
+        return [child]
+
+
+class AugmentationMutation(MutationOperator):
+    """Add one randomly chosen compatible SNP (moves the child one sub-population up)."""
+
+    name = "augmentation_mutation"
+
+    def __init__(self, max_size: int = 6) -> None:
+        if max_size < 1:
+            raise ValueError("max_size must be at least 1")
+        self.max_size = int(max_size)
+
+    def is_applicable(self, parent: HaplotypeIndividual) -> bool:
+        return parent.size < self.max_size
+
+    def propose(
+        self,
+        parent: HaplotypeIndividual,
+        constraints: HaplotypeConstraints,
+        rng: np.random.Generator,
+    ) -> list[SnpTuple]:
+        if not self.is_applicable(parent):
+            return []
+        compatible = constraints.compatible_snps(parent.snps)
+        if compatible.size == 0:
+            return []
+        addition = int(rng.choice(compatible))
+        child = tuple(sorted(parent.snps + (addition,)))
+        return [child]

@@ -1,0 +1,75 @@
+"""Parent selection schemes.
+
+The paper does not commit to a particular selection operator, so the engine
+defaults to binary tournament selection (robust to the incomparable fitness
+scales of different sub-populations because tournaments never cross
+sub-population boundaries); roulette-wheel selection on normalised fitness is
+provided as an alternative.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .individual import HaplotypeIndividual
+from .population import SubPopulation
+
+__all__ = ["tournament_selection", "roulette_selection", "select_parent_pair"]
+
+
+def tournament_selection(
+    members: Sequence[HaplotypeIndividual],
+    rng: np.random.Generator,
+    *,
+    tournament_size: int = 2,
+) -> HaplotypeIndividual:
+    """Pick the fittest of ``tournament_size`` uniformly drawn members."""
+    if not members:
+        raise ValueError("cannot select from an empty population")
+    if tournament_size < 1:
+        raise ValueError("tournament_size must be at least 1")
+    k = min(tournament_size, len(members))
+    indices = rng.choice(len(members), size=k, replace=False)
+    return max((members[i] for i in indices), key=lambda ind: ind.fitness_value())
+
+
+def roulette_selection(
+    members: Sequence[HaplotypeIndividual],
+    rng: np.random.Generator,
+) -> HaplotypeIndividual:
+    """Fitness-proportionate selection on within-group normalised fitness."""
+    if not members:
+        raise ValueError("cannot select from an empty population")
+    values = np.asarray([ind.fitness_value() for ind in members], dtype=np.float64)
+    worst = values.min()
+    weights = values - worst
+    total = weights.sum()
+    if total <= 0:
+        index = int(rng.integers(len(members)))
+    else:
+        index = int(rng.choice(len(members), p=weights / total))
+    return members[index]
+
+
+def select_parent_pair(
+    subpopulation: SubPopulation,
+    rng: np.random.Generator,
+    *,
+    tournament_size: int = 2,
+    max_attempts: int = 10,
+) -> tuple[HaplotypeIndividual, HaplotypeIndividual]:
+    """Select two distinct parents from one sub-population by tournament.
+
+    Distinctness is best-effort: when the sub-population has collapsed to a
+    single haplotype the same individual may be returned twice, and callers
+    (the crossover operators) treat that pair as non-applicable.
+    """
+    first = tournament_selection(subpopulation.members, rng, tournament_size=tournament_size)
+    second = first
+    for _ in range(max_attempts):
+        second = tournament_selection(subpopulation.members, rng, tournament_size=tournament_size)
+        if second.snps != first.snps:
+            break
+    return first, second

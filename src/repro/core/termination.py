@@ -1,0 +1,74 @@
+"""Termination criteria of the GA run.
+
+The paper stops "when the best individual has not evolved during a fixed
+number of generations" (Section 4.6); because the evaluation budget matters
+more than the generation count for this problem, optional caps on the total
+number of generations and on the total number of evaluations are also
+supported, as is an optional target fitness (useful in tests where the
+optimum is planted and known).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TerminationCriteria", "TerminationState"]
+
+
+@dataclass(frozen=True)
+class TerminationState:
+    """The run-progress facts the criteria are checked against."""
+
+    generation: int
+    stagnation: int
+    n_evaluations: int
+    best_fitness: float | None
+
+
+@dataclass(frozen=True)
+class TerminationCriteria:
+    """When to stop the GA.
+
+    Attributes
+    ----------
+    stagnation_generations:
+        Stop when the global best has not improved for this many generations.
+    max_generations:
+        Hard cap on the number of generations.
+    max_evaluations:
+        Optional hard cap on the number of fitness evaluations.
+    target_fitness:
+        Optional fitness at (or above) which the run stops immediately.
+    """
+
+    stagnation_generations: int = 100
+    max_generations: int = 2000
+    max_evaluations: int | None = None
+    target_fitness: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.stagnation_generations < 1:
+            raise ValueError("stagnation_generations must be positive")
+        if self.max_generations < 1:
+            raise ValueError("max_generations must be positive")
+        if self.max_evaluations is not None and self.max_evaluations < 1:
+            raise ValueError("max_evaluations must be positive")
+
+    def reason_to_stop(self, state: TerminationState) -> str | None:
+        """The reason to stop now, or ``None`` to continue."""
+        if (
+            self.target_fitness is not None
+            and state.best_fitness is not None
+            and state.best_fitness >= self.target_fitness
+        ):
+            return "target_fitness"
+        if state.stagnation >= self.stagnation_generations:
+            return "stagnation"
+        if state.generation >= self.max_generations:
+            return "max_generations"
+        if self.max_evaluations is not None and state.n_evaluations >= self.max_evaluations:
+            return "max_evaluations"
+        return None
+
+    def should_stop(self, state: TerminationState) -> bool:
+        return self.reason_to_stop(state) is not None

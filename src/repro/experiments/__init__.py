@@ -1,0 +1,79 @@
+"""Experiment harnesses regenerating every table and figure of the paper."""
+
+from .ablation import AblationResult, AblationScheme, SchemeOutcome, default_schemes, run_ablation
+from .datasets import (
+    DEFAULT_SEED,
+    large249,
+    lille51,
+    lille51_constraints,
+    lille51_evaluator,
+    reduced_snp_panel,
+)
+from .figure4 import PAPER_FIGURE4_REFERENCE, Figure4Point, Figure4Result, run_figure4
+from .landscape_study import LandscapeStudyResult, run_landscape_study
+from .objectives import (
+    DEFAULT_OBJECTIVES,
+    ObjectiveComparisonResult,
+    run_objective_comparison,
+)
+from .reporting import format_number, format_series, format_table
+from .robustness import RobustnessResult, jaccard_similarity, run_robustness
+from .speedup import (
+    MeasuredSpeedupResult,
+    SimulatedSpeedupResult,
+    generation_batch,
+    run_measured_speedup,
+    run_simulated_speedup,
+)
+from .table1 import PAPER_TABLE1_VALUES, Table1Result, run_table1
+from .table2 import (
+    PAPER_TABLE2_REFERENCE,
+    Table2Result,
+    Table2Row,
+    paper_scale_config,
+    quick_config,
+    run_table2,
+)
+
+__all__ = [
+    "DEFAULT_SEED",
+    "lille51",
+    "lille51_evaluator",
+    "lille51_constraints",
+    "reduced_snp_panel",
+    "large249",
+    "format_table",
+    "format_number",
+    "format_series",
+    "run_table1",
+    "Table1Result",
+    "PAPER_TABLE1_VALUES",
+    "run_figure4",
+    "Figure4Result",
+    "Figure4Point",
+    "PAPER_FIGURE4_REFERENCE",
+    "run_table2",
+    "Table2Result",
+    "Table2Row",
+    "PAPER_TABLE2_REFERENCE",
+    "paper_scale_config",
+    "quick_config",
+    "run_ablation",
+    "AblationResult",
+    "AblationScheme",
+    "SchemeOutcome",
+    "default_schemes",
+    "run_simulated_speedup",
+    "run_measured_speedup",
+    "SimulatedSpeedupResult",
+    "MeasuredSpeedupResult",
+    "generation_batch",
+    "run_landscape_study",
+    "LandscapeStudyResult",
+    "run_objective_comparison",
+    "ObjectiveComparisonResult",
+    "DEFAULT_OBJECTIVES",
+    "run_robustness",
+    "RobustnessResult",
+    "jaccard_similarity",
+]

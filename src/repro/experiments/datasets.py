@@ -1,0 +1,88 @@
+"""Canonical datasets used by the experiment harnesses.
+
+All experiments run against the same deterministic stand-ins for the paper's
+data (see ``DESIGN.md`` for the substitution rationale):
+
+* ``lille51`` — 106 individuals × 51 SNPs (53 affected / 53 unaffected), the
+  dataset of the paper's reported study;
+* ``lille51_reduced`` — a reduced SNP panel around the planted haplotype, used
+  by the landscape study where exhaustive enumeration of sizes up to 4 must
+  stay cheap;
+* ``large249`` — the 249-SNP / 176-individual analogue of the paper's larger
+  files.
+
+The builders are memoised so that repeated calls (tests, benches, examples)
+share one simulation.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..genetics.constraints import HaplotypeConstraints, build_constraints
+from ..genetics.simulate import SimulatedStudy, large_study_249, lille_like_study
+from ..stats.evaluation import HaplotypeEvaluator
+
+__all__ = [
+    "DEFAULT_SEED",
+    "lille51",
+    "lille51_evaluator",
+    "lille51_constraints",
+    "reduced_snp_panel",
+    "large249",
+]
+
+#: Seed used by every canonical dataset (the paper's publication year).
+DEFAULT_SEED: int = 2004
+
+
+@lru_cache(maxsize=8)
+def lille51(seed: int = DEFAULT_SEED) -> SimulatedStudy:
+    """The 106 × 51 case/control study standing in for the Lille dataset."""
+    return lille_like_study(seed=seed)
+
+
+@lru_cache(maxsize=8)
+def lille51_evaluator(seed: int = DEFAULT_SEED, statistic: str = "t1") -> HaplotypeEvaluator:
+    """A shared EH-DIALL + CLUMP evaluator over :func:`lille51`."""
+    return HaplotypeEvaluator(lille51(seed).dataset, statistic=statistic)
+
+
+@lru_cache(maxsize=8)
+def lille51_constraints(
+    seed: int = DEFAULT_SEED,
+    max_pairwise_ld: float = 1.0,
+    min_minor_frequency_difference: float = 0.0,
+) -> HaplotypeConstraints:
+    """Haplotype-validity constraints built from the :func:`lille51` genotypes."""
+    return build_constraints(
+        lille51(seed).dataset,
+        max_pairwise_ld=max_pairwise_ld,
+        min_minor_frequency_difference=min_minor_frequency_difference,
+    )
+
+
+def reduced_snp_panel(seed: int = DEFAULT_SEED, n_snps: int = 18) -> tuple[int, ...]:
+    """A reduced SNP panel for exhaustive landscape studies.
+
+    The panel always contains the planted causal SNPs (so the interesting
+    structure is preserved) padded with the lowest-index remaining SNPs up to
+    ``n_snps`` markers.
+    """
+    study = lille51(seed)
+    causal = list(study.causal_snps)
+    if n_snps < len(causal):
+        raise ValueError(f"n_snps must be at least {len(causal)} to keep the causal SNPs")
+    panel = list(causal)
+    candidate = 0
+    while len(panel) < min(n_snps, study.dataset.n_snps):
+        if candidate not in panel:
+            panel.append(candidate)
+        candidate += 1
+    return tuple(sorted(panel))
+
+
+@lru_cache(maxsize=2)
+def large249(seed: int = DEFAULT_SEED) -> SimulatedStudy:
+    """The 249-SNP / 176-individual analogue of the paper's larger files."""
+    return large_study_249(seed=seed)

@@ -1,0 +1,128 @@
+"""Figure 4 — average evaluation time as a function of haplotype size.
+
+The paper measures the mean EH-DIALL + CLUMP evaluation time for haplotypes of
+increasing size (about 6 ms at size 3 up to about 201 ms at size 7 on a
+Pentium-IV 1.7 GHz) and shows that it grows exponentially — the observation
+that motivates both the parallel evaluation farm and the use of the number of
+evaluations as the cost metric.
+
+Absolute milliseconds depend on the host machine (and our EM is vectorised
+NumPy rather than the original C programs), so the reproduced quantity is the
+*shape*: the per-size mean times and the fitted exponential growth factor per
+added SNP.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..genetics.simulate import SimulatedStudy
+from ..parallel.pvm import EvaluationCostModel
+from ..stats.evaluation import HaplotypeEvaluator
+from .datasets import DEFAULT_SEED, lille51
+from .reporting import format_table
+
+__all__ = ["Figure4Point", "Figure4Result", "run_figure4", "PAPER_FIGURE4_REFERENCE"]
+
+#: The two evaluation times the paper quotes in the text for Figure 4
+#: (haplotype size -> seconds on the paper's hardware).
+PAPER_FIGURE4_REFERENCE: dict[int, float] = {3: 0.006, 7: 0.201}
+
+
+@dataclass(frozen=True)
+class Figure4Point:
+    """Mean measured evaluation time for one haplotype size."""
+
+    size: int
+    n_samples: int
+    mean_seconds: float
+    std_seconds: float
+
+
+@dataclass(frozen=True)
+class Figure4Result:
+    """The regenerated Figure 4 series and its exponential fit."""
+
+    points: tuple[Figure4Point, ...]
+    cost_model: EvaluationCostModel
+
+    @property
+    def growth_factor(self) -> float:
+        """Fitted multiplicative cost increase per additional SNP."""
+        return self.cost_model.growth_factor
+
+    def mean_seconds(self, size: int) -> float:
+        for point in self.points:
+            if point.size == size:
+                return point.mean_seconds
+        raise KeyError(f"no measurement for haplotype size {size}")
+
+    def format(self) -> str:
+        headers = ["Haplotype size", "mean eval time (ms)", "std (ms)", "samples"]
+        rows = [
+            [p.size, p.mean_seconds * 1e3, p.std_seconds * 1e3, p.n_samples]
+            for p in self.points
+        ]
+        table = format_table(
+            headers, rows, title="Figure 4 - average evaluation time vs haplotype size"
+        )
+        return (
+            f"{table}\n"
+            f"fitted exponential growth factor per added SNP: {self.growth_factor:.2f}"
+        )
+
+
+def run_figure4(
+    *,
+    study: SimulatedStudy | None = None,
+    sizes: Sequence[int] = (2, 3, 4, 5, 6, 7),
+    n_samples: int = 20,
+    seed: int = DEFAULT_SEED,
+) -> Figure4Result:
+    """Measure mean evaluation time per haplotype size on the lille-like dataset.
+
+    Parameters
+    ----------
+    study:
+        Dataset to evaluate against (default: the canonical 106 × 51 study).
+    sizes:
+        Haplotype sizes to measure.
+    n_samples:
+        Number of random haplotypes timed per size.
+    seed:
+        Seed for the haplotype sampling.
+    """
+    if n_samples < 2:
+        raise ValueError("n_samples must be at least 2")
+    study = study or lille51(seed)
+    evaluator = HaplotypeEvaluator(study.dataset)
+    rng = np.random.default_rng(seed)
+    n_snps = study.dataset.n_snps
+
+    points: list[Figure4Point] = []
+    for size in sizes:
+        if size > n_snps:
+            raise ValueError(f"haplotype size {size} exceeds the panel ({n_snps} SNPs)")
+        samples = []
+        for _ in range(n_samples):
+            snps = tuple(sorted(rng.choice(n_snps, size=size, replace=False).tolist()))
+            start = time.perf_counter()
+            evaluator.evaluate(snps)
+            samples.append(time.perf_counter() - start)
+        arr = np.asarray(samples)
+        points.append(
+            Figure4Point(
+                size=int(size),
+                n_samples=n_samples,
+                mean_seconds=float(arr.mean()),
+                std_seconds=float(arr.std()),
+            )
+        )
+    cost_model = EvaluationCostModel.fit(
+        [p.size for p in points], [max(p.mean_seconds, 1e-9) for p in points]
+    )
+    return Figure4Result(points=tuple(points), cost_model=cost_model)

@@ -1,0 +1,63 @@
+"""Plain-text rendering of experiment results (paper-style tables)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_number", "format_series"]
+
+
+def format_number(value: object, *, decimals: int = 3) -> str:
+    """Render a table cell: floats rounded, large integers with separators."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return f"{value:,}" if abs(value) >= 10_000 else str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1e7 or (abs(value) < 1e-3 and value != 0):
+            return f"{value:.3e}"
+        return f"{value:.{decimals}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    decimals: int = 3,
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Used by the experiment harnesses and the CLI to print tables shaped like
+    the paper's (Table 1, Table 2, …) so measured and published numbers can be
+    compared side by side.
+    """
+    rendered_rows = [[format_number(cell, decimals=decimals) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError("every row must have one cell per header")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(pairs: Iterable[tuple[object, object]], *, decimals: int = 3) -> str:
+    """Render an (x, y) series as ``x -> y`` lines (for figure-style outputs)."""
+    return "\n".join(
+        f"{format_number(x, decimals=decimals)} -> {format_number(y, decimals=decimals)}"
+        for x, y in pairs
+    )

@@ -1,0 +1,139 @@
+"""Robustness of the GA across repeated executions (paper Section 5.2).
+
+On the larger 249-SNP dataset the paper reports that the algorithm "has shown
+a good robustness (solutions provided are similar from one execution to
+another)".  This harness quantifies that claim: it runs the GA several times
+with different seeds and reports, per haplotype size,
+
+* the mean pairwise Jaccard similarity of the best haplotypes found by the
+  different runs (1.0 = every run returns the same SNP set), and
+* the coefficient of variation of the best fitness across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+import numpy as np
+
+from ..core.config import GAConfig
+from ..core.ga import AdaptiveMultiPopulationGA
+from ..core.history import GAResult
+from ..genetics.constraints import HaplotypeConstraints
+from ..genetics.simulate import SimulatedStudy
+from ..stats.evaluation import HaplotypeEvaluator
+from .datasets import DEFAULT_SEED, lille51
+from .reporting import format_table
+from .table2 import quick_config
+
+__all__ = ["RobustnessResult", "run_robustness", "jaccard_similarity"]
+
+
+def jaccard_similarity(a: Sequence[int], b: Sequence[int]) -> float:
+    """Jaccard similarity of two SNP sets (1.0 when identical, 0.0 when disjoint)."""
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    return len(set_a & set_b) / len(set_a | set_b)
+
+
+@dataclass(frozen=True)
+class RobustnessResult:
+    """Cross-run similarity of the GA's solutions.
+
+    Attributes
+    ----------
+    similarity_per_size:
+        Mean pairwise Jaccard similarity of the best haplotype per size.
+    fitness_cv_per_size:
+        Coefficient of variation (std / mean) of the best fitness per size.
+    best_per_size_per_run:
+        The raw per-run best haplotypes (size -> list over runs).
+    n_runs:
+        Number of GA runs.
+    """
+
+    similarity_per_size: dict[int, float]
+    fitness_cv_per_size: dict[int, float]
+    best_per_size_per_run: dict[int, tuple[tuple[int, ...], ...]]
+    n_runs: int
+    run_results: tuple[GAResult, ...]
+
+    def mean_similarity(self) -> float:
+        """Mean of the per-size similarities (the headline robustness score)."""
+        return float(np.mean(list(self.similarity_per_size.values())))
+
+    def format(self) -> str:
+        headers = ["Size", "mean Jaccard similarity", "fitness CV"]
+        rows = [
+            [size, self.similarity_per_size[size], self.fitness_cv_per_size[size]]
+            for size in sorted(self.similarity_per_size)
+        ]
+        return format_table(
+            headers, rows,
+            title=f"Robustness over {self.n_runs} runs (1.0 = identical solutions)",
+        )
+
+
+def run_robustness(
+    *,
+    study: SimulatedStudy | None = None,
+    config: GAConfig | None = None,
+    n_runs: int = 5,
+    constraints: HaplotypeConstraints | None = None,
+    seed: int = DEFAULT_SEED,
+    statistic: str = "t1",
+) -> RobustnessResult:
+    """Run the GA ``n_runs`` times and measure the similarity of its solutions."""
+    if n_runs < 2:
+        raise ValueError("robustness needs at least two runs")
+    study = study or lille51(seed)
+    config = config or quick_config()
+    evaluator = HaplotypeEvaluator(study.dataset, statistic=statistic)
+    n_snps = study.dataset.n_snps
+    constraints = constraints or HaplotypeConstraints.unconstrained(n_snps)
+
+    results: list[GAResult] = []
+    for run_index in range(n_runs):
+        ga = AdaptiveMultiPopulationGA(
+            evaluator,
+            n_snps=n_snps,
+            config=config.with_seed(seed + 1000 * run_index),
+            constraints=constraints,
+        )
+        results.append(ga.run())
+
+    sizes = sorted({size for result in results for size in result.best_per_size})
+    similarity: dict[int, float] = {}
+    fitness_cv: dict[int, float] = {}
+    per_run: dict[int, tuple[tuple[int, ...], ...]] = {}
+    for size in sizes:
+        haplotypes = [
+            result.best_per_size[size].snps
+            for result in results
+            if size in result.best_per_size
+        ]
+        fitnesses = np.asarray(
+            [
+                result.best_per_size[size].fitness_value()
+                for result in results
+                if size in result.best_per_size
+            ]
+        )
+        per_run[size] = tuple(haplotypes)
+        if len(haplotypes) >= 2:
+            pairs = list(combinations(haplotypes, 2))
+            similarity[size] = float(np.mean([jaccard_similarity(a, b) for a, b in pairs]))
+        else:
+            similarity[size] = 1.0
+        mean = fitnesses.mean()
+        fitness_cv[size] = float(fitnesses.std() / mean) if mean > 0 else 0.0
+    return RobustnessResult(
+        similarity_per_size=similarity,
+        fitness_cv_per_size=fitness_cv,
+        best_per_size_per_run=per_run,
+        n_runs=n_runs,
+        run_results=tuple(results),
+    )

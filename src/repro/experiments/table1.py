@@ -1,0 +1,66 @@
+"""Table 1 — size of the search space.
+
+The paper's Table 1 lists the number of possible haplotypes of sizes 2-6 for
+panels of 51, 150 and 249 SNPs, to establish that exhaustive enumeration is
+impossible.  This harness regenerates the table (exactly — it is closed-form)
+and also records the published values so the test suite can check them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..search.search_space import (
+    PAPER_TABLE1_SIZES,
+    PAPER_TABLE1_SNP_COUNTS,
+    n_haplotypes_of_size,
+)
+from .reporting import format_table
+
+__all__ = ["PAPER_TABLE1_VALUES", "Table1Result", "run_table1"]
+
+#: The values printed in the paper's Table 1 (haplotype size -> {n_snps: count}).
+#: The paper's entries are exact binomial coefficients except for the largest
+#: cells, which it rounds (e.g. "7.6e9" for C(150, 5)); we store the exact
+#: values the rounding corresponds to.
+PAPER_TABLE1_VALUES: dict[int, dict[int, int]] = {
+    2: {51: 1_275, 150: 11_175, 249: 30_876},
+    3: {51: 20_825, 150: 551_300, 249: 2_542_124},
+    4: {51: 249_900, 150: 20_260_275, 249: 156_340_626},
+    5: {51: 2_349_060, 150: 591_600_030, 249: 7_660_690_674},
+    6: {51: 18_009_460, 150: 14_297_000_725, 249: 311_534_754_076},
+}
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """The regenerated Table 1."""
+
+    snp_counts: tuple[int, ...]
+    sizes: tuple[int, ...]
+    values: dict[int, dict[int, int]]
+
+    def row(self, size: int) -> dict[int, int]:
+        return self.values[size]
+
+    def format(self) -> str:
+        headers = ["Haplotype size"] + [f"{n} SNPs" for n in self.snp_counts]
+        rows = [[size, *[self.values[size][n] for n in self.snp_counts]] for size in self.sizes]
+        return format_table(headers, rows, title="Table 1 - size of the search space")
+
+
+def run_table1(
+    snp_counts: Sequence[int] = PAPER_TABLE1_SNP_COUNTS,
+    sizes: Sequence[int] = PAPER_TABLE1_SIZES,
+) -> Table1Result:
+    """Regenerate Table 1 for the requested panel sizes and haplotype sizes."""
+    values = {
+        int(size): {int(n): n_haplotypes_of_size(n, size) for n in snp_counts}
+        for size in sizes
+    }
+    return Table1Result(
+        snp_counts=tuple(int(n) for n in snp_counts),
+        sizes=tuple(int(s) for s in sizes),
+        values=values,
+    )

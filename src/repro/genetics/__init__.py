@@ -1,0 +1,100 @@
+"""Genomics substrate: datasets, allele/genotype coding, LD, simulation, I/O.
+
+This package provides every data-facing component the paper's pipeline needs:
+the case/control genotype container (:class:`GenotypeDataset`), allele and
+genotype frequency estimation, pairwise linkage-disequilibrium measures, the
+two haplotype-validity constraints of Section 2.3, a forward simulator with a
+planted causal haplotype (the documented substitute for the proprietary Lille
+dataset), and readers/writers for the paper's three-table study layout as
+well as CSV, PED and HapMap-style files.
+"""
+
+from .alleles import (
+    ALLELE_1,
+    ALLELE_2,
+    GENOTYPE_HET,
+    GENOTYPE_HOM_1,
+    GENOTYPE_HOM_2,
+    GENOTYPE_MISSING,
+    STATUS_AFFECTED,
+    STATUS_UNAFFECTED,
+    STATUS_UNKNOWN,
+    all_haplotype_labels,
+    alleles_to_haplotype_index,
+    haplotype_index_to_alleles,
+    haplotype_label,
+    n_haplotype_states,
+    parse_haplotype_label,
+)
+from .constraints import HaplotypeConstraints, build_constraints
+from .dataset import DatasetSummary, GenotypeDataset
+from .frequencies import (
+    SnpFrequencyTable,
+    allele_frequencies,
+    genotype_counts,
+    minor_allele_frequencies,
+    snp_frequency_table,
+)
+from .ld import (
+    LDStatistics,
+    PairwiseLDTable,
+    ld_matrix,
+    pairwise_ld,
+    pairwise_ld_table,
+    two_locus_haplotype_frequencies,
+)
+from .simulate import (
+    DiseaseModel,
+    PopulationModel,
+    SimulatedStudy,
+    large_study_249,
+    lille_like_study,
+    simulate_case_control_study,
+    simulate_haplotypes,
+)
+
+__all__ = [
+    # alleles
+    "ALLELE_1",
+    "ALLELE_2",
+    "GENOTYPE_HOM_1",
+    "GENOTYPE_HET",
+    "GENOTYPE_HOM_2",
+    "GENOTYPE_MISSING",
+    "STATUS_AFFECTED",
+    "STATUS_UNAFFECTED",
+    "STATUS_UNKNOWN",
+    "n_haplotype_states",
+    "haplotype_index_to_alleles",
+    "alleles_to_haplotype_index",
+    "haplotype_label",
+    "parse_haplotype_label",
+    "all_haplotype_labels",
+    # dataset
+    "GenotypeDataset",
+    "DatasetSummary",
+    # frequencies
+    "allele_frequencies",
+    "minor_allele_frequencies",
+    "genotype_counts",
+    "SnpFrequencyTable",
+    "snp_frequency_table",
+    # LD
+    "LDStatistics",
+    "two_locus_haplotype_frequencies",
+    "pairwise_ld",
+    "ld_matrix",
+    "PairwiseLDTable",
+    "pairwise_ld_table",
+    # constraints
+    "HaplotypeConstraints",
+    "build_constraints",
+    # simulation
+    "PopulationModel",
+    "DiseaseModel",
+    "SimulatedStudy",
+    "simulate_haplotypes",
+    "simulate_case_control_study",
+    "lille_like_study",
+    "large_study_249",
+]

@@ -1,0 +1,157 @@
+"""Allele and genotype coding conventions.
+
+The paper (and the original EH-DIALL / CLUMP tools it relies on) uses a
+biallelic SNP coding where the two observed forms of a SNP are written ``1``
+and ``2`` (see Figure 1 of the paper).  Internally we store *unphased
+genotypes* as the number of copies of allele ``2`` carried by an individual at
+a locus, which is the standard additive coding:
+
+========  =================================  =====================
+code      meaning                            alleles carried
+========  =================================  =====================
+``0``     homozygous for allele ``1``        ``1 / 1``
+``1``     heterozygous                       ``1 / 2``
+``2``     homozygous for allele ``2``        ``2 / 2``
+``-1``    missing genotype                   unknown
+========  =================================  =====================
+
+A *haplotype state* over ``L`` SNPs (one allele chosen at each of the ``L``
+loci) is represented by an integer in ``[0, 2**L)`` whose ``i``-th bit is
+``0`` when the haplotype carries allele ``1`` at the ``i``-th locus and ``1``
+when it carries allele ``2``.  The functions in this module convert between
+that compact index representation and the human readable ``"1221"`` style
+labels used throughout the paper (e.g. Figure 2, "haplotype 1221/1122").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ALLELE_1",
+    "ALLELE_2",
+    "GENOTYPE_HOM_1",
+    "GENOTYPE_HET",
+    "GENOTYPE_HOM_2",
+    "GENOTYPE_MISSING",
+    "VALID_GENOTYPES",
+    "STATUS_UNAFFECTED",
+    "STATUS_AFFECTED",
+    "STATUS_UNKNOWN",
+    "n_haplotype_states",
+    "haplotype_index_to_alleles",
+    "alleles_to_haplotype_index",
+    "haplotype_label",
+    "parse_haplotype_label",
+    "all_haplotype_labels",
+]
+
+#: The "wild type" allele (paper coding ``1``).
+ALLELE_1: int = 1
+#: The mutated allele (paper coding ``2``).
+ALLELE_2: int = 2
+
+#: Unphased genotype codes (count of :data:`ALLELE_2` copies).
+GENOTYPE_HOM_1: int = 0
+GENOTYPE_HET: int = 1
+GENOTYPE_HOM_2: int = 2
+GENOTYPE_MISSING: int = -1
+
+#: The set of genotype codes accepted by :class:`repro.genetics.dataset.GenotypeDataset`.
+VALID_GENOTYPES: frozenset[int] = frozenset(
+    {GENOTYPE_HOM_1, GENOTYPE_HET, GENOTYPE_HOM_2, GENOTYPE_MISSING}
+)
+
+#: Disease-status codes used for individuals.
+STATUS_UNAFFECTED: int = 0
+STATUS_AFFECTED: int = 1
+STATUS_UNKNOWN: int = -1
+
+
+def n_haplotype_states(n_loci: int) -> int:
+    """Number of distinct haplotype states over ``n_loci`` biallelic SNPs.
+
+    Parameters
+    ----------
+    n_loci:
+        Number of SNPs in the haplotype.  Must be non-negative.
+
+    Returns
+    -------
+    int
+        ``2 ** n_loci``.
+    """
+    if n_loci < 0:
+        raise ValueError(f"n_loci must be non-negative, got {n_loci}")
+    return 1 << n_loci
+
+
+def haplotype_index_to_alleles(index: int, n_loci: int) -> np.ndarray:
+    """Decode a haplotype state index into its per-locus allele codes.
+
+    Parameters
+    ----------
+    index:
+        Haplotype state in ``[0, 2**n_loci)``.
+    n_loci:
+        Number of SNPs in the haplotype.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of length ``n_loci`` containing :data:`ALLELE_1` / :data:`ALLELE_2`.
+    """
+    if not 0 <= index < n_haplotype_states(n_loci):
+        raise ValueError(f"haplotype index {index} out of range for {n_loci} loci")
+    bits = (index >> np.arange(n_loci)) & 1
+    return np.where(bits == 0, ALLELE_1, ALLELE_2).astype(np.int8)
+
+
+def alleles_to_haplotype_index(alleles: Sequence[int] | np.ndarray) -> int:
+    """Encode a sequence of allele codes (``1``/``2``) into a state index.
+
+    The inverse of :func:`haplotype_index_to_alleles`.
+    """
+    arr = np.asarray(alleles)
+    if arr.ndim != 1:
+        raise ValueError("alleles must be a 1-D sequence")
+    if not np.all((arr == ALLELE_1) | (arr == ALLELE_2)):
+        raise ValueError(f"alleles must contain only {ALLELE_1} or {ALLELE_2}, got {arr!r}")
+    bits = (arr == ALLELE_2).astype(np.int64)
+    return int(np.sum(bits << np.arange(arr.size)))
+
+
+def haplotype_label(index: int, n_loci: int) -> str:
+    """Render a haplotype state as the paper's ``"1221"`` style string."""
+    return "".join(str(int(a)) for a in haplotype_index_to_alleles(index, n_loci))
+
+
+def parse_haplotype_label(label: str) -> int:
+    """Parse a ``"1221"`` style label back into a haplotype state index."""
+    if not label:
+        raise ValueError("empty haplotype label")
+    alleles = [int(c) for c in label]
+    return alleles_to_haplotype_index(alleles)
+
+
+def all_haplotype_labels(n_loci: int) -> list[str]:
+    """All ``2**n_loci`` haplotype labels in state-index order."""
+    return [haplotype_label(i, n_loci) for i in range(n_haplotype_states(n_loci))]
+
+
+def validate_genotype_array(genotypes: Iterable[int] | np.ndarray) -> np.ndarray:
+    """Validate and normalise a genotype array to ``int8``.
+
+    Raises
+    ------
+    ValueError
+        If any entry is not one of :data:`VALID_GENOTYPES`.
+    """
+    arr = np.asarray(genotypes, dtype=np.int8)
+    bad = ~np.isin(arr, list(VALID_GENOTYPES))
+    if np.any(bad):
+        bad_values = sorted(set(np.asarray(arr)[bad].tolist()))
+        raise ValueError(f"invalid genotype codes present: {bad_values}")
+    return arr

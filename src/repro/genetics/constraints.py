@@ -1,0 +1,134 @@
+"""Haplotype validity constraints (paper Section 2.3).
+
+In a linkage-disequilibrium study, two SNPs belonging to the same candidate
+haplotype must verify two conditions:
+
+1. their pairwise (2-by-2) disequilibrium must be **below** a threshold
+   ``max_pairwise_ld`` — otherwise the two SNPs are near-redundant and the
+   haplotype wastes a slot on duplicated information;
+2. the difference between the smaller frequencies of their two variants must
+   be **above** a threshold ``min_minor_frequency_difference`` — SNPs whose
+   minor variants have (almost) the same frequency tend to be proxies of one
+   another.
+
+The GA, the exhaustive enumerator and the random baselines all share this
+:class:`HaplotypeConstraints` object so that every search method explores the
+same feasible region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+import numpy as np
+
+from .dataset import GenotypeDataset
+from .frequencies import SnpFrequencyTable, snp_frequency_table
+from .ld import PairwiseLDTable, pairwise_ld_table
+
+__all__ = ["HaplotypeConstraints", "build_constraints"]
+
+
+@dataclass(frozen=True)
+class HaplotypeConstraints:
+    """Pairwise feasibility constraints on the SNPs of a haplotype.
+
+    Attributes
+    ----------
+    ld_table:
+        Pairwise LD table (the paper's pre-computed disequilibrium table).
+    frequency_table:
+        Per-SNP allele-frequency table.
+    max_pairwise_ld:
+        Threshold ``t_d``: any SNP pair in a haplotype must have LD strictly
+        below this value.  ``1.0`` (with the default ``r²`` measure) disables
+        the constraint for all non-identical SNPs.
+    min_minor_frequency_difference:
+        Threshold ``t_f``: the absolute difference between the two SNPs' minor
+        variant frequencies must be at least this value.  ``0.0`` disables the
+        constraint.
+    """
+
+    ld_table: PairwiseLDTable
+    frequency_table: SnpFrequencyTable
+    max_pairwise_ld: float = 1.0
+    min_minor_frequency_difference: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.ld_table.n_snps != self.frequency_table.n_snps:
+            raise ValueError("LD table and frequency table cover different numbers of SNPs")
+        if not 0.0 <= self.max_pairwise_ld <= 1.0 + 1e-12:
+            raise ValueError("max_pairwise_ld must be in [0, 1]")
+        if not 0.0 <= self.min_minor_frequency_difference <= 0.5:
+            raise ValueError("min_minor_frequency_difference must be in [0, 0.5]")
+
+    @property
+    def n_snps(self) -> int:
+        return self.ld_table.n_snps
+
+    # ------------------------------------------------------------------ #
+    def pair_is_valid(self, snp_a: int, snp_b: int) -> bool:
+        """Whether two distinct SNPs may appear together in a haplotype."""
+        if snp_a == snp_b:
+            return False
+        if self.ld_table.value(snp_a, snp_b) >= self.max_pairwise_ld and self.max_pairwise_ld < 1.0:
+            return False
+        if self.min_minor_frequency_difference > 0.0:
+            fa = self.frequency_table.minor_frequency(snp_a)
+            fb = self.frequency_table.minor_frequency(snp_b)
+            if abs(fa - fb) < self.min_minor_frequency_difference:
+                return False
+        return True
+
+    def is_valid(self, snps: Sequence[int] | np.ndarray) -> bool:
+        """Whether every pair of SNPs in the candidate haplotype is valid."""
+        snps = [int(s) for s in snps]
+        if len(set(snps)) != len(snps):
+            return False
+        return all(self.pair_is_valid(a, b) for a, b in combinations(snps, 2))
+
+    def compatible_snps(self, snps: Sequence[int] | np.ndarray) -> np.ndarray:
+        """SNP indices that could be added to ``snps`` without violating constraints."""
+        current = [int(s) for s in snps]
+        out = []
+        for candidate in range(self.n_snps):
+            if candidate in current:
+                continue
+            if all(self.pair_is_valid(candidate, s) for s in current):
+                out.append(candidate)
+        return np.asarray(out, dtype=np.intp)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def unconstrained(cls, n_snps: int) -> "HaplotypeConstraints":
+        """Constraints object that accepts every duplicate-free SNP set.
+
+        Useful for tests and for datasets where the pre-computed tables are
+        not available.
+        """
+        names = tuple(f"snp{i}" for i in range(n_snps))
+        ld = PairwiseLDTable(snp_names=names, values=np.eye(n_snps), measure="r_squared")
+        freq = SnpFrequencyTable(
+            snp_names=names,
+            freq_allele1=np.full(n_snps, 0.5),
+            freq_allele2=np.full(n_snps, 0.5),
+        )
+        return cls(ld_table=ld, frequency_table=freq)
+
+
+def build_constraints(
+    dataset: GenotypeDataset,
+    *,
+    max_pairwise_ld: float = 1.0,
+    min_minor_frequency_difference: float = 0.0,
+    ld_measure: str = "r_squared",
+) -> HaplotypeConstraints:
+    """Build :class:`HaplotypeConstraints` directly from a genotype dataset."""
+    return HaplotypeConstraints(
+        ld_table=pairwise_ld_table(dataset, measure=ld_measure),
+        frequency_table=snp_frequency_table(dataset),
+        max_pairwise_ld=max_pairwise_ld,
+        min_minor_frequency_difference=min_minor_frequency_difference,
+    )

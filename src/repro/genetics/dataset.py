@@ -1,0 +1,260 @@
+"""Case/control genotype dataset container.
+
+The paper's experiments use a table of unphased SNP genotypes for a set of
+individuals, each labelled *affected*, *unaffected* (healthy) or *unknown*
+(Section 5: 176 individuals — 53 affected, 53 healthy, 70 unknown — of which
+106 individuals × 51 SNPs are used for the reported study).
+
+:class:`GenotypeDataset` is the single in-memory representation used by every
+other subsystem: the EH-DIALL/CLUMP evaluation pipeline, the pairwise-LD
+tables, the constraint checks and the GA itself all consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .alleles import (
+    GENOTYPE_MISSING,
+    STATUS_AFFECTED,
+    STATUS_UNAFFECTED,
+    STATUS_UNKNOWN,
+    validate_genotype_array,
+)
+
+__all__ = ["GenotypeDataset", "DatasetSummary"]
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    """Lightweight summary statistics of a :class:`GenotypeDataset`."""
+
+    n_individuals: int
+    n_snps: int
+    n_affected: int
+    n_unaffected: int
+    n_unknown: int
+    missing_rate: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.n_individuals} individuals x {self.n_snps} SNPs "
+            f"({self.n_affected} affected, {self.n_unaffected} unaffected, "
+            f"{self.n_unknown} unknown status, "
+            f"{self.missing_rate:.2%} missing genotypes)"
+        )
+
+
+class GenotypeDataset:
+    """Unphased case/control SNP genotype matrix.
+
+    Parameters
+    ----------
+    genotypes:
+        Integer array of shape ``(n_individuals, n_snps)`` with entries in
+        ``{0, 1, 2, -1}`` (see :mod:`repro.genetics.alleles`).
+    status:
+        Integer array of length ``n_individuals`` with entries in
+        ``{0 (unaffected), 1 (affected), -1 (unknown)}``.
+    snp_names:
+        Optional SNP identifiers; defaults to ``"snp0" … "snpN-1"``.
+    individual_ids:
+        Optional individual identifiers; defaults to ``"ind0" …``.
+    """
+
+    def __init__(
+        self,
+        genotypes: np.ndarray | Sequence[Sequence[int]],
+        status: np.ndarray | Sequence[int],
+        snp_names: Sequence[str] | None = None,
+        individual_ids: Sequence[str] | None = None,
+    ) -> None:
+        geno = validate_genotype_array(np.asarray(genotypes))
+        if geno.ndim != 2:
+            raise ValueError(f"genotypes must be 2-D, got shape {geno.shape}")
+        stat = np.asarray(status, dtype=np.int8)
+        if stat.ndim != 1:
+            raise ValueError("status must be a 1-D array")
+        if stat.shape[0] != geno.shape[0]:
+            raise ValueError(
+                f"status length {stat.shape[0]} does not match "
+                f"{geno.shape[0]} individuals"
+            )
+        valid_status = {STATUS_AFFECTED, STATUS_UNAFFECTED, STATUS_UNKNOWN}
+        if not set(np.unique(stat).tolist()) <= valid_status:
+            raise ValueError(f"status values must be in {sorted(valid_status)}")
+
+        self._genotypes = geno
+        self._status = stat
+
+        if snp_names is None:
+            snp_names = [f"snp{i}" for i in range(geno.shape[1])]
+        if len(snp_names) != geno.shape[1]:
+            raise ValueError("snp_names length does not match number of SNPs")
+        if len(set(snp_names)) != len(snp_names):
+            raise ValueError("snp_names must be unique")
+        self._snp_names = tuple(str(s) for s in snp_names)
+
+        if individual_ids is None:
+            individual_ids = [f"ind{i}" for i in range(geno.shape[0])]
+        if len(individual_ids) != geno.shape[0]:
+            raise ValueError("individual_ids length does not match number of individuals")
+        self._individual_ids = tuple(str(s) for s in individual_ids)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def genotypes(self) -> np.ndarray:
+        """The ``(n_individuals, n_snps)`` genotype matrix (read-only view)."""
+        view = self._genotypes.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def status(self) -> np.ndarray:
+        """Per-individual disease status (read-only view)."""
+        view = self._status.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def snp_names(self) -> tuple[str, ...]:
+        return self._snp_names
+
+    @property
+    def individual_ids(self) -> tuple[str, ...]:
+        return self._individual_ids
+
+    @property
+    def n_individuals(self) -> int:
+        return self._genotypes.shape[0]
+
+    @property
+    def n_snps(self) -> int:
+        return self._genotypes.shape[1]
+
+    def __len__(self) -> int:
+        return self.n_individuals
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GenotypeDataset(n_individuals={self.n_individuals}, n_snps={self.n_snps})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GenotypeDataset):
+            return NotImplemented
+        return (
+            np.array_equal(self._genotypes, other._genotypes)
+            and np.array_equal(self._status, other._status)
+            and self._snp_names == other._snp_names
+            and self._individual_ids == other._individual_ids
+        )
+
+    # ------------------------------------------------------------------ #
+    # group selectors
+    # ------------------------------------------------------------------ #
+    @property
+    def affected_mask(self) -> np.ndarray:
+        return self._status == STATUS_AFFECTED
+
+    @property
+    def unaffected_mask(self) -> np.ndarray:
+        return self._status == STATUS_UNAFFECTED
+
+    @property
+    def unknown_mask(self) -> np.ndarray:
+        return self._status == STATUS_UNKNOWN
+
+    @property
+    def n_affected(self) -> int:
+        return int(np.count_nonzero(self.affected_mask))
+
+    @property
+    def n_unaffected(self) -> int:
+        return int(np.count_nonzero(self.unaffected_mask))
+
+    @property
+    def n_unknown(self) -> int:
+        return int(np.count_nonzero(self.unknown_mask))
+
+    def affected(self) -> "GenotypeDataset":
+        """Sub-dataset restricted to affected individuals."""
+        return self.select_individuals(np.flatnonzero(self.affected_mask))
+
+    def unaffected(self) -> "GenotypeDataset":
+        """Sub-dataset restricted to unaffected individuals."""
+        return self.select_individuals(np.flatnonzero(self.unaffected_mask))
+
+    def with_known_status(self) -> "GenotypeDataset":
+        """Sub-dataset restricted to individuals with known status."""
+        return self.select_individuals(np.flatnonzero(~self.unknown_mask))
+
+    # ------------------------------------------------------------------ #
+    # subsetting
+    # ------------------------------------------------------------------ #
+    def select_individuals(self, indices: Iterable[int] | np.ndarray) -> "GenotypeDataset":
+        """New dataset containing only the given individual row indices."""
+        idx = np.asarray(list(indices), dtype=np.intp)
+        return GenotypeDataset(
+            self._genotypes[idx],
+            self._status[idx],
+            snp_names=self._snp_names,
+            individual_ids=[self._individual_ids[i] for i in idx],
+        )
+
+    def select_snps(self, indices: Iterable[int] | np.ndarray) -> "GenotypeDataset":
+        """New dataset containing only the given SNP column indices (in the given order)."""
+        idx = np.asarray(list(indices), dtype=np.intp)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.n_snps):
+            raise IndexError(f"SNP index out of range [0, {self.n_snps})")
+        return GenotypeDataset(
+            self._genotypes[:, idx],
+            self._status,
+            snp_names=[self._snp_names[i] for i in idx],
+            individual_ids=self._individual_ids,
+        )
+
+    def genotypes_at(self, snp_indices: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Genotype columns for the given SNP indices, shape ``(n_individuals, k)``."""
+        idx = np.asarray(snp_indices, dtype=np.intp)
+        return self._genotypes[:, idx]
+
+    def snp_index(self, name: str) -> int:
+        """Index of the SNP with the given name."""
+        try:
+            return self._snp_names.index(name)
+        except ValueError:
+            raise KeyError(f"unknown SNP name {name!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def missing_rate(self) -> float:
+        """Fraction of genotype entries that are missing."""
+        if self._genotypes.size == 0:
+            return 0.0
+        return float(np.count_nonzero(self._genotypes == GENOTYPE_MISSING)) / self._genotypes.size
+
+    def summary(self) -> DatasetSummary:
+        """Return a :class:`DatasetSummary` of this dataset."""
+        return DatasetSummary(
+            n_individuals=self.n_individuals,
+            n_snps=self.n_snps,
+            n_affected=self.n_affected,
+            n_unaffected=self.n_unaffected,
+            n_unknown=self.n_unknown,
+            missing_rate=self.missing_rate,
+        )
+
+    def copy(self) -> "GenotypeDataset":
+        """Deep copy of the dataset."""
+        return GenotypeDataset(
+            self._genotypes.copy(),
+            self._status.copy(),
+            snp_names=self._snp_names,
+            individual_ids=self._individual_ids,
+        )

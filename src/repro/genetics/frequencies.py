@@ -1,0 +1,119 @@
+"""Allele and genotype frequency estimation.
+
+These estimators feed two parts of the system:
+
+* the paper's second haplotype-validity constraint (Section 2.3): "the
+  difference between the smaller frequencies of their 2 variants must be
+  greater than a threshold" — which requires per-SNP minor-variant
+  frequencies, and
+* the EH-DIALL H0 model, where haplotype frequencies are the product of
+  per-locus allele frequencies.
+
+All estimators ignore missing genotypes (code ``-1``) on a per-SNP basis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .alleles import GENOTYPE_MISSING
+from .dataset import GenotypeDataset
+
+__all__ = [
+    "allele_frequencies",
+    "minor_allele_frequencies",
+    "genotype_counts",
+    "SnpFrequencyTable",
+    "snp_frequency_table",
+]
+
+
+def genotype_counts(dataset: GenotypeDataset) -> np.ndarray:
+    """Per-SNP genotype counts.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer array of shape ``(n_snps, 3)`` with counts of genotypes
+        ``0``, ``1`` and ``2`` (missing genotypes are excluded).
+    """
+    geno = dataset.genotypes
+    counts = np.empty((dataset.n_snps, 3), dtype=np.int64)
+    for g in (0, 1, 2):
+        counts[:, g] = np.count_nonzero(geno == g, axis=0)
+    return counts
+
+
+def allele_frequencies(dataset: GenotypeDataset) -> np.ndarray:
+    """Per-SNP frequency of allele ``2`` estimated by gene counting.
+
+    Returns
+    -------
+    numpy.ndarray
+        Float array of length ``n_snps``; entry ``j`` is the frequency of
+        allele ``2`` at SNP ``j`` among non-missing chromosomes.  SNPs with no
+        observed genotypes get frequency ``nan``.
+    """
+    geno = dataset.genotypes
+    observed = geno != GENOTYPE_MISSING
+    n_chrom = 2 * np.count_nonzero(observed, axis=0).astype(np.float64)
+    allele2_copies = np.where(observed, geno, 0).sum(axis=0).astype(np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        freq = allele2_copies / n_chrom
+    freq[n_chrom == 0] = np.nan
+    return freq
+
+
+def minor_allele_frequencies(dataset: GenotypeDataset) -> np.ndarray:
+    """Per-SNP minor allele frequency (``min(p, 1-p)``)."""
+    p2 = allele_frequencies(dataset)
+    return np.minimum(p2, 1.0 - p2)
+
+
+@dataclass(frozen=True)
+class SnpFrequencyTable:
+    """Per-SNP allele-frequency table (one of the paper's three input tables).
+
+    Attributes
+    ----------
+    snp_names:
+        SNP identifiers, in dataset order.
+    freq_allele1:
+        Frequency of allele ``1`` at each SNP.
+    freq_allele2:
+        Frequency of allele ``2`` at each SNP.
+    """
+
+    snp_names: tuple[str, ...]
+    freq_allele1: np.ndarray
+    freq_allele2: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.snp_names) != len(self.freq_allele1) or len(self.snp_names) != len(
+            self.freq_allele2
+        ):
+            raise ValueError("frequency arrays must match the number of SNP names")
+
+    @property
+    def n_snps(self) -> int:
+        return len(self.snp_names)
+
+    def minor_frequency(self, snp: int) -> float:
+        """Minor-variant frequency of the given SNP index."""
+        return float(min(self.freq_allele1[snp], self.freq_allele2[snp]))
+
+    def minor_frequencies(self) -> np.ndarray:
+        """Minor-variant frequency for every SNP."""
+        return np.minimum(self.freq_allele1, self.freq_allele2)
+
+
+def snp_frequency_table(dataset: GenotypeDataset) -> SnpFrequencyTable:
+    """Build the paper's per-SNP frequency table from a dataset."""
+    p2 = allele_frequencies(dataset)
+    return SnpFrequencyTable(
+        snp_names=dataset.snp_names,
+        freq_allele1=1.0 - p2,
+        freq_allele2=p2,
+    )

@@ -1,0 +1,283 @@
+"""Dataset input/output.
+
+The paper's data arrive as three plain-text tables (Section 5.1):
+
+1. a genotype table giving, for every individual, its group (affected /
+   healthy / unknown) and the value of every SNP;
+2. a per-SNP allele-frequency table (frequency of forms ``1`` and ``2``);
+3. a pairwise-disequilibrium table between every couple of SNPs.
+
+This module reads and writes that three-table layout, plus two widely used
+interchange formats:
+
+* a single CSV genotype matrix (individuals × SNPs + a status column), and
+* the linkage/PLINK ``.ped`` pedigree format (two allele columns per SNP).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Sequence, TextIO
+
+import numpy as np
+
+from .alleles import (
+    GENOTYPE_MISSING,
+    STATUS_AFFECTED,
+    STATUS_UNAFFECTED,
+    STATUS_UNKNOWN,
+)
+from .dataset import GenotypeDataset
+from .frequencies import SnpFrequencyTable, snp_frequency_table
+from .ld import PairwiseLDTable, pairwise_ld_table
+
+__all__ = [
+    "write_genotype_csv",
+    "read_genotype_csv",
+    "write_ped",
+    "read_ped",
+    "write_frequency_table",
+    "read_frequency_table",
+    "write_ld_table",
+    "read_ld_table",
+    "write_study_tables",
+    "read_study_tables",
+]
+
+_STATUS_LABELS = {
+    STATUS_AFFECTED: "affected",
+    STATUS_UNAFFECTED: "unaffected",
+    STATUS_UNKNOWN: "unknown",
+}
+_STATUS_FROM_LABEL = {v: k for k, v in _STATUS_LABELS.items()}
+# numeric aliases accepted on input
+_STATUS_FROM_LABEL.update({"1": STATUS_AFFECTED, "0": STATUS_UNAFFECTED, "-1": STATUS_UNKNOWN})
+
+
+def _open_for_write(path: str | Path) -> TextIO:
+    return open(path, "w", newline="", encoding="utf-8")
+
+
+def _open_for_read(path: str | Path) -> TextIO:
+    return open(path, "r", newline="", encoding="utf-8")
+
+
+# --------------------------------------------------------------------------- #
+# CSV genotype matrix
+# --------------------------------------------------------------------------- #
+def write_genotype_csv(dataset: GenotypeDataset, path: str | Path) -> None:
+    """Write a dataset as a CSV matrix: one row per individual.
+
+    Columns: ``individual_id, status, <snp names...>``.  Missing genotypes are
+    written as empty cells.
+    """
+    with _open_for_write(path) as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["individual_id", "status", *dataset.snp_names])
+        for i in range(dataset.n_individuals):
+            row: list[str] = [dataset.individual_ids[i], _STATUS_LABELS[int(dataset.status[i])]]
+            for g in dataset.genotypes[i]:
+                row.append("" if g == GENOTYPE_MISSING else str(int(g)))
+            writer.writerow(row)
+
+
+def read_genotype_csv(path: str | Path) -> GenotypeDataset:
+    """Read a dataset written by :func:`write_genotype_csv`."""
+    with _open_for_read(path) as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header is None or len(header) < 2:
+            raise ValueError(f"{path}: missing or malformed header")
+        if header[0] != "individual_id" or header[1] != "status":
+            raise ValueError(f"{path}: expected 'individual_id,status,...' header")
+        snp_names = header[2:]
+        ids: list[str] = []
+        status: list[int] = []
+        rows: list[list[int]] = []
+        for line_no, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(header):
+                raise ValueError(f"{path}:{line_no}: expected {len(header)} fields, got {len(row)}")
+            ids.append(row[0])
+            label = row[1].strip().lower()
+            if label not in _STATUS_FROM_LABEL:
+                raise ValueError(f"{path}:{line_no}: unknown status {row[1]!r}")
+            status.append(_STATUS_FROM_LABEL[label])
+            genos = [GENOTYPE_MISSING if cell.strip() == "" else int(cell) for cell in row[2:]]
+            rows.append(genos)
+    genotypes = np.asarray(rows, dtype=np.int8)
+    if genotypes.size == 0:
+        genotypes = genotypes.reshape(0, len(snp_names))
+    return GenotypeDataset(genotypes, np.asarray(status, dtype=np.int8),
+                           snp_names=snp_names, individual_ids=ids)
+
+
+# --------------------------------------------------------------------------- #
+# linkage / PLINK PED
+# --------------------------------------------------------------------------- #
+def write_ped(dataset: GenotypeDataset, path: str | Path) -> None:
+    """Write a dataset in linkage ``.ped`` format.
+
+    Each row: ``family id, individual id, father, mother, sex, phenotype``
+    followed by two allele columns per SNP (``1``/``2``, ``0`` for missing).
+    Phenotype uses the linkage convention: 2 = affected, 1 = unaffected,
+    0 = unknown.
+    """
+    pheno_map = {STATUS_AFFECTED: "2", STATUS_UNAFFECTED: "1", STATUS_UNKNOWN: "0"}
+    with _open_for_write(path) as fh:
+        for i in range(dataset.n_individuals):
+            fields = ["FAM1", dataset.individual_ids[i], "0", "0", "0",
+                      pheno_map[int(dataset.status[i])]]
+            for g in dataset.genotypes[i]:
+                if g == GENOTYPE_MISSING:
+                    fields.extend(["0", "0"])
+                elif g == 0:
+                    fields.extend(["1", "1"])
+                elif g == 1:
+                    fields.extend(["1", "2"])
+                else:
+                    fields.extend(["2", "2"])
+            fh.write(" ".join(fields) + "\n")
+
+
+def read_ped(path: str | Path, snp_names: Sequence[str] | None = None) -> GenotypeDataset:
+    """Read a linkage ``.ped`` file written by :func:`write_ped`.
+
+    Phase is not preserved: the two allele columns per SNP are collapsed to
+    the unphased genotype code.
+    """
+    pheno_map = {"2": STATUS_AFFECTED, "1": STATUS_UNAFFECTED, "0": STATUS_UNKNOWN}
+    ids: list[str] = []
+    status: list[int] = []
+    rows: list[list[int]] = []
+    with _open_for_read(path) as fh:
+        for line_no, line in enumerate(fh, start=1):
+            fields = line.split()
+            if not fields:
+                continue
+            if len(fields) < 6 or (len(fields) - 6) % 2 != 0:
+                raise ValueError(f"{path}:{line_no}: malformed PED row")
+            ids.append(fields[1])
+            if fields[5] not in pheno_map:
+                raise ValueError(f"{path}:{line_no}: unknown phenotype {fields[5]!r}")
+            status.append(pheno_map[fields[5]])
+            alleles = fields[6:]
+            genos: list[int] = []
+            for a, b in zip(alleles[0::2], alleles[1::2]):
+                if a == "0" or b == "0":
+                    genos.append(GENOTYPE_MISSING)
+                else:
+                    genos.append((1 if a == "2" else 0) + (1 if b == "2" else 0))
+            rows.append(genos)
+    genotypes = np.asarray(rows, dtype=np.int8)
+    if genotypes.size == 0:
+        raise ValueError(f"{path}: empty PED file")
+    n_snps = genotypes.shape[1]
+    if snp_names is None:
+        snp_names = [f"snp{i}" for i in range(n_snps)]
+    return GenotypeDataset(genotypes, np.asarray(status, dtype=np.int8),
+                           snp_names=snp_names, individual_ids=ids)
+
+
+# --------------------------------------------------------------------------- #
+# per-SNP frequency table
+# --------------------------------------------------------------------------- #
+def write_frequency_table(table: SnpFrequencyTable, path: str | Path) -> None:
+    """Write the per-SNP allele-frequency table as CSV."""
+    with _open_for_write(path) as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["snp", "freq_allele1", "freq_allele2"])
+        for name, f1, f2 in zip(table.snp_names, table.freq_allele1, table.freq_allele2):
+            writer.writerow([name, f"{f1:.8f}", f"{f2:.8f}"])
+
+
+def read_frequency_table(path: str | Path) -> SnpFrequencyTable:
+    """Read a frequency table written by :func:`write_frequency_table`."""
+    names: list[str] = []
+    f1: list[float] = []
+    f2: list[float] = []
+    with _open_for_read(path) as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != ["snp", "freq_allele1", "freq_allele2"]:
+            raise ValueError(f"{path}: unexpected frequency-table header {header!r}")
+        for row in reader:
+            if not row:
+                continue
+            names.append(row[0])
+            f1.append(float(row[1]))
+            f2.append(float(row[2]))
+    return SnpFrequencyTable(snp_names=tuple(names),
+                             freq_allele1=np.asarray(f1), freq_allele2=np.asarray(f2))
+
+
+# --------------------------------------------------------------------------- #
+# pairwise LD table
+# --------------------------------------------------------------------------- #
+def write_ld_table(table: PairwiseLDTable, path: str | Path) -> None:
+    """Write the pairwise LD table as CSV (square matrix with header row/column)."""
+    with _open_for_write(path) as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["measure", table.measure])
+        writer.writerow(["snp", *table.snp_names])
+        for i, name in enumerate(table.snp_names):
+            writer.writerow([name, *(f"{v:.8f}" for v in table.values[i])])
+
+
+def read_ld_table(path: str | Path) -> PairwiseLDTable:
+    """Read a pairwise LD table written by :func:`write_ld_table`."""
+    with _open_for_read(path) as fh:
+        reader = csv.reader(fh)
+        measure_row = next(reader, None)
+        if not measure_row or measure_row[0] != "measure":
+            raise ValueError(f"{path}: missing measure row")
+        measure = measure_row[1]
+        header = next(reader, None)
+        if not header or header[0] != "snp":
+            raise ValueError(f"{path}: missing SNP header row")
+        names = header[1:]
+        values = []
+        for row in reader:
+            if not row:
+                continue
+            values.append([float(v) for v in row[1:]])
+    return PairwiseLDTable(snp_names=tuple(names),
+                           values=np.asarray(values, dtype=np.float64), measure=measure)
+
+
+# --------------------------------------------------------------------------- #
+# the paper's three-table study layout
+# --------------------------------------------------------------------------- #
+def write_study_tables(dataset: GenotypeDataset, directory: str | Path) -> dict[str, Path]:
+    """Write the paper's three-table study layout into a directory.
+
+    Creates ``genotypes.csv``, ``frequencies.csv`` and ``ld.csv`` and returns
+    their paths keyed by table name.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "genotypes": directory / "genotypes.csv",
+        "frequencies": directory / "frequencies.csv",
+        "ld": directory / "ld.csv",
+    }
+    write_genotype_csv(dataset, paths["genotypes"])
+    write_frequency_table(snp_frequency_table(dataset), paths["frequencies"])
+    write_ld_table(pairwise_ld_table(dataset), paths["ld"])
+    return paths
+
+
+def read_study_tables(
+    directory: str | Path,
+) -> tuple[GenotypeDataset, SnpFrequencyTable, PairwiseLDTable]:
+    """Read the three-table study layout written by :func:`write_study_tables`."""
+    directory = Path(directory)
+    dataset = read_genotype_csv(directory / "genotypes.csv")
+    freq = read_frequency_table(directory / "frequencies.csv")
+    ld = read_ld_table(directory / "ld.csv")
+    if freq.snp_names != dataset.snp_names or ld.snp_names != dataset.snp_names:
+        raise ValueError("study tables disagree on SNP names")
+    return dataset, freq, ld

@@ -1,0 +1,285 @@
+"""Pairwise linkage-disequilibrium (LD) measures.
+
+The paper's first haplotype-validity constraint (Section 2.3) requires that
+any two SNPs in a candidate haplotype have a pairwise disequilibrium below a
+threshold ``t_d`` — the idea being that a useful haplotype combines SNPs that
+carry *complementary* information rather than near-duplicates.  The paper's
+input data includes a pre-computed table of "the disequilibrium between every
+couple of SNPs"; this module builds that table from genotypes.
+
+Because the data are unphased, two-locus haplotype frequencies are estimated
+with the classical two-locus EM (gene counting) algorithm; from them we derive
+the usual LD statistics:
+
+* ``D``      — raw disequilibrium coefficient, ``p_AB - p_A p_B``;
+* ``D'``     — Lewontin's normalised coefficient in ``[-1, 1]``;
+* ``r²``     — squared correlation between loci, in ``[0, 1]``;
+* ``chi²``   — ``r² * 2n`` association chi-square on chromosomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .alleles import GENOTYPE_MISSING
+from .dataset import GenotypeDataset
+
+__all__ = [
+    "LDStatistics",
+    "two_locus_haplotype_frequencies",
+    "pairwise_ld",
+    "ld_matrix",
+    "PairwiseLDTable",
+    "pairwise_ld_table",
+]
+
+
+@dataclass(frozen=True)
+class LDStatistics:
+    """LD statistics for a pair of SNPs.
+
+    Attributes
+    ----------
+    d:
+        Raw disequilibrium coefficient ``p11 - p1*q1`` where ``p11`` is the
+        frequency of the haplotype carrying allele 1 at both loci.
+    d_prime:
+        Lewontin's ``D'`` (``D`` scaled by its admissible maximum), in
+        ``[-1, 1]``.
+    r_squared:
+        Squared allelic correlation, in ``[0, 1]``.
+    n_chromosomes:
+        Number of (non-missing) chromosomes used for the estimate.
+    """
+
+    d: float
+    d_prime: float
+    r_squared: float
+    n_chromosomes: int
+
+    @property
+    def abs_d_prime(self) -> float:
+        return abs(self.d_prime)
+
+    @property
+    def chi_squared(self) -> float:
+        """Chi-square statistic of allelic association (``r² * n_chromosomes``)."""
+        return self.r_squared * self.n_chromosomes
+
+
+def two_locus_haplotype_frequencies(
+    g1: np.ndarray,
+    g2: np.ndarray,
+    *,
+    max_iter: int = 100,
+    tol: float = 1e-10,
+) -> tuple[np.ndarray, int]:
+    """Estimate the four two-locus haplotype frequencies by EM.
+
+    Parameters
+    ----------
+    g1, g2:
+        Unphased genotype vectors (codes ``0``/``1``/``2``/``-1``) at the two
+        loci for the same individuals.
+    max_iter:
+        Maximum EM iterations.
+    tol:
+        Convergence tolerance on the double-heterozygote phase probability.
+
+    Returns
+    -------
+    (freqs, n_chromosomes):
+        ``freqs`` is a ``(2, 2)`` array where ``freqs[a, b]`` is the frequency
+        of the haplotype carrying allele ``a+1`` at locus 1 and allele ``b+1``
+        at locus 2.  ``n_chromosomes`` is twice the number of individuals with
+        both genotypes observed.
+    """
+    g1 = np.asarray(g1)
+    g2 = np.asarray(g2)
+    if g1.shape != g2.shape:
+        raise ValueError("genotype vectors must have the same length")
+    keep = (g1 != GENOTYPE_MISSING) & (g2 != GENOTYPE_MISSING)
+    g1 = g1[keep].astype(np.int64)
+    g2 = g2[keep].astype(np.int64)
+    n = g1.size
+    n_chrom = 2 * n
+    if n == 0:
+        return np.full((2, 2), np.nan), 0
+
+    # Joint genotype counts: cell[i, j] = #individuals with g1 == i and g2 == j.
+    cells = np.zeros((3, 3), dtype=np.float64)
+    for i in range(3):
+        gi = g1 == i
+        for j in range(3):
+            cells[i, j] = np.count_nonzero(gi & (g2 == j))
+
+    # Haplotype counts that are unambiguous from single/double homozygotes and
+    # single heterozygotes.  Index haplotypes as (allele at locus1, allele at
+    # locus2) with 0 == allele "1", 1 == allele "2".
+    # For an individual with genotypes (i, j) the two haplotypes are fully
+    # determined unless i == 1 and j == 1 (double heterozygote), which is
+    # either {00, 11} (cis) or {01, 10} (trans).
+    def fixed_counts() -> np.ndarray:
+        counts = np.zeros((2, 2), dtype=np.float64)
+        for i in range(3):
+            for j in range(3):
+                if i == 1 and j == 1:
+                    continue
+                c = cells[i, j]
+                if c == 0:
+                    continue
+                # copies of allele "2" at each locus: i at locus 1, j at locus 2
+                if i == 1:  # het at locus 1, homozygous at locus 2
+                    b = j // 2
+                    counts[0, b] += c
+                    counts[1, b] += c
+                elif j == 1:  # het at locus 2, homozygous at locus 1
+                    a = i // 2
+                    counts[a, 0] += c
+                    counts[a, 1] += c
+                else:  # both homozygous
+                    a, b = i // 2, j // 2
+                    counts[a, b] += 2 * c
+        return counts
+
+    base = fixed_counts()
+    n_dh = cells[1, 1]  # double heterozygotes
+
+    # EM over the phase of double heterozygotes.
+    freqs = np.full((2, 2), 0.25)
+    prev_cis = -1.0
+    for _ in range(max_iter):
+        p_cis_num = freqs[0, 0] * freqs[1, 1]
+        p_trans_num = freqs[0, 1] * freqs[1, 0]
+        denom = p_cis_num + p_trans_num
+        p_cis = 0.5 if denom <= 0 else p_cis_num / denom
+        counts = base.copy()
+        counts[0, 0] += n_dh * p_cis
+        counts[1, 1] += n_dh * p_cis
+        counts[0, 1] += n_dh * (1.0 - p_cis)
+        counts[1, 0] += n_dh * (1.0 - p_cis)
+        freqs = counts / n_chrom
+        if abs(p_cis - prev_cis) < tol:
+            break
+        prev_cis = p_cis
+    return freqs, n_chrom
+
+
+def pairwise_ld(
+    dataset: GenotypeDataset,
+    snp_a: int,
+    snp_b: int,
+    *,
+    max_iter: int = 100,
+) -> LDStatistics:
+    """LD statistics between two SNPs of a dataset."""
+    geno = dataset.genotypes
+    freqs, n_chrom = two_locus_haplotype_frequencies(
+        geno[:, snp_a], geno[:, snp_b], max_iter=max_iter
+    )
+    return _ld_from_freqs(freqs, n_chrom)
+
+
+def _ld_from_freqs(freqs: np.ndarray, n_chrom: int) -> LDStatistics:
+    if n_chrom == 0 or np.any(np.isnan(freqs)):
+        return LDStatistics(d=float("nan"), d_prime=float("nan"), r_squared=float("nan"),
+                            n_chromosomes=n_chrom)
+    p1 = freqs[0, 0] + freqs[0, 1]  # allele "1" frequency at locus 1
+    q1 = freqs[0, 0] + freqs[1, 0]  # allele "1" frequency at locus 2
+    d = float(freqs[0, 0] - p1 * q1)
+    if d >= 0:
+        d_max = min(p1 * (1.0 - q1), (1.0 - p1) * q1)
+    else:
+        d_max = min(p1 * q1, (1.0 - p1) * (1.0 - q1))
+    d_prime = 0.0 if d_max <= 0 else d / d_max
+    denom = p1 * (1.0 - p1) * q1 * (1.0 - q1)
+    r_squared = 0.0 if denom <= 0 else (d * d) / denom
+    # guard against tiny numerical overshoot
+    r_squared = float(min(max(r_squared, 0.0), 1.0))
+    d_prime = float(min(max(d_prime, -1.0), 1.0))
+    return LDStatistics(d=d, d_prime=d_prime, r_squared=r_squared, n_chromosomes=n_chrom)
+
+
+def ld_matrix(
+    dataset: GenotypeDataset,
+    *,
+    measure: str = "r_squared",
+    max_iter: int = 100,
+) -> np.ndarray:
+    """Symmetric matrix of a pairwise LD measure over all SNP pairs.
+
+    Parameters
+    ----------
+    dataset:
+        Input genotypes.
+    measure:
+        One of ``"r_squared"``, ``"d_prime"``, ``"abs_d_prime"`` or ``"d"``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_snps, n_snps)`` float array; the diagonal is the measure's value
+        for a locus with itself (``1.0`` for ``r²`` and ``|D'|``).
+    """
+    valid = {"r_squared", "d_prime", "abs_d_prime", "d"}
+    if measure not in valid:
+        raise ValueError(f"measure must be one of {sorted(valid)}")
+    n = dataset.n_snps
+    out = np.zeros((n, n), dtype=np.float64)
+    for i in range(n):
+        for j in range(i + 1, n):
+            stats = pairwise_ld(dataset, i, j, max_iter=max_iter)
+            value = getattr(stats, measure) if measure != "abs_d_prime" else stats.abs_d_prime
+            out[i, j] = out[j, i] = value
+    if measure in ("r_squared", "abs_d_prime", "d_prime"):
+        np.fill_diagonal(out, 1.0)
+    return out
+
+
+@dataclass(frozen=True)
+class PairwiseLDTable:
+    """Pre-computed pairwise LD table (one of the paper's three input tables).
+
+    Attributes
+    ----------
+    snp_names:
+        SNP identifiers in matrix order.
+    values:
+        Symmetric ``(n_snps, n_snps)`` matrix of the chosen measure.
+    measure:
+        Name of the stored measure (``"r_squared"`` by default).
+    """
+
+    snp_names: tuple[str, ...]
+    values: np.ndarray
+    measure: str = "r_squared"
+
+    def __post_init__(self) -> None:
+        v = np.asarray(self.values)
+        if v.ndim != 2 or v.shape[0] != v.shape[1]:
+            raise ValueError("LD values must be a square matrix")
+        if v.shape[0] != len(self.snp_names):
+            raise ValueError("LD matrix size does not match the number of SNP names")
+
+    @property
+    def n_snps(self) -> int:
+        return len(self.snp_names)
+
+    def value(self, snp_a: int, snp_b: int) -> float:
+        """LD value between two SNP indices."""
+        return float(self.values[snp_a, snp_b])
+
+
+def pairwise_ld_table(
+    dataset: GenotypeDataset,
+    *,
+    measure: str = "r_squared",
+) -> PairwiseLDTable:
+    """Compute the paper's pairwise-LD input table from a dataset."""
+    return PairwiseLDTable(
+        snp_names=dataset.snp_names,
+        values=ld_matrix(dataset, measure=measure),
+        measure=measure,
+    )

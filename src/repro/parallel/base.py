@@ -1,0 +1,108 @@
+"""Common interfaces of the parallel evaluation substrate.
+
+The paper parallelises only the *evaluation phase* of the GA: at every
+generation the master holds a batch of new individuals whose fitnesses are
+unknown, farms them out to slaves, and waits for every result before
+continuing (a synchronous master/slave organisation, Figure 6).  All the GA
+needs from the substrate is therefore a single operation — "evaluate this
+batch of haplotypes and give me their fitnesses in order" — which is captured
+by the :class:`BatchEvaluator` protocol below.  Three implementations are
+provided:
+
+* :class:`~repro.parallel.serial.SerialEvaluator` — evaluate in-process;
+* :class:`~repro.parallel.master_slave.MasterSlaveEvaluator` — a real
+  ``multiprocessing`` worker farm;
+* :class:`~repro.parallel.pvm.SimulatedPVM` — a deterministic model of the
+  paper's PVM cluster used for reproducible speedup studies.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+__all__ = ["SnpSet", "FitnessCallable", "BatchEvaluator", "EvaluationStats"]
+
+#: A candidate haplotype: a sequence of SNP indices.
+SnpSet = Sequence[int]
+
+#: Any callable mapping a SNP set to a scalar fitness.
+FitnessCallable = Callable[[SnpSet], float]
+
+
+@dataclass
+class EvaluationStats:
+    """Running counters kept by every batch evaluator.
+
+    Attributes
+    ----------
+    n_evaluations:
+        Total number of haplotype evaluations performed.
+    n_batches:
+        Number of batches submitted.
+    total_seconds:
+        Wall-clock time spent inside ``evaluate_batch`` calls.
+    """
+
+    n_evaluations: int = 0
+    n_batches: int = 0
+    total_seconds: float = 0.0
+
+    def record_batch(self, batch_size: int, elapsed: float) -> None:
+        self.n_evaluations += batch_size
+        self.n_batches += 1
+        self.total_seconds += elapsed
+
+    @property
+    def mean_seconds_per_evaluation(self) -> float:
+        return 0.0 if self.n_evaluations == 0 else self.total_seconds / self.n_evaluations
+
+
+@runtime_checkable
+class BatchEvaluator(Protocol):
+    """Protocol implemented by every evaluation backend."""
+
+    def evaluate_batch(self, batch: Sequence[SnpSet]) -> list[float]:
+        """Evaluate a batch of haplotypes, returning fitnesses in batch order."""
+        ...
+
+    def evaluate(self, snps: SnpSet) -> float:
+        """Evaluate a single haplotype."""
+        ...
+
+    @property
+    def stats(self) -> EvaluationStats:
+        """Running evaluation counters."""
+        ...
+
+    def close(self) -> None:
+        """Release any resources (worker processes); idempotent."""
+        ...
+
+
+class BaseBatchEvaluator(abc.ABC):
+    """Shared bookkeeping for concrete evaluators."""
+
+    def __init__(self) -> None:
+        self._stats = EvaluationStats()
+
+    @property
+    def stats(self) -> EvaluationStats:
+        return self._stats
+
+    @abc.abstractmethod
+    def evaluate_batch(self, batch: Sequence[SnpSet]) -> list[float]:
+        """Evaluate a batch of haplotypes."""
+
+    def evaluate(self, snps: SnpSet) -> float:
+        return self.evaluate_batch([snps])[0]
+
+    def close(self) -> None:  # pragma: no cover - default no-op
+        return None
+
+    def __enter__(self) -> "BaseBatchEvaluator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,136 @@
+"""Synchronous master/slave parallel evaluation (paper Section 4.5, Figure 6).
+
+The paper's implementation uses C + PVM: slaves are started once at the
+beginning of the run, load the data once, and then repeatedly receive one
+individual to evaluate and send its fitness back; the master blocks until the
+whole generation is evaluated (synchronous farm).
+
+This module reproduces that organisation on top of :mod:`multiprocessing`:
+
+* worker processes are created once, when the evaluator is constructed;
+* the (picklable) fitness function — in practice a
+  :class:`~repro.stats.evaluation.HaplotypeEvaluator` holding the genotype
+  data — is shipped to each worker exactly once through the pool initializer,
+  mirroring "the slaves are initiated at the beginning and access only once
+  to the data";
+* ``evaluate_batch`` scatters the individuals across the workers and gathers
+  every fitness before returning (a synchronous generation barrier).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from multiprocessing import get_context
+from typing import Sequence
+
+from .base import BaseBatchEvaluator, FitnessCallable, SnpSet
+
+__all__ = ["MasterSlaveEvaluator", "default_worker_count"]
+
+# The fitness function installed in each worker process by the pool
+# initializer.  Module-level because `multiprocessing` can only call picklable
+# top-level functions.
+_WORKER_FITNESS: FitnessCallable | None = None
+
+
+def _initialize_worker(fitness: FitnessCallable) -> None:
+    """Pool initializer: store the fitness function once per worker process."""
+    global _WORKER_FITNESS
+    _WORKER_FITNESS = fitness
+
+
+def _evaluate_in_worker(snps: tuple[int, ...]) -> float:
+    """Evaluate one haplotype inside a worker process."""
+    if _WORKER_FITNESS is None:  # pragma: no cover - defensive
+        raise RuntimeError("worker process was not initialised with a fitness function")
+    return float(_WORKER_FITNESS(snps))
+
+
+def default_worker_count() -> int:
+    """Default number of slave processes: the machine's CPU count (at least 1)."""
+    return max(os.cpu_count() or 1, 1)
+
+
+class MasterSlaveEvaluator(BaseBatchEvaluator):
+    """Multiprocessing implementation of the synchronous master/slave farm.
+
+    Parameters
+    ----------
+    fitness:
+        Picklable fitness callable shipped once to every worker.
+    n_workers:
+        Number of slave processes (default: CPU count).
+    chunk_size:
+        Number of individuals sent to a slave per message.  The paper sends
+        one individual at a time (``chunk_size=1``); larger chunks trade
+        scheduling flexibility for lower communication overhead.
+    start_method:
+        ``multiprocessing`` start method; the default ``"fork"`` (when
+        available) avoids re-importing the scientific stack in every worker,
+        ``"spawn"`` is used automatically on platforms without ``fork``.
+    """
+
+    def __init__(
+        self,
+        fitness: FitnessCallable,
+        *,
+        n_workers: int | None = None,
+        chunk_size: int = 1,
+        start_method: str | None = None,
+    ) -> None:
+        super().__init__()
+        if n_workers is not None and n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self._n_workers = n_workers or default_worker_count()
+        self._chunk_size = chunk_size
+        if start_method is None:
+            try:
+                context = get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = get_context("spawn")
+        else:
+            context = get_context(start_method)
+        self._pool = context.Pool(
+            processes=self._n_workers,
+            initializer=_initialize_worker,
+            initargs=(fitness,),
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_workers(self) -> int:
+        return self._n_workers
+
+    def evaluate_batch(self, batch: Sequence[SnpSet]) -> list[float]:
+        if self._closed:
+            raise RuntimeError("evaluator has been closed")
+        if len(batch) == 0:
+            return []
+        start = time.perf_counter()
+        tasks = [tuple(int(s) for s in snps) for snps in batch]
+        results = self._pool.map(_evaluate_in_worker, tasks, chunksize=self._chunk_size)
+        self._stats.record_batch(len(batch), time.perf_counter() - start)
+        return [float(r) for r in results]
+
+    def close(self) -> None:
+        if not self._closed:
+            self._pool.close()
+            self._pool.join()
+            self._closed = True
+
+    def terminate(self) -> None:
+        """Forcefully terminate the worker processes."""
+        if not self._closed:
+            self._pool.terminate()
+            self._pool.join()
+            self._closed = True
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown path
+        try:
+            self.terminate()
+        except Exception:
+            pass

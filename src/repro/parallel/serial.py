@@ -1,0 +1,34 @@
+"""Serial (in-process) batch evaluator."""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from .base import BaseBatchEvaluator, FitnessCallable, SnpSet
+
+__all__ = ["SerialEvaluator"]
+
+
+class SerialEvaluator(BaseBatchEvaluator):
+    """Evaluate every haplotype of a batch in the calling process.
+
+    This is both the reference implementation the parallel backends are tested
+    against (they must return bit-identical fitnesses) and the sensible choice
+    for small populations, where process start-up and serialisation overheads
+    dominate the actual EM cost.
+    """
+
+    def __init__(self, fitness: FitnessCallable) -> None:
+        super().__init__()
+        self._fitness = fitness
+
+    @property
+    def fitness_function(self) -> FitnessCallable:
+        return self._fitness
+
+    def evaluate_batch(self, batch: Sequence[SnpSet]) -> list[float]:
+        start = time.perf_counter()
+        results = [float(self._fitness(snps)) for snps in batch]
+        self._stats.record_batch(len(batch), time.perf_counter() - start)
+        return results

@@ -1,0 +1,44 @@
+"""Baselines, exhaustive enumeration and landscape analysis (paper Section 3)."""
+
+from .exhaustive import ScoredHaplotype, enumerate_best, enumerate_haplotypes, evaluate_all
+from .landscape import (
+    BuildingBlockReport,
+    SizeFitnessSummary,
+    building_block_analysis,
+    fitness_scale_by_size,
+    greedy_constructive_search,
+)
+from .local_search import HillClimbingResult, hill_climb, restarted_hill_climbing
+from .random_search import RandomSearchResult, random_search
+from .search_space import (
+    PAPER_TABLE1_SIZES,
+    PAPER_TABLE1_SNP_COUNTS,
+    n_haplotypes_of_size,
+    n_haplotypes_up_to_size,
+    search_space_table,
+)
+from .simple_ga import SimpleGA, SimpleGAResult
+
+__all__ = [
+    "ScoredHaplotype",
+    "enumerate_haplotypes",
+    "evaluate_all",
+    "enumerate_best",
+    "random_search",
+    "RandomSearchResult",
+    "hill_climb",
+    "restarted_hill_climbing",
+    "HillClimbingResult",
+    "SimpleGA",
+    "SimpleGAResult",
+    "SizeFitnessSummary",
+    "BuildingBlockReport",
+    "fitness_scale_by_size",
+    "building_block_analysis",
+    "greedy_constructive_search",
+    "n_haplotypes_of_size",
+    "n_haplotypes_up_to_size",
+    "search_space_table",
+    "PAPER_TABLE1_SNP_COUNTS",
+    "PAPER_TABLE1_SIZES",
+]

@@ -1,0 +1,196 @@
+"""Landscape structure analysis (paper Section 3).
+
+Before choosing a method, the paper studies the structure of the problem by
+enumerating all associations of 2, 3 and 4 SNPs on the 51-SNP dataset and
+scoring them.  Two findings drive the algorithm design:
+
+1. *good haplotypes of size k are not always composed of good haplotypes of
+   size k-1* — which rules out purely constructive/greedy methods, and
+2. *haplotypes of different sizes are not comparable* — the fitness scale
+   grows with the size, which rules out a single ranking across sizes and
+   motivates the per-size sub-populations.
+
+This module quantifies both observations on any dataset:
+:func:`building_block_analysis` measures how many of the best size-``k``
+haplotypes contain a best size-``k-1`` haplotype, and
+:func:`fitness_scale_by_size` summarises the per-size fitness distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+import numpy as np
+
+from ..genetics.constraints import HaplotypeConstraints
+from ..parallel.base import FitnessCallable
+from .exhaustive import ScoredHaplotype, evaluate_all
+
+__all__ = [
+    "SizeFitnessSummary",
+    "BuildingBlockReport",
+    "fitness_scale_by_size",
+    "building_block_analysis",
+    "greedy_constructive_search",
+]
+
+
+@dataclass(frozen=True)
+class SizeFitnessSummary:
+    """Summary of the fitness distribution of one haplotype size."""
+
+    size: int
+    n_haplotypes: int
+    min_fitness: float
+    mean_fitness: float
+    max_fitness: float
+    std_fitness: float
+
+    @classmethod
+    def from_scores(cls, size: int, scores: Sequence[ScoredHaplotype]) -> "SizeFitnessSummary":
+        values = np.asarray([s.fitness for s in scores], dtype=np.float64)
+        if values.size == 0:
+            raise ValueError(f"no haplotypes of size {size} to summarise")
+        return cls(
+            size=size,
+            n_haplotypes=int(values.size),
+            min_fitness=float(values.min()),
+            mean_fitness=float(values.mean()),
+            max_fitness=float(values.max()),
+            std_fitness=float(values.std()),
+        )
+
+
+@dataclass(frozen=True)
+class BuildingBlockReport:
+    """How often the best size-k haplotypes contain a top size-(k-1) haplotype.
+
+    Attributes
+    ----------
+    size:
+        The larger haplotype size ``k``.
+    top_k:
+        How many top haplotypes of each size were considered.
+    containment_fraction:
+        Fraction of the top size-``k`` haplotypes that contain at least one of
+        the top size-``k-1`` haplotypes as a subset.  A value well below 1
+        reproduces the paper's observation that good large haplotypes are not
+        built from good small ones.
+    best_large, best_small:
+        The top haplotypes of each size that were compared.
+    """
+
+    size: int
+    top_k: int
+    containment_fraction: float
+    best_large: tuple[ScoredHaplotype, ...]
+    best_small: tuple[ScoredHaplotype, ...]
+
+
+def fitness_scale_by_size(
+    fitness: FitnessCallable,
+    n_snps: int,
+    sizes: Sequence[int],
+    *,
+    constraints: HaplotypeConstraints | None = None,
+    snp_subset: Sequence[int] | None = None,
+) -> dict[int, SizeFitnessSummary]:
+    """Exhaustively score each size and summarise its fitness distribution."""
+    summaries: dict[int, SizeFitnessSummary] = {}
+    for size in sizes:
+        scores = evaluate_all(
+            fitness, n_snps, size, constraints=constraints, snp_subset=snp_subset
+        )
+        summaries[size] = SizeFitnessSummary.from_scores(size, scores)
+    return summaries
+
+
+def building_block_analysis(
+    fitness: FitnessCallable,
+    n_snps: int,
+    size: int,
+    *,
+    top_k: int = 10,
+    constraints: HaplotypeConstraints | None = None,
+    snp_subset: Sequence[int] | None = None,
+) -> BuildingBlockReport:
+    """Measure whether the best size-``k`` haplotypes contain top size-``k-1`` ones."""
+    if size < 2:
+        raise ValueError("size must be at least 2 (the smaller size is size - 1)")
+    if top_k < 1:
+        raise ValueError("top_k must be positive")
+    small_scores = evaluate_all(
+        fitness, n_snps, size - 1, constraints=constraints, snp_subset=snp_subset
+    )
+    large_scores = evaluate_all(
+        fitness, n_snps, size, constraints=constraints, snp_subset=snp_subset
+    )
+    small_scores.sort(key=lambda s: s.fitness, reverse=True)
+    large_scores.sort(key=lambda s: s.fitness, reverse=True)
+    best_small = tuple(small_scores[:top_k])
+    best_large = tuple(large_scores[:top_k])
+    small_sets = [set(s.snps) for s in best_small]
+    contained = sum(
+        1
+        for large in best_large
+        if any(small <= set(large.snps) for small in small_sets)
+    )
+    return BuildingBlockReport(
+        size=size,
+        top_k=min(top_k, len(best_large)),
+        containment_fraction=contained / max(len(best_large), 1),
+        best_large=best_large,
+        best_small=best_small,
+    )
+
+
+def greedy_constructive_search(
+    fitness: FitnessCallable,
+    n_snps: int,
+    target_size: int,
+    *,
+    constraints: HaplotypeConstraints | None = None,
+    seed_size: int = 2,
+    snp_subset: Sequence[int] | None = None,
+) -> ScoredHaplotype:
+    """The constructive method the paper argues against.
+
+    Start from the exhaustive best haplotype of ``seed_size`` SNPs and greedily
+    add the single SNP that maximises the fitness until ``target_size`` is
+    reached.  Comparing its result with the exhaustive (or GA) optimum of the
+    same size quantifies how much the lack of building-block structure costs a
+    constructive method.
+    """
+    if target_size < seed_size:
+        raise ValueError("target_size must be at least seed_size")
+    constraints = constraints or HaplotypeConstraints.unconstrained(n_snps)
+    pool = list(range(n_snps)) if snp_subset is None else sorted({int(s) for s in snp_subset})
+
+    best_seed: ScoredHaplotype | None = None
+    for combo in combinations(pool, seed_size):
+        if not constraints.is_valid(combo):
+            continue
+        scored = ScoredHaplotype(snps=combo, fitness=float(fitness(combo)))
+        if best_seed is None or scored.fitness > best_seed.fitness:
+            best_seed = scored
+    if best_seed is None:
+        raise ValueError("no feasible seed haplotype under the constraints")
+
+    current = best_seed
+    while current.size < target_size:
+        best_next: ScoredHaplotype | None = None
+        for snp in pool:
+            if snp in current.snps:
+                continue
+            candidate = tuple(sorted(current.snps + (snp,)))
+            if not constraints.is_valid(candidate):
+                continue
+            scored = ScoredHaplotype(snps=candidate, fitness=float(fitness(candidate)))
+            if best_next is None or scored.fitness > best_next.fitness:
+                best_next = scored
+        if best_next is None:
+            break
+        current = best_next
+    return current

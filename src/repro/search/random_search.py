@@ -1,0 +1,81 @@
+"""Random-sampling baseline.
+
+The simplest possible use of the same evaluation budget as the GA: draw
+constraint-satisfying haplotypes uniformly at random (spread over the same
+size range) and keep the best seen per size.  The comparison against this
+baseline quantifies how much of the GA's performance comes from its search
+mechanisms rather than from the sheer number of evaluations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.individual import random_individual
+from ..genetics.constraints import HaplotypeConstraints
+from ..parallel.base import FitnessCallable
+
+__all__ = ["RandomSearchResult", "random_search"]
+
+
+@dataclass(frozen=True)
+class RandomSearchResult:
+    """Best haplotype per size found by random sampling.
+
+    Attributes
+    ----------
+    best_per_size:
+        ``{size: (snps, fitness)}`` of the best haplotype sampled per size.
+    evaluations_to_best:
+        Evaluation index at which each size's best was found.
+    n_evaluations:
+        Total number of evaluations used.
+    """
+
+    best_per_size: dict[int, tuple[tuple[int, ...], float]]
+    evaluations_to_best: dict[int, int]
+    n_evaluations: int
+
+    def best_fitness(self, size: int) -> float:
+        return self.best_per_size[size][1]
+
+
+def random_search(
+    fitness: FitnessCallable,
+    *,
+    n_snps: int,
+    n_evaluations: int,
+    min_size: int = 2,
+    max_size: int = 6,
+    constraints: HaplotypeConstraints | None = None,
+    seed: int = 0,
+) -> RandomSearchResult:
+    """Uniform random search over the same size range as the GA.
+
+    Haplotype sizes are sampled uniformly from ``[min_size, max_size]``;
+    within a size the haplotype is drawn by the same constrained construction
+    the GA uses for its random individuals.
+    """
+    if n_evaluations < 1:
+        raise ValueError("n_evaluations must be positive")
+    if min_size > max_size:
+        raise ValueError("min_size must not exceed max_size")
+    constraints = constraints or HaplotypeConstraints.unconstrained(n_snps)
+    rng = np.random.default_rng(seed)
+    best: dict[int, tuple[tuple[int, ...], float]] = {}
+    found_at: dict[int, int] = {}
+    for evaluation in range(1, n_evaluations + 1):
+        size = int(rng.integers(min_size, max_size + 1))
+        individual = random_individual(size, constraints, rng)
+        value = float(fitness(individual.snps))
+        current = best.get(size)
+        if current is None or value > current[1]:
+            best[size] = (individual.snps, value)
+            found_at[size] = evaluation
+    return RandomSearchResult(
+        best_per_size=best,
+        evaluations_to_best=found_at,
+        n_evaluations=n_evaluations,
+    )

@@ -1,0 +1,52 @@
+"""Closed-form size of the haplotype search space (paper Table 1).
+
+The search space for haplotypes of size ``k`` over ``n`` SNPs is the set of
+``k``-subsets of the panel, of size ``C(n, k)``; Table 1 of the paper lists
+these numbers for 51, 150 and 249 SNPs and sizes 2-6 to argue that exhaustive
+enumeration is impossible beyond very small sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = [
+    "n_haplotypes_of_size",
+    "n_haplotypes_up_to_size",
+    "search_space_table",
+    "PAPER_TABLE1_SNP_COUNTS",
+    "PAPER_TABLE1_SIZES",
+]
+
+#: The SNP panel sizes of the paper's Table 1.
+PAPER_TABLE1_SNP_COUNTS: tuple[int, ...] = (51, 150, 249)
+#: The haplotype sizes of the paper's Table 1.
+PAPER_TABLE1_SIZES: tuple[int, ...] = (2, 3, 4, 5, 6)
+
+
+def n_haplotypes_of_size(n_snps: int, size: int) -> int:
+    """Number of distinct haplotypes of exactly ``size`` SNPs over ``n_snps``."""
+    if n_snps < 0:
+        raise ValueError("n_snps must be non-negative")
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    return math.comb(n_snps, size)
+
+
+def n_haplotypes_up_to_size(n_snps: int, max_size: int, *, min_size: int = 2) -> int:
+    """Total number of haplotypes with sizes in ``[min_size, max_size]``."""
+    if min_size > max_size:
+        raise ValueError("min_size must not exceed max_size")
+    return sum(n_haplotypes_of_size(n_snps, k) for k in range(min_size, max_size + 1))
+
+
+def search_space_table(
+    snp_counts: Sequence[int] = PAPER_TABLE1_SNP_COUNTS,
+    sizes: Sequence[int] = PAPER_TABLE1_SIZES,
+) -> dict[int, dict[int, int]]:
+    """The paper's Table 1: ``{haplotype size: {n_snps: count}}``."""
+    return {
+        size: {n: n_haplotypes_of_size(n, size) for n in snp_counts}
+        for size in sizes
+    }

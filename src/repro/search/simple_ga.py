@@ -1,0 +1,172 @@
+"""Classic single-population GA baseline.
+
+Section 5.2 of the paper compares the full algorithm against stripped-down
+variants; the most stripped-down end of that spectrum is an ordinary GA that
+searches one haplotype size at a time with a single population, fixed operator
+rates, no size-changing mutations, no inter-population crossover and no random
+immigrants.  This module implements that baseline directly (rather than by
+configuring the multi-population engine) so that the comparison also covers
+the multi-population machinery itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.individual import HaplotypeIndividual, random_individual
+from ..core.operators.crossover import IntraPopulationCrossover
+from ..core.operators.mutation import PointMutation
+from ..core.selection import tournament_selection
+from ..genetics.constraints import HaplotypeConstraints
+from ..parallel.base import FitnessCallable
+
+__all__ = ["SimpleGAResult", "SimpleGA"]
+
+
+@dataclass(frozen=True)
+class SimpleGAResult:
+    """Outcome of a single-size, single-population GA run."""
+
+    best_snps: tuple[int, ...]
+    best_fitness: float
+    n_evaluations: int
+    n_generations: int
+    evaluations_to_best: int
+
+
+class SimpleGA:
+    """A conventional generational GA on one haplotype size.
+
+    Parameters
+    ----------
+    fitness:
+        Fitness callable.
+    n_snps:
+        SNP panel size.
+    size:
+        The (fixed) haplotype size to search.
+    population_size:
+        Number of individuals.
+    crossover_rate, mutation_rate:
+        Fixed operator probabilities.
+    tournament_size:
+        Selection pressure.
+    elitism:
+        Number of best individuals copied unchanged to the next generation.
+    constraints:
+        Optional haplotype-validity constraints.
+    """
+
+    def __init__(
+        self,
+        fitness: FitnessCallable,
+        *,
+        n_snps: int,
+        size: int,
+        population_size: int = 50,
+        crossover_rate: float = 0.9,
+        mutation_rate: float = 0.2,
+        tournament_size: int = 2,
+        elitism: int = 1,
+        constraints: HaplotypeConstraints | None = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError("size must be positive")
+        if population_size < 2:
+            raise ValueError("population_size must be at least 2")
+        if not 0.0 <= crossover_rate <= 1.0 or not 0.0 <= mutation_rate <= 1.0:
+            raise ValueError("rates must be in [0, 1]")
+        if elitism < 0 or elitism >= population_size:
+            raise ValueError("elitism must be in [0, population_size)")
+        self.fitness = fitness
+        self.n_snps = int(n_snps)
+        self.size = int(size)
+        self.population_size = int(population_size)
+        self.crossover_rate = float(crossover_rate)
+        self.mutation_rate = float(mutation_rate)
+        self.tournament_size = int(tournament_size)
+        self.elitism = int(elitism)
+        self.constraints = constraints or HaplotypeConstraints.unconstrained(n_snps)
+        self._crossover = IntraPopulationCrossover()
+        self._mutation = PointMutation(n_trials=1)
+        self._n_evaluations = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_evaluations(self) -> int:
+        return self._n_evaluations
+
+    def _evaluate(self, snps: tuple[int, ...]) -> HaplotypeIndividual:
+        self._n_evaluations += 1
+        return HaplotypeIndividual(snps, float(self.fitness(snps)))
+
+    def run(
+        self,
+        *,
+        n_generations: int = 50,
+        stagnation: int | None = None,
+        seed: int = 0,
+    ) -> SimpleGAResult:
+        """Run the GA for at most ``n_generations`` generations.
+
+        ``stagnation`` optionally stops the run early when the best individual
+        has not improved for that many generations.
+        """
+        if n_generations < 1:
+            raise ValueError("n_generations must be positive")
+        rng = np.random.default_rng(seed)
+        self._n_evaluations = 0
+
+        population = []
+        seen: set[tuple[int, ...]] = set()
+        while len(population) < self.population_size:
+            candidate = random_individual(self.size, self.constraints, rng)
+            if candidate.snps in seen and len(seen) < self.population_size * 10:
+                continue
+            seen.add(candidate.snps)
+            population.append(self._evaluate(candidate.snps))
+
+        best = max(population, key=lambda ind: ind.fitness_value())
+        evaluations_to_best = self._n_evaluations
+        stale = 0
+        generation = 0
+        for generation in range(1, n_generations + 1):
+            population.sort(key=lambda ind: ind.fitness_value(), reverse=True)
+            next_population = population[: self.elitism]
+            while len(next_population) < self.population_size:
+                parent_a = tournament_selection(population, rng,
+                                                tournament_size=self.tournament_size)
+                parent_b = tournament_selection(population, rng,
+                                                tournament_size=self.tournament_size)
+                child_snps = parent_a.snps
+                if rng.random() < self.crossover_rate:
+                    children = self._crossover.recombine(parent_a, parent_b,
+                                                         self.constraints, rng)
+                    if children:
+                        child_snps = children[int(rng.integers(len(children)))]
+                if rng.random() < self.mutation_rate:
+                    variants = self._mutation.propose(
+                        HaplotypeIndividual(child_snps), self.constraints, rng
+                    )
+                    if variants:
+                        child_snps = variants[0]
+                next_population.append(self._evaluate(child_snps))
+            population = next_population
+            generation_best = max(population, key=lambda ind: ind.fitness_value())
+            if generation_best.fitness_value() > best.fitness_value() + 1e-12:
+                best = generation_best
+                evaluations_to_best = self._n_evaluations
+                stale = 0
+            else:
+                stale += 1
+                if stagnation is not None and stale >= stagnation:
+                    break
+        return SimpleGAResult(
+            best_snps=best.snps,
+            best_fitness=best.fitness_value(),
+            n_evaluations=self._n_evaluations,
+            n_generations=generation,
+            evaluations_to_best=evaluations_to_best,
+        )

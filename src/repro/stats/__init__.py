@@ -1,0 +1,52 @@
+"""Statistical evaluation substrate: EH-DIALL, CLUMP and the fitness pipeline.
+
+Implements from scratch the two published procedures the paper delegates its
+haplotype evaluation to — EH-DIALL (multi-locus haplotype-frequency estimation
+by EM) and CLUMP (contingency-table case/control statistics with Monte-Carlo
+significance) — and composes them into the Figure-3 evaluation pipeline that
+the GA uses as its objective function.
+"""
+
+from .cache import CachedEvaluator, CacheStatistics, CountingEvaluator
+from .chi2 import Chi2Result, chi2_sf, pearson_chi2
+from .clump import (
+    ClumpResult,
+    clump_statistics,
+    monte_carlo_p_values,
+    simulate_table_with_margins,
+    t1_statistic,
+    t2_statistic,
+    t3_statistic,
+    t4_statistic,
+)
+from .contingency import ContingencyTable
+from .ehdiall import EHDiallResult, h0_frequencies, run_ehdiall
+from .em import EMResult, PhaseExpansion, estimate_haplotype_frequencies, expand_phases
+from .evaluation import EvaluationRecord, HaplotypeEvaluator
+
+__all__ = [
+    "ContingencyTable",
+    "Chi2Result",
+    "pearson_chi2",
+    "chi2_sf",
+    "EMResult",
+    "PhaseExpansion",
+    "estimate_haplotype_frequencies",
+    "expand_phases",
+    "EHDiallResult",
+    "run_ehdiall",
+    "h0_frequencies",
+    "ClumpResult",
+    "clump_statistics",
+    "t1_statistic",
+    "t2_statistic",
+    "t3_statistic",
+    "t4_statistic",
+    "simulate_table_with_margins",
+    "monte_carlo_p_values",
+    "EvaluationRecord",
+    "HaplotypeEvaluator",
+    "CachedEvaluator",
+    "CountingEvaluator",
+    "CacheStatistics",
+]

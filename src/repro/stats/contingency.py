@@ -1,0 +1,142 @@
+"""Contingency-table container and utilities.
+
+CLUMP (Sham & Curtis, 1995) works on a ``2 × m`` contingency table whose rows
+are the affected / unaffected groups and whose columns are haplotype states
+(or alleles).  The evaluation pipeline of the paper (Figure 3) builds such a
+table from the EH-DIALL estimated haplotype distributions of each group and
+then asks CLUMP for the significance of the departure of the observed values
+from the values expected under the marginal totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ContingencyTable"]
+
+
+@dataclass(frozen=True)
+class ContingencyTable:
+    """A two-row (cases × categories) contingency table.
+
+    Attributes
+    ----------
+    counts:
+        ``(2, m)`` non-negative float array; row 0 is the affected group and
+        row 1 the unaffected group.  Fractional counts are allowed because the
+        haplotype counts come from an EM estimate (expected counts).
+    column_labels:
+        Optional labels for the ``m`` columns (haplotype strings such as
+        ``"1221"``).
+    """
+
+    counts: np.ndarray
+    column_labels: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        counts = np.asarray(self.counts, dtype=np.float64)
+        if counts.ndim != 2 or counts.shape[0] != 2:
+            raise ValueError(f"contingency table must have shape (2, m); got {counts.shape}")
+        if counts.shape[1] < 1:
+            raise ValueError("contingency table needs at least one column")
+        if np.any(counts < 0) or not np.all(np.isfinite(counts)):
+            raise ValueError("contingency table entries must be finite and non-negative")
+        object.__setattr__(self, "counts", counts)
+        if self.column_labels is not None and len(self.column_labels) != counts.shape[1]:
+            raise ValueError("column_labels length must match the number of columns")
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_rows(
+        cls,
+        affected: Sequence[float] | np.ndarray,
+        unaffected: Sequence[float] | np.ndarray,
+        column_labels: Sequence[str] | None = None,
+    ) -> "ContingencyTable":
+        """Build a table from the affected and unaffected count rows."""
+        affected = np.asarray(affected, dtype=np.float64)
+        unaffected = np.asarray(unaffected, dtype=np.float64)
+        if affected.shape != unaffected.shape:
+            raise ValueError("affected and unaffected rows must have the same length")
+        labels = tuple(column_labels) if column_labels is not None else None
+        return cls(np.vstack([affected, unaffected]), labels)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_columns(self) -> int:
+        return self.counts.shape[1]
+
+    @property
+    def row_totals(self) -> np.ndarray:
+        return self.counts.sum(axis=1)
+
+    @property
+    def column_totals(self) -> np.ndarray:
+        return self.counts.sum(axis=0)
+
+    @property
+    def total(self) -> float:
+        return float(self.counts.sum())
+
+    def expected(self) -> np.ndarray:
+        """Expected counts conditional on the marginal totals."""
+        total = self.total
+        if total <= 0:
+            raise ValueError("cannot compute expected counts of an empty table")
+        return np.outer(self.row_totals, self.column_totals) / total
+
+    # ------------------------------------------------------------------ #
+    def drop_empty_columns(self) -> "ContingencyTable":
+        """Remove columns whose total count is zero."""
+        keep = self.column_totals > 0
+        if keep.all():
+            return self
+        if not keep.any():
+            raise ValueError("all columns are empty")
+        labels = None
+        if self.column_labels is not None:
+            labels = tuple(lbl for lbl, k in zip(self.column_labels, keep) if k)
+        return ContingencyTable(self.counts[:, keep], labels)
+
+    def clump_rare_columns(self, min_expected: float = 5.0) -> "ContingencyTable":
+        """Merge columns with small expected counts into a single "rare" column.
+
+        This is the preprocessing step of CLUMP's T2 statistic: every column
+        whose *expected* count (in either row) falls below ``min_expected`` is
+        pooled into one clumped column, which stabilises the chi-square
+        approximation for sparse haplotype tables.
+        """
+        table = self.drop_empty_columns()
+        expected = table.expected()
+        rare = (expected < min_expected).any(axis=0)
+        if rare.sum() <= 1:
+            return table
+        keep = ~rare
+        merged = table.counts[:, rare].sum(axis=1, keepdims=True)
+        counts = np.hstack([table.counts[:, keep], merged])
+        labels = None
+        if table.column_labels is not None:
+            kept = [lbl for lbl, k in zip(table.column_labels, keep) if k]
+            labels = tuple(kept + ["rare"])
+        return ContingencyTable(counts, labels)
+
+    def collapse_to_two_columns(self, column_mask: np.ndarray) -> "ContingencyTable":
+        """Collapse the table to 2×2 by pooling masked columns vs the rest."""
+        mask = np.asarray(column_mask, dtype=bool)
+        if mask.shape != (self.n_columns,):
+            raise ValueError("column_mask must have one entry per column")
+        if not mask.any() or mask.all():
+            raise ValueError("column_mask must select a proper, non-empty subset of columns")
+        left = self.counts[:, mask].sum(axis=1, keepdims=True)
+        right = self.counts[:, ~mask].sum(axis=1, keepdims=True)
+        return ContingencyTable(np.hstack([left, right]), ("selected", "rest"))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        header = self.column_labels or tuple(f"c{i}" for i in range(self.n_columns))
+        lines = ["\t" + "\t".join(header)]
+        for name, row in zip(("affected", "unaffected"), self.counts):
+            lines.append(name + "\t" + "\t".join(f"{v:.2f}" for v in row))
+        return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Shared fixtures.
+
+Most tests run against a deliberately small simulated study (60 individuals,
+14 SNPs) so that every EH-DIALL + CLUMP evaluation costs well under a
+millisecond; the full 106 × 51 canonical dataset is only used by the few
+integration tests that need it.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+# Fallback so the suite also runs from a source checkout without installation.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:  # pragma: no cover - environment dependent
+    sys.path.insert(0, _SRC)
+
+from repro.genetics.constraints import HaplotypeConstraints, build_constraints  # noqa: E402
+from repro.genetics.simulate import (  # noqa: E402
+    DiseaseModel,
+    PopulationModel,
+    simulate_case_control_study,
+)
+from repro.stats.evaluation import HaplotypeEvaluator  # noqa: E402
+
+#: Causal SNPs planted in the small test study.
+SMALL_CAUSAL = (2, 5, 9)
+
+
+@pytest.fixture(scope="session")
+def small_study():
+    """A small, strongly-associated case/control study (fast to evaluate)."""
+    model = PopulationModel(n_snps=14, block_size=4, within_block_correlation=0.5)
+    disease = DiseaseModel(
+        causal_snps=SMALL_CAUSAL,
+        risk_alleles=(2, 2, 2),
+        baseline_penetrance=0.1,
+        relative_risk=6.0,
+        risk_haplotype_frequency=0.3,
+    )
+    return simulate_case_control_study(
+        population_model=model,
+        disease_model=disease,
+        n_affected=30,
+        n_unaffected=30,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_study):
+    return small_study.dataset
+
+
+@pytest.fixture(scope="session")
+def small_evaluator(small_dataset):
+    return HaplotypeEvaluator(small_dataset)
+
+
+@pytest.fixture(scope="session")
+def small_constraints(small_dataset):
+    return build_constraints(small_dataset)
+
+
+@pytest.fixture(scope="session")
+def unconstrained_14():
+    return HaplotypeConstraints.unconstrained(14)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,126 @@
+"""Tests of the adaptive operator-rate controller (Hong et al. 2000 scheme)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.adaptive import AdaptiveOperatorController
+from repro.core.operators.base import OperatorApplication
+
+NAMES = ["point_mutation", "reduction_mutation", "augmentation_mutation"]
+
+
+def _controller(**kwargs):
+    defaults = dict(global_rate=0.6, min_rate=0.05, adaptive=True)
+    defaults.update(kwargs)
+    return AdaptiveOperatorController(NAMES, **defaults)
+
+
+class TestConstruction:
+    def test_initial_rates_are_uniform_and_sum_to_global(self):
+        controller = _controller()
+        rates = controller.rates
+        assert sum(rates.values()) == pytest.approx(0.6)
+        assert all(r == pytest.approx(0.2) for r in rates.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveOperatorController([], global_rate=0.5)
+        with pytest.raises(ValueError):
+            AdaptiveOperatorController(["a", "a"], global_rate=0.5)
+        with pytest.raises(ValueError):
+            AdaptiveOperatorController(["a"], global_rate=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveOperatorController(["a", "b"], global_rate=0.2, min_rate=0.1)
+        with pytest.raises(ValueError):
+            AdaptiveOperatorController(["a"], global_rate=0.5, min_rate=-0.1)
+
+
+class TestAdaptation:
+    def test_profitable_operator_gains_rate(self):
+        controller = _controller()
+        controller.record(OperatorApplication("point_mutation", 0.5))
+        controller.record(OperatorApplication("point_mutation", 0.3))
+        controller.record(OperatorApplication("reduction_mutation", 0.0))
+        snapshot = controller.end_generation()
+        rates = controller.rates
+        assert rates["point_mutation"] > rates["reduction_mutation"]
+        assert rates["reduction_mutation"] == pytest.approx(0.05)  # floor delta
+        assert sum(rates.values()) == pytest.approx(0.6)
+        assert snapshot.profits["point_mutation"] == pytest.approx(0.4)
+        assert snapshot.n_applications["point_mutation"] == 2
+
+    def test_rates_unchanged_when_no_progress(self):
+        controller = _controller()
+        before = controller.rates
+        controller.record(OperatorApplication("point_mutation", 0.0))
+        controller.end_generation()
+        assert controller.rates == before
+
+    def test_non_adaptive_controller_keeps_uniform_rates(self):
+        controller = _controller(adaptive=False)
+        controller.record(OperatorApplication("point_mutation", 1.0))
+        controller.end_generation()
+        assert all(r == pytest.approx(0.2) for r in controller.rates.values())
+
+    def test_negative_progress_is_clipped(self):
+        controller = _controller()
+        controller.record(OperatorApplication("point_mutation", -5.0))
+        controller.record(OperatorApplication("reduction_mutation", 0.2))
+        controller.end_generation()
+        assert controller.rates["point_mutation"] == pytest.approx(0.05)
+
+    def test_unknown_operator_rejected(self):
+        controller = _controller()
+        with pytest.raises(KeyError):
+            controller.record(OperatorApplication("bogus", 0.1))
+        with pytest.raises(KeyError):
+            controller.probability_of("bogus")
+
+    def test_history_accumulates(self):
+        controller = _controller()
+        controller.end_generation()
+        controller.end_generation()
+        assert len(controller.history) == 2
+        assert controller.history[1].generation == 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(NAMES), st.floats(min_value=0, max_value=1)),
+            min_size=0,
+            max_size=30,
+        )
+    )
+    def test_invariants_hold_for_any_progress_sequence(self, applications):
+        controller = _controller()
+        controller.record_many(OperatorApplication(n, p) for n, p in applications)
+        controller.end_generation()
+        rates = controller.rates
+        assert sum(rates.values()) == pytest.approx(0.6)
+        assert all(r >= 0.05 - 1e-12 for r in rates.values())
+
+
+class TestSampling:
+    def test_sampling_respects_allowed_subset(self, rng):
+        controller = _controller()
+        for _ in range(20):
+            name = controller.sample(rng, allowed=["reduction_mutation"])
+            assert name == "reduction_mutation"
+
+    def test_sampling_follows_rates(self, rng):
+        controller = _controller()
+        # make point mutation dominant
+        controller.record(OperatorApplication("point_mutation", 1.0))
+        controller.end_generation()
+        draws = [controller.sample(rng) for _ in range(300)]
+        assert draws.count("point_mutation") > 150
+
+    def test_empty_allowed_rejected(self, rng):
+        controller = _controller()
+        with pytest.raises(ValueError):
+            controller.sample(rng, allowed=[])
+
+    def test_probability_of(self):
+        controller = _controller()
+        assert controller.probability_of("point_mutation") == pytest.approx(1 / 3)

@@ -1,0 +1,90 @@
+"""Tests of the allele / haplotype-state coding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.genetics.alleles import (
+    ALLELE_1,
+    ALLELE_2,
+    all_haplotype_labels,
+    alleles_to_haplotype_index,
+    haplotype_index_to_alleles,
+    haplotype_label,
+    n_haplotype_states,
+    parse_haplotype_label,
+    validate_genotype_array,
+)
+
+
+class TestNHaplotypeStates:
+    def test_powers_of_two(self):
+        assert n_haplotype_states(0) == 1
+        assert n_haplotype_states(1) == 2
+        assert n_haplotype_states(6) == 64
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            n_haplotype_states(-1)
+
+
+class TestIndexAlleleConversion:
+    def test_index_zero_is_all_allele1(self):
+        assert haplotype_index_to_alleles(0, 4).tolist() == [ALLELE_1] * 4
+
+    def test_max_index_is_all_allele2(self):
+        assert haplotype_index_to_alleles(15, 4).tolist() == [ALLELE_2] * 4
+
+    def test_bit_order_is_little_endian(self):
+        # index 1 sets the first locus (bit 0) to allele 2
+        assert haplotype_index_to_alleles(1, 3).tolist() == [2, 1, 1]
+        assert haplotype_index_to_alleles(4, 3).tolist() == [1, 1, 2]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            haplotype_index_to_alleles(8, 3)
+        with pytest.raises(ValueError):
+            haplotype_index_to_alleles(-1, 3)
+
+    def test_alleles_to_index_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            alleles_to_haplotype_index([1, 0, 2])
+        with pytest.raises(ValueError):
+            alleles_to_haplotype_index(np.array([[1, 2]]))
+
+    @given(st.integers(min_value=1, max_value=10), st.data())
+    def test_roundtrip(self, n_loci, data):
+        index = data.draw(st.integers(min_value=0, max_value=2**n_loci - 1))
+        alleles = haplotype_index_to_alleles(index, n_loci)
+        assert alleles_to_haplotype_index(alleles) == index
+
+
+class TestLabels:
+    def test_label_format_matches_paper(self):
+        # Figure 2's haplotype "1221" = allele 1, 2, 2, 1 at the four SNPs
+        index = alleles_to_haplotype_index([1, 2, 2, 1])
+        assert haplotype_label(index, 4) == "1221"
+
+    def test_parse_roundtrip(self):
+        for label in ("11", "22", "1221", "212121"):
+            assert haplotype_label(parse_haplotype_label(label), len(label)) == label
+
+    def test_parse_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_haplotype_label("")
+
+    def test_all_labels_are_unique_and_complete(self):
+        labels = all_haplotype_labels(3)
+        assert len(labels) == 8
+        assert len(set(labels)) == 8
+        assert all(len(lbl) == 3 for lbl in labels)
+
+
+class TestValidateGenotypeArray:
+    def test_accepts_valid_codes(self):
+        arr = validate_genotype_array([[0, 1, 2, -1]])
+        assert arr.dtype == np.int8
+
+    def test_rejects_invalid_codes(self):
+        with pytest.raises(ValueError, match="invalid genotype codes"):
+            validate_genotype_array([[0, 3]])

@@ -1,0 +1,73 @@
+"""Tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["table1"]).command == "table1"
+        args = parser.parse_args(["simulate", "outdir", "--n-snps", "10"])
+        assert args.command == "simulate" and args.n_snps == 10
+        args = parser.parse_args(["run", "--population-size", "40", "--workers", "2"])
+        assert args.population_size == 40 and args.workers == 2
+
+    def test_experiment_commands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["robustness", "--runs", "3"]).runs == 3
+        assert parser.parse_args(["objectives", "--per-size", "10"]).per_size == 10
+        assert parser.parse_args(["ablation", "--runs", "2"]).runs == 2
+        assert parser.parse_args(["table2", "--quick"]).quick is True
+        assert parser.parse_args(["landscape", "--panel-size", "12"]).panel_size == 12
+        assert parser.parse_args(["evaluate", "dir", "1", "2", "--statistic", "lrt"]
+                                 ).statistic == "lrt"
+
+
+class TestCommands:
+    def test_table1_command(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "18,009,460" in out
+
+    def test_simulate_then_evaluate_and_run(self, tmp_path, capsys):
+        study_dir = tmp_path / "study"
+        assert main([
+            "simulate", str(study_dir), "--n-snps", "12",
+            "--n-affected", "15", "--n-unaffected", "15", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "planted causal haplotype" in out
+        assert (study_dir / "genotypes.csv").exists()
+        assert (study_dir / "frequencies.csv").exists()
+        assert (study_dir / "ld.csv").exists()
+
+        assert main(["evaluate", str(study_dir), "2", "5", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "fitness (T1)" in out
+        assert "T4:" in out
+
+        assert main([
+            "run", str(study_dir), "--population-size", "15", "--max-size", "3",
+            "--stagnation", "3", "--max-generations", "5", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "size 2" in out and "size 3" in out
+        assert "evaluations" in out
+
+    def test_speedup_command_simulated_only(self, capsys):
+        assert main(["speedup"]) == 0
+        assert "Simulated PVM speedup" in capsys.readouterr().out
+
+    def test_evaluate_with_significance(self, tmp_path, capsys):
+        study_dir = tmp_path / "study"
+        main(["simulate", str(study_dir), "--n-snps", "10",
+              "--n-affected", "12", "--n-unaffected", "12", "--seed", "4"])
+        capsys.readouterr()
+        assert main(["evaluate", str(study_dir), "1", "2", "--significance"]) == 0
+        assert "Monte-Carlo" in capsys.readouterr().out

@@ -1,0 +1,77 @@
+"""Tests of the GA configuration object."""
+
+import pytest
+
+from repro.core.config import GAConfig
+
+
+class TestDefaultsMatchPaper:
+    def test_paper_parameters(self):
+        config = GAConfig()
+        assert config.crossover_rate == pytest.approx(0.9)
+        assert config.population_size == 150
+        assert config.termination_stagnation == 100
+        assert config.max_haplotype_size == 6
+        assert config.random_immigrant_stagnation == 20
+
+    def test_haplotype_sizes(self):
+        config = GAConfig(min_haplotype_size=2, max_haplotype_size=6)
+        assert config.haplotype_sizes == (2, 3, 4, 5, 6)
+        assert config.n_subpopulations == 5
+
+    def test_n_offspring_derived_from_crossover_rate(self):
+        config = GAConfig(population_size=150, crossover_rate=0.9)
+        assert config.n_offspring == round(0.9 * 150 / 2)
+        explicit = GAConfig(offspring_per_generation=10)
+        assert explicit.n_offspring == 10
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_haplotype_size": 0},
+            {"max_haplotype_size": 1, "min_haplotype_size": 2},
+            {"population_size": 3},
+            {"crossover_rate": 0.0},
+            {"crossover_rate": 1.5},
+            {"mutation_rate": 0.0},
+            {"min_operator_rate": 0.4, "mutation_rate": 0.5},
+            {"min_operator_rate": 0.5, "crossover_rate": 0.9},
+            {"point_mutation_trials": 0},
+            {"tournament_size": 0},
+            {"offspring_per_generation": 0},
+            {"termination_stagnation": 0},
+            {"max_generations": 0},
+            {"max_evaluations": 0},
+            {"random_immigrant_stagnation": 0},
+            {"allocation": "bogus"},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GAConfig(**kwargs)
+
+
+class TestSchemeToggles:
+    def test_with_scheme_toggles_mechanisms(self):
+        config = GAConfig()
+        stripped = config.with_scheme(
+            adaptive=False, size_mutations=False,
+            inter_population_crossover=False, random_immigrants=False,
+        )
+        assert not stripped.use_adaptive_mutation
+        assert not stripped.use_adaptive_crossover
+        assert not stripped.use_size_mutations
+        assert not stripped.use_inter_population_crossover
+        assert not stripped.use_random_immigrants
+        # original unchanged (frozen dataclass semantics)
+        assert config.use_random_immigrants
+
+    def test_with_scheme_partial(self):
+        config = GAConfig().with_scheme(random_immigrants=False)
+        assert not config.use_random_immigrants
+        assert config.use_adaptive_mutation
+
+    def test_with_seed(self):
+        assert GAConfig(seed=1).with_seed(42).seed == 42

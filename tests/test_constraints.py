@@ -1,0 +1,102 @@
+"""Tests of the haplotype-validity constraints (paper Section 2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.genetics.constraints import HaplotypeConstraints, build_constraints
+from repro.genetics.frequencies import SnpFrequencyTable
+from repro.genetics.ld import PairwiseLDTable
+
+
+def _constraints(ld_values, minor_freqs, **kwargs):
+    n = len(minor_freqs)
+    names = tuple(f"snp{i}" for i in range(n))
+    ld = PairwiseLDTable(snp_names=names, values=np.asarray(ld_values, dtype=float))
+    freq = SnpFrequencyTable(
+        snp_names=names,
+        freq_allele1=1.0 - np.asarray(minor_freqs, dtype=float),
+        freq_allele2=np.asarray(minor_freqs, dtype=float),
+    )
+    return HaplotypeConstraints(ld_table=ld, frequency_table=freq, **kwargs)
+
+
+class TestUnconstrained:
+    def test_accepts_any_duplicate_free_set(self):
+        constraints = HaplotypeConstraints.unconstrained(10)
+        assert constraints.is_valid((0, 3, 7))
+        assert constraints.pair_is_valid(1, 2)
+
+    def test_rejects_duplicates_and_self_pairs(self):
+        constraints = HaplotypeConstraints.unconstrained(10)
+        assert not constraints.is_valid((1, 1, 2))
+        assert not constraints.pair_is_valid(3, 3)
+
+    def test_compatible_snps_excludes_current(self):
+        constraints = HaplotypeConstraints.unconstrained(5)
+        compatible = constraints.compatible_snps((0, 2))
+        assert set(compatible.tolist()) == {1, 3, 4}
+
+
+class TestLDThreshold:
+    def test_high_ld_pair_rejected(self):
+        ld = [[1.0, 0.9, 0.1], [0.9, 1.0, 0.2], [0.1, 0.2, 1.0]]
+        constraints = _constraints(ld, [0.3, 0.3, 0.3], max_pairwise_ld=0.8)
+        assert not constraints.pair_is_valid(0, 1)
+        assert constraints.pair_is_valid(0, 2)
+        assert not constraints.is_valid((0, 1, 2))
+        assert constraints.is_valid((0, 2))
+
+    def test_threshold_of_one_disables_ld_check(self):
+        ld = [[1.0, 0.99], [0.99, 1.0]]
+        constraints = _constraints(ld, [0.3, 0.3], max_pairwise_ld=1.0)
+        assert constraints.pair_is_valid(0, 1)
+
+
+class TestFrequencyDifferenceThreshold:
+    def test_similar_minor_frequencies_rejected(self):
+        ld = np.eye(3)
+        constraints = _constraints(
+            ld, [0.30, 0.31, 0.45], min_minor_frequency_difference=0.05
+        )
+        assert not constraints.pair_is_valid(0, 1)
+        assert constraints.pair_is_valid(0, 2)
+
+    def test_zero_threshold_disables_check(self):
+        constraints = _constraints(np.eye(2), [0.3, 0.3])
+        assert constraints.pair_is_valid(0, 1)
+
+
+class TestValidation:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            _constraints(np.eye(2), [0.3, 0.4], max_pairwise_ld=1.5)
+        with pytest.raises(ValueError):
+            _constraints(np.eye(2), [0.3, 0.4], min_minor_frequency_difference=0.7)
+
+    def test_mismatched_tables_rejected(self):
+        names = ("a", "b")
+        ld = PairwiseLDTable(snp_names=names, values=np.eye(2))
+        freq = SnpFrequencyTable(
+            snp_names=("a", "b", "c"),
+            freq_allele1=np.array([0.5, 0.5, 0.5]),
+            freq_allele2=np.array([0.5, 0.5, 0.5]),
+        )
+        with pytest.raises(ValueError):
+            HaplotypeConstraints(ld_table=ld, frequency_table=freq)
+
+    def test_compatible_snps_respects_constraints(self):
+        ld = [[1.0, 0.95, 0.0], [0.95, 1.0, 0.0], [0.0, 0.0, 1.0]]
+        constraints = _constraints(ld, [0.2, 0.4, 0.3], max_pairwise_ld=0.8)
+        compatible = constraints.compatible_snps([0])
+        assert 1 not in compatible.tolist()
+        assert 2 in compatible.tolist()
+
+
+class TestBuildConstraints:
+    def test_build_from_dataset(self, small_dataset):
+        constraints = build_constraints(small_dataset, max_pairwise_ld=0.95)
+        assert constraints.n_snps == small_dataset.n_snps
+        # a SNP can never pair with itself
+        assert not constraints.pair_is_valid(0, 0)
+        # thresholds are carried through
+        assert constraints.max_pairwise_ld == pytest.approx(0.95)

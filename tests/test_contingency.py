@@ -1,0 +1,88 @@
+"""Tests of the contingency-table container."""
+
+import numpy as np
+import pytest
+
+from repro.stats.contingency import ContingencyTable
+
+
+class TestConstruction:
+    def test_from_rows(self):
+        table = ContingencyTable.from_rows([1, 2, 3], [4, 5, 6], ["a", "b", "c"])
+        assert table.n_columns == 3
+        assert table.total == pytest.approx(21)
+        np.testing.assert_allclose(table.row_totals, [6, 15])
+        np.testing.assert_allclose(table.column_totals, [5, 7, 9])
+
+    def test_rejects_wrong_shapes(self):
+        with pytest.raises(ValueError):
+            ContingencyTable(np.zeros((3, 4)))
+        with pytest.raises(ValueError):
+            ContingencyTable.from_rows([1, 2], [1])
+        with pytest.raises(ValueError):
+            ContingencyTable(np.array([[1.0, -2.0], [1.0, 1.0]]))
+        with pytest.raises(ValueError):
+            ContingencyTable(np.array([[1.0, np.inf], [1.0, 1.0]]))
+
+    def test_label_length_checked(self):
+        with pytest.raises(ValueError):
+            ContingencyTable(np.ones((2, 3)), column_labels=("x",))
+
+
+class TestExpected:
+    def test_expected_matches_hand_computation(self):
+        table = ContingencyTable.from_rows([10, 0], [10, 20])
+        expected = table.expected()
+        # row totals 10, 30; column totals 20, 20; grand total 40
+        np.testing.assert_allclose(expected, [[5, 5], [15, 15]])
+
+    def test_expected_of_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            ContingencyTable(np.zeros((2, 2))).expected()
+
+
+class TestColumnOperations:
+    def test_drop_empty_columns(self):
+        table = ContingencyTable.from_rows([1, 0, 2], [3, 0, 4], ["a", "b", "c"])
+        dropped = table.drop_empty_columns()
+        assert dropped.n_columns == 2
+        assert dropped.column_labels == ("a", "c")
+
+    def test_drop_empty_columns_noop_when_all_nonzero(self):
+        table = ContingencyTable.from_rows([1, 1], [1, 1])
+        assert table.drop_empty_columns() is table
+
+    def test_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ContingencyTable(np.zeros((2, 3))).drop_empty_columns()
+
+    def test_clump_rare_columns_pools_small_expected(self):
+        # columns 2..5 have tiny counts; with min_expected=5 they must be pooled
+        affected = [30, 25, 1, 0, 2, 1]
+        unaffected = [28, 30, 0, 1, 1, 2]
+        table = ContingencyTable.from_rows(affected, unaffected,
+                                           [f"h{i}" for i in range(6)])
+        clumped = table.clump_rare_columns(min_expected=5.0)
+        assert clumped.n_columns == 3
+        assert clumped.column_labels[-1] == "rare"
+        # totals are conserved
+        assert clumped.total == pytest.approx(table.total)
+        np.testing.assert_allclose(clumped.row_totals, table.row_totals)
+
+    def test_clump_rare_columns_keeps_table_when_one_rare(self):
+        table = ContingencyTable.from_rows([30, 1], [28, 2])
+        clumped = table.clump_rare_columns(min_expected=5.0)
+        assert clumped.n_columns == 2
+
+    def test_collapse_to_two_columns(self):
+        table = ContingencyTable.from_rows([5, 1, 4], [2, 8, 0])
+        collapsed = table.collapse_to_two_columns(np.array([True, False, True]))
+        assert collapsed.n_columns == 2
+        np.testing.assert_allclose(collapsed.counts, [[9, 1], [2, 8]])
+
+    def test_collapse_requires_proper_subset(self):
+        table = ContingencyTable.from_rows([5, 1], [2, 8])
+        with pytest.raises(ValueError):
+            table.collapse_to_two_columns(np.array([True, True]))
+        with pytest.raises(ValueError):
+            table.collapse_to_two_columns(np.array([False, False]))

@@ -1,0 +1,125 @@
+"""Tests of the GenotypeDataset container."""
+
+import numpy as np
+import pytest
+
+from repro.genetics.alleles import STATUS_AFFECTED, STATUS_UNAFFECTED, STATUS_UNKNOWN
+from repro.genetics.dataset import GenotypeDataset
+
+
+@pytest.fixture()
+def tiny():
+    genotypes = np.array(
+        [
+            [0, 1, 2, -1],
+            [1, 1, 0, 2],
+            [2, 0, 1, 1],
+            [0, 2, 2, 0],
+            [1, 0, 0, 1],
+        ],
+        dtype=np.int8,
+    )
+    status = np.array([1, 1, 0, 0, -1], dtype=np.int8)
+    return GenotypeDataset(genotypes, status, snp_names=["a", "b", "c", "d"])
+
+
+class TestConstruction:
+    def test_shapes_and_defaults(self, tiny):
+        assert tiny.n_individuals == 5
+        assert tiny.n_snps == 4
+        assert len(tiny) == 5
+        assert tiny.individual_ids == ("ind0", "ind1", "ind2", "ind3", "ind4")
+
+    def test_rejects_bad_genotypes(self):
+        with pytest.raises(ValueError):
+            GenotypeDataset([[0, 5]], [1])
+
+    def test_rejects_status_length_mismatch(self):
+        with pytest.raises(ValueError):
+            GenotypeDataset([[0, 1], [1, 1]], [1])
+
+    def test_rejects_bad_status_values(self):
+        with pytest.raises(ValueError):
+            GenotypeDataset([[0, 1]], [7])
+
+    def test_rejects_duplicate_snp_names(self):
+        with pytest.raises(ValueError):
+            GenotypeDataset([[0, 1]], [1], snp_names=["x", "x"])
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            GenotypeDataset([0, 1, 2], [1, 1, 1])
+
+    def test_genotypes_view_is_read_only(self, tiny):
+        with pytest.raises(ValueError):
+            tiny.genotypes[0, 0] = 2
+
+
+class TestGroups:
+    def test_group_counts(self, tiny):
+        assert tiny.n_affected == 2
+        assert tiny.n_unaffected == 2
+        assert tiny.n_unknown == 1
+
+    def test_affected_subset(self, tiny):
+        affected = tiny.affected()
+        assert affected.n_individuals == 2
+        assert np.all(affected.status == STATUS_AFFECTED)
+        assert affected.snp_names == tiny.snp_names
+
+    def test_unaffected_subset(self, tiny):
+        unaffected = tiny.unaffected()
+        assert unaffected.n_individuals == 2
+        assert np.all(unaffected.status == STATUS_UNAFFECTED)
+
+    def test_with_known_status_drops_unknown(self, tiny):
+        known = tiny.with_known_status()
+        assert known.n_individuals == 4
+        assert STATUS_UNKNOWN not in known.status
+
+
+class TestSubsetting:
+    def test_select_snps_reorders(self, tiny):
+        sub = tiny.select_snps([2, 0])
+        assert sub.snp_names == ("c", "a")
+        assert np.array_equal(sub.genotypes[:, 0], tiny.genotypes[:, 2])
+
+    def test_select_snps_out_of_range(self, tiny):
+        with pytest.raises(IndexError):
+            tiny.select_snps([10])
+
+    def test_select_individuals(self, tiny):
+        sub = tiny.select_individuals([0, 4])
+        assert sub.individual_ids == ("ind0", "ind4")
+        assert np.array_equal(sub.genotypes[1], tiny.genotypes[4])
+
+    def test_genotypes_at(self, tiny):
+        cols = tiny.genotypes_at([1, 3])
+        assert cols.shape == (5, 2)
+        assert np.array_equal(cols[:, 0], tiny.genotypes[:, 1])
+
+    def test_snp_index_lookup(self, tiny):
+        assert tiny.snp_index("c") == 2
+        with pytest.raises(KeyError):
+            tiny.snp_index("zzz")
+
+
+class TestStatistics:
+    def test_missing_rate(self, tiny):
+        assert tiny.missing_rate == pytest.approx(1 / 20)
+
+    def test_summary(self, tiny):
+        summary = tiny.summary()
+        assert summary.n_individuals == 5
+        assert summary.n_affected == 2
+        assert summary.missing_rate == pytest.approx(1 / 20)
+        assert "individuals" in str(summary)
+
+    def test_copy_and_equality(self, tiny):
+        clone = tiny.copy()
+        assert clone == tiny
+        assert clone is not tiny
+
+    def test_equality_detects_difference(self, tiny):
+        other = tiny.select_individuals([0, 1, 2, 3])
+        assert tiny != other

@@ -1,0 +1,83 @@
+"""Tests of the EH-DIALL procedure (H0/H1 likelihoods and LRT)."""
+
+import numpy as np
+import pytest
+
+from repro.genetics.dataset import GenotypeDataset
+from repro.stats.ehdiall import h0_frequencies, run_ehdiall
+
+
+def _dataset_from_phased(h1, h2, status=None):
+    genotypes = (np.asarray(h1) + np.asarray(h2)).astype(np.int8)
+    if status is None:
+        status = np.zeros(genotypes.shape[0], dtype=np.int8)
+    return GenotypeDataset(genotypes, status)
+
+
+class TestH0Frequencies:
+    def test_independent_product(self):
+        freqs = h0_frequencies(np.array([0.2, 0.5]))
+        # states: 00, 10(bit0 set = allele2 at locus0), 01, 11
+        np.testing.assert_allclose(
+            freqs, [0.8 * 0.5, 0.2 * 0.5, 0.8 * 0.5, 0.2 * 0.5]
+        )
+        assert freqs.sum() == pytest.approx(1.0)
+
+    def test_degenerate_frequencies(self):
+        freqs = h0_frequencies(np.array([0.0, 1.0]))
+        assert freqs[2] == pytest.approx(1.0)  # allele1 at locus0, allele2 at locus1
+        assert freqs.sum() == pytest.approx(1.0)
+
+
+class TestRunEHDiall:
+    def test_requires_snps_with_dataset(self, small_dataset):
+        with pytest.raises(ValueError):
+            run_ehdiall(small_dataset)
+
+    def test_h1_always_at_least_h0(self, small_dataset):
+        result = run_ehdiall(small_dataset, (0, 1, 2))
+        assert result.h1_log_likelihood >= result.h0_log_likelihood - 1e-9
+        assert result.lrt_statistic >= 0.0
+        assert 0.0 <= result.lrt_p_value <= 1.0
+
+    def test_lrt_df(self, small_dataset):
+        result = run_ehdiall(small_dataset, (0, 1, 2))
+        assert result.lrt_df == (2**3 - 1) - 3
+
+    def test_independent_loci_have_small_lrt(self, rng):
+        h1 = (rng.random((200, 2)) < 0.5).astype(np.int8)
+        h2 = (rng.random((200, 2)) < 0.5).astype(np.int8)
+        dataset = _dataset_from_phased(h1, h2)
+        result = run_ehdiall(dataset, (0, 1))
+        # under independence the LRT is ~chi2(1): it should not be huge
+        assert result.lrt_statistic < 12.0
+
+    def test_strong_ld_detected(self, rng):
+        # perfect LD: second locus copies the first
+        a = (rng.random((200, 1)) < 0.4).astype(np.int8)
+        h1 = np.hstack([a, a])
+        b = (rng.random((200, 1)) < 0.4).astype(np.int8)
+        h2 = np.hstack([b, b])
+        dataset = _dataset_from_phased(h1, h2)
+        result = run_ehdiall(dataset, (0, 1))
+        assert result.lrt_statistic > 50.0
+        assert result.lrt_p_value < 1e-6
+
+    def test_expected_counts_scale_with_chromosomes(self, small_dataset):
+        result = run_ehdiall(small_dataset.affected(), (0, 1))
+        counts = result.expected_haplotype_counts()
+        assert counts.sum() == pytest.approx(result.n_chromosomes)
+
+    def test_accepts_plain_arrays(self, small_dataset):
+        genotypes = small_dataset.genotypes_at((0, 1, 2))
+        from_array = run_ehdiall(genotypes)
+        from_dataset = run_ehdiall(small_dataset, (0, 1, 2))
+        np.testing.assert_allclose(from_array.haplotype_frequencies,
+                                   from_dataset.haplotype_frequencies)
+
+    def test_allele_frequencies_estimated_from_complete_rows(self):
+        genotypes = np.array([[0, 1], [2, -1], [1, 1]], dtype=np.int8)
+        dataset = GenotypeDataset(genotypes, [1, 1, 0])
+        result = run_ehdiall(dataset, (0, 1))
+        # only rows 0 and 2 are complete -> allele-2 freq = (0+1)/4, (1+1)/4
+        np.testing.assert_allclose(result.allele_frequencies, [0.25, 0.5])

@@ -1,0 +1,141 @@
+"""Tests of the haplotype-frequency EM (the EH-DIALL computational core)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.genetics.alleles import n_haplotype_states
+from repro.stats.em import (
+    estimate_haplotype_frequencies,
+    expand_phases,
+    _genotype_pairs,
+    _log_likelihood,
+)
+
+
+def _genotypes_from_haplotypes(h1: np.ndarray, h2: np.ndarray) -> np.ndarray:
+    return (h1 + h2).astype(np.int8)
+
+
+def _haplotype_counts(h: np.ndarray) -> np.ndarray:
+    """Exact haplotype state counts of a phased 0/1 haplotype matrix."""
+    n_loci = h.shape[1]
+    states = (h * (1 << np.arange(n_loci))).sum(axis=1)
+    counts = np.bincount(states, minlength=n_haplotype_states(n_loci))
+    return counts / counts.sum()
+
+
+class TestPhaseExpansion:
+    def test_homozygote_has_single_pair(self):
+        pairs = _genotype_pairs(np.array([0, 2, 0]))
+        assert pairs == [(2, 2)]  # allele 2 only at locus 1 -> state 0b010
+
+    def test_single_heterozygote_has_single_pair(self):
+        pairs = _genotype_pairs(np.array([1, 0]))
+        assert pairs == [(1, 0)]
+
+    def test_double_heterozygote_has_two_pairs(self):
+        pairs = _genotype_pairs(np.array([1, 1]))
+        assert len(pairs) == 2
+        assert {frozenset(p) for p in pairs} == {frozenset({3, 0}), frozenset({1, 2})}
+
+    def test_number_of_pairs_is_exponential_in_heterozygosity(self):
+        genotype = np.array([1, 1, 1, 1])
+        assert len(_genotype_pairs(genotype)) == 2 ** 3
+
+    def test_expansion_excludes_missing(self):
+        genotypes = np.array([[1, 1], [0, -1], [2, 2]], dtype=np.int8)
+        expansion = expand_phases(genotypes)
+        assert expansion.n_individuals == 2  # the row with missing data is dropped
+
+    def test_expansion_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            expand_phases(np.array([0, 1, 2]))
+        with pytest.raises(ValueError):
+            expand_phases(np.zeros((3, 0), dtype=np.int8))
+
+    def test_empty_expansion(self):
+        expansion = expand_phases(np.full((3, 2), -1, dtype=np.int8))
+        assert expansion.n_individuals == 0
+        result = estimate_haplotype_frequencies(np.full((3, 2), -1, dtype=np.int8))
+        assert result.n_individuals == 0
+        assert result.converged
+
+
+class TestEMCorrectness:
+    def test_unambiguous_data_recovers_exact_counts(self, rng):
+        # single-locus heterozygotes only: phase is never ambiguous
+        h1 = (rng.random((100, 1)) < 0.3).astype(np.int8)
+        h2 = (rng.random((100, 1)) < 0.3).astype(np.int8)
+        genotypes = _genotypes_from_haplotypes(h1, h2)
+        result = estimate_haplotype_frequencies(genotypes)
+        truth = _haplotype_counts(np.vstack([h1, h2]))
+        np.testing.assert_allclose(result.frequencies, truth, atol=1e-9)
+
+    def test_frequencies_on_simplex(self, rng):
+        h1 = (rng.random((80, 4)) < 0.4).astype(np.int8)
+        h2 = (rng.random((80, 4)) < 0.4).astype(np.int8)
+        result = estimate_haplotype_frequencies(_genotypes_from_haplotypes(h1, h2))
+        assert result.frequencies.shape == (16,)
+        assert np.all(result.frequencies >= -1e-12)
+        assert result.frequencies.sum() == pytest.approx(1.0)
+        assert result.expected_counts().sum() == pytest.approx(2 * 80)
+
+    def test_em_recovers_strong_ld_structure(self, rng):
+        # population made of only two complementary haplotypes: 000 and 111
+        n = 150
+        which = rng.random(n) < 0.6
+        h1 = np.where(which[:, None], 1, 0) * np.ones((1, 3), dtype=int)
+        which2 = rng.random(n) < 0.6
+        h2 = np.where(which2[:, None], 1, 0) * np.ones((1, 3), dtype=int)
+        genotypes = _genotypes_from_haplotypes(h1.astype(np.int8), h2.astype(np.int8))
+        result = estimate_haplotype_frequencies(genotypes)
+        # essentially all the mass must sit on states 0 (000) and 7 (111)
+        assert result.frequencies[0] + result.frequencies[7] > 0.97
+
+    def test_loglikelihood_monotone_in_iterations(self, rng):
+        h1 = (rng.random((60, 3)) < 0.5).astype(np.int8)
+        h2 = (rng.random((60, 3)) < 0.5).astype(np.int8)
+        genotypes = _genotypes_from_haplotypes(h1, h2)
+        expansion = expand_phases(genotypes)
+        lls = []
+        for max_iter in (1, 2, 5, 20, 100):
+            result = estimate_haplotype_frequencies(genotypes, max_iter=max_iter)
+            lls.append(result.log_likelihood)
+        assert all(b >= a - 1e-9 for a, b in zip(lls, lls[1:]))
+        # and the final likelihood beats the uniform starting point
+        uniform = np.full(8, 1 / 8)
+        assert lls[-1] >= _log_likelihood(expansion, uniform) - 1e-9
+
+    def test_convergence_flag(self, rng):
+        h1 = (rng.random((50, 3)) < 0.4).astype(np.int8)
+        h2 = (rng.random((50, 3)) < 0.4).astype(np.int8)
+        genotypes = _genotypes_from_haplotypes(h1, h2)
+        converged = estimate_haplotype_frequencies(genotypes, max_iter=500)
+        assert converged.converged
+        assert converged.n_iterations <= 500
+
+    def test_initial_frequencies_validation(self, rng):
+        genotypes = _genotypes_from_haplotypes(
+            (rng.random((10, 2)) < 0.5).astype(np.int8),
+            (rng.random((10, 2)) < 0.5).astype(np.int8),
+        )
+        with pytest.raises(ValueError):
+            estimate_haplotype_frequencies(genotypes, initial_frequencies=np.ones(3))
+        with pytest.raises(ValueError):
+            estimate_haplotype_frequencies(genotypes, initial_frequencies=np.zeros(4))
+        with pytest.raises(ValueError):
+            estimate_haplotype_frequencies(genotypes,
+                                           initial_frequencies=np.array([0.5, -0.5, 0.5, 0.5]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=2, max_value=4))
+    def test_simplex_property(self, seed, n_loci):
+        rng = np.random.default_rng(seed)
+        p = rng.uniform(0.2, 0.8, size=n_loci)
+        h1 = (rng.random((40, n_loci)) < p).astype(np.int8)
+        h2 = (rng.random((40, n_loci)) < p).astype(np.int8)
+        result = estimate_haplotype_frequencies(_genotypes_from_haplotypes(h1, h2))
+        assert np.all(result.frequencies >= -1e-12)
+        assert result.frequencies.sum() == pytest.approx(1.0, abs=1e-9)

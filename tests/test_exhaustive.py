@@ -1,0 +1,120 @@
+"""Tests of exhaustive enumeration and of the random / local-search baselines."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.genetics.constraints import HaplotypeConstraints
+from repro.search.exhaustive import enumerate_best, enumerate_haplotypes, evaluate_all
+from repro.search.local_search import hill_climb, restarted_hill_climbing
+from repro.search.random_search import random_search
+
+
+def _toy_fitness(snps):
+    """Deterministic toy fitness: rewards low SNP indices, best is always known."""
+    return float(100.0 - sum(snps) + 5.0 * len(snps))
+
+
+class TestEnumerate:
+    def test_counts_match_binomial(self):
+        combos = list(enumerate_haplotypes(8, 3))
+        assert len(combos) == math.comb(8, 3)
+        assert all(len(set(c)) == 3 for c in combos)
+        assert all(c == tuple(sorted(c)) for c in combos)
+
+    def test_subset_restriction(self):
+        combos = list(enumerate_haplotypes(20, 2, snp_subset=[1, 5, 9]))
+        assert combos == [(1, 5), (1, 9), (5, 9)]
+
+    def test_constraints_filter(self):
+        constraints = HaplotypeConstraints.unconstrained(5)
+        all_pairs = list(enumerate_haplotypes(5, 2, constraints=constraints))
+        assert len(all_pairs) == 10
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            list(enumerate_haplotypes(5, 0))
+
+    def test_evaluate_all_scores_everything(self):
+        scored = evaluate_all(_toy_fitness, 6, 2)
+        assert len(scored) == 15
+        assert all(s.fitness == pytest.approx(_toy_fitness(s.snps)) for s in scored)
+
+    def test_enumerate_best_finds_true_optimum(self):
+        top = enumerate_best(_toy_fitness, 10, 3, top_k=1)[0]
+        assert top.snps == (0, 1, 2)  # lowest indices maximise the toy fitness
+        top2 = enumerate_best(_toy_fitness, 10, 3, top_k=3)
+        assert [s.snps for s in top2] == [(0, 1, 2), (0, 1, 3), (0, 1, 4)]
+        assert top2[0].fitness >= top2[1].fitness >= top2[2].fitness
+
+    def test_enumerate_best_validation(self):
+        with pytest.raises(ValueError):
+            enumerate_best(_toy_fitness, 10, 2, top_k=0)
+
+    def test_exhaustive_on_real_evaluator_finds_planted_pair(self, small_evaluator):
+        from conftest import SMALL_CAUSAL
+
+        best = enumerate_best(small_evaluator, 14, 2, top_k=3)
+        top_snps = set()
+        for scored in best:
+            top_snps.update(scored.snps)
+        assert top_snps & set(SMALL_CAUSAL)
+
+
+class TestRandomSearch:
+    def test_budget_and_sizes_respected(self):
+        result = random_search(
+            _toy_fitness, n_snps=12, n_evaluations=60, min_size=2, max_size=4, seed=3
+        )
+        assert result.n_evaluations == 60
+        assert set(result.best_per_size) <= {2, 3, 4}
+        for size, (snps, fitness) in result.best_per_size.items():
+            assert len(snps) == size
+            assert fitness == pytest.approx(_toy_fitness(snps))
+            assert 1 <= result.evaluations_to_best[size] <= 60
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_search(_toy_fitness, n_snps=10, n_evaluations=0)
+        with pytest.raises(ValueError):
+            random_search(_toy_fitness, n_snps=10, n_evaluations=5, min_size=4, max_size=3)
+
+    def test_more_budget_is_never_worse(self):
+        small = random_search(_toy_fitness, n_snps=15, n_evaluations=30, seed=1,
+                              min_size=3, max_size=3)
+        large = random_search(_toy_fitness, n_snps=15, n_evaluations=300, seed=1,
+                              min_size=3, max_size=3)
+        assert large.best_fitness(3) >= small.best_fitness(3)
+
+
+class TestHillClimbing:
+    def test_hill_climb_improves_from_start(self, rng):
+        constraints = HaplotypeConstraints.unconstrained(12)
+        start = (9, 10, 11)  # worst possible start for the toy fitness
+        best, fitness, used = hill_climb(
+            _toy_fitness, start, constraints=constraints, rng=rng, max_evaluations=500
+        )
+        assert fitness >= _toy_fitness(start)
+        assert best == (0, 1, 2)  # the toy optimum is reachable by single swaps
+        assert used <= 500
+
+    def test_budget_respected(self, rng):
+        constraints = HaplotypeConstraints.unconstrained(12)
+        _best, _fitness, used = hill_climb(
+            _toy_fitness, (9, 10, 11), constraints=constraints, rng=rng, max_evaluations=10
+        )
+        assert used <= 10
+
+    def test_restarted_hill_climbing(self):
+        result = restarted_hill_climbing(
+            _toy_fitness, n_snps=12, size=3, n_evaluations=200, seed=2
+        )
+        assert result.best_fitness >= _toy_fitness((9, 10, 11))
+        assert result.n_evaluations <= 200 + 40  # the last climb may slightly overshoot
+        assert result.n_restarts >= 1
+        assert len(result.best_snps) == 3
+
+    def test_restarted_validation(self):
+        with pytest.raises(ValueError):
+            restarted_hill_climbing(_toy_fitness, n_snps=12, size=3, n_evaluations=0)

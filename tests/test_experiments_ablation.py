@@ -1,0 +1,70 @@
+"""Tests of the Section-5.2 scheme-comparison (ablation) harness."""
+
+import math
+
+import pytest
+
+from repro.experiments.ablation import AblationScheme, default_schemes, run_ablation
+from repro.experiments.table2 import quick_config
+
+
+class TestSchemes:
+    def test_default_ladder_is_cumulative(self):
+        schemes = default_schemes()
+        assert len(schemes) == 4
+        # the last scheme is the full algorithm
+        full = schemes[-1]
+        assert full.adaptive and full.size_mutations
+        assert full.inter_population_crossover and full.random_immigrants
+        # the first scheme disables every advanced mechanism
+        first = schemes[0]
+        assert not (first.adaptive or first.size_mutations
+                    or first.inter_population_crossover or first.random_immigrants)
+
+    def test_apply_toggles_config(self):
+        scheme = AblationScheme(
+            name="x", adaptive=False, size_mutations=True,
+            inter_population_crossover=False, random_immigrants=True,
+        )
+        config = scheme.apply(quick_config())
+        assert not config.use_adaptive_mutation
+        assert config.use_size_mutations
+        assert not config.use_inter_population_crossover
+        assert config.use_random_immigrants
+
+
+class TestRunAblation:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        small_study = request.getfixturevalue("small_study")
+        config = quick_config(
+            population_size=20, max_haplotype_size=3,
+            termination_stagnation=3, max_generations=6,
+        )
+        schemes = (default_schemes()[0], default_schemes()[-1])
+        return run_ablation(
+            study=small_study, config=config, schemes=schemes, n_runs=2, seed=3
+        )
+
+    def test_one_outcome_per_scheme(self, result):
+        assert len(result.outcomes) == 2
+        assert result.n_runs == 2
+        for outcome in result.outcomes:
+            assert set(outcome.mean_best_fitness_per_size) == {2, 3}
+            assert outcome.mean_evaluations > 0
+            assert outcome.mean_over_sizes() > 0
+            assert outcome.largest_size_fitness() == outcome.mean_best_fitness_per_size[3]
+            for size, mean_value in outcome.mean_best_fitness_per_size.items():
+                assert outcome.max_best_fitness_per_size[size] >= mean_value - 1e-9
+
+    def test_outcome_lookup_and_format(self, result):
+        name = result.outcomes[0].scheme.name
+        assert result.outcome(name).scheme.name == name
+        with pytest.raises(KeyError):
+            result.outcome("nonexistent")
+        text = result.format()
+        assert "Section 5.2" in text
+
+    def test_validation(self, small_study):
+        with pytest.raises(ValueError):
+            run_ablation(study=small_study, n_runs=0)

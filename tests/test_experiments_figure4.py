@@ -1,0 +1,44 @@
+"""Tests of the Figure-4 harness (evaluation time vs haplotype size)."""
+
+import pytest
+
+from repro.experiments.figure4 import PAPER_FIGURE4_REFERENCE, run_figure4
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        small_study = request.getfixturevalue("small_study")
+        return run_figure4(study=small_study, sizes=(2, 3, 4, 5), n_samples=4, seed=1)
+
+    def test_one_point_per_size(self, result):
+        assert [p.size for p in result.points] == [2, 3, 4, 5]
+        assert all(p.n_samples == 4 for p in result.points)
+        assert all(p.mean_seconds > 0 for p in result.points)
+        assert all(p.std_seconds >= 0 for p in result.points)
+
+    def test_cost_grows_with_size(self, result):
+        """The reproduced quantity: evaluation cost increases with haplotype size."""
+        means = [p.mean_seconds for p in result.points]
+        assert means[-1] > means[0]
+        assert result.growth_factor > 1.0
+
+    def test_accessor_and_format(self, result):
+        assert result.mean_seconds(3) == result.points[1].mean_seconds
+        with pytest.raises(KeyError):
+            result.mean_seconds(9)
+        text = result.format()
+        assert "Figure 4" in text
+        assert "growth factor" in text
+
+    def test_validation(self, small_study):
+        with pytest.raises(ValueError):
+            run_figure4(study=small_study, sizes=(2, 3), n_samples=1)
+        with pytest.raises(ValueError):
+            run_figure4(study=small_study, sizes=(99,), n_samples=3)
+
+    def test_paper_reference_shape(self):
+        """The paper's own numbers imply an exponential growth factor above 2."""
+        ratio = PAPER_FIGURE4_REFERENCE[7] / PAPER_FIGURE4_REFERENCE[3]
+        per_snp = ratio ** (1 / 4)
+        assert per_snp > 2.0

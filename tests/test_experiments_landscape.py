@@ -1,0 +1,58 @@
+"""Tests of the Section-3 landscape-study harness."""
+
+import math
+
+import pytest
+
+from repro.experiments.landscape_study import run_landscape_study
+
+
+class TestLandscapeStudy:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        small_study = request.getfixturevalue("small_study")
+        # a 8-SNP panel keeps the exhaustive sweeps tiny (C(8,2)+C(8,3)+C(8,4) = 154)
+        panel = tuple(sorted(set(small_study.causal_snps) | {0, 1, 3, 7, 11}))
+        return run_landscape_study(
+            study=small_study, panel=panel, sizes=(2, 3), top_k=5, seed=1
+        )
+
+    def test_panel_and_summaries(self, result):
+        assert len(result.panel) == 8
+        assert set(result.scale_by_size) == {2, 3}
+        assert result.scale_by_size[2].n_haplotypes == math.comb(8, 2)
+        assert result.scale_by_size[3].n_haplotypes == math.comb(8, 3)
+
+    def test_fitness_scale_grows_with_size(self, result):
+        """Finding 2 of the paper's Section 3."""
+        assert (
+            result.scale_by_size[3].mean_fitness > result.scale_by_size[2].mean_fitness
+        )
+        assert result.scale_by_size[3].max_fitness > result.scale_by_size[2].max_fitness
+
+    def test_building_block_reports(self, result):
+        assert set(result.building_blocks) == {2, 3}
+        for report in result.building_blocks.values():
+            assert 0.0 <= report.containment_fraction <= 1.0
+
+    def test_greedy_never_beats_exhaustive(self, result):
+        for size in result.greedy_results:
+            assert result.greedy_gap(size) >= -1e-9
+
+    def test_exhaustive_best_contains_planted_signal(self, result, small_study):
+        best3 = result.exhaustive_best[3]
+        assert set(best3.snps) & set(small_study.causal_snps)
+
+    def test_evaluation_count_reported(self, result):
+        # distinct evaluations <= total enumerated haplotypes (cache removes repeats)
+        assert 0 < result.n_evaluations <= math.comb(8, 2) + math.comb(8, 3) + 8
+
+    def test_format(self, result):
+        text = result.format()
+        assert "Fitness scale" in text
+        assert "Building-block" in text
+        assert "Greedy" in text
+
+    def test_validation(self, small_study):
+        with pytest.raises(ValueError):
+            run_landscape_study(study=small_study, panel=(0, 1, 2), sizes=(0,))

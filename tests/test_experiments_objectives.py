@@ -1,0 +1,80 @@
+"""Tests of the objective-function comparison harness (paper conclusion)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.objectives import DEFAULT_OBJECTIVES, run_objective_comparison
+from repro.stats.evaluation import HaplotypeEvaluator
+
+from conftest import SMALL_CAUSAL
+
+
+class TestLrtObjective:
+    def test_lrt_statistic_available_on_evaluator(self, small_dataset):
+        evaluator = HaplotypeEvaluator(small_dataset, statistic="lrt")
+        causal = evaluator.evaluate(SMALL_CAUSAL)
+        random_hap = evaluator.evaluate((0, 6, 12))
+        assert causal >= 0.0 and random_hap >= 0.0
+        assert causal > random_hap
+
+    def test_lrt_method_matches_lrt_fitness(self, small_dataset):
+        t1_eval = HaplotypeEvaluator(small_dataset, statistic="t1")
+        lrt_eval = HaplotypeEvaluator(small_dataset, statistic="lrt")
+        assert t1_eval.case_control_lrt(SMALL_CAUSAL) == pytest.approx(
+            lrt_eval.evaluate(SMALL_CAUSAL)
+        )
+
+    def test_lrt_is_non_negative(self, small_evaluator):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            snps = tuple(sorted(rng.choice(14, size=3, replace=False).tolist()))
+            assert small_evaluator.case_control_lrt(snps) >= 0.0
+
+
+class TestObjectiveComparison:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        small_study = request.getfixturevalue("small_study")
+        return run_objective_comparison(
+            study=small_study, objectives=("t1", "t2", "lrt"),
+            sizes=(2, 3), n_per_size=8, top_k=5, seed=1,
+        )
+
+    def test_structure(self, result):
+        assert result.objectives == ("t1", "t2", "lrt")
+        assert len(result.haplotypes) >= 16
+        for name in result.objectives:
+            assert result.scores[name].shape == (len(result.haplotypes),)
+            assert np.all(result.scores[name] >= 0.0)
+        assert len(result.rank_correlations) == 3  # 3 pairs
+
+    def test_correlations_bounded_and_symmetric_lookup(self, result):
+        for rho in result.rank_correlations.values():
+            assert -1.0 <= rho <= 1.0
+        assert result.correlation("t1", "t2") == result.correlation("t2", "t1")
+
+    def test_related_objectives_correlate_positively(self, result):
+        # T1 and T2 measure the same departure (T2 just pools rare columns) and
+        # must rank a common candidate set broadly the same way
+        assert result.correlation("t1", "t2") > 0.5
+
+    def test_top_haplotypes_and_hit_rate(self, result):
+        for name in result.objectives:
+            assert len(result.top_haplotypes[name]) == 5
+            assert 0.0 <= result.causal_hit_rate[name] <= 1.0
+        # the planted signal should surface under at least one objective
+        assert max(result.causal_hit_rate.values()) > 0.0
+
+    def test_format(self, result):
+        text = result.format()
+        assert "Rank agreement" in text
+        assert "Causal-SNP hit rate" in text
+
+    def test_validation(self, small_study):
+        with pytest.raises(ValueError):
+            run_objective_comparison(study=small_study, objectives=())
+        with pytest.raises(ValueError):
+            run_objective_comparison(study=small_study, n_per_size=1)
+
+    def test_default_objectives_constant(self):
+        assert "t1" in DEFAULT_OBJECTIVES and "lrt" in DEFAULT_OBJECTIVES

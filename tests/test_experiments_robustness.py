@@ -1,0 +1,59 @@
+"""Tests of the cross-run robustness harness (Section 5.2 claim)."""
+
+import pytest
+
+from repro.experiments.robustness import jaccard_similarity, run_robustness
+from repro.experiments.table2 import quick_config
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard_similarity((1, 2, 3), (3, 2, 1)) == pytest.approx(1.0)
+
+    def test_disjoint_sets(self):
+        assert jaccard_similarity((1, 2), (3, 4)) == pytest.approx(0.0)
+
+    def test_partial_overlap(self):
+        assert jaccard_similarity((1, 2, 3), (2, 3, 4)) == pytest.approx(2 / 4)
+
+    def test_empty_sets(self):
+        assert jaccard_similarity((), ()) == pytest.approx(1.0)
+
+
+class TestRunRobustness:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        small_study = request.getfixturevalue("small_study")
+        config = quick_config(
+            population_size=20, max_haplotype_size=3,
+            termination_stagnation=4, max_generations=8,
+        )
+        return run_robustness(study=small_study, config=config, n_runs=3, seed=2)
+
+    def test_structure(self, result):
+        assert result.n_runs == 3
+        assert len(result.run_results) == 3
+        assert set(result.similarity_per_size) == {2, 3}
+        for size, runs in result.best_per_size_per_run.items():
+            assert len(runs) == 3
+            assert all(len(h) == size for h in runs)
+
+    def test_metrics_bounded(self, result):
+        for similarity in result.similarity_per_size.values():
+            assert 0.0 <= similarity <= 1.0
+        for cv in result.fitness_cv_per_size.values():
+            assert cv >= 0.0
+        assert 0.0 <= result.mean_similarity() <= 1.0
+
+    def test_runs_use_different_seeds(self, result):
+        seeds = {run.config.seed for run in result.run_results}
+        assert len(seeds) == 3
+
+    def test_format(self, result):
+        text = result.format()
+        assert "Robustness" in text
+        assert "Jaccard" in text
+
+    def test_validation(self, small_study):
+        with pytest.raises(ValueError):
+            run_robustness(study=small_study, n_runs=1)

@@ -1,0 +1,74 @@
+"""Tests of the parallel speedup harness."""
+
+import pytest
+
+from repro.experiments.speedup import (
+    generation_batch,
+    run_measured_speedup,
+    run_simulated_speedup,
+)
+from repro.parallel.pvm import EvaluationCostModel
+
+
+class TestGenerationBatch:
+    def test_batch_shape(self):
+        batch = generation_batch(n_offspring=30, sizes=(2, 3, 4), seed=1, n_snps=20)
+        assert len(batch) == 30
+        for snps in batch:
+            assert 2 <= len(snps) <= 4
+            assert len(set(snps)) == len(snps)
+            assert all(0 <= s < 20 for s in snps)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generation_batch(n_offspring=0)
+        with pytest.raises(ValueError):
+            generation_batch(sizes=(2, 3), size_weights=(1.0,))
+
+
+class TestSimulatedSpeedup:
+    def test_speedup_increases_then_saturates(self):
+        result = run_simulated_speedup(worker_counts=(1, 2, 4, 8, 64))
+        # one slave pays the messaging overhead the serial baseline avoids,
+        # so its "speedup" sits just below 1
+        assert result.speedups[1] == pytest.approx(1.0, abs=0.05)
+        assert result.speedups[4] > result.speedups[2] > result.speedups[1] - 1e-9
+        # with a 68-task batch, 64 slaves cannot give 64x
+        assert result.speedups[64] < 64
+        assert all(0 < e <= 1.0 + 1e-9 for e in result.efficiencies.values())
+
+    def test_custom_cost_model_and_batch(self):
+        model = EvaluationCostModel(base_seconds=0.01, growth_factor=2.0)
+        batch = [(0, 1)] * 16
+        result = run_simulated_speedup(
+            worker_counts=(1, 4), batch=batch, cost_model=model,
+            message_latency_seconds=0.0,
+        )
+        assert result.batch_size == 16
+        assert result.speedups[4] == pytest.approx(4.0, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_simulated_speedup(worker_counts=())
+
+    def test_format(self):
+        text = run_simulated_speedup(worker_counts=(1, 2)).format()
+        assert "speedup" in text
+
+
+class TestMeasuredSpeedup:
+    def test_measured_speedup_runs(self, small_study):
+        batch = generation_batch(n_offspring=6, sizes=(2, 3), seed=2, n_snps=14)
+        result = run_measured_speedup(
+            study=small_study, worker_counts=(1, 2), batch=batch, n_repeats=1
+        )
+        speedups = result.report.speedups()
+        assert set(speedups) == {1, 2}
+        assert speedups[1] == pytest.approx(1.0)
+        assert speedups[2] > 0.0
+        assert result.batch_size == 6
+        assert "workers" in result.format()
+
+    def test_validation(self, small_study):
+        with pytest.raises(ValueError):
+            run_measured_speedup(study=small_study, n_repeats=0)

@@ -1,0 +1,31 @@
+"""Tests of the Table-1 harness (exact reproduction of the paper's table)."""
+
+import math
+
+from repro.experiments.table1 import PAPER_TABLE1_VALUES, run_table1
+
+
+class TestTable1:
+    def test_reproduces_paper_table_exactly(self):
+        """Every cell of the regenerated table matches the published value."""
+        result = run_table1()
+        for size, row in PAPER_TABLE1_VALUES.items():
+            for n_snps, expected in row.items():
+                assert result.values[size][n_snps] == expected
+
+    def test_paper_values_are_binomial_coefficients(self):
+        for size, row in PAPER_TABLE1_VALUES.items():
+            for n_snps, expected in row.items():
+                assert expected == math.comb(n_snps, size)
+
+    def test_custom_panels(self):
+        result = run_table1(snp_counts=(10, 20), sizes=(2, 3))
+        assert result.values[2][10] == 45
+        assert result.values[3][20] == 1140
+        assert result.row(2) == {10: 45, 20: 190}
+
+    def test_format_contains_all_cells(self):
+        text = run_table1().format()
+        assert "Table 1" in text
+        assert "18,009,460" in text
+        assert "1275" in text or "1,275" in text

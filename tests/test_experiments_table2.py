@@ -1,0 +1,88 @@
+"""Tests of the Table-2 harness (GA results over repeated runs)."""
+
+import pytest
+
+from repro.experiments.table2 import (
+    PAPER_TABLE2_REFERENCE,
+    paper_scale_config,
+    quick_config,
+    run_table2,
+)
+
+
+class TestConfigs:
+    def test_paper_scale_config_matches_section_521(self):
+        config = paper_scale_config()
+        assert config.population_size == 150
+        assert config.crossover_rate == pytest.approx(0.9)
+        assert config.termination_stagnation == 100
+        assert config.max_haplotype_size == 6
+        assert config.random_immigrant_stagnation == 20
+
+    def test_overrides(self):
+        config = quick_config(population_size=30)
+        assert config.population_size == 30
+
+    def test_paper_reference_is_monotone_in_size(self):
+        fitnesses = [PAPER_TABLE2_REFERENCE[s]["fitness"] for s in (3, 4, 5, 6)]
+        assert fitnesses == sorted(fitnesses)
+
+
+class TestRunTable2:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        small_study = request.getfixturevalue("small_study")
+        config = quick_config(
+            population_size=24, max_haplotype_size=4,
+            termination_stagnation=4, max_generations=8,
+        )
+        return run_table2(
+            study=small_study, config=config, n_runs=2,
+            exhaustive_reference_sizes=(2,), seed=1,
+        )
+
+    def test_one_row_per_size(self, result):
+        assert [row.size for row in result.rows] == [2, 3, 4]
+        assert result.n_runs == 2
+        assert len(result.run_results) == 2
+
+    def test_row_contents(self, result):
+        for row in result.rows:
+            assert len(row.best_snps) == row.size
+            assert row.best_fitness >= row.mean_fitness - 1e-9
+            assert row.min_evaluations <= row.mean_evaluations
+            assert row.reference_fitness >= row.best_fitness - 1e-9
+            assert 0 <= row.n_runs_matching_reference <= result.n_runs
+
+    def test_reference_sources(self, result):
+        assert result.row(2).reference_source == "exhaustive"
+        assert result.row(3).reference_source == "best_of_runs"
+        # the best-of-runs reference coincides with the best run, so deviation >= 0
+        assert result.row(3).deviation >= -1e-9
+        # exhaustive reference can only be at least as good as any GA run
+        assert result.row(2).deviation >= -1e-9
+
+    def test_fitness_grows_with_size(self, result):
+        """The Table-2 shape: larger haplotypes reach larger raw fitness."""
+        fitnesses = [row.best_fitness for row in result.rows]
+        assert fitnesses[-1] > fitnesses[0]
+
+    def test_ga_explores_tiny_fraction_of_search_space(self, result):
+        """The paper's headline claim for Table 2 vs Table 1."""
+        import math
+
+        total_space = sum(math.comb(14, k) for k in (2, 3, 4))
+        for run in result.run_results:
+            assert run.n_evaluations < total_space
+
+    def test_row_lookup_and_format(self, result):
+        assert result.row(2).size == 2
+        with pytest.raises(KeyError):
+            result.row(9)
+        text = result.format()
+        assert "Table 2" in text
+        assert "Dev" in text
+
+    def test_validation(self, small_study):
+        with pytest.raises(ValueError):
+            run_table2(study=small_study, n_runs=0)

@@ -1,0 +1,72 @@
+"""Tests of allele/genotype frequency estimation."""
+
+import numpy as np
+import pytest
+
+from repro.genetics.dataset import GenotypeDataset
+from repro.genetics.frequencies import (
+    allele_frequencies,
+    genotype_counts,
+    minor_allele_frequencies,
+    snp_frequency_table,
+)
+
+
+@pytest.fixture()
+def known_dataset():
+    # SNP 0: genotypes 0,0,1,1 -> allele-2 frequency 2/8 = 0.25
+    # SNP 1: genotypes 2,2,2,2 -> frequency 1.0
+    # SNP 2: genotypes 0,1,2,-1 -> frequency 3/6 = 0.5 (missing excluded)
+    genotypes = np.array(
+        [[0, 2, 0], [0, 2, 1], [1, 2, 2], [1, 2, -1]], dtype=np.int8
+    )
+    return GenotypeDataset(genotypes, [1, 1, 0, 0])
+
+
+class TestAlleleFrequencies:
+    def test_known_values(self, known_dataset):
+        freqs = allele_frequencies(known_dataset)
+        assert freqs[0] == pytest.approx(0.25)
+        assert freqs[1] == pytest.approx(1.0)
+        assert freqs[2] == pytest.approx(0.5)
+
+    def test_all_missing_is_nan(self):
+        dataset = GenotypeDataset([[-1], [-1]], [1, 0])
+        assert np.isnan(allele_frequencies(dataset)[0])
+
+    def test_minor_allele_frequency_bounded(self, known_dataset):
+        maf = minor_allele_frequencies(known_dataset)
+        assert np.all(maf[~np.isnan(maf)] <= 0.5)
+        assert maf[1] == pytest.approx(0.0)
+
+    def test_matches_simulated_frequencies(self, small_dataset):
+        freqs = allele_frequencies(small_dataset)
+        assert freqs.shape == (small_dataset.n_snps,)
+        assert np.all((freqs >= 0) & (freqs <= 1))
+
+
+class TestGenotypeCounts:
+    def test_counts_sum_to_observed(self, known_dataset):
+        counts = genotype_counts(known_dataset)
+        assert counts.shape == (3, 3)
+        assert counts[0].sum() == 4
+        assert counts[2].sum() == 3  # one missing
+        assert counts[1, 2] == 4  # all homozygous-2 at SNP 1
+
+
+class TestSnpFrequencyTable:
+    def test_table_consistency(self, known_dataset):
+        table = snp_frequency_table(known_dataset)
+        assert table.n_snps == 3
+        np.testing.assert_allclose(table.freq_allele1 + table.freq_allele2, 1.0)
+        assert table.minor_frequency(0) == pytest.approx(0.25)
+        np.testing.assert_allclose(
+            table.minor_frequencies(),
+            np.minimum(table.freq_allele1, table.freq_allele2),
+        )
+
+    def test_length_mismatch_rejected(self):
+        from repro.genetics.frequencies import SnpFrequencyTable
+
+        with pytest.raises(ValueError):
+            SnpFrequencyTable(("a",), np.array([0.5, 0.5]), np.array([0.5, 0.5]))

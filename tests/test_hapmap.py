@@ -1,0 +1,107 @@
+"""Tests of the HapMap-style phased data support."""
+
+import numpy as np
+import pytest
+
+from repro.genetics.alleles import STATUS_AFFECTED, STATUS_UNAFFECTED
+from repro.genetics.hapmap import (
+    HapMapLegend,
+    HapMapPhasedData,
+    attach_simulated_phenotype,
+    phased_to_dataset,
+    read_hapmap_phased,
+    write_hapmap_phased,
+)
+from repro.genetics.simulate import DiseaseModel
+
+
+@pytest.fixture()
+def phased_data(rng):
+    n_snps, n_ind = 10, 40
+    legend = HapMapLegend(
+        snp_ids=tuple(f"rs{i}" for i in range(n_snps)),
+        positions=tuple(1000 * (i + 1) for i in range(n_snps)),
+        allele0=("A",) * n_snps,
+        allele1=("G",) * n_snps,
+    )
+    haplotypes = (rng.random((2 * n_ind, n_snps)) < 0.4).astype(np.int8)
+    return HapMapPhasedData(
+        legend=legend,
+        haplotypes=haplotypes,
+        sample_ids=tuple(f"NA{i:05d}" for i in range(n_ind)),
+    )
+
+
+class TestValidation:
+    def test_legend_length_mismatch(self):
+        with pytest.raises(ValueError):
+            HapMapLegend(("rs1",), (1, 2), ("A",), ("G",))
+
+    def test_odd_chromosome_count_rejected(self, phased_data):
+        with pytest.raises(ValueError):
+            HapMapPhasedData(
+                legend=phased_data.legend,
+                haplotypes=phased_data.haplotypes[:-1],
+                sample_ids=phased_data.sample_ids,
+            )
+
+    def test_non_binary_entries_rejected(self, phased_data):
+        bad = phased_data.haplotypes.copy()
+        bad[0, 0] = 3
+        with pytest.raises(ValueError):
+            HapMapPhasedData(
+                legend=phased_data.legend, haplotypes=bad, sample_ids=phased_data.sample_ids
+            )
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, phased_data, tmp_path):
+        phased_path = tmp_path / "region.phased"
+        legend_path = tmp_path / "region.legend"
+        write_hapmap_phased(phased_data, phased_path, legend_path)
+        loaded = read_hapmap_phased(phased_path, legend_path,
+                                    sample_ids=phased_data.sample_ids)
+        assert np.array_equal(loaded.haplotypes, phased_data.haplotypes)
+        assert loaded.legend.snp_ids == phased_data.legend.snp_ids
+
+    def test_nucleotide_letters_accepted(self, tmp_path):
+        legend_path = tmp_path / "region.legend"
+        legend_path.write_text("rs position a0 a1\nrs1 100 A G\nrs2 200 C T\n")
+        phased_path = tmp_path / "region.phased"
+        phased_path.write_text("A C\nG T\nA T\nG C\n")
+        data = read_hapmap_phased(phased_path, legend_path)
+        assert data.n_individuals == 2
+        assert data.haplotypes.tolist() == [[0, 0], [1, 1], [0, 1], [1, 0]]
+
+    def test_unknown_allele_rejected(self, tmp_path):
+        legend_path = tmp_path / "region.legend"
+        legend_path.write_text("rs position a0 a1\nrs1 100 A G\n")
+        phased_path = tmp_path / "region.phased"
+        phased_path.write_text("T\nA\n")
+        with pytest.raises(ValueError, match="not in legend"):
+            read_hapmap_phased(phased_path, legend_path)
+
+
+class TestConversion:
+    def test_phased_to_dataset_collapses_phase(self, phased_data):
+        dataset = phased_to_dataset(phased_data)
+        assert dataset.n_individuals == phased_data.n_individuals
+        assert dataset.n_snps == phased_data.n_snps
+        expected = phased_data.haplotypes[0::2] + phased_data.haplotypes[1::2]
+        assert np.array_equal(dataset.genotypes, expected)
+        assert np.all(dataset.status == STATUS_UNAFFECTED)
+
+    def test_attach_simulated_phenotype(self, phased_data):
+        disease = DiseaseModel(
+            causal_snps=(1, 3), risk_alleles=(2, 2),
+            baseline_penetrance=0.2, relative_risk=4.0,
+        )
+        dataset = attach_simulated_phenotype(phased_data, disease, seed=1)
+        assert set(np.unique(dataset.status)) <= {STATUS_AFFECTED, STATUS_UNAFFECTED}
+        # phenotype attachment must not alter the genotypes
+        assert np.array_equal(dataset.genotypes, phased_to_dataset(phased_data).genotypes)
+
+    def test_attach_phenotype_rejects_out_of_panel_snp(self, phased_data):
+        disease = DiseaseModel(causal_snps=(99,), risk_alleles=(2,))
+        with pytest.raises(ValueError):
+            attach_simulated_phenotype(phased_data, disease)

@@ -1,0 +1,85 @@
+"""Tests of the run records (history and result objects)."""
+
+import pytest
+
+from repro.core.config import GAConfig
+from repro.core.history import GAResult, GenerationRecord, RunHistory
+from repro.core.individual import HaplotypeIndividual
+
+
+def _record(generation, best, immigrants=False):
+    return GenerationRecord(
+        generation=generation,
+        n_evaluations=generation * 10,
+        best_fitness_per_size={2: best, 3: best * 2},
+        mean_fitness_per_size={2: best / 2, 3: best},
+        mutation_rates={"point_mutation": 0.5},
+        crossover_rates={"intra_population_crossover": 0.9},
+        stagnation=0,
+        n_insertions=3,
+        immigrants_triggered=immigrants,
+    )
+
+
+class TestRunHistory:
+    def test_accumulates_records(self):
+        history = RunHistory()
+        history.append(_record(1, 5.0))
+        history.append(_record(2, 6.0, immigrants=True))
+        assert len(history) == 2
+        assert history[0].generation == 1
+        assert [r.generation for r in history] == [1, 2]
+        assert history.records[1].immigrants_triggered
+
+    def test_trajectories(self):
+        history = RunHistory()
+        for g, best in enumerate((5.0, 6.0, 6.5), start=1):
+            history.append(_record(g, best))
+        assert history.best_fitness_trajectory(2) == [5.0, 6.0, 6.5]
+        assert history.best_fitness_trajectory(3) == [10.0, 12.0, 13.0]
+        assert history.evaluations_trajectory() == [10, 20, 30]
+        assert history.n_immigrant_triggers() == 0
+
+
+class TestGAResult:
+    @pytest.fixture()
+    def result(self):
+        history = RunHistory()
+        history.append(_record(1, 5.0))
+        return GAResult(
+            best_per_size={
+                2: HaplotypeIndividual((1, 2), 8.0),
+                3: HaplotypeIndividual((1, 2, 3), 20.0),
+            },
+            evaluations_to_best={2: 50, 3: 120},
+            n_evaluations=200,
+            n_generations=10,
+            termination_reason="stagnation",
+            history=history,
+            config=GAConfig(population_size=20, max_haplotype_size=3),
+            elapsed_seconds=1.5,
+        )
+
+    def test_accessors(self, result):
+        assert result.best_fitness(3) == pytest.approx(20.0)
+        assert result.best_overall().snps == (1, 2, 3)
+
+    def test_summary_rows(self, result):
+        rows = result.summary_rows()
+        assert [row["size"] for row in rows] == [2, 3]
+        assert rows[0]["haplotype"] == "1 2"
+        assert rows[1]["evaluations_to_best"] == 120
+
+    def test_empty_result_rejected_by_best_overall(self, result):
+        empty = GAResult(
+            best_per_size={},
+            evaluations_to_best={},
+            n_evaluations=0,
+            n_generations=0,
+            termination_reason="max_generations",
+            history=RunHistory(),
+            config=result.config,
+            elapsed_seconds=0.0,
+        )
+        with pytest.raises(ValueError):
+            empty.best_overall()

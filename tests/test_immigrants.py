@@ -1,0 +1,82 @@
+"""Tests of the random-immigrant mechanism (paper Section 4.4)."""
+
+import pytest
+
+from repro.core.config import GAConfig
+from repro.core.immigrants import RandomImmigrantPolicy
+from repro.core.individual import HaplotypeIndividual
+from repro.core.population import MultiPopulation
+from repro.genetics.constraints import HaplotypeConstraints
+
+
+@pytest.fixture()
+def population():
+    config = GAConfig(population_size=20, min_haplotype_size=2, max_haplotype_size=3)
+    population = MultiPopulation(config, n_snps=10)
+    fitnesses2 = [1.0, 2.0, 3.0, 10.0]
+    for i, fitness in enumerate(fitnesses2):
+        population.try_insert(HaplotypeIndividual((0, i + 1), fitness))
+    fitnesses3 = [5.0, 6.0, 20.0]
+    for i, fitness in enumerate(fitnesses3):
+        population.try_insert(HaplotypeIndividual((0, 1, i + 2), fitness))
+    return population
+
+
+class TestTrigger:
+    def test_triggers_on_multiples_of_threshold(self):
+        policy = RandomImmigrantPolicy(stagnation_threshold=5)
+        assert not policy.should_trigger(0)
+        assert not policy.should_trigger(4)
+        assert policy.should_trigger(5)
+        assert not policy.should_trigger(6)
+        assert policy.should_trigger(10)
+
+    def test_disabled_policy_never_triggers(self):
+        policy = RandomImmigrantPolicy(stagnation_threshold=5, enabled=False)
+        assert not policy.should_trigger(5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomImmigrantPolicy(stagnation_threshold=0)
+
+
+class TestPlanAndApply:
+    def test_plan_targets_below_mean_individuals(self, population, rng):
+        policy = RandomImmigrantPolicy(stagnation_threshold=5)
+        constraints = HaplotypeConstraints.unconstrained(10)
+        plan = policy.plan(population, constraints, rng)
+        assert policy.n_triggers == 1
+        # size-2 sub-population: mean 4.0 -> members with fitness 1, 2, 3 replaced
+        assert len(plan.slots[2]) == 3
+        # size-3 sub-population: mean ~10.3 -> members with 5 and 6 replaced
+        assert len(plan.slots[3]) == 2
+        assert plan.n_replacements == 5
+        # candidate haplotypes have the right size and are not duplicates of survivors
+        for size, candidates in plan.candidates.items():
+            for snps in candidates:
+                assert len(snps) == size
+
+    def test_apply_installs_evaluated_immigrants(self, population, rng):
+        policy = RandomImmigrantPolicy(stagnation_threshold=5)
+        constraints = HaplotypeConstraints.unconstrained(10)
+        plan = policy.plan(population, constraints, rng)
+        evaluated = {
+            size: [HaplotypeIndividual(snps, 0.5) for snps in candidates]
+            for size, candidates in plan.candidates.items()
+        }
+        replaced = RandomImmigrantPolicy.apply(population, plan, evaluated)
+        assert replaced == plan.n_replacements
+        # the best individuals survived the replacement
+        assert population.subpopulation(2).best().fitness_value() == pytest.approx(10.0)
+        assert population.subpopulation(3).best().fitness_value() == pytest.approx(20.0)
+        # population sizes unchanged
+        assert len(population.subpopulation(2)) == 4
+        assert len(population.subpopulation(3)) == 3
+
+    def test_plan_skips_tiny_subpopulations(self, rng):
+        config = GAConfig(population_size=20, min_haplotype_size=2, max_haplotype_size=3)
+        population = MultiPopulation(config, n_snps=10)
+        population.try_insert(HaplotypeIndividual((0, 1), 1.0))  # single member
+        policy = RandomImmigrantPolicy(stagnation_threshold=5)
+        plan = policy.plan(population, HaplotypeConstraints.unconstrained(10), rng)
+        assert plan.n_replacements == 0

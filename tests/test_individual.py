@@ -1,0 +1,108 @@
+"""Tests of the haplotype individual encoding (paper Section 4.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.individual import HaplotypeIndividual, random_individual
+from repro.genetics.constraints import HaplotypeConstraints
+
+
+class TestEncoding:
+    def test_snps_are_sorted_ascending(self):
+        individual = HaplotypeIndividual((9, 2, 5))
+        assert individual.snps == (2, 5, 9)
+        assert individual.size == 3
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            HaplotypeIndividual((1, 1, 2))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            HaplotypeIndividual(())
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            HaplotypeIndividual((-1, 2))
+
+    def test_fitness_lifecycle(self):
+        individual = HaplotypeIndividual((0, 3))
+        assert not individual.is_evaluated
+        with pytest.raises(ValueError):
+            individual.fitness_value()
+        evaluated = individual.with_fitness(12.5)
+        assert evaluated.is_evaluated
+        assert evaluated.fitness_value() == pytest.approx(12.5)
+        assert evaluated.snps == individual.snps
+        cleared = evaluated.without_fitness()
+        assert not cleared.is_evaluated
+
+    def test_immutable_and_hashable(self):
+        individual = HaplotypeIndividual((1, 2), 3.0)
+        with pytest.raises(AttributeError):
+            individual.snps = (3, 4)  # type: ignore[misc]
+        assert len({individual, HaplotypeIndividual((1, 2), 3.0)}) == 1
+
+    def test_same_snps_ignores_fitness(self):
+        a = HaplotypeIndividual((1, 2), 3.0)
+        b = HaplotypeIndividual((2, 1), 99.0)
+        assert a.same_snps(b)
+        assert a.contains(1) and not a.contains(5)
+
+    @given(st.sets(st.integers(min_value=0, max_value=100), min_size=1, max_size=8))
+    def test_construction_is_canonical(self, snps):
+        shuffled = list(snps)
+        np.random.default_rng(0).shuffle(shuffled)
+        assert HaplotypeIndividual(tuple(shuffled)).snps == tuple(sorted(snps))
+
+
+class TestRandomIndividual:
+    def test_respects_size_and_bounds(self, rng):
+        constraints = HaplotypeConstraints.unconstrained(20)
+        for size in (1, 3, 6):
+            individual = random_individual(size, constraints, rng)
+            assert individual.size == size
+            assert all(0 <= s < 20 for s in individual.snps)
+            assert individual.snps == tuple(sorted(set(individual.snps)))
+
+    def test_invalid_sizes_rejected(self, rng):
+        constraints = HaplotypeConstraints.unconstrained(5)
+        with pytest.raises(ValueError):
+            random_individual(0, constraints, rng)
+        with pytest.raises(ValueError):
+            random_individual(6, constraints, rng)
+
+    def test_respects_constraints(self, rng):
+        # SNPs 0 and 1 are mutually exclusive (high LD)
+        ld = np.eye(4)
+        ld[0, 1] = ld[1, 0] = 0.99
+        from repro.genetics.frequencies import SnpFrequencyTable
+        from repro.genetics.ld import PairwiseLDTable
+
+        names = tuple(f"snp{i}" for i in range(4))
+        constraints = HaplotypeConstraints(
+            ld_table=PairwiseLDTable(names, ld),
+            frequency_table=SnpFrequencyTable(
+                names, np.full(4, 0.5), np.full(4, 0.5)
+            ),
+            max_pairwise_ld=0.9,
+        )
+        for _ in range(20):
+            individual = random_individual(2, constraints, rng)
+            assert not (0 in individual.snps and 1 in individual.snps)
+
+    def test_infeasible_constraints_raise(self, rng):
+        # every pair is in perfect LD -> no haplotype of size 2 exists
+        ld = np.ones((3, 3))
+        from repro.genetics.frequencies import SnpFrequencyTable
+        from repro.genetics.ld import PairwiseLDTable
+
+        names = ("a", "b", "c")
+        constraints = HaplotypeConstraints(
+            ld_table=PairwiseLDTable(names, ld),
+            frequency_table=SnpFrequencyTable(names, np.full(3, 0.5), np.full(3, 0.5)),
+            max_pairwise_ld=0.5,
+        )
+        with pytest.raises(RuntimeError):
+            random_individual(2, constraints, rng, max_attempts=5)

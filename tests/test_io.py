@@ -1,0 +1,113 @@
+"""Round-trip tests of the dataset I/O formats."""
+
+import numpy as np
+import pytest
+
+from repro.genetics.frequencies import snp_frequency_table
+from repro.genetics.io import (
+    read_frequency_table,
+    read_genotype_csv,
+    read_ld_table,
+    read_ped,
+    read_study_tables,
+    write_frequency_table,
+    write_genotype_csv,
+    write_ld_table,
+    write_ped,
+    write_study_tables,
+)
+from repro.genetics.ld import pairwise_ld_table
+from repro.genetics.simulate import lille_like_study
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return lille_like_study(seed=9, n_affected=12, n_unaffected=12, n_snps=16,
+                            missing_rate=0.05).dataset
+
+
+class TestGenotypeCSV:
+    def test_roundtrip(self, dataset, tmp_path):
+        path = tmp_path / "genotypes.csv"
+        write_genotype_csv(dataset, path)
+        loaded = read_genotype_csv(path)
+        assert loaded == dataset
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("foo,bar\n")
+        with pytest.raises(ValueError):
+            read_genotype_csv(path)
+
+    def test_malformed_row_rejected(self, dataset, tmp_path):
+        path = tmp_path / "genotypes.csv"
+        write_genotype_csv(dataset, path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("extra,affected\n")
+        with pytest.raises(ValueError, match="expected"):
+            read_genotype_csv(path)
+
+    def test_unknown_status_label_rejected(self, tmp_path):
+        path = tmp_path / "bad_status.csv"
+        path.write_text("individual_id,status,snp0\nind0,sick,1\n")
+        with pytest.raises(ValueError, match="unknown status"):
+            read_genotype_csv(path)
+
+
+class TestPed:
+    def test_roundtrip_preserves_genotypes_and_status(self, dataset, tmp_path):
+        path = tmp_path / "study.ped"
+        write_ped(dataset, path)
+        loaded = read_ped(path, snp_names=dataset.snp_names)
+        assert np.array_equal(loaded.genotypes, dataset.genotypes)
+        assert np.array_equal(loaded.status, dataset.status)
+        assert loaded.individual_ids == dataset.individual_ids
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.ped"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_ped(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.ped"
+        path.write_text("FAM1 ind0 0 0 0 2 1\n")  # odd number of allele columns
+        with pytest.raises(ValueError):
+            read_ped(path)
+
+
+class TestFrequencyTable:
+    def test_roundtrip(self, dataset, tmp_path):
+        table = snp_frequency_table(dataset)
+        path = tmp_path / "frequencies.csv"
+        write_frequency_table(table, path)
+        loaded = read_frequency_table(path)
+        assert loaded.snp_names == table.snp_names
+        np.testing.assert_allclose(loaded.freq_allele2, table.freq_allele2, atol=1e-8)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n")
+        with pytest.raises(ValueError):
+            read_frequency_table(path)
+
+
+class TestLdTable:
+    def test_roundtrip(self, dataset, tmp_path):
+        table = pairwise_ld_table(dataset)
+        path = tmp_path / "ld.csv"
+        write_ld_table(table, path)
+        loaded = read_ld_table(path)
+        assert loaded.snp_names == table.snp_names
+        assert loaded.measure == table.measure
+        np.testing.assert_allclose(loaded.values, table.values, atol=1e-8)
+
+
+class TestStudyTables:
+    def test_three_table_roundtrip(self, dataset, tmp_path):
+        paths = write_study_tables(dataset, tmp_path / "study")
+        assert set(paths) == {"genotypes", "frequencies", "ld"}
+        loaded, freq, ld = read_study_tables(tmp_path / "study")
+        assert loaded == dataset
+        assert freq.snp_names == dataset.snp_names
+        assert ld.n_snps == dataset.n_snps

@@ -1,0 +1,59 @@
+"""Tests of the island-model extension."""
+
+import pytest
+
+from repro.core.config import GAConfig
+from repro.parallel.island import IslandModelGA
+
+
+def _config():
+    return GAConfig(
+        population_size=20,
+        min_haplotype_size=2,
+        max_haplotype_size=3,
+        termination_stagnation=4,
+        max_generations=4,
+        seed=3,
+    )
+
+
+class TestIslandModel:
+    def test_validation(self, small_evaluator):
+        with pytest.raises(ValueError):
+            IslandModelGA(small_evaluator, n_snps=14, n_islands=1)
+        with pytest.raises(ValueError):
+            IslandModelGA(small_evaluator, n_snps=14, migration_interval=0)
+        with pytest.raises(ValueError):
+            IslandModelGA(small_evaluator, n_snps=14, n_epochs=0)
+
+    def test_run_aggregates_islands(self, small_evaluator):
+        island_ga = IslandModelGA(
+            small_evaluator,
+            n_snps=14,
+            config=_config(),
+            n_islands=2,
+            migration_interval=2,
+            n_epochs=2,
+        )
+        result = island_ga.run()
+        assert result.n_islands == 2
+        assert result.n_migrations == 2
+        assert set(result.best_per_size) == {2, 3}
+        assert result.n_evaluations > 0
+        assert result.elapsed_seconds > 0.0
+        # the aggregated best is at least as good as every island's own best
+        for island_result in result.island_results:
+            for size, individual in island_result.best_per_size.items():
+                assert (
+                    result.best_per_size[size].fitness_value()
+                    >= individual.fitness_value() - 1e-9
+                )
+
+    def test_islands_use_different_seeds(self, small_evaluator):
+        island_ga = IslandModelGA(
+            small_evaluator, n_snps=14, config=_config(),
+            n_islands=2, migration_interval=2, n_epochs=1,
+        )
+        result = island_ga.run()
+        first, second = result.island_results
+        assert first.config.seed != second.config.seed

@@ -1,0 +1,92 @@
+"""Tests of the landscape analysis utilities (paper Section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.search.landscape import (
+    building_block_analysis,
+    fitness_scale_by_size,
+    greedy_constructive_search,
+)
+
+PANEL = tuple(range(10))
+
+
+def _deceptive_fitness(snps):
+    """A fitness where the best size-3 haplotype shares nothing with good pairs.
+
+    Pairs from {0, 1, 2} score well; the triple (7, 8, 9) scores best of all
+    size-3 haplotypes but its pairs are mediocre.  This is exactly the
+    structure the paper reports (good large haplotypes not composed of good
+    small ones).
+    """
+    snps = tuple(sorted(snps))
+    if snps == (7, 8, 9):
+        return 100.0
+    score = 10.0 * len(snps)
+    score += sum(3.0 for s in snps if s in (0, 1, 2))
+    return score
+
+
+class TestFitnessScale:
+    def test_summaries_per_size(self, small_evaluator):
+        summaries = fitness_scale_by_size(
+            small_evaluator, 14, sizes=(2, 3), snp_subset=range(7)
+        )
+        assert set(summaries) == {2, 3}
+        assert summaries[2].n_haplotypes == 21
+        assert summaries[3].n_haplotypes == 35
+        for summary in summaries.values():
+            assert summary.min_fitness <= summary.mean_fitness <= summary.max_fitness
+            assert summary.std_fitness >= 0.0
+
+    def test_fitness_scale_grows_with_size(self, small_evaluator):
+        """The paper's second landscape finding, on real EH-DIALL/CLUMP scores."""
+        summaries = fitness_scale_by_size(
+            small_evaluator, 14, sizes=(2, 4), snp_subset=range(8)
+        )
+        assert summaries[4].mean_fitness > summaries[2].mean_fitness
+
+
+class TestBuildingBlocks:
+    def test_deceptive_landscape_detected(self):
+        report = building_block_analysis(
+            _deceptive_fitness, 10, size=3, top_k=1, snp_subset=PANEL
+        )
+        # the single best triple (7,8,9) contains no top pair -> containment 0
+        assert report.containment_fraction == 0.0
+        assert report.best_large[0].snps == (7, 8, 9)
+
+    def test_fully_nested_landscape(self):
+        def nested(snps):
+            return float(sum(10 - s for s in snps))
+
+        report = building_block_analysis(nested, 10, size=3, top_k=3, snp_subset=PANEL)
+        assert report.containment_fraction == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            building_block_analysis(_deceptive_fitness, 10, size=1)
+        with pytest.raises(ValueError):
+            building_block_analysis(_deceptive_fitness, 10, size=3, top_k=0)
+
+
+class TestGreedyConstruction:
+    def test_greedy_misses_deceptive_optimum(self):
+        greedy = greedy_constructive_search(
+            _deceptive_fitness, 10, target_size=3, snp_subset=PANEL
+        )
+        # greedy grows from the best pair (inside {0,1,2}) and never reaches (7,8,9)
+        assert greedy.fitness < 100.0
+        assert set(greedy.snps) & {0, 1, 2}
+
+    def test_greedy_finds_monotone_optimum(self):
+        def monotone(snps):
+            return float(sum(20 - s for s in snps))
+
+        greedy = greedy_constructive_search(monotone, 10, target_size=4, snp_subset=PANEL)
+        assert greedy.snps == (0, 1, 2, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            greedy_constructive_search(_deceptive_fitness, 10, target_size=1, seed_size=2)

@@ -1,0 +1,115 @@
+"""Tests of the pairwise LD measures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.genetics.dataset import GenotypeDataset
+from repro.genetics.ld import (
+    ld_matrix,
+    pairwise_ld,
+    pairwise_ld_table,
+    two_locus_haplotype_frequencies,
+)
+
+
+def _dataset_from_haplotypes(h1: np.ndarray, h2: np.ndarray) -> GenotypeDataset:
+    """Build an unphased dataset from two phased haplotype matrices (0/1 coded)."""
+    genotypes = (h1 + h2).astype(np.int8)
+    status = np.zeros(genotypes.shape[0], dtype=np.int8)
+    status[: len(status) // 2] = 1
+    return GenotypeDataset(genotypes, status)
+
+
+class TestTwoLocusEM:
+    def test_perfect_ld(self):
+        # two loci always inherited together -> only haplotypes 00 and 11 exist
+        rng = np.random.default_rng(0)
+        allele = rng.random((200, 1)) < 0.4
+        h = np.hstack([allele, allele]).astype(np.int8)
+        h2 = np.hstack([allele, allele]).astype(np.int8)
+        dataset = _dataset_from_haplotypes(h, h2)
+        stats = pairwise_ld(dataset, 0, 1)
+        assert stats.r_squared == pytest.approx(1.0, abs=1e-6)
+        assert abs(stats.d_prime) == pytest.approx(1.0, abs=1e-6)
+
+    def test_independent_loci_have_low_ld(self):
+        rng = np.random.default_rng(1)
+        h1 = (rng.random((500, 2)) < 0.5).astype(np.int8)
+        h2 = (rng.random((500, 2)) < 0.5).astype(np.int8)
+        dataset = _dataset_from_haplotypes(h1, h2)
+        stats = pairwise_ld(dataset, 0, 1)
+        assert stats.r_squared < 0.05
+
+    def test_frequencies_sum_to_one(self, small_dataset):
+        geno = small_dataset.genotypes
+        freqs, n_chrom = two_locus_haplotype_frequencies(geno[:, 0], geno[:, 1])
+        assert n_chrom == 2 * small_dataset.n_individuals
+        assert freqs.sum() == pytest.approx(1.0)
+        assert np.all(freqs >= 0)
+
+    def test_missing_genotypes_excluded(self):
+        g1 = np.array([0, 1, 2, -1])
+        g2 = np.array([0, 1, 2, 2])
+        freqs, n_chrom = two_locus_haplotype_frequencies(g1, g2)
+        assert n_chrom == 6
+        assert freqs.sum() == pytest.approx(1.0)
+
+    def test_empty_input(self):
+        freqs, n_chrom = two_locus_haplotype_frequencies(np.array([-1]), np.array([0]))
+        assert n_chrom == 0
+        assert np.isnan(freqs).all()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            two_locus_haplotype_frequencies(np.array([0, 1]), np.array([0]))
+
+
+class TestLDBounds:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_measures_within_bounds(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 60
+        p = rng.uniform(0.1, 0.9, size=2)
+        h1 = (rng.random((n, 2)) < p).astype(np.int8)
+        # induce correlation half of the time
+        if seed % 2:
+            h1[:, 1] = np.where(rng.random(n) < 0.7, h1[:, 0], h1[:, 1])
+        h2 = (rng.random((n, 2)) < p).astype(np.int8)
+        if seed % 2:
+            h2[:, 1] = np.where(rng.random(n) < 0.7, h2[:, 0], h2[:, 1])
+        dataset = _dataset_from_haplotypes(h1, h2)
+        stats = pairwise_ld(dataset, 0, 1)
+        assert 0.0 <= stats.r_squared <= 1.0
+        assert -1.0 <= stats.d_prime <= 1.0
+        assert stats.chi_squared >= 0.0
+
+
+class TestLDMatrix:
+    def test_matrix_is_symmetric_with_unit_diagonal(self, small_dataset):
+        matrix = ld_matrix(small_dataset.select_snps(range(6)), measure="r_squared")
+        assert matrix.shape == (6, 6)
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+        assert np.all((matrix >= 0) & (matrix <= 1))
+
+    def test_unknown_measure_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            ld_matrix(small_dataset, measure="bogus")
+
+    def test_table_wrapper(self, small_dataset):
+        subset = small_dataset.select_snps(range(5))
+        table = pairwise_ld_table(subset)
+        assert table.n_snps == 5
+        assert table.value(0, 0) == pytest.approx(1.0)
+        assert table.measure == "r_squared"
+
+    def test_causal_snps_show_elevated_ld(self, small_study):
+        # the risk haplotype is planted jointly on ~30% of chromosomes, so the
+        # causal SNPs should be in visibly stronger LD than random pairs
+        dataset = small_study.dataset
+        causal = small_study.causal_snps
+        causal_ld = pairwise_ld(dataset, causal[0], causal[1]).r_squared
+        unrelated_ld = pairwise_ld(dataset, 0, 13).r_squared
+        assert causal_ld > unrelated_ld

@@ -1,0 +1,112 @@
+"""Tests of the uniform intra- and inter-population crossovers (Section 4.3.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.individual import HaplotypeIndividual
+from repro.core.operators.base import repair_to_size
+from repro.core.operators.crossover import InterPopulationCrossover, IntraPopulationCrossover
+from repro.genetics.constraints import HaplotypeConstraints
+
+N_SNPS = 14
+
+
+@pytest.fixture()
+def constraints():
+    return HaplotypeConstraints.unconstrained(N_SNPS)
+
+
+class TestRepairToSize:
+    def test_fills_from_pool_first(self, constraints, rng):
+        repaired = repair_to_size([0, 1], 4, pool=[0, 1, 2, 3], constraints=constraints, rng=rng)
+        assert repaired is not None
+        assert len(repaired) == 4
+        assert set(repaired) <= {0, 1, 2, 3}
+
+    def test_falls_back_to_panel_when_pool_exhausted(self, constraints, rng):
+        repaired = repair_to_size([0], 3, pool=[0], constraints=constraints, rng=rng)
+        assert repaired is not None
+        assert len(repaired) == 3
+
+    def test_truncates_oversized_input(self, constraints, rng):
+        repaired = repair_to_size([0, 1, 2, 3, 4], 3, pool=[], constraints=constraints, rng=rng)
+        assert repaired is not None
+        assert len(repaired) == 3
+        assert set(repaired) <= {0, 1, 2, 3, 4}
+
+    def test_returns_none_when_infeasible(self, rng):
+        constraints = HaplotypeConstraints.unconstrained(2)
+        assert repair_to_size([0, 1], 3, pool=[], constraints=constraints, rng=rng) is None
+
+
+class TestIntraPopulationCrossover:
+    def test_children_have_parent_size_and_parent_material(self, constraints, rng):
+        operator = IntraPopulationCrossover()
+        parent_a = HaplotypeIndividual((0, 2, 4), 1.0)
+        parent_b = HaplotypeIndividual((1, 3, 5), 2.0)
+        children = operator.recombine(parent_a, parent_b, constraints, rng)
+        assert 1 <= len(children) <= 2
+        pool = set(parent_a.snps) | set(parent_b.snps)
+        for child in children:
+            assert len(child) == 3
+            assert child == tuple(sorted(set(child)))
+            assert set(child) <= pool
+            assert child not in (parent_a.snps, parent_b.snps)
+
+    def test_not_applicable_to_identical_or_mixed_size_parents(self, constraints, rng):
+        operator = IntraPopulationCrossover()
+        same = HaplotypeIndividual((0, 1), 1.0)
+        assert not operator.is_applicable(same, HaplotypeIndividual((0, 1), 2.0))
+        assert not operator.is_applicable(same, HaplotypeIndividual((0, 1, 2), 2.0))
+        assert operator.recombine(same, HaplotypeIndividual((1, 0), 2.0),
+                                  constraints, rng) == []
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=2, max_value=6))
+    def test_children_always_valid_sets(self, seed, size):
+        rng = np.random.default_rng(seed)
+        constraints = HaplotypeConstraints.unconstrained(N_SNPS)
+        snps_a = tuple(sorted(rng.choice(N_SNPS, size=size, replace=False).tolist()))
+        snps_b = tuple(sorted(rng.choice(N_SNPS, size=size, replace=False).tolist()))
+        if snps_a == snps_b:
+            return
+        children = IntraPopulationCrossover().recombine(
+            HaplotypeIndividual(snps_a, 1.0), HaplotypeIndividual(snps_b, 1.0),
+            constraints, rng,
+        )
+        for child in children:
+            assert len(child) == size
+            assert len(set(child)) == size
+
+
+class TestInterPopulationCrossover:
+    def test_one_child_per_parent_size(self, constraints, rng):
+        operator = InterPopulationCrossover()
+        parent_a = HaplotypeIndividual((0, 2), 1.0)
+        parent_b = HaplotypeIndividual((1, 3, 5, 7), 2.0)
+        children = operator.recombine(parent_a, parent_b, constraints, rng)
+        sizes = sorted(len(c) for c in children)
+        assert sizes in ([2], [4], [2, 4])  # parents' sizes (a child identical to its
+        # recipient parent is discarded, so one of them may be missing)
+        for child in children:
+            assert len(set(child)) == len(child)
+
+    def test_not_applicable_to_same_size(self, constraints, rng):
+        operator = InterPopulationCrossover()
+        a = HaplotypeIndividual((0, 1), 1.0)
+        b = HaplotypeIndividual((2, 3), 1.0)
+        assert not operator.is_applicable(a, b)
+        assert operator.recombine(a, b, constraints, rng) == []
+
+    def test_children_mix_material_from_both_parents(self, constraints):
+        operator = InterPopulationCrossover()
+        parent_a = HaplotypeIndividual((0, 1, 2), 1.0)
+        parent_b = HaplotypeIndividual((10, 11, 12, 13), 2.0)
+        saw_donor_material = False
+        for seed in range(20):
+            rng = np.random.default_rng(seed)
+            for child in operator.recombine(parent_a, parent_b, constraints, rng):
+                if len(child) == 3 and set(child) & set(parent_b.snps):
+                    saw_donor_material = True
+        assert saw_donor_material

@@ -1,0 +1,129 @@
+"""Tests of the three mutation operators (paper Section 4.3.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.individual import HaplotypeIndividual
+from repro.core.operators.mutation import (
+    AugmentationMutation,
+    PointMutation,
+    ReductionMutation,
+)
+from repro.genetics.constraints import HaplotypeConstraints
+
+N_SNPS = 14
+
+
+@pytest.fixture()
+def constraints():
+    return HaplotypeConstraints.unconstrained(N_SNPS)
+
+
+class TestPointMutation:
+    def test_preserves_size_and_changes_one_snp(self, constraints, rng):
+        operator = PointMutation(n_trials=5)
+        parent = HaplotypeIndividual((2, 5, 9))
+        for candidate in operator.propose(parent, constraints, rng):
+            assert len(candidate) == parent.size
+            assert candidate == tuple(sorted(set(candidate)))
+            assert candidate != parent.snps
+            # exactly one SNP differs
+            assert len(set(candidate) ^ set(parent.snps)) == 2
+
+    def test_number_of_trials_bounds_candidates(self, constraints, rng):
+        operator = PointMutation(n_trials=3)
+        parent = HaplotypeIndividual((0, 1))
+        assert len(operator.propose(parent, constraints, rng)) <= 3
+
+    def test_no_duplicate_candidates(self, constraints, rng):
+        operator = PointMutation(n_trials=10)
+        parent = HaplotypeIndividual((0, 1, 2))
+        candidates = operator.propose(parent, constraints, rng)
+        assert len(candidates) == len(set(candidates))
+
+    def test_applicable_to_any_size(self, constraints):
+        operator = PointMutation()
+        assert operator.is_applicable(HaplotypeIndividual((0,)))
+
+    def test_invalid_trials_rejected(self):
+        with pytest.raises(ValueError):
+            PointMutation(n_trials=0)
+
+    def test_no_candidate_when_panel_exhausted(self, rng):
+        # haplotype uses every SNP of a 3-SNP panel: nothing to swap in
+        constraints = HaplotypeConstraints.unconstrained(3)
+        operator = PointMutation(n_trials=4)
+        parent = HaplotypeIndividual((0, 1, 2))
+        assert operator.propose(parent, constraints, rng) == []
+
+
+class TestReductionMutation:
+    def test_removes_exactly_one_snp(self, constraints, rng):
+        operator = ReductionMutation(min_size=2)
+        parent = HaplotypeIndividual((2, 5, 9))
+        (candidate,) = operator.propose(parent, constraints, rng)
+        assert len(candidate) == 2
+        assert set(candidate) < set(parent.snps)
+
+    def test_not_applicable_at_min_size(self, constraints, rng):
+        operator = ReductionMutation(min_size=2)
+        parent = HaplotypeIndividual((2, 5))
+        assert not operator.is_applicable(parent)
+        assert operator.propose(parent, constraints, rng) == []
+
+    def test_invalid_min_size(self):
+        with pytest.raises(ValueError):
+            ReductionMutation(min_size=0)
+
+
+class TestAugmentationMutation:
+    def test_adds_exactly_one_snp(self, constraints, rng):
+        operator = AugmentationMutation(max_size=6)
+        parent = HaplotypeIndividual((2, 5, 9))
+        (candidate,) = operator.propose(parent, constraints, rng)
+        assert len(candidate) == 4
+        assert set(parent.snps) < set(candidate)
+
+    def test_not_applicable_at_max_size(self, constraints, rng):
+        operator = AugmentationMutation(max_size=3)
+        parent = HaplotypeIndividual((2, 5, 9))
+        assert not operator.is_applicable(parent)
+        assert operator.propose(parent, constraints, rng) == []
+
+    def test_respects_constraints(self, rng):
+        # SNP 2 excludes every other SNP -> augmentation of (2,) has no candidate...
+        ld = np.ones((4, 4)) * 0.99
+        np.fill_diagonal(ld, 1.0)
+        from repro.genetics.frequencies import SnpFrequencyTable
+        from repro.genetics.ld import PairwiseLDTable
+
+        names = tuple(f"s{i}" for i in range(4))
+        constraints = HaplotypeConstraints(
+            ld_table=PairwiseLDTable(names, ld),
+            frequency_table=SnpFrequencyTable(names, np.full(4, 0.5), np.full(4, 0.5)),
+            max_pairwise_ld=0.9,
+        )
+        operator = AugmentationMutation(max_size=6)
+        assert operator.propose(HaplotypeIndividual((2,)), constraints, rng) == []
+
+    def test_invalid_max_size(self):
+        with pytest.raises(ValueError):
+            AugmentationMutation(max_size=0)
+
+
+class TestSizeCooperation:
+    """Reduction and augmentation move individuals between sub-populations."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_size_changes_are_one_step(self, seed):
+        rng = np.random.default_rng(seed)
+        constraints = HaplotypeConstraints.unconstrained(N_SNPS)
+        size = int(rng.integers(3, 6))
+        snps = tuple(sorted(rng.choice(N_SNPS, size=size, replace=False).tolist()))
+        parent = HaplotypeIndividual(snps)
+        for candidate in ReductionMutation(2).propose(parent, constraints, rng):
+            assert len(candidate) == size - 1
+        for candidate in AugmentationMutation(6).propose(parent, constraints, rng):
+            assert len(candidate) == size + 1

@@ -1,0 +1,50 @@
+"""Smoke tests of the top-level package surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackages_import(self):
+        for module in (
+            "repro.genetics",
+            "repro.stats",
+            "repro.parallel",
+            "repro.core",
+            "repro.search",
+            "repro.experiments",
+            "repro.cli",
+        ):
+            importlib.import_module(module)
+
+    def test_lazy_island_export(self):
+        from repro.parallel import IslandModelGA, IslandResult  # noqa: F401
+
+        with pytest.raises(AttributeError):
+            getattr(importlib.import_module("repro.parallel"), "NotAThing")
+
+    def test_quickstart_docstring_flow(self, small_dataset):
+        """The README/quickstart flow works end to end on a small dataset."""
+        from repro import AdaptiveMultiPopulationGA, GAConfig, HaplotypeEvaluator
+
+        evaluator = HaplotypeEvaluator(small_dataset)
+        ga = AdaptiveMultiPopulationGA(
+            evaluator,
+            n_snps=small_dataset.n_snps,
+            config=GAConfig(
+                population_size=20, max_haplotype_size=3,
+                termination_stagnation=3, max_generations=5,
+            ),
+        )
+        result = ga.run()
+        assert sorted(result.best_per_size) == [2, 3]

@@ -1,0 +1,67 @@
+"""Tests of the multiprocessing master/slave evaluator.
+
+The worker pool is real (forked processes), so these tests keep the batches
+small; the key property is bit-identical agreement with the serial evaluator.
+"""
+
+import pytest
+
+from repro.parallel.master_slave import MasterSlaveEvaluator, default_worker_count
+from repro.parallel.serial import SerialEvaluator
+
+
+def _product_fitness(snps):
+    value = 1.0
+    for s in snps:
+        value *= (s + 1)
+    return value
+
+
+class TestConfiguration:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MasterSlaveEvaluator(_product_fitness, n_workers=0)
+        with pytest.raises(ValueError):
+            MasterSlaveEvaluator(_product_fitness, chunk_size=0)
+
+    def test_default_worker_count_positive(self):
+        assert default_worker_count() >= 1
+
+
+class TestEvaluation:
+    def test_matches_serial_on_toy_fitness(self):
+        batch = [(0, 1), (2,), (1, 3, 4), (5, 6)]
+        serial = SerialEvaluator(_product_fitness).evaluate_batch(batch)
+        with MasterSlaveEvaluator(_product_fitness, n_workers=2) as master_slave:
+            parallel = master_slave.evaluate_batch(batch)
+        assert parallel == pytest.approx(serial)
+
+    def test_matches_serial_on_real_evaluator(self, small_evaluator):
+        batch = [(0, 1), (2, 5, 9), (3, 4), (1, 6, 10)]
+        serial = [small_evaluator.evaluate(snps) for snps in batch]
+        with MasterSlaveEvaluator(small_evaluator, n_workers=2) as master_slave:
+            parallel = master_slave.evaluate_batch(batch)
+        assert parallel == pytest.approx(serial, rel=1e-12)
+
+    def test_empty_batch(self):
+        with MasterSlaveEvaluator(_product_fitness, n_workers=2) as master_slave:
+            assert master_slave.evaluate_batch([]) == []
+
+    def test_stats_and_single_evaluate(self):
+        with MasterSlaveEvaluator(_product_fitness, n_workers=2) as master_slave:
+            assert master_slave.evaluate((1, 2)) == pytest.approx(6.0)
+            master_slave.evaluate_batch([(0,), (1,)])
+            assert master_slave.stats.n_evaluations == 3
+            assert master_slave.n_workers == 2
+
+    def test_closed_evaluator_rejects_work(self):
+        master_slave = MasterSlaveEvaluator(_product_fitness, n_workers=2)
+        master_slave.close()
+        with pytest.raises(RuntimeError):
+            master_slave.evaluate_batch([(1,)])
+        master_slave.close()  # idempotent
+
+    def test_terminate_is_idempotent(self):
+        master_slave = MasterSlaveEvaluator(_product_fitness, n_workers=2)
+        master_slave.terminate()
+        master_slave.terminate()

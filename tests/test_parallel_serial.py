@@ -1,0 +1,60 @@
+"""Tests of the serial batch evaluator and the shared evaluator bookkeeping."""
+
+import pytest
+
+from repro.parallel.base import BatchEvaluator, EvaluationStats
+from repro.parallel.serial import SerialEvaluator
+
+
+def _sum_fitness(snps):
+    return float(sum(snps))
+
+
+class TestEvaluationStats:
+    def test_record_batch_accumulates(self):
+        stats = EvaluationStats()
+        stats.record_batch(5, 0.5)
+        stats.record_batch(3, 0.1)
+        assert stats.n_evaluations == 8
+        assert stats.n_batches == 2
+        assert stats.total_seconds == pytest.approx(0.6)
+        assert stats.mean_seconds_per_evaluation == pytest.approx(0.6 / 8)
+
+    def test_empty_stats(self):
+        assert EvaluationStats().mean_seconds_per_evaluation == 0.0
+
+
+class TestSerialEvaluator:
+    def test_batch_order_preserved(self):
+        evaluator = SerialEvaluator(_sum_fitness)
+        batch = [(1, 2), (10,), (3, 4, 5)]
+        assert evaluator.evaluate_batch(batch) == [3.0, 10.0, 12.0]
+
+    def test_single_evaluation(self):
+        evaluator = SerialEvaluator(_sum_fitness)
+        assert evaluator.evaluate((2, 5)) == 7.0
+
+    def test_stats_tracking(self):
+        evaluator = SerialEvaluator(_sum_fitness)
+        evaluator.evaluate_batch([(1,), (2,)])
+        evaluator.evaluate_batch([(3,)])
+        assert evaluator.stats.n_evaluations == 3
+        assert evaluator.stats.n_batches == 2
+
+    def test_satisfies_protocol(self):
+        assert isinstance(SerialEvaluator(_sum_fitness), BatchEvaluator)
+
+    def test_context_manager(self):
+        with SerialEvaluator(_sum_fitness) as evaluator:
+            assert evaluator.evaluate((1,)) == 1.0
+
+    def test_empty_batch(self):
+        evaluator = SerialEvaluator(_sum_fitness)
+        assert evaluator.evaluate_batch([]) == []
+
+    def test_matches_real_evaluator(self, small_evaluator):
+        serial = SerialEvaluator(small_evaluator)
+        batch = [(0, 1), (2, 5, 9), (3, 4)]
+        results = serial.evaluate_batch(batch)
+        expected = [small_evaluator.evaluate(snps) for snps in batch]
+        assert results == pytest.approx(expected)

@@ -1,0 +1,164 @@
+"""Tests of the sub-populations and their container (paper Section 4.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import GAConfig
+from repro.core.individual import HaplotypeIndividual
+from repro.core.population import MultiPopulation, SubPopulation, allocate_capacities
+
+
+class TestAllocateCapacities:
+    def test_total_is_conserved(self):
+        capacities = allocate_capacities(150, [2, 3, 4, 5, 6], 51)
+        assert sum(capacities.values()) == 150
+
+    def test_capacity_increases_with_size(self):
+        """Paper: sub-population sizes grow with the haplotype size."""
+        capacities = allocate_capacities(150, [2, 3, 4, 5, 6], 51,
+                                         strategy="log_proportional")
+        values = [capacities[s] for s in (2, 3, 4, 5, 6)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert values[-1] > values[0]
+
+    def test_uniform_allocation(self):
+        capacities = allocate_capacities(100, [2, 3, 4, 5], 51, strategy="uniform")
+        assert set(capacities.values()) == {25}
+
+    def test_proportional_allocation_skews_to_largest(self):
+        capacities = allocate_capacities(100, [2, 6], 51, strategy="proportional")
+        assert capacities[6] > capacities[2]
+
+    def test_minimum_capacity_respected(self):
+        capacities = allocate_capacities(20, [2, 3, 4, 5, 6], 51, min_capacity=2)
+        assert all(c >= 2 for c in capacities.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            allocate_capacities(3, [2, 3, 4], 51, min_capacity=2)
+        with pytest.raises(ValueError):
+            allocate_capacities(10, [], 51)
+        with pytest.raises(ValueError):
+            allocate_capacities(10, [2, 3], 51, strategy="bogus")
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=20, max_value=300), st.integers(min_value=10, max_value=100))
+    def test_total_conserved_property(self, total, n_snps):
+        sizes = [2, 3, 4, 5, 6]
+        for strategy in ("log_proportional", "proportional", "uniform"):
+            capacities = allocate_capacities(total, sizes, n_snps, strategy=strategy)
+            assert sum(capacities.values()) == total
+            assert all(c >= 2 for c in capacities.values())
+
+
+def _ind(snps, fitness):
+    return HaplotypeIndividual(snps, fitness)
+
+
+class TestSubPopulation:
+    def test_rejects_wrong_size_or_unevaluated(self):
+        sub = SubPopulation(haplotype_size=3, capacity=5)
+        with pytest.raises(ValueError):
+            sub.try_insert(_ind((1, 2), 1.0))
+        with pytest.raises(ValueError):
+            sub.try_insert(HaplotypeIndividual((1, 2, 3)))
+
+    def test_insert_until_full_then_replace_worst(self):
+        sub = SubPopulation(haplotype_size=2, capacity=2)
+        assert sub.try_insert(_ind((0, 1), 5.0))
+        assert sub.try_insert(_ind((0, 2), 3.0))
+        assert sub.is_full
+        # equal-or-worse than the worst -> rejected
+        assert not sub.try_insert(_ind((0, 3), 3.0))
+        # better than the worst -> replaces it
+        assert sub.try_insert(_ind((0, 4), 4.0))
+        assert sub.worst().fitness_value() == pytest.approx(4.0)
+        assert sub.best().fitness_value() == pytest.approx(5.0)
+
+    def test_duplicates_rejected(self):
+        sub = SubPopulation(haplotype_size=2, capacity=5)
+        sub.try_insert(_ind((0, 1), 5.0))
+        assert not sub.try_insert(_ind((1, 0), 10.0))
+        assert len(sub) == 1
+
+    def test_seed_does_not_replace(self):
+        sub = SubPopulation(haplotype_size=2, capacity=1)
+        assert sub.seed(_ind((0, 1), 1.0))
+        assert not sub.seed(_ind((0, 2), 10.0))  # full
+        assert len(sub) == 1
+
+    def test_statistics(self):
+        sub = SubPopulation(haplotype_size=2, capacity=5)
+        for i, fitness in enumerate((1.0, 3.0, 5.0)):
+            sub.try_insert(_ind((0, i + 1), fitness))
+        assert sub.mean_fitness() == pytest.approx(3.0)
+        assert sub.fitness_range() == (1.0, 5.0)
+        assert sub.normalized_fitness(3.0) == pytest.approx(0.5)
+        assert sub.normalized_fitness(0.0) == 0.0  # clipped
+        assert sub.normalized_fitness(99.0) == 1.0  # clipped
+
+    def test_normalized_fitness_degenerate_spread(self):
+        sub = SubPopulation(haplotype_size=2, capacity=5)
+        sub.try_insert(_ind((0, 1), 2.0))
+        assert sub.normalized_fitness(2.0) == pytest.approx(0.5)
+
+    def test_empty_population_statistics_raise(self):
+        sub = SubPopulation(haplotype_size=2, capacity=5)
+        with pytest.raises(ValueError):
+            sub.best()
+        with pytest.raises(ValueError):
+            sub.worst()
+        with pytest.raises(ValueError):
+            sub.mean_fitness()
+
+    def test_replace_member(self):
+        sub = SubPopulation(haplotype_size=2, capacity=3)
+        sub.try_insert(_ind((0, 1), 1.0))
+        sub.replace_member(0, _ind((5, 6), 0.5))
+        assert sub.members[0].snps == (5, 6)
+
+
+class TestMultiPopulation:
+    @pytest.fixture()
+    def population(self):
+        config = GAConfig(population_size=30, min_haplotype_size=2, max_haplotype_size=4)
+        return MultiPopulation(config, n_snps=14)
+
+    def test_structure(self, population):
+        assert population.sizes == (2, 3, 4)
+        assert sum(population.capacities.values()) == 30
+        assert len(population) == 0
+
+    def test_insert_routes_by_size(self, population):
+        assert population.try_insert(_ind((0, 1, 2), 5.0))
+        assert len(population.subpopulation(3)) == 1
+        assert len(population.subpopulation(2)) == 0
+        # sizes outside the configured range are ignored, not errors
+        assert not population.try_insert(_ind((0, 1, 2, 3, 4, 5), 50.0))
+
+    def test_unknown_size_lookup_raises(self, population):
+        with pytest.raises(KeyError):
+            population.subpopulation(9)
+
+    def test_best_per_size_and_global_best(self, population):
+        population.try_insert(_ind((0, 1), 4.0))
+        population.try_insert(_ind((0, 2), 2.0))
+        population.try_insert(_ind((0, 1, 2), 30.0))
+        population.try_insert(_ind((0, 1, 3), 10.0))
+        best = population.best_per_size()
+        assert best[2].fitness_value() == pytest.approx(4.0)
+        assert best[3].fitness_value() == pytest.approx(30.0)
+        global_best = population.global_best()
+        # both sub-population bests have normalized fitness 1; ties break on raw fitness
+        assert global_best.fitness_value() == pytest.approx(30.0)
+
+    def test_global_best_of_empty_population_raises(self, population):
+        with pytest.raises(ValueError):
+            population.global_best()
+
+    def test_normalized_fitness_uses_own_subpopulation(self, population):
+        population.try_insert(_ind((0, 1), 0.0))
+        population.try_insert(_ind((0, 2), 10.0))
+        individual = _ind((0, 3), 5.0)
+        assert population.normalized_fitness(individual) == pytest.approx(0.5)

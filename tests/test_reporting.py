@@ -1,0 +1,52 @@
+"""Tests of the plain-text table rendering."""
+
+import pytest
+
+from repro.experiments.reporting import format_number, format_series, format_table
+
+
+class TestFormatNumber:
+    def test_none_and_bool(self):
+        assert format_number(None) == "-"
+        assert format_number(True) == "yes"
+        assert format_number(False) == "no"
+
+    def test_integers(self):
+        assert format_number(42) == "42"
+        assert format_number(1_234_567) == "1,234,567"
+
+    def test_floats(self):
+        assert format_number(3.14159, decimals=2) == "3.14"
+        assert format_number(1.5e9) == "1.500e+09"
+        assert format_number(2.5e-5) == "2.500e-05"
+        assert format_number(float("nan")) == "nan"
+
+    def test_strings_pass_through(self):
+        assert format_number("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(
+            ["Size", "Fitness"], [[2, 1.5], [3, 10.25]], title="Demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "Size" in lines[1] and "Fitness" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "10.250" in lines[4]
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_column_width_adapts_to_content(self):
+        text = format_table(["x"], [["a-very-long-cell-value"]])
+        header, rule, row = text.splitlines()
+        assert len(header) == len(row)
+
+
+class TestFormatSeries:
+    def test_pairs_rendered_line_by_line(self):
+        text = format_series([(2, 0.006), (7, 0.201)])
+        assert text.splitlines() == ["2 -> 0.006", "7 -> 0.201"]

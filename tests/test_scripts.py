@@ -1,0 +1,49 @@
+"""Tests of the experiment-report script (scripts/run_experiments.py)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "run_experiments.py"
+
+
+@pytest.fixture(scope="module")
+def script_module():
+    spec = importlib.util.spec_from_file_location("run_experiments", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestConfigsFor:
+    def test_scales_exist(self, script_module):
+        for scale in ("quick", "medium", "paper"):
+            settings = script_module.configs_for(scale)
+            assert {"table2_config", "table2_runs", "ablation_config",
+                    "ablation_runs", "figure4_samples", "landscape_panel",
+                    "landscape_sizes"} <= set(settings)
+            assert settings["table2_runs"] >= 1
+
+    def test_unknown_scale_falls_back_to_quick(self, script_module):
+        quick = script_module.configs_for("quick")
+        other = script_module.configs_for("not-a-scale")
+        assert other["table2_runs"] == quick["table2_runs"]
+
+    def test_paper_scale_matches_paper_parameters(self, script_module):
+        settings = script_module.configs_for("paper")
+        config = settings["table2_config"]
+        assert config.population_size == 150
+        assert config.termination_stagnation == 100
+        assert settings["table2_runs"] == 10
+
+    def test_scales_are_ordered_by_budget(self, script_module):
+        quick = script_module.configs_for("quick")
+        medium = script_module.configs_for("medium")
+        paper = script_module.configs_for("paper")
+        assert (quick["table2_config"].population_size
+                <= medium["table2_config"].population_size
+                <= paper["table2_config"].population_size)
+        assert quick["table2_runs"] <= medium["table2_runs"] <= paper["table2_runs"]

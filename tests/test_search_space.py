@@ -1,0 +1,62 @@
+"""Tests of the search-space size computations (paper Table 1)."""
+
+import math
+from itertools import combinations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.search.search_space import (
+    n_haplotypes_of_size,
+    n_haplotypes_up_to_size,
+    search_space_table,
+)
+
+
+class TestCounts:
+    def test_matches_paper_values_for_51_snps(self):
+        assert n_haplotypes_of_size(51, 2) == 1_275
+        assert n_haplotypes_of_size(51, 3) == 20_825
+        assert n_haplotypes_of_size(51, 4) == 249_900
+        assert n_haplotypes_of_size(51, 5) == 2_349_060
+        assert n_haplotypes_of_size(51, 6) == 18_009_460
+
+    def test_matches_paper_values_for_150_and_249_snps(self):
+        assert n_haplotypes_of_size(150, 2) == 11_175
+        assert n_haplotypes_of_size(249, 2) == 30_876
+        assert n_haplotypes_of_size(150, 3) == 551_300
+        assert n_haplotypes_of_size(249, 3) == 2_542_124
+        assert n_haplotypes_of_size(150, 4) == 20_260_275
+        assert n_haplotypes_of_size(249, 4) == 156_340_626
+
+    def test_matches_brute_force_enumeration(self):
+        for n, k in ((6, 2), (7, 3), (8, 4)):
+            assert n_haplotypes_of_size(n, k) == sum(1 for _ in combinations(range(n), k))
+
+    def test_edge_cases(self):
+        assert n_haplotypes_of_size(5, 0) == 1
+        assert n_haplotypes_of_size(5, 6) == 0
+        with pytest.raises(ValueError):
+            n_haplotypes_of_size(-1, 2)
+        with pytest.raises(ValueError):
+            n_haplotypes_of_size(5, -1)
+
+    @given(st.integers(min_value=0, max_value=80), st.integers(min_value=0, max_value=10))
+    def test_matches_math_comb(self, n, k):
+        assert n_haplotypes_of_size(n, k) == math.comb(n, k)
+
+
+class TestCumulative:
+    def test_up_to_size(self):
+        assert n_haplotypes_up_to_size(10, 3) == math.comb(10, 2) + math.comb(10, 3)
+        assert n_haplotypes_up_to_size(10, 4, min_size=4) == math.comb(10, 4)
+        with pytest.raises(ValueError):
+            n_haplotypes_up_to_size(10, 2, min_size=3)
+
+
+class TestTable:
+    def test_table_structure(self):
+        table = search_space_table()
+        assert set(table) == {2, 3, 4, 5, 6}
+        assert set(table[2]) == {51, 150, 249}
+        assert table[6][51] == 18_009_460

@@ -1,0 +1,73 @@
+"""Tests of the parent-selection schemes."""
+
+import numpy as np
+import pytest
+
+from repro.core.individual import HaplotypeIndividual
+from repro.core.population import SubPopulation
+from repro.core.selection import roulette_selection, select_parent_pair, tournament_selection
+
+
+def _members(fitnesses):
+    return [HaplotypeIndividual((0, i + 1), f) for i, f in enumerate(fitnesses)]
+
+
+class TestTournament:
+    def test_empty_population_rejected(self, rng):
+        with pytest.raises(ValueError):
+            tournament_selection([], rng)
+        with pytest.raises(ValueError):
+            tournament_selection(_members([1.0]), rng, tournament_size=0)
+
+    def test_full_tournament_returns_best(self, rng):
+        members = _members([1.0, 5.0, 3.0])
+        winner = tournament_selection(members, rng, tournament_size=3)
+        assert winner.fitness_value() == pytest.approx(5.0)
+
+    def test_selection_pressure_favours_fitter(self, rng):
+        members = _members([1.0, 2.0, 3.0, 4.0, 10.0])
+        wins = sum(
+            tournament_selection(members, rng, tournament_size=2).fitness_value() == 10.0
+            for _ in range(400)
+        )
+        # the best individual wins a binary tournament whenever drawn: ~36% of the time
+        assert wins > 90
+
+    def test_tournament_larger_than_population(self, rng):
+        members = _members([1.0, 2.0])
+        winner = tournament_selection(members, rng, tournament_size=10)
+        assert winner.fitness_value() == pytest.approx(2.0)
+
+
+class TestRoulette:
+    def test_empty_population_rejected(self, rng):
+        with pytest.raises(ValueError):
+            roulette_selection([], rng)
+
+    def test_uniform_when_no_spread(self, rng):
+        members = _members([2.0, 2.0, 2.0])
+        chosen = {roulette_selection(members, rng).snps for _ in range(50)}
+        assert len(chosen) > 1
+
+    def test_favours_fitter(self, rng):
+        members = _members([0.0, 0.0, 10.0])
+        wins = sum(
+            roulette_selection(members, rng).fitness_value() == 10.0 for _ in range(200)
+        )
+        assert wins > 150
+
+
+class TestParentPair:
+    def test_pair_is_distinct_when_possible(self, rng):
+        sub = SubPopulation(haplotype_size=2, capacity=10)
+        for member in _members([1.0, 2.0, 3.0, 4.0]):
+            sub.try_insert(member)
+        for _ in range(20):
+            a, b = select_parent_pair(sub, rng)
+            assert a.snps != b.snps
+
+    def test_single_member_population_returns_same_individual(self, rng):
+        sub = SubPopulation(haplotype_size=2, capacity=10)
+        sub.try_insert(HaplotypeIndividual((0, 1), 1.0))
+        a, b = select_parent_pair(sub, rng)
+        assert a.snps == b.snps

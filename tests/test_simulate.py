@@ -1,0 +1,135 @@
+"""Tests of the synthetic study generator (the documented data substitution)."""
+
+import numpy as np
+import pytest
+
+from repro.genetics.alleles import STATUS_AFFECTED, STATUS_UNAFFECTED, STATUS_UNKNOWN
+from repro.genetics.frequencies import allele_frequencies
+from repro.genetics.simulate import (
+    DiseaseModel,
+    PopulationModel,
+    large_study_249,
+    lille_like_study,
+    simulate_case_control_study,
+    simulate_haplotypes,
+)
+
+
+class TestPopulationModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PopulationModel(n_snps=0)
+        with pytest.raises(ValueError):
+            PopulationModel(n_snps=10, within_block_correlation=1.0)
+        with pytest.raises(ValueError):
+            PopulationModel(n_snps=10, min_allele_frequency=0.6, max_allele_frequency=0.5)
+
+    def test_haplotype_simulation_shape_and_codes(self, rng):
+        model = PopulationModel(n_snps=20)
+        haplotypes = simulate_haplotypes(model, 50, rng)
+        assert haplotypes.shape == (50, 20)
+        assert set(np.unique(haplotypes)) <= {1, 2}
+
+    def test_block_correlation_increases_adjacent_agreement(self, rng):
+        correlated = PopulationModel(n_snps=30, block_size=30, within_block_correlation=0.9)
+        independent = PopulationModel(n_snps=30, block_size=1, within_block_correlation=0.9)
+        freqs = np.full(30, 0.5)
+        h_corr = simulate_haplotypes(correlated, 400, rng, freqs)
+        h_ind = simulate_haplotypes(independent, 400, rng, freqs)
+        agree_corr = np.mean(h_corr[:, :-1] == h_corr[:, 1:])
+        agree_ind = np.mean(h_ind[:, :-1] == h_ind[:, 1:])
+        assert agree_corr > agree_ind + 0.1
+
+
+class TestDiseaseModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiseaseModel(causal_snps=(), risk_alleles=())
+        with pytest.raises(ValueError):
+            DiseaseModel(causal_snps=(3, 1), risk_alleles=(2, 2))
+        with pytest.raises(ValueError):
+            DiseaseModel(causal_snps=(1, 3), risk_alleles=(2, 5))
+        with pytest.raises(ValueError):
+            DiseaseModel(causal_snps=(1,), risk_alleles=(2,), relative_risk=0.5)
+        with pytest.raises(ValueError):
+            DiseaseModel(causal_snps=(1,), risk_alleles=(2,), risk_haplotype_frequency=1.5)
+
+    def test_penetrance_is_monotone_and_capped(self):
+        model = DiseaseModel(
+            causal_snps=(0, 1), risk_alleles=(2, 2),
+            baseline_penetrance=0.1, relative_risk=5.0, max_penetrance=0.9,
+        )
+        assert model.penetrance(0) == pytest.approx(0.1)
+        assert model.penetrance(1) == pytest.approx(0.5)
+        assert model.penetrance(2) == pytest.approx(0.9)  # capped
+        with pytest.raises(ValueError):
+            model.penetrance(-1)
+
+    def test_risk_copies(self):
+        model = DiseaseModel(causal_snps=(0, 2), risk_alleles=(2, 2))
+        pair = np.array([[2, 1, 2, 1], [1, 1, 2, 1]], dtype=np.int8)
+        assert model.risk_copies(pair) == 1
+
+
+class TestSimulateStudy:
+    def test_group_sizes_and_determinism(self):
+        model = PopulationModel(n_snps=12)
+        disease = DiseaseModel(
+            causal_snps=(1, 4), risk_alleles=(2, 2),
+            baseline_penetrance=0.1, relative_risk=5.0, risk_haplotype_frequency=0.3,
+        )
+        kwargs = dict(
+            population_model=model, disease_model=disease,
+            n_affected=20, n_unaffected=25, n_unknown=5, seed=11,
+        )
+        study1 = simulate_case_control_study(**kwargs)
+        study2 = simulate_case_control_study(**kwargs)
+        dataset = study1.dataset
+        assert dataset.n_affected == 20
+        assert dataset.n_unaffected == 25
+        assert dataset.n_unknown == 5
+        assert dataset.n_snps == 12
+        assert study1.dataset == study2.dataset  # deterministic in the seed
+
+    def test_different_seed_changes_data(self):
+        study1 = lille_like_study(seed=1, n_affected=10, n_unaffected=10)
+        study2 = lille_like_study(seed=2, n_affected=10, n_unaffected=10)
+        assert study1.dataset != study2.dataset
+
+    def test_missing_rate_applied(self):
+        study = lille_like_study(seed=3, n_affected=20, n_unaffected=20, missing_rate=0.1)
+        assert 0.02 < study.dataset.missing_rate < 0.25
+
+    def test_causal_snp_outside_panel_rejected(self):
+        model = PopulationModel(n_snps=5)
+        disease = DiseaseModel(causal_snps=(10,), risk_alleles=(2,))
+        with pytest.raises(ValueError):
+            simulate_case_control_study(
+                population_model=model, disease_model=disease,
+                n_affected=5, n_unaffected=5,
+            )
+
+    def test_planted_signal_enriches_cases(self, small_study):
+        """The risk alleles must be more frequent among affected individuals."""
+        dataset = small_study.dataset
+        causal = list(small_study.causal_snps)
+        case_freq = allele_frequencies(dataset.affected())[causal]
+        control_freq = allele_frequencies(dataset.unaffected())[causal]
+        assert np.all(case_freq > control_freq)
+
+
+class TestCannedStudies:
+    def test_lille_like_dimensions_match_paper(self):
+        study = lille_like_study(seed=5)
+        assert study.dataset.n_snps == 51
+        assert study.dataset.n_individuals == 106
+        assert study.dataset.n_affected == 53
+        assert study.dataset.n_unaffected == 53
+        assert all(s < 51 for s in study.causal_snps)
+
+    @pytest.mark.slow
+    def test_large_study_dimensions(self):
+        study = large_study_249(seed=5)
+        assert study.dataset.n_snps == 249
+        assert study.dataset.n_individuals == 176
+        assert study.dataset.n_unknown == 70

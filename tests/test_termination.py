@@ -1,0 +1,50 @@
+"""Tests of the termination criteria (paper Section 4.6)."""
+
+import pytest
+
+from repro.core.termination import TerminationCriteria, TerminationState
+
+
+def _state(**kwargs):
+    defaults = dict(generation=0, stagnation=0, n_evaluations=0, best_fitness=None)
+    defaults.update(kwargs)
+    return TerminationState(**defaults)
+
+
+class TestTerminationCriteria:
+    def test_stagnation_stop(self):
+        criteria = TerminationCriteria(stagnation_generations=10)
+        assert criteria.reason_to_stop(_state(stagnation=9)) is None
+        assert criteria.reason_to_stop(_state(stagnation=10)) == "stagnation"
+        assert criteria.should_stop(_state(stagnation=10))
+
+    def test_max_generations_stop(self):
+        criteria = TerminationCriteria(stagnation_generations=100, max_generations=50)
+        assert criteria.reason_to_stop(_state(generation=49)) is None
+        assert criteria.reason_to_stop(_state(generation=50)) == "max_generations"
+
+    def test_max_evaluations_stop(self):
+        criteria = TerminationCriteria(max_evaluations=1000)
+        assert criteria.reason_to_stop(_state(n_evaluations=999)) is None
+        assert criteria.reason_to_stop(_state(n_evaluations=1000)) == "max_evaluations"
+
+    def test_target_fitness_stop_takes_priority(self):
+        criteria = TerminationCriteria(stagnation_generations=1, target_fitness=10.0)
+        state = _state(stagnation=5, best_fitness=12.0)
+        assert criteria.reason_to_stop(state) == "target_fitness"
+
+    def test_target_fitness_ignored_when_unknown(self):
+        criteria = TerminationCriteria(target_fitness=10.0)
+        assert criteria.reason_to_stop(_state(best_fitness=None)) is None
+
+    def test_no_stop_when_nothing_reached(self):
+        criteria = TerminationCriteria()
+        assert criteria.reason_to_stop(_state(generation=5, stagnation=5)) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TerminationCriteria(stagnation_generations=0)
+        with pytest.raises(ValueError):
+            TerminationCriteria(max_generations=0)
+        with pytest.raises(ValueError):
+            TerminationCriteria(max_evaluations=0)

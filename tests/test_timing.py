@@ -1,0 +1,73 @@
+"""Tests of the timing helpers and speedup accounting."""
+
+import pytest
+
+from repro.parallel.timing import SpeedupPoint, SpeedupReport, Timer, time_callable
+
+
+class TestTimer:
+    def test_elapsed_is_non_negative(self):
+        with Timer() as timer:
+            sum(range(100))
+        assert timer.elapsed >= 0.0
+
+    def test_reusable(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with timer:
+            sum(range(1000))
+        assert timer.elapsed >= 0.0
+        assert first >= 0.0
+
+
+class TestTimeCallable:
+    def test_returns_mean_and_std(self):
+        mean, std = time_callable(lambda: sum(range(500)), repeats=3, warmup=1)
+        assert mean >= 0.0
+        assert std >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, warmup=-1)
+
+
+class TestSpeedupReport:
+    def test_speedups_relative_to_single_worker(self):
+        report = SpeedupReport()
+        report.add(1, 10.0)
+        report.add(2, 5.0)
+        report.add(4, 3.0)
+        speedups = report.speedups()
+        assert speedups[1] == pytest.approx(1.0)
+        assert speedups[2] == pytest.approx(2.0)
+        assert speedups[4] == pytest.approx(10.0 / 3.0)
+        efficiencies = report.efficiencies()
+        assert efficiencies[2] == pytest.approx(1.0)
+        assert efficiencies[4] == pytest.approx(10.0 / 3.0 / 4.0)
+
+    def test_external_serial_reference(self):
+        report = SpeedupReport(serial_seconds=8.0)
+        report.add(4, 2.0)
+        assert report.speedups()[4] == pytest.approx(4.0)
+
+    def test_missing_reference_rejected(self):
+        report = SpeedupReport()
+        report.add(4, 2.0)
+        with pytest.raises(ValueError):
+            report.speedups()
+
+    def test_validation(self):
+        report = SpeedupReport()
+        with pytest.raises(ValueError):
+            report.add(0, 1.0)
+        with pytest.raises(ValueError):
+            report.add(2, -1.0)
+
+    def test_point_helpers(self):
+        point = SpeedupPoint(n_workers=4, seconds=2.5)
+        assert point.speedup(10.0) == pytest.approx(4.0)
+        assert point.efficiency(10.0) == pytest.approx(1.0)
