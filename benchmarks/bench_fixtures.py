@@ -1,0 +1,63 @@
+"""Shared fixtures of the benchmark harness, importable without name collisions.
+
+Every benchmark regenerates one of the paper's tables or figures.  Because the
+paper-scale experiment (Table 2: 10 runs of a population-150 GA until 100
+stagnant generations) takes tens of minutes, the benchmarks default to a
+reduced but same-shaped configuration; set the environment variable
+``REPRO_BENCH_SCALE=paper`` to run the full-scale versions.
+
+The fixtures live here — under a name that cannot collide with
+``tests/conftest.py`` — and ``benchmarks/conftest.py`` re-exports them with a
+plain ``from bench_fixtures import ...`` so that standalone tools (and the
+microbenchmark scripts) can also ``import bench_fixtures`` directly.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:  # pragma: no cover - environment dependent
+    sys.path.insert(0, _SRC)
+
+from repro.experiments.datasets import DEFAULT_SEED, lille51, lille51_evaluator  # noqa: E402
+from repro.experiments.table2 import paper_scale_config, quick_config  # noqa: E402
+
+
+def bench_scale() -> str:
+    """The benchmark scale: ``"quick"`` (default) or ``"paper"``."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    return scale if scale in ("quick", "paper") else "quick"
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def study():
+    """The canonical lille-like 106 x 51 study used by every benchmark."""
+    return lille51(DEFAULT_SEED)
+
+
+@pytest.fixture(scope="session")
+def evaluator(study):
+    return lille51_evaluator(DEFAULT_SEED)
+
+
+@pytest.fixture(scope="session")
+def ga_config(scale):
+    """GA configuration matched to the benchmark scale."""
+    if scale == "paper":
+        return paper_scale_config()
+    return quick_config()
+
+
+@pytest.fixture(scope="session")
+def n_runs(scale) -> int:
+    """Number of repeated GA runs for the Table-2 / ablation benchmarks."""
+    return 10 if scale == "paper" else 2

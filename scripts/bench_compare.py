@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Diff two ``BENCH_*.json`` trajectory files and fail on regressions.
+
+Compares every numeric leaf whose key ends in ``_seconds`` between a baseline
+and a candidate benchmark report (same schema, e.g. two runs of
+``benchmarks/bench_em_kernel.py``) and exits non-zero when any timing
+regressed by more than the threshold (default 10%).
+
+Usage::
+
+    python scripts/bench_compare.py BENCH_baseline.json BENCH_candidate.json
+    python scripts/bench_compare.py --threshold 0.25 old.json new.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Iterator
+
+
+def _timing_leaves(node, path: str = "") -> Iterator[tuple[str, float]]:
+    """Yield ``(dotted.path, value)`` for every ``*_seconds`` numeric leaf."""
+    if isinstance(node, dict):
+        for key, value in sorted(node.items()):
+            child = f"{path}.{key}" if path else str(key)
+            if isinstance(value, (int, float)) and str(key).endswith("_seconds"):
+                yield child, float(value)
+            else:
+                yield from _timing_leaves(value, child)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            yield from _timing_leaves(value, f"{path}[{index}]")
+
+
+def compare(baseline: dict, candidate: dict, *, threshold: float) -> tuple[list[str], list[str]]:
+    """Return (report lines, regression lines)."""
+    base = dict(_timing_leaves(baseline))
+    cand = dict(_timing_leaves(candidate))
+    lines: list[str] = []
+    regressions: list[str] = []
+    for path in sorted(base):
+        if path not in cand:
+            lines.append(f"  {path}: missing from candidate")
+            continue
+        old, new = base[path], cand[path]
+        if old <= 0:
+            continue
+        ratio = new / old
+        marker = ""
+        if ratio > 1.0 + threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append(f"{path}: {old*1e3:.3f} ms -> {new*1e3:.3f} ms ({ratio:.2f}x)")
+        lines.append(
+            f"  {path}: {old*1e3:8.3f} ms -> {new*1e3:8.3f} ms ({ratio:5.2f}x){marker}"
+        )
+    only_candidate = sorted(set(cand) - set(base))
+    for path in only_candidate:
+        lines.append(f"  {path}: new metric ({cand[path]*1e3:.3f} ms)")
+    return lines, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("candidate", help="candidate BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed slowdown fraction before failing (default 0.10)")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    with open(args.candidate) as handle:
+        candidate = json.load(handle)
+
+    lines, regressions = compare(baseline, candidate, threshold=args.threshold)
+    print(f"comparing {args.baseline} (baseline) vs {args.candidate} (candidate)")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} timing(s) regressed more than "
+              f"{args.threshold:.0%}:")
+        for regression in regressions:
+            print(f"  {regression}")
+        return 1
+    print(f"\nOK: no timing regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -167,6 +167,17 @@ class AdaptiveMultiPopulationGA:
         """Number of fitness evaluations performed so far."""
         return self._n_evaluations
 
+    @property
+    def n_distinct_evaluations(self) -> int:
+        """Evaluations actually executed by the batch evaluator.
+
+        The batch fast path collapses duplicate individuals within a
+        generation and answers previously seen haplotypes from its cache, so
+        this is at most :attr:`n_evaluations` (the number of fitness
+        requests, the paper's cost metric).
+        """
+        return self.evaluator.stats.n_evaluations
+
     def _evaluate_batch(self, batch: Sequence[SnpTuple]) -> list[float]:
         if not batch:
             return []

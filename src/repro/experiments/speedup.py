@@ -154,7 +154,10 @@ def run_measured_speedup(
     if n_repeats < 1:
         raise ValueError("n_repeats must be positive")
     study = study or lille51(seed)
-    evaluator = HaplotypeEvaluator(study.dataset)
+    # reuse caches and warm starts would let the repeated timing batches hit
+    # memoised results, turning the measurement into a cache benchmark; the
+    # speedup study times raw evaluation cost, so they are disabled here
+    evaluator = HaplotypeEvaluator(study.dataset, cache_size=0, warm_start=False)
     batch = list(batch) if batch is not None else generation_batch(
         n_snps=study.dataset.n_snps, seed=seed
     )
@@ -167,10 +170,14 @@ def run_measured_speedup(
 
     for n_workers in worker_counts:
         if n_workers == 1:
-            backend = SerialEvaluator(evaluator)
+            # dedup/cache disabled for the same reason as above: the repeated
+            # timing batches must pay full evaluation cost every time
+            backend = SerialEvaluator(evaluator, dedup=False, cache_size=0)
             close = lambda: None  # noqa: E731 - trivial cleanup callback
         else:
-            master_slave = MasterSlaveEvaluator(evaluator, n_workers=int(n_workers))
+            master_slave = MasterSlaveEvaluator(
+                evaluator, n_workers=int(n_workers), dedup=False, cache_size=0
+            )
             backend = master_slave
             close = master_slave.close
         try:

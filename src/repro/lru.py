@@ -1,0 +1,73 @@
+"""A small bounded least-recently-used mapping shared by every cache layer.
+
+Four subsystems memoise on the sorted-SNP-tuple key (the fitness cache of
+:mod:`repro.stats.cache`, the expansion and result caches of
+:mod:`repro.stats.em` / :mod:`repro.stats.evaluation`, and the batch
+evaluators' master-side cache in :mod:`repro.parallel.base`); they all share
+this one eviction implementation instead of four hand-rolled copies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """Bounded LRU mapping.
+
+    ``max_size=None`` means unbounded; ``max_size=0`` disables the cache
+    entirely (every :meth:`get` misses, :meth:`put` is a no-op), which lets
+    callers keep a single code path for the "caching off" configuration.
+    A hit refreshes the entry's recency; when full, :meth:`put` evicts the
+    least-recently-used entry.
+    """
+
+    __slots__ = ("_data", "_max_size")
+
+    def __init__(self, max_size: int | None) -> None:
+        if max_size is not None and max_size < 0:
+            raise ValueError("max_size must be non-negative or None")
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._max_size = max_size
+
+    @property
+    def max_size(self) -> int | None:
+        return self._max_size
+
+    @property
+    def enabled(self) -> bool:
+        return self._max_size is None or self._max_size > 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (refreshing its recency) or ``default``."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            return default
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/overwrite an entry, evicting the LRU one when full."""
+        if not self.enabled:
+            return
+        data = self._data
+        if self._max_size is not None and key not in data and len(data) >= self._max_size:
+            data.popitem(last=False)
+        data[key] = value
+        data.move_to_end(key)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        # membership test without touching recency
+        return key in self._data
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+_MISSING = object()

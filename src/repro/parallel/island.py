@@ -47,7 +47,11 @@ class IslandResult:
     best_per_size:
         Best haplotype of every size across all islands.
     n_evaluations:
-        Total number of evaluations across islands.
+        Total number of fitness requests across islands (the paper's cost
+        metric).
+    n_distinct_evaluations:
+        Evaluations actually executed by the islands' batch evaluators after
+        generation-level dedup and cache reuse; at most ``n_evaluations``.
     n_migrations:
         Number of migration rounds performed.
     elapsed_seconds:
@@ -59,10 +63,18 @@ class IslandResult:
     n_evaluations: int
     n_migrations: int
     elapsed_seconds: float
+    n_distinct_evaluations: int = 0
 
     @property
     def n_islands(self) -> int:
         return len(self.island_results)
+
+    @property
+    def evaluation_reuse_rate(self) -> float:
+        """Fraction of fitness requests answered without re-evaluating."""
+        if self.n_evaluations == 0:
+            return 0.0
+        return 1.0 - self.n_distinct_evaluations / self.n_evaluations
 
 
 class IslandModelGA:
@@ -163,10 +175,12 @@ class IslandModelGA:
                 if current is None or individual.fitness_value() > current.fitness_value():
                     best_per_size[size] = individual
         total_evaluations = sum(ga.n_evaluations for ga in islands)
+        total_distinct = sum(ga.n_distinct_evaluations for ga in islands)
         return IslandResult(
             island_results=tuple(results),
             best_per_size=best_per_size,
             n_evaluations=total_evaluations,
             n_migrations=n_migrations,
             elapsed_seconds=time.perf_counter() - start,
+            n_distinct_evaluations=total_distinct,
         )

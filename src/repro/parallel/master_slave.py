@@ -20,7 +20,6 @@ This module reproduces that organisation on top of :mod:`multiprocessing`:
 from __future__ import annotations
 
 import os
-import time
 from multiprocessing import get_context
 from typing import Sequence
 
@@ -69,6 +68,12 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
         ``multiprocessing`` start method; the default ``"fork"`` (when
         available) avoids re-importing the scientific stack in every worker,
         ``"spawn"`` is used automatically on platforms without ``fork``.
+    dedup, cache_size:
+        Batch fast-path controls inherited from
+        :class:`~repro.parallel.base.BaseBatchEvaluator`: duplicates within a
+        generation are collapsed and previously seen haplotypes are answered
+        from a master-side cache, so only distinct, unseen individuals are
+        scattered to the slaves.
     """
 
     def __init__(
@@ -78,8 +83,10 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
         n_workers: int | None = None,
         chunk_size: int = 1,
         start_method: str | None = None,
+        dedup: bool = True,
+        cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE,
     ) -> None:
-        super().__init__()
+        super().__init__(dedup=dedup, cache_size=cache_size)
         if n_workers is not None and n_workers <= 0:
             raise ValueError("n_workers must be positive")
         if chunk_size <= 0:
@@ -108,12 +115,11 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
     def evaluate_batch(self, batch: Sequence[SnpSet]) -> list[float]:
         if self._closed:
             raise RuntimeError("evaluator has been closed")
-        if len(batch) == 0:
-            return []
-        start = time.perf_counter()
+        return super().evaluate_batch(batch)
+
+    def _evaluate_distinct(self, batch: Sequence[SnpSet]) -> list[float]:
         tasks = [tuple(int(s) for s in snps) for snps in batch]
         results = self._pool.map(_evaluate_in_worker, tasks, chunksize=self._chunk_size)
-        self._stats.record_batch(len(batch), time.perf_counter() - start)
         return [float(r) for r in results]
 
     def close(self) -> None:

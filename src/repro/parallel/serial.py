@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import time
 from typing import Sequence
 
 from .base import BaseBatchEvaluator, FitnessCallable, SnpSet
@@ -17,18 +16,25 @@ class SerialEvaluator(BaseBatchEvaluator):
     against (they must return bit-identical fitnesses) and the sensible choice
     for small populations, where process start-up and serialisation overheads
     dominate the actual EM cost.
+
+    The generation-level dedup and the cross-batch fitness cache of
+    :class:`~repro.parallel.base.BaseBatchEvaluator` are inherited (and on by
+    default); only distinct, unseen haplotypes reach ``fitness``.
     """
 
-    def __init__(self, fitness: FitnessCallable) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        fitness: FitnessCallable,
+        *,
+        dedup: bool = True,
+        cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE,
+    ) -> None:
+        super().__init__(dedup=dedup, cache_size=cache_size)
         self._fitness = fitness
 
     @property
     def fitness_function(self) -> FitnessCallable:
         return self._fitness
 
-    def evaluate_batch(self, batch: Sequence[SnpSet]) -> list[float]:
-        start = time.perf_counter()
-        results = [float(self._fitness(snps)) for snps in batch]
-        self._stats.record_batch(len(batch), time.perf_counter() - start)
-        return results
+    def _evaluate_distinct(self, batch: Sequence[SnpSet]) -> list[float]:
+        return [float(self._fitness(snps)) for snps in batch]

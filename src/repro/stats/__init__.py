@@ -20,8 +20,17 @@ from .clump import (
     t4_statistic,
 )
 from .contingency import ContingencyTable
-from .ehdiall import EHDiallResult, h0_frequencies, run_ehdiall
-from .em import EMResult, PhaseExpansion, estimate_haplotype_frequencies, expand_phases
+from .ehdiall import EHDiallResult, ehdiall_from_expansion, h0_frequencies, run_ehdiall
+from .em import (
+    EMResult,
+    PhaseExpansion,
+    PhaseExpansionCache,
+    concat_expansions,
+    estimate_from_expansion,
+    estimate_haplotype_frequencies,
+    expand_phases,
+    expansion_log_likelihood,
+)
 from .evaluation import EvaluationRecord, HaplotypeEvaluator
 
 __all__ = [
@@ -31,9 +40,14 @@ __all__ = [
     "chi2_sf",
     "EMResult",
     "PhaseExpansion",
+    "PhaseExpansionCache",
+    "concat_expansions",
+    "estimate_from_expansion",
     "estimate_haplotype_frequencies",
     "expand_phases",
+    "expansion_log_likelihood",
     "EHDiallResult",
+    "ehdiall_from_expansion",
     "run_ehdiall",
     "h0_frequencies",
     "ClumpResult",

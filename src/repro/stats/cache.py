@@ -3,9 +3,10 @@
 The paper's cost metric is the *number of evaluations* (Table 2): each
 EH-DIALL + CLUMP run is expensive, so repeatedly evaluating the same haplotype
 is wasted work.  :class:`CachedEvaluator` wraps any fitness callable with an
-exact-match cache keyed on the sorted SNP tuple and keeps hit/miss counters so
-experiments can report both the number of *distinct* haplotypes evaluated and
-the number of fitness requests issued by the search algorithm.
+exact-match cache keyed on the sorted SNP tuple (bounded entries are evicted
+least-recently-used) and keeps hit/miss counters so experiments can report
+both the number of *distinct* haplotypes evaluated and the number of fitness
+requests issued by the search algorithm.
 """
 
 from __future__ import annotations
@@ -15,7 +16,13 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..lru import LRUCache
+
 __all__ = ["CacheStatistics", "CachedEvaluator", "CountingEvaluator"]
+
+#: Sentinel distinguishing "not cached" from legitimately cached falsy values
+#: (a zero fitness is a perfectly valid CLUMP statistic).
+_MISSING = object()
 
 
 @dataclass(frozen=True)
@@ -67,7 +74,7 @@ class CachedEvaluator:
         :class:`~repro.stats.evaluation.HaplotypeEvaluator`).
     max_size:
         Optional bound on the number of cached entries; when exceeded, the
-        oldest entries are evicted (FIFO).  ``None`` means unbounded.
+        least-recently-used entry is evicted.  ``None`` means unbounded.
     """
 
     def __init__(
@@ -80,7 +87,7 @@ class CachedEvaluator:
             raise ValueError("max_size must be positive or None")
         self._fitness = fitness
         self._max_size = max_size
-        self._cache: dict[tuple[int, ...], float] = {}
+        self._cache: LRUCache = LRUCache(max_size)
         self._hits = 0
         self._misses = 0
 
@@ -109,15 +116,13 @@ class CachedEvaluator:
     # ------------------------------------------------------------------ #
     def __call__(self, snps: Sequence[int] | np.ndarray) -> float:
         key = _key(snps)
-        cached = self._cache.get(key)
-        if cached is not None:
+        # sentinel lookup: 0.0 (or any falsy/negative fitness) is a
+        # legitimate cached value and must count as a hit
+        cached = self._cache.get(key, _MISSING)
+        if cached is not _MISSING:
             self._hits += 1
             return cached
         value = float(self._fitness(snps))
         self._misses += 1
-        if self._max_size is not None and len(self._cache) >= self._max_size:
-            # FIFO eviction: drop the oldest inserted entry
-            oldest = next(iter(self._cache))
-            del self._cache[oldest]
-        self._cache[key] = value
+        self._cache.put(key, value)
         return value

@@ -18,6 +18,18 @@ likelihood-ratio chi-square for association between the markers.
 In the paper's evaluation pipeline (Figure 3), EH-DIALL is run independently
 on the affected and unaffected groups; the estimated haplotype distributions
 of the two runs are then concatenated into a contingency table for CLUMP.
+
+Performance notes
+-----------------
+The expensive part of a run is the phase expansion and the EM over it, so the
+module is split into two entry points: :func:`run_ehdiall` expands the
+genotypes **once** (the seed expanded twice — once for the H0 likelihood and
+once more inside the H1 EM) and delegates to :func:`ehdiall_from_expansion`,
+which works entirely from a pre-computed — typically cached —
+:class:`~repro.stats.em.PhaseExpansion` and accepts warm-start frequencies
+for the EM.  The evaluation pipeline (:mod:`repro.stats.evaluation`) feeds it
+cached per-group expansions and builds the pooled case+control run by
+concatenating the group expansions instead of re-expanding.
 """
 
 from __future__ import annotations
@@ -27,12 +39,18 @@ from typing import Sequence
 
 import numpy as np
 
-from ..genetics.alleles import GENOTYPE_MISSING, n_haplotype_states
+from ..genetics.alleles import n_haplotype_states
 from ..genetics.dataset import GenotypeDataset
 from .chi2 import chi2_sf
-from .em import EMResult, estimate_haplotype_frequencies, expand_phases, _log_likelihood
+from .em import (
+    EMResult,
+    PhaseExpansion,
+    estimate_from_expansion,
+    expand_phases,
+    expansion_log_likelihood,
+)
 
-__all__ = ["EHDiallResult", "run_ehdiall", "h0_frequencies"]
+__all__ = ["EHDiallResult", "run_ehdiall", "ehdiall_from_expansion", "h0_frequencies"]
 
 
 @dataclass(frozen=True)
@@ -85,16 +103,6 @@ class EHDiallResult:
         return self.em.expected_counts()
 
 
-def _gene_counting_allele_frequencies(genotypes: np.ndarray) -> np.ndarray:
-    """Per-locus frequency of allele ``2`` among complete-data individuals."""
-    observed = genotypes != GENOTYPE_MISSING
-    complete = np.all(observed, axis=1)
-    genotypes = genotypes[complete]
-    if genotypes.shape[0] == 0:
-        return np.full(genotypes.shape[1], np.nan)
-    return genotypes.mean(axis=0) / 2.0
-
-
 def h0_frequencies(allele_frequencies: np.ndarray) -> np.ndarray:
     """Haplotype frequencies under locus independence (H0).
 
@@ -110,6 +118,51 @@ def h0_frequencies(allele_frequencies: np.ndarray) -> np.ndarray:
         p2 = allele_frequencies[locus]
         freqs *= np.where(carries_2 == 1, p2, 1.0 - p2)
     return freqs
+
+
+def ehdiall_from_expansion(
+    expansion: PhaseExpansion,
+    *,
+    max_iter: int = 200,
+    tol: float = 1e-8,
+    initial_frequencies: np.ndarray | None = None,
+) -> EHDiallResult:
+    """Run EH-DIALL from a pre-computed (typically cached) phase expansion.
+
+    Parameters
+    ----------
+    expansion:
+        Phase expansion of the group's genotypes at the candidate SNPs; must
+        carry ``class_genotypes`` (expansions from
+        :func:`~repro.stats.em.expand_phases` and
+        :func:`~repro.stats.em.concat_expansions` do).
+    max_iter, tol:
+        EM control parameters.
+    initial_frequencies:
+        Optional warm start for the H1 EM (e.g. the count-weighted mix of the
+        two group solutions when pooling case and control samples, or the
+        final frequencies of an earlier run of the same haplotype).
+    """
+    allele_freqs = expansion.allele_frequencies()
+    em = estimate_from_expansion(
+        expansion, initial_frequencies=initial_frequencies, max_iter=max_iter, tol=tol
+    )
+    if expansion.n_individuals > 0 and not np.any(np.isnan(allele_freqs)):
+        h0 = expansion_log_likelihood(expansion, h0_frequencies(allele_freqs))
+    else:
+        h0 = 0.0
+    h1 = em.log_likelihood
+    n_loci = expansion.n_loci
+    lrt_df = max(n_haplotype_states(n_loci) - 1 - n_loci, 0)
+    lrt = max(2.0 * (h1 - h0), 0.0)
+    return EHDiallResult(
+        em=em,
+        allele_frequencies=allele_freqs,
+        h0_log_likelihood=h0,
+        h1_log_likelihood=h1,
+        lrt_statistic=lrt,
+        lrt_df=lrt_df,
+    )
 
 
 def run_ehdiall(
@@ -142,23 +195,5 @@ def run_ehdiall(
         if snps is not None:
             genotypes = genotypes[:, np.asarray(snps, dtype=np.intp)]
 
-    allele_freqs = _gene_counting_allele_frequencies(genotypes)
-
     expansion = expand_phases(genotypes)
-    em = estimate_haplotype_frequencies(genotypes, max_iter=max_iter, tol=tol)
-    if expansion.n_individuals > 0 and not np.any(np.isnan(allele_freqs)):
-        h0 = _log_likelihood(expansion, h0_frequencies(allele_freqs))
-    else:
-        h0 = 0.0
-    h1 = em.log_likelihood
-    n_loci = genotypes.shape[1]
-    lrt_df = max(n_haplotype_states(n_loci) - 1 - n_loci, 0)
-    lrt = max(2.0 * (h1 - h0), 0.0)
-    return EHDiallResult(
-        em=em,
-        allele_frequencies=allele_freqs,
-        h0_log_likelihood=h0,
-        h1_log_likelihood=h1,
-        lrt_statistic=lrt,
-        lrt_df=lrt_df,
-    )
+    return ehdiall_from_expansion(expansion, max_iter=max_iter, tol=tol)

@@ -20,17 +20,57 @@ Complexity: a genotype heterozygous at ``h`` of the ``L`` loci is compatible
 with ``2^(h-1)`` unordered haplotype pairs, so the per-iteration work is
 ``O(sum_g 2^(h_g))`` — exponential in the haplotype size, which is exactly the
 behaviour the paper's Figure 4 documents for its evaluation function.
+
+Performance notes
+-----------------
+The kernel is organised for throughput (the GA's entire cost model is the
+number and cost of these EM runs):
+
+* the phase expansion is built **once** per (genotype matrix, SNP subset) and
+  stored class-sorted, so every per-class accumulation is a segmented
+  reduction (``np.add.reduceat`` over contiguous class blocks, with an
+  ``np.bincount`` fallback for hand-built unsorted expansions) instead of an
+  unbuffered ``np.add.at`` scatter;
+* pair enumeration is vectorised: all ``2^(h-1)`` phase assignments of every
+  genotype class are emitted by a handful of broadcast bit operations rather
+  than a Python loop per pair;
+* each EM iteration computes the pair-probability vector **once** and derives
+  both the E-step posterior and the log-likelihood from it (the textbook
+  formulation — and the seed implementation, preserved in
+  :mod:`repro.stats.em_reference` — pays for it twice per iteration);
+* expansions are reusable and composable: :func:`concat_expansions` builds
+  the pooled case+control expansion by concatenating the per-group class
+  tables (duplicated genotype classes are *exactly* equivalent to one merged
+  class for the likelihood and the EM updates), and
+  :class:`PhaseExpansionCache` memoises expansions per SNP subset so
+  re-evaluating a haplotype never repeats genotype slicing, ``np.unique``,
+  or pair enumeration;
+* :func:`estimate_from_expansion` accepts ``initial_frequencies``, enabling
+  warm starts (e.g. seeding the pooled EM from the count-weighted mix of the
+  two group solutions).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Sequence
 
 import numpy as np
 
 from ..genetics.alleles import GENOTYPE_MISSING, n_haplotype_states
+from ..lru import LRUCache
 
-__all__ = ["EMResult", "PhaseExpansion", "expand_phases", "estimate_haplotype_frequencies"]
+__all__ = [
+    "EMResult",
+    "PhaseExpansion",
+    "PhaseExpansionCache",
+    "expand_phases",
+    "concat_expansions",
+    "expansion_log_likelihood",
+    "estimate_haplotype_frequencies",
+    "estimate_from_expansion",
+]
 
 _LOG_FLOOR = 1e-300
 
@@ -84,6 +124,10 @@ class PhaseExpansion:
     ordered phase configurations it represents (1 for ``a == b``, 2
     otherwise).  All EM iterations reuse the same expansion.
 
+    :func:`expand_phases` emits the pairs sorted by class, which lets the EM
+    kernel use contiguous segmented reductions; hand-built expansions may be
+    unsorted and are normalised on entry via :meth:`sorted_by_class`.
+
     Attributes
     ----------
     n_loci:
@@ -96,6 +140,10 @@ class PhaseExpansion:
         Genotype-class index of each candidate pair.
     pair_multiplicity:
         1.0 where ``pair_a == pair_b`` else 2.0.
+    class_genotypes:
+        Optional ``(n_classes, n_loci)`` table of the class genotypes; kept so
+        per-locus allele frequencies and pooled expansions can be derived
+        without going back to the raw genotype matrix.
     n_individuals:
         Total number of individuals covered (sum of ``class_counts``).
     """
@@ -106,6 +154,7 @@ class PhaseExpansion:
     pair_b: np.ndarray
     pair_class: np.ndarray
     pair_multiplicity: np.ndarray
+    class_genotypes: np.ndarray | None = field(default=None)
 
     @property
     def n_individuals(self) -> int:
@@ -119,12 +168,82 @@ class PhaseExpansion:
     def n_pairs(self) -> int:
         return self.pair_a.shape[0]
 
+    # -- segmented-reduction support ----------------------------------- #
+    @cached_property
+    def is_class_sorted(self) -> bool:
+        """Whether the pair arrays are sorted by ``pair_class``."""
+        return bool(self.n_pairs == 0 or np.all(np.diff(self.pair_class) >= 0))
+
+    def sorted_by_class(self) -> "PhaseExpansion":
+        """Return an equivalent expansion whose pairs are sorted by class.
+
+        Returns ``self`` when already sorted (always the case for expansions
+        built by :func:`expand_phases` or :func:`concat_expansions`).
+        """
+        if self.is_class_sorted:
+            return self
+        order = np.argsort(self.pair_class, kind="stable")
+        return PhaseExpansion(
+            n_loci=self.n_loci,
+            class_counts=self.class_counts,
+            pair_a=self.pair_a[order],
+            pair_b=self.pair_b[order],
+            pair_class=self.pair_class[order],
+            pair_multiplicity=self.pair_multiplicity[order],
+            class_genotypes=self.class_genotypes,
+        )
+
+    @cached_property
+    def class_starts(self) -> np.ndarray:
+        """First pair index of each class (requires a class-sorted expansion)."""
+        return np.searchsorted(self.pair_class, np.arange(self.n_classes))
+
+    @cached_property
+    def _can_reduceat(self) -> bool:
+        # ``np.add.reduceat`` needs a class-sorted expansion with every
+        # segment non-empty; expansions built by expand_phases always satisfy
+        # this (each genotype class emits at least one pair), hand-built ones
+        # may not.
+        if self.n_pairs == 0 or self.n_classes == 0 or not self.is_class_sorted:
+            return False
+        starts = self.class_starts
+        return bool(
+            starts[0] == 0 and starts[-1] < self.n_pairs and np.all(np.diff(starts) > 0)
+        )
+
+    def class_reduce(self, pair_values: np.ndarray) -> np.ndarray:
+        """Sum a per-pair vector into per-class totals (segmented reduction)."""
+        if self._can_reduceat:
+            return np.add.reduceat(pair_values, self.class_starts)
+        return np.bincount(
+            self.pair_class, weights=pair_values, minlength=self.n_classes
+        )
+
+    # -- derived per-locus statistics ---------------------------------- #
+    def allele_frequencies(self) -> np.ndarray:
+        """Per-locus frequency of allele ``2`` among the covered individuals.
+
+        Requires ``class_genotypes``; returns NaNs when the expansion covers
+        no individuals (matching gene counting on an empty sample).
+        """
+        if self.class_genotypes is None:
+            raise ValueError("expansion was built without class_genotypes")
+        n = self.n_individuals
+        if n == 0:
+            return np.full(self.n_loci, np.nan)
+        totals = self.class_counts.astype(np.float64) @ self.class_genotypes.astype(np.float64)
+        return totals / (2.0 * n)
+
 
 def _genotype_pairs(genotype: np.ndarray) -> list[tuple[int, int]]:
     """Enumerate the unordered haplotype pairs compatible with one genotype.
 
     ``genotype`` is a complete (no missing) vector of codes 0/1/2.  Haplotype
     states are bit masks where bit ``i`` set means allele ``2`` at locus ``i``.
+
+    This is the scalar reference enumeration; :func:`expand_phases` uses the
+    vectorised :func:`_enumerate_pairs`, which must emit the same pairs in the
+    same order.
     """
     het = np.flatnonzero(genotype == 1)
     base = 0
@@ -146,6 +265,60 @@ def _genotype_pairs(genotype: np.ndarray) -> list[tuple[int, int]]:
                 hap_b |= 1 << locus
         pairs.append((hap_a, hap_b))
     return pairs
+
+
+def _enumerate_pairs(classes: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised phase enumeration for a table of distinct complete genotypes.
+
+    Returns ``(pair_a, pair_b, pair_class)`` sorted by class, with pairs
+    within a class ordered by ascending phase-assignment index — the same
+    order the scalar :func:`_genotype_pairs` produces.
+    """
+    n_classes, n_loci = classes.shape
+    locus_bits = (np.int64(1) << np.arange(n_loci, dtype=np.int64))
+    base = ((classes == 2).astype(np.int64) @ locus_bits)
+    het_mask = classes == 1
+    het_count = het_mask.sum(axis=1)
+
+    pa_parts: list[np.ndarray] = []
+    pb_parts: list[np.ndarray] = []
+    pc_parts: list[np.ndarray] = []
+
+    # fully phased classes: a single (base, base) pair each
+    hom_rows = np.flatnonzero(het_count == 0)
+    if hom_rows.size:
+        pa_parts.append(base[hom_rows])
+        pb_parts.append(base[hom_rows])
+        pc_parts.append(hom_rows.astype(np.int64))
+
+    # classes heterozygous at h loci: 2^(h-1) pairs each, the phase of the
+    # first heterozygous locus fixed to avoid double counting
+    for h in np.unique(het_count[het_count > 0]):
+        h = int(h)
+        rows = np.flatnonzero(het_count == h)
+        het_pos = np.nonzero(het_mask[rows])[1].reshape(rows.size, h)
+        first_mask = locus_bits[het_pos[:, 0]]
+        rest_masks = locus_bits[het_pos[:, 1:]]  # (m, h-1)
+        n_assignments = 1 << (h - 1)
+        bits = (
+            (np.arange(n_assignments, dtype=np.int64)[:, None]
+             >> np.arange(h - 1, dtype=np.int64)[None, :]) & 1
+        )  # (k, h-1)
+        a_extra = rest_masks @ bits.T  # (m, k)
+        b_extra = rest_masks.sum(axis=1, keepdims=True) - a_extra
+        pa_parts.append(((base[rows] + first_mask)[:, None] + a_extra).ravel())
+        pb_parts.append((base[rows][:, None] + b_extra).ravel())
+        pc_parts.append(np.repeat(rows.astype(np.int64), n_assignments))
+
+    if not pa_parts:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+
+    pa = np.concatenate(pa_parts)
+    pb = np.concatenate(pb_parts)
+    pc = np.concatenate(pc_parts)
+    order = np.argsort(pc, kind="stable")
+    return pa[order], pb[order], pc[order]
 
 
 def expand_phases(genotypes: np.ndarray) -> PhaseExpansion:
@@ -175,39 +348,131 @@ def expand_phases(genotypes: np.ndarray) -> PhaseExpansion:
             pair_b=np.zeros(0, dtype=np.int64),
             pair_class=np.zeros(0, dtype=np.int64),
             pair_multiplicity=np.zeros(0, dtype=np.float64),
+            class_genotypes=np.zeros((0, n_loci), dtype=genotypes.dtype),
         )
 
     classes, counts = np.unique(genotypes, axis=0, return_counts=True)
-    pair_a: list[int] = []
-    pair_b: list[int] = []
-    pair_class: list[int] = []
-    for class_idx, genotype in enumerate(classes):
-        for a, b in _genotype_pairs(genotype):
-            pair_a.append(a)
-            pair_b.append(b)
-            pair_class.append(class_idx)
-    pa = np.asarray(pair_a, dtype=np.int64)
-    pb = np.asarray(pair_b, dtype=np.int64)
+    pa, pb, pc = _enumerate_pairs(classes)
     multiplicity = np.where(pa == pb, 1.0, 2.0)
     return PhaseExpansion(
         n_loci=n_loci,
         class_counts=counts.astype(np.int64),
         pair_a=pa,
         pair_b=pb,
-        pair_class=np.asarray(pair_class, dtype=np.int64),
+        pair_class=pc,
         pair_multiplicity=multiplicity,
+        class_genotypes=classes,
     )
 
 
-def _log_likelihood(expansion: PhaseExpansion, frequencies: np.ndarray) -> float:
+def concat_expansions(first: PhaseExpansion, second: PhaseExpansion) -> PhaseExpansion:
+    """Pool two expansions over the same loci by concatenating class tables.
+
+    A genotype class duplicated across the two inputs is *exactly* equivalent
+    to one merged class for both the log-likelihood and the EM updates
+    (``n1·log P + n2·log P = (n1+n2)·log P``, and the E-step weights are
+    linear in the class counts), so pooling needs no re-expansion, no
+    ``np.unique`` and no cross-group dedup — just an offset on the class
+    indices of the second input.
+    """
+    if first.n_loci != second.n_loci:
+        raise ValueError("cannot concatenate expansions over different loci counts")
+    if first.n_individuals == 0:
+        return second
+    if second.n_individuals == 0:
+        return first
+    class_genotypes = None
+    if first.class_genotypes is not None and second.class_genotypes is not None:
+        class_genotypes = np.concatenate([first.class_genotypes, second.class_genotypes])
+    return PhaseExpansion(
+        n_loci=first.n_loci,
+        class_counts=np.concatenate([first.class_counts, second.class_counts]),
+        pair_a=np.concatenate([first.pair_a, second.pair_a]),
+        pair_b=np.concatenate([first.pair_b, second.pair_b]),
+        pair_class=np.concatenate(
+            [first.pair_class, second.pair_class + first.n_classes]
+        ),
+        pair_multiplicity=np.concatenate(
+            [first.pair_multiplicity, second.pair_multiplicity]
+        ),
+        class_genotypes=class_genotypes,
+    )
+
+
+class PhaseExpansionCache:
+    """Bounded LRU cache of phase expansions for SNP subsets of one matrix.
+
+    Building an expansion means slicing the genotype matrix, running
+    ``np.unique`` over the rows and enumerating up to ``2^(h-1)`` phase pairs
+    per class; the GA re-evaluates the same haplotype many times (elitism,
+    re-insertion, the affected/unaffected/pooled triple of the LRT), so the
+    expansion is worth memoising per sorted SNP tuple.
+
+    Parameters
+    ----------
+    genotypes:
+        The full ``(n_individuals, n_snps)`` genotype matrix the cached
+        expansions are column subsets of.
+    max_size:
+        Bound on the number of cached expansions (least-recently-used entries
+        are evicted); ``None`` means unbounded.
+    """
+
+    def __init__(self, genotypes: np.ndarray, *, max_size: int | None = 256) -> None:
+        if max_size is not None and max_size <= 0:
+            raise ValueError("max_size must be positive or None")
+        self._genotypes = np.asarray(genotypes)
+        if self._genotypes.ndim != 2:
+            raise ValueError("genotypes must be 2-D (individuals x loci)")
+        self._cache: LRUCache = LRUCache(max_size)
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, snps: Sequence[int] | np.ndarray) -> PhaseExpansion:
+        """Return the (possibly cached) expansion of the given SNP columns."""
+        key = tuple(sorted(int(s) for s in snps))
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._hits += 1
+            return cached
+        self._misses += 1
+        expansion = expand_phases(self._genotypes[:, np.asarray(key, dtype=np.intp)])
+        self._cache.put(key, expansion)
+        return expansion
+
+
+def expansion_log_likelihood(expansion: PhaseExpansion, frequencies: np.ndarray) -> float:
+    """Observed-data log-likelihood of ``frequencies`` under an expansion."""
+    expansion = expansion.sorted_by_class()
+    if expansion.n_classes == 0:
+        return 0.0
     pair_prob = (
         expansion.pair_multiplicity
         * frequencies[expansion.pair_a]
         * frequencies[expansion.pair_b]
     )
-    class_prob = np.zeros(expansion.n_classes, dtype=np.float64)
-    np.add.at(class_prob, expansion.pair_class, pair_prob)
+    class_prob = expansion.class_reduce(pair_prob)
     return float(np.sum(expansion.class_counts * np.log(np.maximum(class_prob, _LOG_FLOOR))))
+
+
+# backwards-compatible alias (the seed exposed the helper under this name)
+_log_likelihood = expansion_log_likelihood
 
 
 def estimate_haplotype_frequencies(
@@ -248,7 +513,15 @@ def estimate_from_expansion(
     max_iter: int = 200,
     tol: float = 1e-8,
 ) -> EMResult:
-    """Run the EM on a pre-computed :class:`PhaseExpansion`."""
+    """Run the EM on a pre-computed :class:`PhaseExpansion`.
+
+    Each iteration computes the pair-probability vector once and derives both
+    the log-likelihood of the *current* frequencies and the E-step posterior
+    from it; per-class totals use a contiguous segmented reduction and the
+    M-step haplotype counts use ``np.bincount``.  The iteration schedule,
+    convergence test and reported diagnostics are identical to the seed's
+    scatter-add kernel (:mod:`repro.stats.em_reference`).
+    """
     n_states = n_haplotype_states(expansion.n_loci)
     if initial_frequencies is None:
         frequencies = np.full(n_states, 1.0 / n_states, dtype=np.float64)
@@ -274,36 +547,62 @@ def estimate_from_expansion(
             n_loci=expansion.n_loci,
         )
 
-    n_chromosomes = 2.0 * n_individuals
+    expansion = expansion.sorted_by_class()
+    pair_a = expansion.pair_a
+    pair_b = expansion.pair_b
+    pair_class = expansion.pair_class
+    multiplicity = expansion.pair_multiplicity
     class_counts = expansion.class_counts.astype(np.float64)
-    log_likelihood = _log_likelihood(expansion, frequencies)
-    converged = False
+    counts_per_pair = class_counts[pair_class]  # loop-invariant gather
+    n_pairs = pair_a.shape[0]
+    n_classes = expansion.n_classes
+    n_chromosomes = 2.0 * n_individuals
+
+    # preallocated per-iteration buffers: the pair counts are small enough
+    # that ufunc dispatch and allocation dominate, so every step below writes
+    # into a reused buffer (the arithmetic order matches the reference kernel
+    # exactly: (multiplicity * f[a]) * f[b], posterior = pair_prob /
+    # class_prob[class], weight = posterior * counts[class])
+    pair_ab = np.concatenate([pair_a, pair_b])
+    freq_ab = np.empty(2 * n_pairs, dtype=np.float64)
+    pair_prob = np.empty(n_pairs, dtype=np.float64)
+    class_per_pair = np.empty(n_pairs, dtype=np.float64)
+    weight = np.empty(n_pairs, dtype=np.float64)
+    log_class = np.empty(n_classes, dtype=np.float64)
+
+    log_likelihood = 0.0
+    previous_ll: float | None = None
     iteration = 0
-    for iteration in range(1, max_iter + 1):
-        # E-step: posterior probability of each compatible pair within its class
-        pair_prob = (
-            expansion.pair_multiplicity
-            * frequencies[expansion.pair_a]
-            * frequencies[expansion.pair_b]
-        )
-        class_prob = np.zeros(expansion.n_classes, dtype=np.float64)
-        np.add.at(class_prob, expansion.pair_class, pair_prob)
-        class_prob = np.maximum(class_prob, _LOG_FLOOR)
-        posterior = pair_prob / class_prob[expansion.pair_class]
-        weight = posterior * class_counts[expansion.pair_class]
+    converged = False
+    while True:
+        # pair probabilities under the current frequencies, computed once and
+        # shared by the likelihood and the E-step
+        np.take(frequencies, pair_ab, out=freq_ab)
+        np.multiply(multiplicity, freq_ab[:n_pairs], out=pair_prob)
+        pair_prob *= freq_ab[n_pairs:]
+        class_prob = expansion.class_reduce(pair_prob)
+        np.maximum(class_prob, _LOG_FLOOR, out=class_prob)
+        np.log(class_prob, out=log_class)
+        log_likelihood = float(class_counts @ log_class)
 
-        # M-step: expected haplotype counts -> new frequencies
-        hap_counts = np.zeros(frequencies.shape[0], dtype=np.float64)
-        np.add.at(hap_counts, expansion.pair_a, weight)
-        np.add.at(hap_counts, expansion.pair_b, weight)
-        frequencies = hap_counts / n_chromosomes
-
-        new_log_likelihood = _log_likelihood(expansion, frequencies)
-        if abs(new_log_likelihood - log_likelihood) < tol:
-            log_likelihood = new_log_likelihood
+        if previous_ll is not None and abs(log_likelihood - previous_ll) < tol:
             converged = True
             break
-        log_likelihood = new_log_likelihood
+        if iteration >= max_iter:
+            break
+        previous_ll = log_likelihood
+
+        # E-step: posterior probability of each compatible pair within its
+        # class, weighted by the class population
+        np.take(class_prob, pair_class, out=class_per_pair)
+        np.divide(pair_prob, class_per_pair, out=weight)
+        weight *= counts_per_pair
+
+        # M-step: expected haplotype counts -> new frequencies
+        hap_counts = np.bincount(pair_a, weights=weight, minlength=n_states)
+        hap_counts += np.bincount(pair_b, weights=weight, minlength=n_states)
+        frequencies = hap_counts / n_chromosomes
+        iteration += 1
 
     return EMResult(
         frequencies=frequencies,

@@ -1,0 +1,174 @@
+"""Reference (pre-optimisation) EM kernel, kept for parity tests and benchmarks.
+
+This module preserves the original scatter-add implementation of the
+haplotype-frequency EM exactly as it shipped in the seed:
+
+* class and haplotype accumulations use ``np.add.at`` (unbuffered scatter-add,
+  one inner-loop dispatch per pair);
+* the pair-probability vector is computed twice per iteration — once for the
+  E-step and once more inside the log-likelihood of the updated frequencies.
+
+The optimised kernel in :mod:`repro.stats.em` replaces both with segmented
+reductions over a class-sorted expansion and a fused likelihood evaluation.
+It must stay numerically equivalent to this reference (log-likelihoods to
+1e-9, frequencies to 1e-10, identical iteration counts and convergence
+flags); ``tests/test_em_kernel_parity.py`` enforces that property and
+``benchmarks/bench_em_kernel.py`` reports the speedup over this baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..genetics.alleles import GENOTYPE_MISSING, n_haplotype_states
+from .em import EMResult, PhaseExpansion, _LOG_FLOOR, _genotype_pairs
+
+__all__ = [
+    "reference_expand_phases",
+    "reference_log_likelihood",
+    "reference_estimate_from_expansion",
+    "reference_estimate_haplotype_frequencies",
+]
+
+
+def reference_expand_phases(genotypes: np.ndarray) -> PhaseExpansion:
+    """The seed's expansion builder: a Python loop over classes and pairs."""
+    genotypes = np.asarray(genotypes)
+    if genotypes.ndim != 2:
+        raise ValueError("genotypes must be 2-D (individuals x loci)")
+    n_loci = genotypes.shape[1]
+    if n_loci == 0:
+        raise ValueError("at least one locus is required")
+    complete = ~np.any(genotypes == GENOTYPE_MISSING, axis=1)
+    genotypes = genotypes[complete]
+
+    if genotypes.shape[0] == 0:
+        return PhaseExpansion(
+            n_loci=n_loci,
+            class_counts=np.zeros(0, dtype=np.int64),
+            pair_a=np.zeros(0, dtype=np.int64),
+            pair_b=np.zeros(0, dtype=np.int64),
+            pair_class=np.zeros(0, dtype=np.int64),
+            pair_multiplicity=np.zeros(0, dtype=np.float64),
+        )
+
+    classes, counts = np.unique(genotypes, axis=0, return_counts=True)
+    pair_a: list[int] = []
+    pair_b: list[int] = []
+    pair_class: list[int] = []
+    for class_idx, genotype in enumerate(classes):
+        for a, b in _genotype_pairs(genotype):
+            pair_a.append(a)
+            pair_b.append(b)
+            pair_class.append(class_idx)
+    pa = np.asarray(pair_a, dtype=np.int64)
+    pb = np.asarray(pair_b, dtype=np.int64)
+    multiplicity = np.where(pa == pb, 1.0, 2.0)
+    return PhaseExpansion(
+        n_loci=n_loci,
+        class_counts=counts.astype(np.int64),
+        pair_a=pa,
+        pair_b=pb,
+        pair_class=np.asarray(pair_class, dtype=np.int64),
+        pair_multiplicity=multiplicity,
+    )
+
+
+def reference_log_likelihood(expansion: PhaseExpansion, frequencies: np.ndarray) -> float:
+    """Observed-data log-likelihood via the original ``np.add.at`` scatter."""
+    pair_prob = (
+        expansion.pair_multiplicity
+        * frequencies[expansion.pair_a]
+        * frequencies[expansion.pair_b]
+    )
+    class_prob = np.zeros(expansion.n_classes, dtype=np.float64)
+    np.add.at(class_prob, expansion.pair_class, pair_prob)
+    return float(np.sum(expansion.class_counts * np.log(np.maximum(class_prob, _LOG_FLOOR))))
+
+
+def reference_estimate_from_expansion(
+    expansion: PhaseExpansion,
+    *,
+    initial_frequencies: np.ndarray | None = None,
+    max_iter: int = 200,
+    tol: float = 1e-8,
+) -> EMResult:
+    """Run the seed's scatter-add EM on a pre-computed :class:`PhaseExpansion`."""
+    n_states = n_haplotype_states(expansion.n_loci)
+    if initial_frequencies is None:
+        frequencies = np.full(n_states, 1.0 / n_states, dtype=np.float64)
+    else:
+        frequencies = np.asarray(initial_frequencies, dtype=np.float64).copy()
+        if frequencies.shape != (n_states,):
+            raise ValueError(f"initial_frequencies must have length {n_states}")
+        if np.any(frequencies < 0):
+            raise ValueError("initial_frequencies must be non-negative")
+        total = frequencies.sum()
+        if total <= 0:
+            raise ValueError("initial_frequencies must not be all zero")
+        frequencies /= total
+
+    n_individuals = expansion.n_individuals
+    if n_individuals == 0:
+        return EMResult(
+            frequencies=frequencies,
+            log_likelihood=0.0,
+            n_iterations=0,
+            converged=True,
+            n_individuals=0,
+            n_loci=expansion.n_loci,
+        )
+
+    n_chromosomes = 2.0 * n_individuals
+    class_counts = expansion.class_counts.astype(np.float64)
+    log_likelihood = reference_log_likelihood(expansion, frequencies)
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iter + 1):
+        # E-step: posterior probability of each compatible pair within its class
+        pair_prob = (
+            expansion.pair_multiplicity
+            * frequencies[expansion.pair_a]
+            * frequencies[expansion.pair_b]
+        )
+        class_prob = np.zeros(expansion.n_classes, dtype=np.float64)
+        np.add.at(class_prob, expansion.pair_class, pair_prob)
+        class_prob = np.maximum(class_prob, _LOG_FLOOR)
+        posterior = pair_prob / class_prob[expansion.pair_class]
+        weight = posterior * class_counts[expansion.pair_class]
+
+        # M-step: expected haplotype counts -> new frequencies
+        hap_counts = np.zeros(frequencies.shape[0], dtype=np.float64)
+        np.add.at(hap_counts, expansion.pair_a, weight)
+        np.add.at(hap_counts, expansion.pair_b, weight)
+        frequencies = hap_counts / n_chromosomes
+
+        new_log_likelihood = reference_log_likelihood(expansion, frequencies)
+        if abs(new_log_likelihood - log_likelihood) < tol:
+            log_likelihood = new_log_likelihood
+            converged = True
+            break
+        log_likelihood = new_log_likelihood
+
+    return EMResult(
+        frequencies=frequencies,
+        log_likelihood=log_likelihood,
+        n_iterations=iteration,
+        converged=converged,
+        n_individuals=n_individuals,
+        n_loci=expansion.n_loci,
+    )
+
+
+def reference_estimate_haplotype_frequencies(
+    genotypes: np.ndarray,
+    *,
+    initial_frequencies: np.ndarray | None = None,
+    max_iter: int = 200,
+    tol: float = 1e-8,
+) -> EMResult:
+    """Genotype-level entry point of the reference kernel (loop expansion + scatter EM)."""
+    expansion = reference_expand_phases(genotypes)
+    return reference_estimate_from_expansion(
+        expansion, initial_frequencies=initial_frequencies, max_iter=max_iter, tol=tol
+    )

@@ -16,21 +16,51 @@ The evaluator counts every call (the paper reports the *number of
 evaluations* as its main cost indicator, since each evaluation is expensive)
 and can be wrapped in a cache (:mod:`repro.stats.cache`) or farmed out to
 worker processes (:mod:`repro.parallel`).
+
+Performance notes
+-----------------
+The evaluator keeps three layers of reuse, all keyed on the sorted SNP tuple
+(the caches are on by default and result-preserving; disable with
+``cache_size=0`` when timing raw evaluation cost, as the speedup experiments
+do):
+
+* **expansion reuse** — one :class:`~repro.stats.em.PhaseExpansionCache` per
+  group, so re-evaluating a haplotype never repeats genotype slicing,
+  ``np.unique`` or phase-pair enumeration; the pooled case+control expansion
+  of the LRT path is built by *concatenating* the two group expansions
+  (:func:`~repro.stats.em.concat_expansions`) instead of re-expanding the
+  pooled genotype matrix;
+* **EM warm starts** (opt-in) — ``warm_start=True`` seeds the pooled EM from
+  the count-weighted mix of the two group solutions and ``warm_start="full"``
+  additionally seeds re-runs of evicted haplotypes from their remembered
+  final frequencies, converging in a handful of iterations.  Both are *off*
+  by default: a warm-started EM can stall in a different (worse) optimum
+  than the cold uniform start, shifting the LRT statistic by a few percent,
+  so the default preserves the seed pipeline's exact statistical behaviour;
+* **result reuse** — a bounded LRU of finished :class:`EHDiallResult` per
+  group makes re-evaluation (elitism, duplicate offspring, the
+  affected/unaffected/pooled triple of the LRT) return bit-identical results
+  without re-running the EM.
+
+``n_evaluations`` still counts every fitness request, preserving the paper's
+cost metric; ``n_em_runs`` counts how many EM fits were actually performed.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from ..genetics.alleles import all_haplotype_labels
+from ..lru import LRUCache
 from ..genetics.dataset import GenotypeDataset
 from .clump import ClumpResult, clump_statistics, monte_carlo_p_values
 from .contingency import ContingencyTable
-from .ehdiall import EHDiallResult, run_ehdiall
+from .ehdiall import EHDiallResult, ehdiall_from_expansion
+from .em import PhaseExpansion, PhaseExpansionCache, concat_expansions, expand_phases
 
 __all__ = ["EvaluationRecord", "HaplotypeEvaluator", "FitnessFunction"]
 
@@ -40,6 +70,14 @@ __all__ = ["EvaluationRecord", "HaplotypeEvaluator", "FitnessFunction"]
 #: announces ("different objective functions are going to be used in order to
 #: compare them").
 _VALID_STATISTICS = ("t1", "t2", "t3", "t4", "lrt")
+
+#: Group keys of the three EH-DIALL runs an evaluation can need.
+_GROUPS = ("affected", "unaffected", "pooled")
+
+#: Weight of the uniform distribution mixed into warm-start frequencies, so a
+#: state estimated at exactly zero by both groups is not locked out of the
+#: pooled EM (EM updates are multiplicative in the current frequency).
+_WARM_START_UNIFORM_WEIGHT = 1e-3
 
 
 @dataclass(frozen=True)
@@ -88,11 +126,27 @@ class HaplotypeEvaluator:
         EM control parameters forwarded to EH-DIALL.
     clump_min_expected:
         Pooling threshold for the T2 statistic.
+    cache_size:
+        Bound on the per-group expansion and EH-DIALL-result LRU caches
+        (``0`` disables them, ``None`` means unbounded).  Default 256.
+    warm_start:
+        ``False`` (default) runs every EM from the uniform start, exactly as
+        the seed pipeline did.  ``True`` seeds the pooled EM of the LRT path
+        from the count-weighted mix of the two group solutions —
+        deterministic (the mix depends only on the SNP set) and much faster,
+        but the EM may then stall in a *different* local optimum, shifting
+        the LRT statistic by a few percent, which is why it is opt-in.
+        ``"full"`` additionally seeds re-runs of haplotypes evicted from the
+        result cache from their remembered final frequencies (kept in an LRU
+        eight times the ``cache_size``); that converges in a handful of
+        iterations but also makes a re-evaluation's result depend on the
+        request history.
 
     Notes
     -----
     The evaluator is picklable, so it can be shipped once to each worker
-    process of the parallel master/slave evaluator.
+    process of the parallel master/slave evaluator (internal caches are
+    dropped on pickling and rebuilt per process).
     """
 
     def __init__(
@@ -103,12 +157,18 @@ class HaplotypeEvaluator:
         em_max_iter: int = 200,
         em_tol: float = 1e-8,
         clump_min_expected: float = 5.0,
+        cache_size: int | None = 256,
+        warm_start: bool | str = False,
     ) -> None:
         statistic = statistic.lower()
         if statistic not in _VALID_STATISTICS:
             raise ValueError(f"statistic must be one of {_VALID_STATISTICS}")
         if dataset.n_affected == 0 or dataset.n_unaffected == 0:
             raise ValueError("the dataset must contain both affected and unaffected individuals")
+        if cache_size is not None and cache_size < 0:
+            raise ValueError("cache_size must be non-negative or None")
+        if warm_start not in (True, False, "full"):
+            raise ValueError("warm_start must be True, False or 'full'")
         self._dataset = dataset
         self._affected = dataset.affected()
         self._unaffected = dataset.unaffected()
@@ -117,7 +177,30 @@ class HaplotypeEvaluator:
         self._em_max_iter = int(em_max_iter)
         self._em_tol = float(em_tol)
         self._clump_min_expected = float(clump_min_expected)
+        self._cache_size = cache_size
+        self._warm_start = warm_start
         self._n_evaluations = 0
+        self._n_em_runs = 0
+        self._build_caches()
+
+    def _build_caches(self) -> None:
+        size = self._cache_size
+        enabled = size is None or size > 0
+        self._expansion_caches: dict[str, PhaseExpansionCache] | None = None
+        if enabled:
+            self._expansion_caches = {
+                "affected": PhaseExpansionCache(self._affected.genotypes, max_size=size),
+                "unaffected": PhaseExpansionCache(self._unaffected.genotypes, max_size=size),
+            }
+        self._result_caches: dict[str, LRUCache] | None = (
+            {group: LRUCache(size) for group in _GROUPS} if enabled else None
+        )
+        warm_size = None if size is None else 8 * size
+        self._warm_caches: dict[str, LRUCache] | None = (
+            {group: LRUCache(warm_size) for group in _GROUPS}
+            if enabled and self._warm_start == "full"
+            else None
+        )
 
     # ------------------------------------------------------------------ #
     @property
@@ -138,9 +221,19 @@ class HaplotypeEvaluator:
         """Number of fitness evaluations performed by this evaluator instance."""
         return self._n_evaluations
 
+    @property
+    def n_em_runs(self) -> int:
+        """Number of EH-DIALL EM fits actually performed (cache misses)."""
+        return self._n_em_runs
+
     def reset_counter(self) -> None:
         """Reset the evaluation counter to zero."""
         self._n_evaluations = 0
+        self._n_em_runs = 0
+
+    def clear_caches(self) -> None:
+        """Drop every internal reuse cache (expansions, results, warm starts)."""
+        self._build_caches()
 
     # ------------------------------------------------------------------ #
     def _validate_snps(self, snps: Sequence[int] | np.ndarray) -> tuple[int, ...]:
@@ -153,13 +246,100 @@ class HaplotypeEvaluator:
             raise ValueError(f"SNP index out of range [0, {self.n_snps}) in {snps}")
         return tuple(sorted(snps))
 
+    # ------------------------------------------------------------------ #
+    # EH-DIALL plumbing: cached expansions, warm-started EM, cached results
+    # ------------------------------------------------------------------ #
+    def _group_expansion(self, group: str, snps: tuple[int, ...]) -> PhaseExpansion:
+        if self._expansion_caches is not None:
+            return self._expansion_caches[group].get(snps)
+        source = self._affected if group == "affected" else self._unaffected
+        return expand_phases(source.genotypes_at(np.asarray(snps, dtype=np.intp)))
+
+    def _warm_frequencies(self, group: str, snps: tuple[int, ...]) -> np.ndarray | None:
+        if self._warm_caches is None:
+            return None
+        return self._warm_caches[group].get(snps)
+
+    def _remember(self, group: str, snps: tuple[int, ...], result: EHDiallResult) -> None:
+        if self._result_caches is not None:
+            self._result_caches[group].put(snps, result)
+        if self._warm_caches is not None:
+            self._warm_caches[group].put(snps, result.em.frequencies)
+
+    @staticmethod
+    def _blend_with_uniform(frequencies: np.ndarray) -> np.ndarray:
+        uniform = 1.0 / frequencies.shape[0]
+        return (
+            (1.0 - _WARM_START_UNIFORM_WEIGHT) * frequencies
+            + _WARM_START_UNIFORM_WEIGHT * uniform
+        )
+
+    def _pooled_warm_start(
+        self, snps: tuple[int, ...], affected: EHDiallResult, unaffected: EHDiallResult
+    ) -> np.ndarray | None:
+        if self._warm_start is False:
+            return None
+        remembered = self._warm_frequencies("pooled", snps)
+        if remembered is not None:
+            return self._blend_with_uniform(remembered)
+        total = affected.n_chromosomes + unaffected.n_chromosomes
+        if total == 0:
+            return None
+        mix = (
+            affected.n_chromosomes * affected.em.frequencies
+            + unaffected.n_chromosomes * unaffected.em.frequencies
+        ) / total
+        return self._blend_with_uniform(mix)
+
+    def _group_ehdiall(self, group: str, snps: tuple[int, ...]) -> EHDiallResult:
+        """EH-DIALL for one of the two status groups, with full reuse."""
+        if self._result_caches is not None:
+            cached = self._result_caches[group].get(snps)
+            if cached is not None:
+                return cached
+        expansion = self._group_expansion(group, snps)
+        initial = self._warm_frequencies(group, snps)
+        if initial is not None:
+            initial = self._blend_with_uniform(initial)
+        result = ehdiall_from_expansion(
+            expansion,
+            max_iter=self._em_max_iter,
+            tol=self._em_tol,
+            initial_frequencies=initial,
+        )
+        self._n_em_runs += 1
+        self._remember(group, snps, result)
+        return result
+
+    def _pooled_ehdiall(
+        self, snps: tuple[int, ...], affected: EHDiallResult, unaffected: EHDiallResult
+    ) -> EHDiallResult:
+        """Pooled case+control EH-DIALL built from the group expansions."""
+        if self._result_caches is not None:
+            cached = self._result_caches["pooled"].get(snps)
+            if cached is not None:
+                return cached
+        expansion = concat_expansions(
+            self._group_expansion("affected", snps),
+            self._group_expansion("unaffected", snps),
+        )
+        initial = self._pooled_warm_start(snps, affected, unaffected)
+        result = ehdiall_from_expansion(
+            expansion,
+            max_iter=self._em_max_iter,
+            tol=self._em_tol,
+            initial_frequencies=initial,
+        )
+        self._n_em_runs += 1
+        self._remember("pooled", snps, result)
+        return result
+
+    # ------------------------------------------------------------------ #
     def build_table(self, snps: Sequence[int] | np.ndarray) -> ContingencyTable:
         """Build the CLUMP input table for a haplotype without computing the fitness."""
         snps = self._validate_snps(snps)
-        affected = run_ehdiall(self._affected, snps,
-                               max_iter=self._em_max_iter, tol=self._em_tol)
-        unaffected = run_ehdiall(self._unaffected, snps,
-                                 max_iter=self._em_max_iter, tol=self._em_tol)
+        affected = self._group_ehdiall("affected", snps)
+        unaffected = self._group_ehdiall("unaffected", snps)
         return self._table_from_results(snps, affected, unaffected)
 
     @staticmethod
@@ -182,19 +362,20 @@ class HaplotypeEvaluator:
         alternative objective function announced in the paper's conclusion; it
         is available both as a standalone diagnostic and as the fitness when
         the evaluator is built with ``statistic="lrt"``.
+
+        The pooled fit reuses the group expansions (concatenated class
+        tables); with ``warm_start=True`` it is additionally seeded from the
+        count-weighted mix of the two group solutions.
         """
         snps = self._validate_snps(snps)
-        affected = run_ehdiall(self._affected, snps,
-                               max_iter=self._em_max_iter, tol=self._em_tol)
-        unaffected = run_ehdiall(self._unaffected, snps,
-                                 max_iter=self._em_max_iter, tol=self._em_tol)
+        affected = self._group_ehdiall("affected", snps)
+        unaffected = self._group_ehdiall("unaffected", snps)
         return self._lrt_from_results(snps, affected, unaffected)
 
     def _lrt_from_results(
         self, snps: tuple[int, ...], affected: EHDiallResult, unaffected: EHDiallResult
     ) -> float:
-        pooled = run_ehdiall(self._combined, snps,
-                             max_iter=self._em_max_iter, tol=self._em_tol)
+        pooled = self._pooled_ehdiall(snps, affected, unaffected)
         statistic = 2.0 * (
             affected.h1_log_likelihood
             + unaffected.h1_log_likelihood
@@ -207,10 +388,8 @@ class HaplotypeEvaluator:
         """Run the full Figure-3 pipeline and return every intermediate result."""
         start = time.perf_counter()
         snps = self._validate_snps(snps)
-        affected = run_ehdiall(self._affected, snps,
-                               max_iter=self._em_max_iter, tol=self._em_tol)
-        unaffected = run_ehdiall(self._unaffected, snps,
-                                 max_iter=self._em_max_iter, tol=self._em_tol)
+        affected = self._group_ehdiall("affected", snps)
+        unaffected = self._group_ehdiall("unaffected", snps)
         table = self._table_from_results(snps, affected, unaffected)
         clump = clump_statistics(table, min_expected=self._clump_min_expected)
         if self._statistic == "lrt":
@@ -256,11 +435,17 @@ class HaplotypeEvaluator:
 
     # ------------------------------------------------------------------ #
     def __getstate__(self) -> dict:
+        # drop the (potentially large) reuse caches: each worker process
+        # rebuilds its own, and the pickled payload stays small
         state = self.__dict__.copy()
+        state["_expansion_caches"] = None
+        state["_result_caches"] = None
+        state["_warm_caches"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
+        self._build_caches()
 
 
 #: Type alias for anything usable as a fitness function by the GA and the

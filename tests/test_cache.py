@@ -60,16 +60,57 @@ class TestCachedEvaluator:
         cached((0, 1))
         assert len(calls) == 2
 
-    def test_max_size_eviction_is_fifo(self):
+    def test_max_size_eviction_without_touches_is_insertion_order(self):
         fitness, calls = _fake_fitness_factory()
         cached = CachedEvaluator(fitness, max_size=2)
         cached((0,))
         cached((1,))
-        cached((2,))  # evicts (0,)
+        cached((2,))  # evicts (0,), the least recently used
         assert (0,) not in cached
         assert (1,) in cached and (2,) in cached
         cached((0,))  # recomputed
         assert len(calls) == 4
+
+    def test_eviction_is_lru_not_fifo(self):
+        fitness, calls = _fake_fitness_factory()
+        cached = CachedEvaluator(fitness, max_size=2)
+        cached((0,))
+        cached((1,))
+        cached((0,))  # hit refreshes (0,)'s recency
+        cached((2,))  # must evict (1,), not the older-inserted (0,)
+        assert (0,) in cached
+        assert (1,) not in cached
+        assert (2,) in cached
+        cached((0,))  # still cached: no recomputation
+        assert len(calls) == 3
+
+    def test_zero_fitness_is_cached(self):
+        # regression: a dict.get(key) truthiness-style miss test treated a
+        # legitimately cached 0.0 (or negative) fitness as a miss forever
+        calls = []
+
+        def zero_fitness(snps):
+            calls.append(tuple(snps))
+            return 0.0
+
+        cached = CachedEvaluator(zero_fitness)
+        assert cached((1, 2)) == 0.0
+        assert cached((2, 1)) == 0.0
+        assert len(calls) == 1
+        assert cached.statistics.hits == 1
+        assert cached.n_distinct_evaluations == 1
+
+    def test_negative_fitness_is_cached(self):
+        calls = []
+
+        def negative_fitness(snps):
+            calls.append(tuple(snps))
+            return -3.5
+
+        cached = CachedEvaluator(negative_fitness)
+        assert cached((4,)) == -3.5
+        assert cached((4,)) == -3.5
+        assert len(calls) == 1
 
     def test_invalid_max_size(self):
         fitness, _ = _fake_fitness_factory()

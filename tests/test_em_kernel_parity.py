@@ -1,0 +1,242 @@
+"""Parity tests: the segmented-reduction EM kernel vs the seed's scatter-add.
+
+The optimised kernel in :mod:`repro.stats.em` must be numerically equivalent
+to the reference implementation preserved in :mod:`repro.stats.em_reference`:
+identical iteration counts and convergence flags, log-likelihoods within
+1e-9 and frequencies within 1e-10, across random genotype matrices with
+missing data and the degenerate edge cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.em import (
+    PhaseExpansion,
+    PhaseExpansionCache,
+    _genotype_pairs,
+    concat_expansions,
+    estimate_from_expansion,
+    estimate_haplotype_frequencies,
+    expand_phases,
+    expansion_log_likelihood,
+)
+from repro.stats.em_reference import (
+    reference_estimate_from_expansion,
+    reference_estimate_haplotype_frequencies,
+    reference_expand_phases,
+    reference_log_likelihood,
+)
+
+FREQ_ATOL = 1e-10
+LL_ATOL = 1e-9
+
+
+def _random_genotypes(seed: int, n: int, n_loci: int, missing_rate: float = 0.0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    genotypes = rng.integers(0, 3, size=(n, n_loci)).astype(np.int8)
+    if missing_rate > 0:
+        genotypes[rng.random((n, n_loci)) < missing_rate] = -1
+    return genotypes
+
+
+def _assert_parity(genotypes: np.ndarray, **kwargs) -> None:
+    new = estimate_haplotype_frequencies(genotypes, **kwargs)
+    old = reference_estimate_haplotype_frequencies(genotypes, **kwargs)
+    assert new.n_iterations == old.n_iterations
+    assert new.converged == old.converged
+    assert new.n_individuals == old.n_individuals
+    assert new.log_likelihood == pytest.approx(old.log_likelihood, abs=LL_ATOL)
+    np.testing.assert_allclose(new.frequencies, old.frequencies, atol=FREQ_ATOL)
+
+
+class TestExpansionParity:
+    """The vectorised phase enumeration must match the scalar one exactly."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=8))
+    def test_single_genotype_pairs_match_scalar(self, seed, n_loci):
+        rng = np.random.default_rng(seed)
+        genotype = rng.integers(0, 3, size=n_loci).astype(np.int8)
+        expansion = expand_phases(genotype[None, :])
+        vectorised = list(zip(expansion.pair_a.tolist(), expansion.pair_b.tolist()))
+        assert vectorised == _genotype_pairs(genotype)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_matrix_expansion_matches_reference(self, seed):
+        genotypes = _random_genotypes(seed, 40, 5, missing_rate=0.1)
+        new = expand_phases(genotypes)
+        old = reference_expand_phases(genotypes)
+        np.testing.assert_array_equal(new.pair_a, old.pair_a)
+        np.testing.assert_array_equal(new.pair_b, old.pair_b)
+        np.testing.assert_array_equal(new.pair_class, old.pair_class)
+        np.testing.assert_array_equal(new.class_counts, old.class_counts)
+        np.testing.assert_array_equal(new.pair_multiplicity, old.pair_multiplicity)
+
+    def test_expansion_is_class_sorted(self):
+        expansion = expand_phases(_random_genotypes(3, 50, 6, missing_rate=0.05))
+        assert expansion.is_class_sorted
+        assert expansion.sorted_by_class() is expansion
+
+
+class TestKernelParity:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000),
+           st.integers(min_value=1, max_value=7),
+           st.integers(min_value=3, max_value=80))
+    def test_random_matrices(self, seed, n_loci, n_individuals):
+        genotypes = _random_genotypes(seed, n_individuals, n_loci, missing_rate=0.08)
+        _assert_parity(genotypes)
+
+    def test_no_missing_data(self):
+        _assert_parity(_random_genotypes(11, 60, 6))
+
+    def test_heavy_missing_data(self):
+        _assert_parity(_random_genotypes(12, 60, 4, missing_rate=0.5))
+
+    def test_empty_expansion(self):
+        genotypes = np.full((5, 3), -1, dtype=np.int8)
+        _assert_parity(genotypes)
+        result = estimate_haplotype_frequencies(genotypes)
+        assert result.n_individuals == 0
+        assert result.converged
+
+    def test_all_homozygous(self):
+        # no heterozygote anywhere: phases are unambiguous, one pair per class
+        rng = np.random.default_rng(13)
+        genotypes = (2 * rng.integers(0, 2, size=(40, 5))).astype(np.int8)
+        expansion = expand_phases(genotypes)
+        assert np.all(expansion.pair_multiplicity == 1.0)
+        assert expansion.n_pairs == expansion.n_classes
+        _assert_parity(genotypes)
+
+    def test_single_locus(self):
+        _assert_parity(_random_genotypes(14, 30, 1))
+
+    def test_max_iter_cutoff(self):
+        genotypes = _random_genotypes(15, 80, 6)
+        _assert_parity(genotypes, max_iter=3)
+        _assert_parity(genotypes, max_iter=0)
+
+    def test_explicit_initial_frequencies(self):
+        genotypes = _random_genotypes(16, 40, 3)
+        rng = np.random.default_rng(17)
+        initial = rng.random(8)
+        initial /= initial.sum()
+        _assert_parity(genotypes, initial_frequencies=initial)
+
+    def test_log_likelihood_helper_matches_reference(self):
+        genotypes = _random_genotypes(18, 50, 5, missing_rate=0.1)
+        expansion = expand_phases(genotypes)
+        rng = np.random.default_rng(19)
+        freqs = rng.random(32)
+        freqs /= freqs.sum()
+        assert expansion_log_likelihood(expansion, freqs) == pytest.approx(
+            reference_log_likelihood(expansion, freqs), abs=LL_ATOL
+        )
+
+
+class TestUnsortedExpansions:
+    def test_hand_built_unsorted_expansion_is_normalised(self):
+        genotypes = _random_genotypes(21, 30, 4, missing_rate=0.1)
+        sorted_exp = expand_phases(genotypes)
+        rng = np.random.default_rng(22)
+        order = rng.permutation(sorted_exp.n_pairs)
+        shuffled = PhaseExpansion(
+            n_loci=sorted_exp.n_loci,
+            class_counts=sorted_exp.class_counts,
+            pair_a=sorted_exp.pair_a[order],
+            pair_b=sorted_exp.pair_b[order],
+            pair_class=sorted_exp.pair_class[order],
+            pair_multiplicity=sorted_exp.pair_multiplicity[order],
+        )
+        assert not shuffled.is_class_sorted or np.all(np.diff(shuffled.pair_class) >= 0)
+        a = estimate_from_expansion(shuffled)
+        b = reference_estimate_from_expansion(sorted_exp)
+        assert a.n_iterations == b.n_iterations
+        assert a.log_likelihood == pytest.approx(b.log_likelihood, abs=LL_ATOL)
+        np.testing.assert_allclose(a.frequencies, b.frequencies, atol=FREQ_ATOL)
+
+
+class TestPooledExpansion:
+    def test_concat_matches_reexpansion(self):
+        g1 = _random_genotypes(31, 30, 4, missing_rate=0.05)
+        g2 = _random_genotypes(32, 25, 4, missing_rate=0.05)
+        pooled = estimate_from_expansion(
+            concat_expansions(expand_phases(g1), expand_phases(g2))
+        )
+        direct = estimate_haplotype_frequencies(np.vstack([g1, g2]))
+        # duplicated classes are mathematically equivalent to merged ones, so
+        # the two EMs follow the same trajectory up to float summation order
+        assert pooled.n_individuals == direct.n_individuals
+        assert pooled.log_likelihood == pytest.approx(direct.log_likelihood, abs=1e-6)
+        np.testing.assert_allclose(pooled.frequencies, direct.frequencies, atol=1e-6)
+
+    def test_concat_with_empty_side(self):
+        expansion = expand_phases(_random_genotypes(33, 20, 3))
+        empty = expand_phases(np.full((4, 3), -1, dtype=np.int8))
+        assert concat_expansions(expansion, empty) is expansion
+        assert concat_expansions(empty, expansion) is expansion
+
+    def test_concat_rejects_mismatched_loci(self):
+        a = expand_phases(_random_genotypes(34, 10, 3))
+        b = expand_phases(_random_genotypes(35, 10, 4))
+        with pytest.raises(ValueError):
+            concat_expansions(a, b)
+
+    def test_concat_allele_frequencies_match_pooled(self):
+        g1 = _random_genotypes(36, 30, 3)
+        g2 = _random_genotypes(37, 20, 3)
+        pooled = concat_expansions(expand_phases(g1), expand_phases(g2))
+        np.testing.assert_allclose(
+            pooled.allele_frequencies(), np.vstack([g1, g2]).mean(axis=0) / 2.0
+        )
+
+
+class TestWarmStart:
+    def test_warm_start_converges_fast_to_same_likelihood(self):
+        genotypes = _random_genotypes(41, 80, 5)
+        cold = estimate_haplotype_frequencies(genotypes)
+        warm = estimate_haplotype_frequencies(
+            genotypes, initial_frequencies=cold.frequencies
+        )
+        assert warm.n_iterations <= 2
+        assert warm.log_likelihood == pytest.approx(cold.log_likelihood, abs=1e-6)
+
+
+class TestPhaseExpansionCache:
+    def test_hit_returns_same_object(self):
+        genotypes = _random_genotypes(51, 30, 6)
+        cache = PhaseExpansionCache(genotypes)
+        first = cache.get((0, 2, 4))
+        second = cache.get((4, 2, 0))  # key is the sorted tuple
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_expansion_matches_direct(self):
+        genotypes = _random_genotypes(52, 30, 6, missing_rate=0.1)
+        cache = PhaseExpansionCache(genotypes)
+        cached = cache.get((1, 3))
+        direct = expand_phases(genotypes[:, [1, 3]])
+        np.testing.assert_array_equal(cached.pair_a, direct.pair_a)
+        np.testing.assert_array_equal(cached.class_counts, direct.class_counts)
+
+    def test_lru_eviction(self):
+        genotypes = _random_genotypes(53, 10, 6)
+        cache = PhaseExpansionCache(genotypes, max_size=2)
+        cache.get((0,))
+        cache.get((1,))
+        cache.get((0,))  # refresh recency of (0,)
+        cache.get((2,))  # evicts (1,)
+        assert len(cache) == 2
+        cache.get((1,))
+        assert cache.misses == 4  # (0,), (1,), (2,), (1,) again after eviction
+
+    def test_validation(self):
+        genotypes = _random_genotypes(54, 10, 3)
+        with pytest.raises(ValueError):
+            PhaseExpansionCache(genotypes, max_size=0)
+        with pytest.raises(ValueError):
+            PhaseExpansionCache(genotypes[0])

@@ -93,6 +93,27 @@ class TestEvaluation:
         record = small_evaluator.evaluate_detailed((0, 1, 2))
         np.testing.assert_allclose(table.counts, record.table.counts)
 
+    def test_default_lrt_matches_cold_pooled_fit(self, small_dataset):
+        """The default (no warm start) LRT must equal three cold EM fits.
+
+        Regression guard: a warm-started pooled EM can stall in a different
+        optimum and shift the statistic, so warm starts are opt-in and the
+        default path must reproduce the seed pipeline's values.
+        """
+        from repro.stats.ehdiall import run_ehdiall
+
+        snps = (0, 3, 7)
+        evaluator = HaplotypeEvaluator(small_dataset, statistic="lrt")
+        affected = run_ehdiall(small_dataset.affected(), snps)
+        unaffected = run_ehdiall(small_dataset.unaffected(), snps)
+        pooled = run_ehdiall(small_dataset.with_known_status(), snps)
+        expected = max(
+            2.0 * (affected.h1_log_likelihood + unaffected.h1_log_likelihood
+                   - pooled.h1_log_likelihood),
+            0.0,
+        )
+        assert evaluator.evaluate(snps) == pytest.approx(expected, abs=1e-6)
+
 
 class TestSignificance:
     def test_planted_haplotype_is_significant(self, small_evaluator):

@@ -192,6 +192,19 @@ class TestRunBehaviour:
             n_snps=N_SNPS, config=_config(max_generations=3), evaluator=serial
         )
         result = ga.run()
+        # every fitness request went through the injected evaluator ...
+        assert serial.stats.n_requests == result.n_evaluations
+        # ... and the batch fast path answered some of them without
+        # re-evaluating (generation-level dedup + cross-batch cache)
+        assert serial.stats.n_evaluations <= serial.stats.n_requests
+        assert ga.n_distinct_evaluations == serial.stats.n_evaluations
+
+    def test_batch_fast_path_disabled_counts_every_request(self, small_evaluator):
+        serial = SerialEvaluator(small_evaluator, dedup=False, cache_size=0)
+        ga = AdaptiveMultiPopulationGA(
+            n_snps=N_SNPS, config=_config(max_generations=3), evaluator=serial
+        )
+        result = ga.run()
         assert serial.stats.n_evaluations == result.n_evaluations
 
 

@@ -41,6 +41,10 @@ class TestIslandModel:
         assert set(result.best_per_size) == {2, 3}
         assert result.n_evaluations > 0
         assert result.elapsed_seconds > 0.0
+        # the batch fast path makes the distinct-evaluation count observable
+        # (and no larger than the number of fitness requests)
+        assert 0 < result.n_distinct_evaluations <= result.n_evaluations
+        assert 0.0 <= result.evaluation_reuse_rate < 1.0
         # the aggregated best is at least as good as every island's own best
         for island_result in result.island_results:
             for size, individual in island_result.best_per_size.items():

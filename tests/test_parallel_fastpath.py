@@ -1,0 +1,126 @@
+"""Tests of the generation-level batch fast path (dedup + cross-batch cache)."""
+
+import pytest
+
+from repro.parallel.serial import SerialEvaluator
+
+
+def _counting_fitness_factory():
+    calls = []
+
+    def fitness(snps):
+        calls.append(tuple(snps))
+        return float(sum(snps))
+
+    return fitness, calls
+
+
+class TestWithinBatchDedup:
+    def test_duplicates_evaluated_once(self):
+        fitness, calls = _counting_fitness_factory()
+        evaluator = SerialEvaluator(fitness)
+        batch = [(1, 2), (3,), (1, 2), (2, 1), (3,)]
+        results = evaluator.evaluate_batch(batch)
+        assert results == [3.0, 3.0, 3.0, 3.0, 3.0]
+        assert len(calls) == 2  # only (1, 2) and (3,)
+        assert evaluator.stats.n_requests == 5
+        assert evaluator.stats.n_evaluations == 2
+        assert evaluator.stats.n_dedup_hits == 3
+
+    def test_order_preserved_with_duplicates(self):
+        fitness, _ = _counting_fitness_factory()
+        evaluator = SerialEvaluator(fitness)
+        batch = [(5,), (1,), (5,), (2,)]
+        assert evaluator.evaluate_batch(batch) == [5.0, 1.0, 5.0, 2.0]
+
+    def test_key_is_the_sorted_tuple(self):
+        fitness, calls = _counting_fitness_factory()
+        evaluator = SerialEvaluator(fitness)
+        evaluator.evaluate_batch([(3, 1, 2), (2, 3, 1)])
+        assert len(calls) == 1
+
+
+class TestCrossBatchCache:
+    def test_seen_haplotypes_not_rescattered(self):
+        fitness, calls = _counting_fitness_factory()
+        evaluator = SerialEvaluator(fitness)
+        evaluator.evaluate_batch([(1,), (2,)])
+        evaluator.evaluate_batch([(2,), (3,)])
+        assert len(calls) == 3
+        assert evaluator.stats.n_cache_hits == 1
+        assert evaluator.stats.n_requests == 4
+        assert evaluator.stats.n_evaluations == 3
+        assert evaluator.stats.reuse_rate == pytest.approx(0.25)
+
+    def test_zero_fitness_counts_as_cached(self):
+        calls = []
+
+        def zero_fitness(snps):
+            calls.append(tuple(snps))
+            return 0.0
+
+        evaluator = SerialEvaluator(zero_fitness)
+        assert evaluator.evaluate_batch([(1,)]) == [0.0]
+        assert evaluator.evaluate_batch([(1,)]) == [0.0]
+        assert len(calls) == 1
+        assert evaluator.stats.n_cache_hits == 1
+
+    def test_bounded_cache_evicts_lru(self):
+        fitness, calls = _counting_fitness_factory()
+        evaluator = SerialEvaluator(fitness, cache_size=2)
+        evaluator.evaluate_batch([(1,), (2,)])
+        evaluator.evaluate_batch([(1,)])  # refresh (1,)
+        evaluator.evaluate_batch([(3,)])  # evicts (2,)
+        evaluator.evaluate_batch([(2,)])  # re-evaluated
+        assert calls.count((2,)) == 2
+        assert calls.count((1,)) == 1
+
+    def test_disabled_fast_path_forwards_everything(self):
+        fitness, calls = _counting_fitness_factory()
+        evaluator = SerialEvaluator(fitness, dedup=False, cache_size=0)
+        evaluator.evaluate_batch([(1,), (1,), (1,)])
+        evaluator.evaluate_batch([(1,)])
+        assert len(calls) == 4
+        assert evaluator.stats.n_evaluations == 4
+        assert evaluator.stats.n_requests == 4
+
+    def test_validation(self):
+        fitness, _ = _counting_fitness_factory()
+        with pytest.raises(ValueError):
+            SerialEvaluator(fitness, cache_size=-1)
+
+    def test_single_evaluate_uses_cache(self):
+        fitness, calls = _counting_fitness_factory()
+        evaluator = SerialEvaluator(fitness)
+        assert evaluator.evaluate((4, 2)) == 6.0
+        assert evaluator.evaluate((2, 4)) == 6.0
+        assert len(calls) == 1
+
+
+class TestRealEvaluatorIntegration:
+    def test_dedup_matches_direct_evaluation(self, small_evaluator):
+        serial = SerialEvaluator(small_evaluator)
+        batch = [(0, 1), (2, 5), (0, 1), (1, 0)]
+        results = serial.evaluate_batch(batch)
+        direct = small_evaluator.evaluate((0, 1))
+        assert results[0] == results[2] == results[3] == pytest.approx(direct)
+        assert serial.stats.n_evaluations == 2
+        assert serial.stats.n_requests == 4
+
+
+class TestMasterSlaveFastPath:
+    def test_duplicates_collapsed_before_scatter(self):
+        from repro.parallel.master_slave import MasterSlaveEvaluator
+
+        def fitness(snps):
+            return float(sum(snps))
+
+        with MasterSlaveEvaluator(fitness, n_workers=2) as evaluator:
+            batch = [(1, 2), (1, 2), (3,), (2, 1)]
+            assert evaluator.evaluate_batch(batch) == [3.0, 3.0, 3.0, 3.0]
+            assert evaluator.stats.n_requests == 4
+            assert evaluator.stats.n_evaluations == 2
+            # a second generation re-using the haplotypes is pure cache
+            assert evaluator.evaluate_batch([(1, 2), (3,)]) == [3.0, 3.0]
+            assert evaluator.stats.n_evaluations == 2
+            assert evaluator.stats.n_cache_hits == 2
