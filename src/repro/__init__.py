@@ -40,7 +40,10 @@ from .parallel import (
     MasterSlaveEvaluator,
     SerialEvaluator,
     SimulatedPVM,
+    ThreadPoolEvaluator,
 )
+from .runtime import EvaluatorSpec, backend_names, create_evaluator
+from .runtime.service import RunRequest, RunResult, RunService
 from .stats import (
     CachedEvaluator,
     ClumpResult,
@@ -82,7 +85,15 @@ __all__ = [
     "estimate_haplotype_frequencies",
     # parallel
     "SerialEvaluator",
+    "ThreadPoolEvaluator",
     "MasterSlaveEvaluator",
     "SimulatedPVM",
     "EvaluationCostModel",
+    # runtime
+    "EvaluatorSpec",
+    "backend_names",
+    "create_evaluator",
+    "RunRequest",
+    "RunResult",
+    "RunService",
 ]

@@ -53,8 +53,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--max-size", type=int, default=6)
     p_run.add_argument("--stagnation", type=int, default=100)
     p_run.add_argument("--max-generations", type=int, default=600)
+    p_run.add_argument("--backend", default=None,
+                       choices=["serial", "threads", "process", "process-shm"],
+                       help="execution backend for fitness evaluation "
+                            "(default: serial, or process when --workers > 1)")
     p_run.add_argument("--workers", type=int, default=1,
-                       help="number of evaluation worker processes (1 = serial)")
+                       help="number of evaluation workers (1 = serial unless "
+                            "--backend says otherwise)")
+    p_run.add_argument("--chunk-size", type=int, default=None,
+                       help="individuals per worker message for the chunked "
+                            "backends (default: one chunk per worker)")
+    p_run.add_argument("--statistic", default="t1",
+                       choices=["t1", "t2", "t3", "t4", "lrt"])
     p_run.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("table1", help="regenerate Table 1 (search-space sizes)")
@@ -74,6 +84,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_speed = sub.add_parser("speedup", help="parallel speedup study")
     p_speed.add_argument("--measured", action="store_true",
                          help="also time the real multiprocessing farm")
+    p_speed.add_argument("--backend", default="process",
+                         choices=["threads", "process", "process-shm"],
+                         help="parallel backend timed by --measured")
+    p_speed.add_argument("--chunk-size", type=int, default=None,
+                         help="individuals per worker message for --measured")
 
     p_land = sub.add_parser("landscape", help="regenerate the Section 3 landscape study")
     p_land.add_argument("--panel-size", type=int, default=16)
@@ -137,12 +152,9 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from .core.config import GAConfig
-    from .core.ga import AdaptiveMultiPopulationGA
-    from .parallel.master_slave import MasterSlaveEvaluator
-    from .stats.evaluation import HaplotypeEvaluator
+    from .runtime.service import RunRequest, RunService
 
     dataset = _load_study_dataset(args.study)
-    evaluator = HaplotypeEvaluator(dataset)
     config = GAConfig(
         population_size=args.population_size,
         max_haplotype_size=args.max_size,
@@ -150,25 +162,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_generations=args.max_generations,
         seed=args.seed,
     )
-    batch_evaluator = None
-    if args.workers > 1:
-        batch_evaluator = MasterSlaveEvaluator(evaluator, n_workers=args.workers)
-    try:
-        ga = AdaptiveMultiPopulationGA(
-            evaluator,
-            n_snps=dataset.n_snps,
+    backend = args.backend or ("process" if args.workers > 1 else "serial")
+    service = RunService(dataset)
+    run = service.run(
+        RunRequest(
             config=config,
-            evaluator=batch_evaluator,
+            statistic=args.statistic,
+            backend=backend,
+            # an explicit --backend honours --workers exactly (even 1); only
+            # the serial default leaves the worker count to the backend
+            n_workers=args.workers if args.backend or args.workers > 1 else None,
+            chunk_size=args.chunk_size,
         )
-        result = ga.run()
-    finally:
-        if batch_evaluator is not None:
-            batch_evaluator.close()
+    )
+    result = run.result
     print(
         f"finished after {result.n_generations} generations, "
         f"{result.n_evaluations} evaluations ({result.termination_reason}), "
         f"{result.elapsed_seconds:.1f}s"
     )
+    print(run.summary_line())
     for row in result.summary_rows():
         print(
             f"  size {row['size']}: [{row['haplotype']}] "
@@ -215,7 +228,8 @@ def _cmd_speedup(args: argparse.Namespace) -> int:
     print(run_simulated_speedup().format())
     if args.measured:
         print()
-        print(run_measured_speedup().format())
+        print(run_measured_speedup(backend=args.backend,
+                                   chunk_size=args.chunk_size).format())
     return 0
 
 

@@ -42,7 +42,7 @@ import numpy as np
 
 from ..genetics.constraints import HaplotypeConstraints
 from ..parallel.base import BatchEvaluator, FitnessCallable
-from ..parallel.serial import SerialEvaluator
+from ..runtime.backends import DEFAULT_BACKEND, create_evaluator
 from .adaptive import AdaptiveOperatorController
 from .config import GAConfig
 from .history import GAResult, GenerationRecord, RunHistory
@@ -92,7 +92,15 @@ class AdaptiveMultiPopulationGA:
     evaluator:
         Optional :class:`~repro.parallel.base.BatchEvaluator` (e.g. a
         :class:`~repro.parallel.master_slave.MasterSlaveEvaluator`); when
-        omitted a serial evaluator wrapping ``fitness`` is used.
+        omitted the ``backend`` is resolved through the execution-backend
+        registry (:mod:`repro.runtime.backends`) around ``fitness``.
+    backend:
+        Name of the execution backend to build the evaluator on when no
+        explicit ``evaluator`` is given (default ``"serial"``).
+    backend_options:
+        Extra keyword arguments for
+        :func:`repro.runtime.backends.create_evaluator` (``n_workers``,
+        ``chunk_size``, ...).
     """
 
     def __init__(
@@ -103,9 +111,13 @@ class AdaptiveMultiPopulationGA:
         config: GAConfig | None = None,
         constraints: HaplotypeConstraints | None = None,
         evaluator: BatchEvaluator | None = None,
+        backend: str | None = None,
+        backend_options: dict | None = None,
     ) -> None:
         if fitness is None and evaluator is None:
             raise ValueError("either a fitness callable or a batch evaluator is required")
+        if evaluator is not None and backend is not None:
+            raise ValueError("backend and an explicit evaluator are mutually exclusive")
         if n_snps < 2:
             raise ValueError("the SNP panel must contain at least two SNPs")
         self.config = config or GAConfig()
@@ -118,7 +130,12 @@ class AdaptiveMultiPopulationGA:
         self.constraints = constraints or HaplotypeConstraints.unconstrained(n_snps)
         if self.constraints.n_snps != n_snps:
             raise ValueError("constraints cover a different number of SNPs than n_snps")
-        self.evaluator: BatchEvaluator = evaluator or SerialEvaluator(fitness)  # type: ignore[arg-type]
+        self._owns_evaluator = evaluator is None
+        if evaluator is None:
+            evaluator = create_evaluator(
+                backend or DEFAULT_BACKEND, fitness, **(backend_options or {})  # type: ignore[arg-type]
+            )
+        self.evaluator: BatchEvaluator = evaluator
 
         cfg = self.config
         self._point_mutation = PointMutation(cfg.point_mutation_trials)
@@ -184,6 +201,27 @@ class AdaptiveMultiPopulationGA:
         fitnesses = self.evaluator.evaluate_batch(list(batch))
         self._n_evaluations += len(batch)
         return fitnesses
+
+    def close(self) -> None:
+        """Release the evaluator's resources if this GA created it.
+
+        A process-backed evaluator resolved from ``backend=`` holds worker
+        processes (and, for ``process-shm``, a shared-memory segment); the GA
+        owns those and releases them here.  An evaluator supplied explicitly
+        by the caller is left untouched.  Idempotent; also available as a
+        context manager::
+
+            with AdaptiveMultiPopulationGA(fitness, n_snps=n, backend="process") as ga:
+                result = ga.run()
+        """
+        if self._owns_evaluator:
+            self.evaluator.close()
+
+    def __enter__(self) -> "AdaptiveMultiPopulationGA":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # initialisation

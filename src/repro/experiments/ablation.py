@@ -20,10 +20,9 @@ from typing import Sequence
 import numpy as np
 
 from ..core.config import GAConfig
-from ..core.ga import AdaptiveMultiPopulationGA
 from ..genetics.constraints import HaplotypeConstraints
 from ..genetics.simulate import SimulatedStudy
-from ..stats.evaluation import HaplotypeEvaluator
+from ..runtime.service import RunRequest, RunService
 from .datasets import DEFAULT_SEED, lille51
 from .reporting import format_table
 from .table2 import quick_config
@@ -136,20 +135,25 @@ def run_ablation(
     n_runs: int = 3,
     constraints: HaplotypeConstraints | None = None,
     seed: int = DEFAULT_SEED,
+    backend: str = "serial",
+    n_workers: int | None = None,
+    chunk_size: int | None = None,
 ) -> AblationResult:
     """Run the scheme-comparison study.
 
     Every scheme runs ``n_runs`` times with seeds ``seed … seed + n_runs - 1``
-    under the same configuration except for the toggled mechanisms.
+    under the same configuration except for the toggled mechanisms; every
+    scheme is dispatched through the same execution backend
+    (:mod:`repro.runtime.backends`), so the comparison stays controlled.
     """
     if n_runs < 1:
         raise ValueError("n_runs must be positive")
     study = study or lille51(seed)
     config = config or quick_config()
     schemes = tuple(schemes) if schemes is not None else default_schemes()
-    evaluator = HaplotypeEvaluator(study.dataset)
     n_snps = study.dataset.n_snps
     constraints = constraints or HaplotypeConstraints.unconstrained(n_snps)
+    service = RunService(study.dataset)
 
     outcomes: list[SchemeOutcome] = []
     for scheme in schemes:
@@ -157,14 +161,18 @@ def run_ablation(
         best_per_size: dict[int, list[float]] = {}
         total_evaluations: list[float] = []
         evaluations_to_best: list[float] = []
-        for run_index in range(n_runs):
-            ga = AdaptiveMultiPopulationGA(
-                evaluator,
-                n_snps=n_snps,
-                config=scheme_config.with_seed(seed + run_index),
+        scheme_runs = service.run(
+            RunRequest(
+                config=scheme_config,
+                n_runs=n_runs,
+                seed=seed,
+                backend=backend,
+                n_workers=n_workers,
+                chunk_size=chunk_size,
                 constraints=constraints,
             )
-            result = ga.run()
+        ).runs
+        for result in scheme_runs:
             total_evaluations.append(result.n_evaluations)
             if result.evaluations_to_best:
                 evaluations_to_best.append(

@@ -21,12 +21,14 @@ from functools import lru_cache
 
 from ..genetics.constraints import HaplotypeConstraints, build_constraints
 from ..genetics.simulate import SimulatedStudy, large_study_249, lille_like_study
+from ..runtime.spec import EvaluatorSpec
 from ..stats.evaluation import HaplotypeEvaluator
 
 __all__ = [
     "DEFAULT_SEED",
     "lille51",
     "lille51_evaluator",
+    "lille51_spec",
     "lille51_constraints",
     "reduced_snp_panel",
     "large249",
@@ -46,6 +48,16 @@ def lille51(seed: int = DEFAULT_SEED) -> SimulatedStudy:
 def lille51_evaluator(seed: int = DEFAULT_SEED, statistic: str = "t1") -> HaplotypeEvaluator:
     """A shared EH-DIALL + CLUMP evaluator over :func:`lille51`."""
     return HaplotypeEvaluator(lille51(seed).dataset, statistic=statistic)
+
+
+def lille51_spec(statistic: str = "t1") -> EvaluatorSpec:
+    """The evaluator recipe every canonical experiment runs with.
+
+    Combine with :func:`lille51` through the execution-backend registry
+    (:func:`repro.runtime.backends.create_evaluator`) to build the same
+    pipeline on any backend.
+    """
+    return EvaluatorSpec(statistic=statistic)
 
 
 @lru_cache(maxsize=8)

@@ -23,11 +23,11 @@ from typing import Sequence
 import numpy as np
 
 from ..genetics.simulate import SimulatedStudy
-from ..parallel.master_slave import MasterSlaveEvaluator, default_worker_count
+from ..parallel.master_slave import default_worker_count
 from ..parallel.pvm import EvaluationCostModel, SimulatedPVM
-from ..parallel.serial import SerialEvaluator
 from ..parallel.timing import SpeedupReport
-from ..stats.evaluation import HaplotypeEvaluator
+from ..runtime.backends import create_evaluator
+from ..runtime.spec import EvaluatorSpec
 from .datasets import DEFAULT_SEED, lille51
 from .reporting import format_table
 
@@ -125,11 +125,12 @@ def run_simulated_speedup(
 
 @dataclass(frozen=True)
 class MeasuredSpeedupResult:
-    """Wall-clock speedup measured with the real multiprocessing farm."""
+    """Wall-clock speedup measured with a real parallel backend."""
 
     report: SpeedupReport
     batch_size: int
     n_repeats: int
+    backend: str = "process"
 
     def format(self) -> str:
         speedups = self.report.speedups()
@@ -138,7 +139,10 @@ class MeasuredSpeedupResult:
         rows = [[n, speedups[n], efficiencies[n]] for n in sorted(speedups)]
         return format_table(
             headers, rows,
-            title=f"Measured multiprocessing speedup ({self.batch_size} evaluations per batch)",
+            title=(
+                f"Measured {self.backend} backend speedup "
+                f"({self.batch_size} evaluations per batch)"
+            ),
         )
 
 
@@ -149,15 +153,24 @@ def run_measured_speedup(
     batch: Sequence[tuple[int, ...]] | None = None,
     n_repeats: int = 3,
     seed: int = DEFAULT_SEED,
+    backend: str = "process",
+    chunk_size: int | None = None,
 ) -> MeasuredSpeedupResult:
-    """Time the same evaluation batch through serial and multiprocessing backends."""
+    """Time the same evaluation batch through serial and parallel backends.
+
+    ``backend`` names any registered execution backend
+    (:mod:`repro.runtime.backends`); one worker always means the in-process
+    serial baseline, exactly as in the seed harness.
+    """
     if n_repeats < 1:
         raise ValueError("n_repeats must be positive")
     study = study or lille51(seed)
     # reuse caches and warm starts would let the repeated timing batches hit
     # memoised results, turning the measurement into a cache benchmark; the
-    # speedup study times raw evaluation cost, so they are disabled here
-    evaluator = HaplotypeEvaluator(study.dataset, cache_size=0, warm_start=False)
+    # speedup study times raw evaluation cost, so every cache layer — the
+    # evaluator's, the master-side batch fast path's and the chunked farm's
+    # worker-local LRUs — is disabled here
+    spec = EvaluatorSpec(cache_size=0, warm_start=False)
     batch = list(batch) if batch is not None else generation_batch(
         n_snps=study.dataset.n_snps, seed=seed
     )
@@ -169,24 +182,25 @@ def run_measured_speedup(
     import time as _time
 
     for n_workers in worker_counts:
-        if n_workers == 1:
-            # dedup/cache disabled for the same reason as above: the repeated
-            # timing batches must pay full evaluation cost every time
-            backend = SerialEvaluator(evaluator, dedup=False, cache_size=0)
-            close = lambda: None  # noqa: E731 - trivial cleanup callback
-        else:
-            master_slave = MasterSlaveEvaluator(
-                evaluator, n_workers=int(n_workers), dedup=False, cache_size=0
-            )
-            backend = master_slave
-            close = master_slave.close
+        evaluator = create_evaluator(
+            backend if n_workers > 1 else "serial",
+            spec,
+            dataset=study.dataset,
+            n_workers=int(n_workers),
+            chunk_size=chunk_size,
+            dedup=False,
+            cache_size=0,
+            worker_cache_size=0,
+        )
         try:
-            backend.evaluate_batch(batch[: max(2, len(batch) // 8)])  # warm-up
+            evaluator.evaluate_batch(batch[: max(2, len(batch) // 8)])  # warm-up
             start = _time.perf_counter()
             for _ in range(n_repeats):
-                backend.evaluate_batch(batch)
+                evaluator.evaluate_batch(batch)
             elapsed = (_time.perf_counter() - start) / n_repeats
         finally:
-            close()
+            evaluator.close()
         report.add(int(n_workers), elapsed)
-    return MeasuredSpeedupResult(report=report, batch_size=len(batch), n_repeats=n_repeats)
+    return MeasuredSpeedupResult(
+        report=report, batch_size=len(batch), n_repeats=n_repeats, backend=backend
+    )

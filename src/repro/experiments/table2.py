@@ -22,13 +22,12 @@ from typing import Sequence
 import numpy as np
 
 from ..core.config import GAConfig
-from ..core.ga import AdaptiveMultiPopulationGA
 from ..core.history import GAResult
 from ..genetics.constraints import HaplotypeConstraints
 from ..genetics.simulate import SimulatedStudy
+from ..runtime.service import RunRequest, RunService
 from ..search.exhaustive import enumerate_best
 from ..stats.cache import CachedEvaluator
-from ..stats.evaluation import HaplotypeEvaluator
 from .datasets import DEFAULT_SEED, lille51
 from .reporting import format_table
 
@@ -155,6 +154,9 @@ def run_table2(
     constraints: HaplotypeConstraints | None = None,
     seed: int = DEFAULT_SEED,
     statistic: str = "t1",
+    backend: str = "serial",
+    n_workers: int | None = None,
+    chunk_size: int | None = None,
 ) -> Table2Result:
     """Rerun the paper's Table 2 experiment.
 
@@ -176,24 +178,31 @@ def run_table2(
         Base seed; run ``i`` uses ``seed + i``.
     statistic:
         CLUMP statistic used as fitness.
+    backend, n_workers, chunk_size:
+        Execution backend the runs are dispatched on (see
+        :mod:`repro.runtime.backends`); all backends return identical
+        fitnesses, so the table is backend-invariant.
     """
     if n_runs < 1:
         raise ValueError("n_runs must be positive")
     study = study or lille51(seed)
     config = config or paper_scale_config()
-    evaluator = HaplotypeEvaluator(study.dataset, statistic=statistic)
     n_snps = study.dataset.n_snps
     constraints = constraints or HaplotypeConstraints.unconstrained(n_snps)
 
-    run_results: list[GAResult] = []
-    for run_index in range(n_runs):
-        ga = AdaptiveMultiPopulationGA(
-            evaluator,
-            n_snps=n_snps,
-            config=config.with_seed(seed + run_index),
-            constraints=constraints,
-        )
-        run_results.append(ga.run())
+    service = RunService(study.dataset)
+    request = RunRequest(
+        config=config,
+        n_runs=n_runs,
+        seed=seed,
+        statistic=statistic,
+        backend=backend,
+        n_workers=n_workers,
+        chunk_size=chunk_size,
+        constraints=constraints,
+    )
+    run_results: list[GAResult] = list(service.run(request).runs)
+    evaluator = service.local_evaluator(request)
 
     sizes = sorted(
         {size for result in run_results for size in result.best_per_size}

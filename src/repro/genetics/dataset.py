@@ -196,11 +196,26 @@ class GenotypeDataset:
     # subsetting
     # ------------------------------------------------------------------ #
     def select_individuals(self, indices: Iterable[int] | np.ndarray) -> "GenotypeDataset":
-        """New dataset containing only the given individual row indices."""
+        """New dataset containing only the given individual row indices.
+
+        When the indices form a contiguous ascending run the rows are taken
+        as a basic slice — a *view* sharing the parent's memory rather than a
+        fancy-indexed copy.  The shared-memory execution backend relies on
+        this: its genotype store lays the rows out affected-first, so the
+        per-group sub-datasets of every worker's evaluator are windows into
+        the one shared matrix instead of per-process copies.
+        """
         idx = np.asarray(list(indices), dtype=np.intp)
+        if idx.size and idx[0] >= 0 and np.array_equal(idx, np.arange(idx[0], idx[0] + idx.size)):
+            rows = slice(int(idx[0]), int(idx[0]) + idx.size)
+            genotypes = self._genotypes[rows]
+            status = self._status[rows]
+        else:
+            genotypes = self._genotypes[idx]
+            status = self._status[idx]
         return GenotypeDataset(
-            self._genotypes[idx],
-            self._status[idx],
+            genotypes,
+            status,
             snp_names=self._snp_names,
             individual_ids=[self._individual_ids[i] for i in idx],
         )

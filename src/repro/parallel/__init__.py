@@ -11,10 +11,18 @@ timing helpers.  The island-model extension lives in
 import with the GA core.
 """
 
-from .base import BatchEvaluator, EvaluationStats, FitnessCallable, SnpSet
+from .base import (
+    BatchEvaluator,
+    DistinctEvaluation,
+    EvaluationStats,
+    FitnessCallable,
+    SnpSet,
+)
+from .farm import ChunkedWorkerFarm, ChunkStats, affinity_worker
 from .master_slave import MasterSlaveEvaluator, default_worker_count
 from .pvm import EvaluationCostModel, SimulatedPVM, SimulatedSchedule, SlaveTimeline
 from .serial import SerialEvaluator
+from .threads import ThreadPoolEvaluator
 from .timing import SpeedupPoint, SpeedupReport, Timer, time_callable
 
 __all__ = [
@@ -22,8 +30,13 @@ __all__ = [
     "FitnessCallable",
     "BatchEvaluator",
     "EvaluationStats",
+    "DistinctEvaluation",
     "SerialEvaluator",
+    "ThreadPoolEvaluator",
     "MasterSlaveEvaluator",
+    "ChunkedWorkerFarm",
+    "ChunkStats",
+    "affinity_worker",
     "default_worker_count",
     "EvaluationCostModel",
     "SimulatedPVM",

@@ -42,7 +42,53 @@ from typing import Callable, Protocol, Sequence, runtime_checkable
 
 from ..lru import LRUCache
 
-__all__ = ["SnpSet", "FitnessCallable", "BatchEvaluator", "EvaluationStats"]
+__all__ = [
+    "SnpSet",
+    "FitnessCallable",
+    "BatchEvaluator",
+    "EvaluationStats",
+    "DistinctEvaluation",
+    "validate_worker_count",
+    "validate_chunk_size",
+    "default_mp_context",
+]
+
+
+def validate_worker_count(n_workers: "int | None") -> None:
+    """Shared check for every parallel backend's ``n_workers`` parameter."""
+    if n_workers is not None and (
+        not isinstance(n_workers, int) or isinstance(n_workers, bool) or n_workers < 1
+    ):
+        raise ValueError(
+            f"n_workers must be a positive integer (the number of workers), "
+            f"got {n_workers!r}"
+        )
+
+
+def validate_chunk_size(chunk_size: "int | None") -> None:
+    """Shared check for every parallel backend's ``chunk_size`` parameter."""
+    if chunk_size is not None and (
+        not isinstance(chunk_size, int) or isinstance(chunk_size, bool) or chunk_size < 1
+    ):
+        raise ValueError(
+            f"chunk_size must be a positive integer or None, got {chunk_size!r}"
+        )
+
+
+def default_mp_context(start_method: "str | None" = None):
+    """The multiprocessing context every process backend starts workers from.
+
+    ``fork`` (when available) avoids re-importing the scientific stack in
+    every worker; platforms without it fall back to ``spawn``.
+    """
+    from multiprocessing import get_context
+
+    if start_method is not None:
+        return get_context(start_method)
+    try:
+        return get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return get_context("spawn")
 
 #: A candidate haplotype: a sequence of SNP indices.
 SnpSet = Sequence[int]
@@ -53,6 +99,38 @@ FitnessCallable = Callable[[SnpSet], float]
 
 def _key(snps: SnpSet) -> tuple[int, ...]:
     return tuple(sorted(int(s) for s in snps))
+
+
+@dataclass(frozen=True)
+class DistinctEvaluation:
+    """Outcome of one backend call on a batch of distinct, unseen haplotypes.
+
+    Plain backends only fill :attr:`values`; backends whose workers run their
+    own batch fast path (chunked dispatch) additionally report how much work
+    the workers *actually* performed, so the master-side
+    :class:`EvaluationStats` merge exactly what happened instead of assuming
+    one evaluation per dispatched haplotype.
+
+    Attributes
+    ----------
+    values:
+        Fitnesses in dispatch order.
+    n_evaluations:
+        Evaluations the backend really performed (``None`` means one per
+        value, the plain-backend default).
+    n_cache_hits:
+        Haplotypes answered from worker-side caches instead of being
+        re-evaluated.
+    backend_seconds:
+        Summed worker-side evaluation time (0 when the backend does not
+        measure it); on a real cluster this exceeds the wall-clock batch time
+        whenever workers overlap.
+    """
+
+    values: list[float]
+    n_evaluations: int | None = None
+    n_cache_hits: int = 0
+    backend_seconds: float = 0.0
 
 
 @dataclass
@@ -73,9 +151,13 @@ class EvaluationStats:
     n_dedup_hits:
         Requests answered by collapsing duplicates within their batch.
     n_cache_hits:
-        Requests answered by the cross-generation fitness cache.
+        Requests answered by a fitness cache (master-side or, for chunked
+        backends, a worker-side one).
     total_seconds:
         Wall-clock time spent inside ``evaluate_batch`` calls.
+    backend_seconds:
+        Summed worker-side evaluation time reported by the backend (0 for
+        backends that do not measure it).
     """
 
     n_evaluations: int = 0
@@ -84,6 +166,7 @@ class EvaluationStats:
     n_dedup_hits: int = 0
     n_cache_hits: int = 0
     total_seconds: float = 0.0
+    backend_seconds: float = 0.0
 
     def record_batch(
         self,
@@ -93,6 +176,7 @@ class EvaluationStats:
         n_requests: int | None = None,
         n_dedup_hits: int = 0,
         n_cache_hits: int = 0,
+        backend_seconds: float = 0.0,
     ) -> None:
         self.n_evaluations += batch_size
         self.n_requests += batch_size if n_requests is None else n_requests
@@ -100,6 +184,34 @@ class EvaluationStats:
         self.n_dedup_hits += n_dedup_hits
         self.n_cache_hits += n_cache_hits
         self.total_seconds += elapsed
+        self.backend_seconds += backend_seconds
+
+    def counters(self) -> dict[str, int]:
+        """The integer counters as a dict (timings excluded) — the part of the
+        stats that must agree exactly between backends on the same workload."""
+        return {
+            "n_requests": self.n_requests,
+            "n_evaluations": self.n_evaluations,
+            "n_batches": self.n_batches,
+            "n_dedup_hits": self.n_dedup_hits,
+            "n_cache_hits": self.n_cache_hits,
+        }
+
+    def copy(self) -> "EvaluationStats":
+        """Snapshot of the current counters."""
+        return EvaluationStats(**self.__dict__)
+
+    def since(self, snapshot: "EvaluationStats") -> "EvaluationStats":
+        """Stats accumulated after ``snapshot`` was taken (field-wise difference)."""
+        return EvaluationStats(
+            n_evaluations=self.n_evaluations - snapshot.n_evaluations,
+            n_requests=self.n_requests - snapshot.n_requests,
+            n_batches=self.n_batches - snapshot.n_batches,
+            n_dedup_hits=self.n_dedup_hits - snapshot.n_dedup_hits,
+            n_cache_hits=self.n_cache_hits - snapshot.n_cache_hits,
+            total_seconds=self.total_seconds - snapshot.total_seconds,
+            backend_seconds=self.backend_seconds - snapshot.backend_seconds,
+        )
 
     @property
     def n_distinct_evaluations(self) -> int:
@@ -175,6 +287,7 @@ class BaseBatchEvaluator(abc.ABC):
         self._stats = EvaluationStats()
         self._dedup = bool(dedup)
         self._fitness_cache = LRUCache(cache_size)
+        self._close_callbacks: list[Callable[[], None]] = []
 
     @property
     def stats(self) -> EvaluationStats:
@@ -183,6 +296,15 @@ class BaseBatchEvaluator(abc.ABC):
     @abc.abstractmethod
     def _evaluate_distinct(self, batch: Sequence[SnpSet]) -> list[float]:
         """Evaluate a batch of distinct, unseen haplotypes (backend hook)."""
+
+    def _evaluate_distinct_details(self, batch: Sequence[SnpSet]) -> DistinctEvaluation:
+        """Like :meth:`_evaluate_distinct` but with backend-side accounting.
+
+        Backends whose workers run their own batch fast path override this to
+        report the evaluations actually performed; plain backends inherit the
+        one-evaluation-per-haplotype default.
+        """
+        return DistinctEvaluation(values=self._evaluate_distinct(batch))
 
     def evaluate_batch(self, batch: Sequence[SnpSet]) -> list[float]:
         start = time.perf_counter()
@@ -216,26 +338,48 @@ class BaseBatchEvaluator(abc.ABC):
             pending_keys.append(key)
             resolve.append((position, index))
 
-        values = self._evaluate_distinct(pending) if pending else []
+        if pending:
+            details = self._evaluate_distinct_details(pending)
+        else:
+            details = DistinctEvaluation(values=[])
+        values = details.values
         for key, value in zip(pending_keys, values):
             cache.put(key, float(value))
         for position, index in resolve:
             results[position] = float(values[index])
 
+        n_performed = (
+            len(pending) if details.n_evaluations is None else details.n_evaluations
+        )
         self._stats.record_batch(
-            len(pending),
+            n_performed,
             time.perf_counter() - start,
             n_requests=n_requests,
             n_dedup_hits=n_dedup_hits,
-            n_cache_hits=n_cache_hits,
+            n_cache_hits=n_cache_hits + details.n_cache_hits,
+            backend_seconds=details.backend_seconds,
         )
         return [float(r) for r in results]  # type: ignore[arg-type]
 
     def evaluate(self, snps: SnpSet) -> float:
         return self.evaluate_batch([snps])[0]
 
-    def close(self) -> None:  # pragma: no cover - default no-op
-        return None
+    def register_close_callback(self, callback: Callable[[], None]) -> None:
+        """Register a cleanup hook run (once) when the evaluator is closed.
+
+        Used by the backend layer to tie auxiliary resources — e.g. the
+        shared-memory genotype store of the ``process-shm`` backend — to the
+        evaluator's lifetime.
+        """
+        self._close_callbacks.append(callback)
+
+    def _run_close_callbacks(self) -> None:
+        callbacks, self._close_callbacks = self._close_callbacks, []
+        for callback in callbacks:
+            callback()
+
+    def close(self) -> None:
+        self._run_close_callbacks()
 
     def __enter__(self) -> "BaseBatchEvaluator":
         return self

@@ -1,0 +1,266 @@
+"""Chunked worker farm: per-slave queues, content-affinity routing, batch chunks.
+
+The seed master/slave evaluator reproduced the paper's protocol literally —
+one individual per message through a :class:`multiprocessing.Pool` — which has
+two structural costs the paper's C/PVM implementation did not pay:
+
+* every individual is a separate task message (scheduling + IPC overhead per
+  haplotype instead of per chunk);
+* a ``Pool`` hands tasks to *whichever* worker is free, so a haplotype that is
+  re-requested in a later generation usually lands on a different slave than
+  the one whose caches already hold its phase expansions and EM result.
+
+This module keeps the synchronous-farm organisation (the master blocks until
+the whole generation is evaluated) but gives every slave its **own** inbox
+queue.  The master routes each distinct haplotype to the slave that owns it —
+a deterministic function of the sorted SNP tuple — and sends each slave its
+share of the generation as a small number of chunks.  Inside the slave the
+chunk runs through the batch fast path (a worker-local
+:class:`~repro.parallel.serial.SerialEvaluator` over the once-loaded fitness
+function, with its own LRU), so re-requested haplotypes are answered from the
+slave-side caches instead of being re-evaluated; per-chunk counters and
+timings travel back with the results and are merged master-side into the
+farm's :class:`~repro.parallel.base.EvaluationStats`.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass
+from queue import Empty
+from typing import Callable, Sequence
+
+from .base import (
+    FitnessCallable,
+    SnpSet,
+    default_mp_context,
+    validate_chunk_size,
+    validate_worker_count,
+)
+
+__all__ = ["ChunkStats", "ChunkedWorkerFarm", "affinity_worker"]
+
+#: A picklable zero-argument callable building the worker's fitness function.
+#: Called exactly once per slave process ("the slaves access only once to the
+#: data"); the result is wrapped in the worker-local batch evaluator.
+EvaluatorFactory = Callable[[], FitnessCallable]
+
+
+@dataclass(frozen=True)
+class ChunkStats:
+    """Per-chunk accounting a slave reports back with its results."""
+
+    n_requests: int
+    n_evaluations: int
+    n_cache_hits: int
+    seconds: float
+
+
+def affinity_worker(key: tuple[int, ...], n_workers: int) -> int:
+    """Deterministic owner slave of a haplotype (stable across generations).
+
+    Hashing the sorted SNP tuple — integers hash reproducibly, unaffected by
+    ``PYTHONHASHSEED`` — pins every haplotype to one slave, so that slave's
+    expansion/result caches keep working when the haplotype returns in a later
+    generation.
+    """
+    return hash(key) % n_workers
+
+
+def _farm_worker_main(
+    factory: EvaluatorFactory,
+    worker_cache_size: int | None,
+    inbox,
+    outbox,
+) -> None:
+    """Slave loop: build the evaluator once, then evaluate chunks until told to stop."""
+    from .serial import SerialEvaluator
+
+    try:
+        fitness = factory()
+        local = SerialEvaluator(fitness, cache_size=worker_cache_size)
+    except Exception:  # pragma: no cover - exercised via the startup-error test
+        outbox.put((None, None, None, traceback.format_exc()))
+        return
+    while True:
+        message = inbox.get()
+        if message is None:
+            break
+        task_id, chunk = message
+        try:
+            before = local.stats.copy()
+            start = time.perf_counter()
+            values = local.evaluate_batch(chunk)
+            elapsed = time.perf_counter() - start
+            delta = local.stats.since(before)
+            stats = ChunkStats(
+                n_requests=delta.n_requests,
+                n_evaluations=delta.n_evaluations,
+                n_cache_hits=delta.n_cache_hits + delta.n_dedup_hits,
+                seconds=elapsed,
+            )
+            outbox.put((task_id, values, stats, None))
+        except Exception:
+            outbox.put((task_id, None, None, traceback.format_exc()))
+
+
+class ChunkedWorkerFarm:
+    """A synchronous farm of slave processes fed through per-slave queues.
+
+    Parameters
+    ----------
+    factory:
+        Picklable zero-argument callable; each slave calls it once to build
+        its fitness function (ship a pickled evaluator, or attach to a
+        shared-memory genotype store).
+    n_workers:
+        Number of slave processes.
+    chunk_size:
+        Maximum number of haplotypes per message.  ``None`` sends each
+        slave's whole share of a batch as a single chunk (one message per
+        slave per generation — the synchronous-farm optimum when slaves are
+        homogeneous).
+    worker_cache_size:
+        Bound of each slave's local fitness LRU (``0`` disables slave-side
+        result reuse, e.g. for timing studies).
+    start_method:
+        ``multiprocessing`` start method (default: ``fork`` where available).
+    """
+
+    _RESULT_POLL_SECONDS = 0.5
+
+    def __init__(
+        self,
+        factory: EvaluatorFactory,
+        n_workers: int,
+        *,
+        chunk_size: int | None = None,
+        worker_cache_size: int | None = 4096,
+        start_method: str | None = None,
+    ) -> None:
+        if n_workers is None:
+            raise ValueError("n_workers must be a positive integer, got None")
+        validate_worker_count(n_workers)
+        validate_chunk_size(chunk_size)
+        context = default_mp_context(start_method)
+        self._n_workers = n_workers
+        self._chunk_size = chunk_size
+        self._outbox = context.Queue()
+        self._inboxes = []
+        self._processes = []
+        self._closed = False
+        # monotone across the farm's lifetime: after a failed batch, stale
+        # results still in the outbox can never collide with a later batch's
+        # task ids (they are drained and discarded as unknown)
+        self._next_task_id = 0
+        for _ in range(n_workers):
+            inbox = context.Queue()
+            process = context.Process(
+                target=_farm_worker_main,
+                args=(factory, worker_cache_size, inbox, self._outbox),
+                daemon=True,
+            )
+            process.start()
+            self._inboxes.append(inbox)
+            self._processes.append(process)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_workers(self) -> int:
+        return self._n_workers
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _chunks_for_worker(self, indices: list[int]) -> list[list[int]]:
+        size = self._chunk_size or len(indices)
+        return [indices[i: i + size] for i in range(0, len(indices), size)]
+
+    def evaluate(
+        self, batch: Sequence[tuple[int, ...]]
+    ) -> tuple[list[float], ChunkStats]:
+        """Scatter one batch across the slaves; block until fully gathered.
+
+        Returns the fitnesses in batch order plus the merged per-chunk stats.
+        """
+        if self._closed:
+            raise RuntimeError("the worker farm has been closed")
+        # sorted keys: affinity routing must see one canonical form per
+        # haplotype or (5, 2) and (2, 5) would land on different slaves
+        batch = [tuple(sorted(int(s) for s in snps)) for snps in batch]
+        if not batch:
+            return [], ChunkStats(0, 0, 0, 0.0)
+
+        by_worker: dict[int, list[int]] = {}
+        for index, key in enumerate(batch):
+            by_worker.setdefault(affinity_worker(key, self._n_workers), []).append(index)
+
+        pending_tasks: dict[int, list[int]] = {}
+        for worker, indices in by_worker.items():
+            for chunk_indices in self._chunks_for_worker(indices):
+                chunk = [batch[i] for i in chunk_indices]
+                task_id = self._next_task_id
+                self._next_task_id += 1
+                self._inboxes[worker].put((task_id, chunk))
+                pending_tasks[task_id] = chunk_indices
+
+        results: list[float] = [0.0] * len(batch)
+        n_requests = n_evaluations = n_cache_hits = 0
+        seconds = 0.0
+        remaining = set(pending_tasks)
+        while remaining:
+            try:
+                received_id, values, stats, error = self._outbox.get(
+                    timeout=self._RESULT_POLL_SECONDS
+                )
+            except Empty:
+                dead = [i for i, p in enumerate(self._processes) if not p.is_alive()]
+                if dead:
+                    raise RuntimeError(
+                        f"worker process(es) {dead} died while evaluating a batch"
+                    ) from None
+                continue
+            if received_id is not None and received_id not in remaining:
+                # stale message (result or error) from a batch that a worker
+                # error already aborted; drop it — this batch never sent it
+                continue
+            if error is not None:
+                raise RuntimeError(f"a worker failed while evaluating a chunk:\n{error}")
+            for index, value in zip(pending_tasks[received_id], values):
+                results[index] = float(value)
+            n_requests += stats.n_requests
+            n_evaluations += stats.n_evaluations
+            n_cache_hits += stats.n_cache_hits
+            seconds += stats.seconds
+            remaining.discard(received_id)
+        return results, ChunkStats(n_requests, n_evaluations, n_cache_hits, seconds)
+
+    # ------------------------------------------------------------------ #
+    def close(self, *, join_timeout: float = 5.0) -> None:
+        """Stop the slaves and reap them; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for inbox in self._inboxes:
+            try:
+                inbox.put(None)
+            except (OSError, ValueError):  # pragma: no cover - queue already gone
+                pass
+        for process in self._processes:
+            process.join(timeout=join_timeout)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=join_timeout)
+
+    def terminate(self) -> None:
+        """Forcefully kill the slaves; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            process.join(timeout=5.0)

@@ -96,6 +96,13 @@ class IslandModelGA:
         Number of (run + migrate) rounds.
     constraints:
         Shared haplotype constraints.
+    backend:
+        Execution-backend name each island's evaluator is resolved on
+        through :mod:`repro.runtime.backends` (default ``"serial"``); a
+        parallel backend gives every island its own worker farm.
+    backend_options:
+        Extra keyword arguments forwarded to
+        :func:`repro.runtime.backends.create_evaluator` (``n_workers``, ...).
     """
 
     def __init__(
@@ -108,6 +115,8 @@ class IslandModelGA:
         migration_interval: int = 10,
         n_epochs: int = 5,
         constraints: HaplotypeConstraints | None = None,
+        backend: str | None = None,
+        backend_options: dict | None = None,
     ) -> None:
         if n_islands < 2:
             raise ValueError("an island model needs at least two islands")
@@ -122,6 +131,8 @@ class IslandModelGA:
         self.migration_interval = int(migration_interval)
         self.n_epochs = int(n_epochs)
         self.constraints = constraints or HaplotypeConstraints.unconstrained(n_snps)
+        self.backend = backend
+        self.backend_options = dict(backend_options or {})
 
     # ------------------------------------------------------------------ #
     def _island_config(self, island: int, epoch_generations: int) -> GAConfig:
@@ -133,40 +144,47 @@ class IslandModelGA:
         """Run the island model and return the aggregated result."""
         start = time.perf_counter()
         islands = []
-        for island in range(self.n_islands):
-            config = self.base_config.with_seed(self.base_config.seed + island)
-            ga = AdaptiveMultiPopulationGA(
-                self.fitness,
-                n_snps=self.n_snps,
-                config=config,
-                constraints=self.constraints,
-            )
-            # epochs are driven from here: keep each run() short
-            ga.termination = ga.termination.__class__(
-                stagnation_generations=max(self.migration_interval, 2),
-                max_generations=self.migration_interval,
-                max_evaluations=config.max_evaluations,
-            )
-            islands.append(ga)
-
         results: list[GAResult] = [None] * self.n_islands  # type: ignore[list-item]
         n_migrations = 0
         migrants: list[HaplotypeIndividual] = []
-        for epoch in range(self.n_epochs):
-            for index, ga in enumerate(islands):
-                # inject the previous epoch's migrants through the normal
-                # replacement rule before continuing the island's evolution
-                if migrants and ga.population is not None:
-                    for migrant in migrants:
-                        ga.population.try_insert(migrant)
-                results[index] = ga.run(reset=(epoch == 0))
-            # collect this epoch's migrants (best of each size of each island)
-            migrants = [
-                individual
-                for result in results
-                for individual in result.best_per_size.values()
-            ]
-            n_migrations += 1
+        try:
+            for island in range(self.n_islands):
+                config = self.base_config.with_seed(self.base_config.seed + island)
+                ga = AdaptiveMultiPopulationGA(
+                    self.fitness,
+                    n_snps=self.n_snps,
+                    config=config,
+                    constraints=self.constraints,
+                    backend=self.backend,
+                    backend_options=self.backend_options or None,
+                )
+                # epochs are driven from here: keep each run() short
+                ga.termination = ga.termination.__class__(
+                    stagnation_generations=max(self.migration_interval, 2),
+                    max_generations=self.migration_interval,
+                    max_evaluations=config.max_evaluations,
+                )
+                islands.append(ga)
+
+            for epoch in range(self.n_epochs):
+                for index, ga in enumerate(islands):
+                    # inject the previous epoch's migrants through the normal
+                    # replacement rule before continuing the island's evolution
+                    if migrants and ga.population is not None:
+                        for migrant in migrants:
+                            ga.population.try_insert(migrant)
+                    results[index] = ga.run(reset=(epoch == 0))
+                # collect this epoch's migrants (best of each size of each island)
+                migrants = [
+                    individual
+                    for result in results
+                    for individual in result.best_per_size.values()
+                ]
+                n_migrations += 1
+        finally:
+            # a parallel backend holds worker processes per island; never leak
+            for ga in islands:
+                ga.close()
 
         best_per_size: dict[int, HaplotypeIndividual] = {}
         for result in results:

@@ -1,29 +1,46 @@
 """Synchronous master/slave parallel evaluation (paper Section 4.5, Figure 6).
 
 The paper's implementation uses C + PVM: slaves are started once at the
-beginning of the run, load the data once, and then repeatedly receive one
-individual to evaluate and send its fitness back; the master blocks until the
-whole generation is evaluated (synchronous farm).
+beginning of the run, load the data once, and then repeatedly receive work to
+evaluate and send fitnesses back; the master blocks until the whole
+generation is evaluated (synchronous farm).
 
-This module reproduces that organisation on top of :mod:`multiprocessing`:
+This module reproduces that organisation on top of :mod:`multiprocessing`
+with two dispatch strategies:
 
-* worker processes are created once, when the evaluator is constructed;
-* the (picklable) fitness function — in practice a
-  :class:`~repro.stats.evaluation.HaplotypeEvaluator` holding the genotype
-  data — is shipped to each worker exactly once through the pool initializer,
-  mirroring "the slaves are initiated at the beginning and access only once
-  to the data";
-* ``evaluate_batch`` scatters the individuals across the workers and gathers
-  every fitness before returning (a synchronous generation barrier).
+* ``dispatch="individual"`` — the paper's literal protocol: one individual
+  per message through a worker pool.  The (picklable) fitness function — in
+  practice a :class:`~repro.stats.evaluation.HaplotypeEvaluator` holding the
+  genotype data — is shipped to each worker exactly once through the pool
+  initializer, mirroring "the slaves are initiated at the beginning and
+  access only once to the data".
+* ``dispatch="chunked"`` — the scalable protocol
+  (:class:`~repro.parallel.farm.ChunkedWorkerFarm`): the master partitions a
+  generation's distinct individuals by content affinity, each slave receives
+  its share as chunks, evaluates them through a worker-local batch fast path
+  (per-slave expansion/result caches + LRU) and sends per-chunk stats back,
+  which the master merges into the evaluator's
+  :class:`~repro.parallel.base.EvaluationStats`.
+
+Either way ``evaluate_batch`` gathers every fitness before returning (a
+synchronous generation barrier).
 """
 
 from __future__ import annotations
 
 import os
-from multiprocessing import get_context
 from typing import Sequence
 
-from .base import BaseBatchEvaluator, FitnessCallable, SnpSet
+from .base import (
+    BaseBatchEvaluator,
+    DistinctEvaluation,
+    FitnessCallable,
+    SnpSet,
+    default_mp_context,
+    validate_chunk_size,
+    validate_worker_count,
+)
+from .farm import ChunkedWorkerFarm, EvaluatorFactory
 
 __all__ = ["MasterSlaveEvaluator", "default_worker_count"]
 
@@ -33,10 +50,10 @@ __all__ = ["MasterSlaveEvaluator", "default_worker_count"]
 _WORKER_FITNESS: FitnessCallable | None = None
 
 
-def _initialize_worker(fitness: FitnessCallable) -> None:
-    """Pool initializer: store the fitness function once per worker process."""
+def _initialize_worker(factory: EvaluatorFactory) -> None:
+    """Pool initializer: build the fitness function once per worker process."""
     global _WORKER_FITNESS
-    _WORKER_FITNESS = fitness
+    _WORKER_FITNESS = factory()
 
 
 def _evaluate_in_worker(snps: tuple[int, ...]) -> float:
@@ -44,6 +61,20 @@ def _evaluate_in_worker(snps: tuple[int, ...]) -> float:
     if _WORKER_FITNESS is None:  # pragma: no cover - defensive
         raise RuntimeError("worker process was not initialised with a fitness function")
     return float(_WORKER_FITNESS(snps))
+
+
+class _CallableFactory:
+    """Picklable factory closing over an already-built fitness callable.
+
+    Pickling the instance ships the callable (and any data it holds) to the
+    worker exactly once, at farm start-up.
+    """
+
+    def __init__(self, fitness: FitnessCallable) -> None:
+        self._fitness = fitness
+
+    def __call__(self) -> FitnessCallable:
+        return self._fitness
 
 
 def default_worker_count() -> int:
@@ -57,13 +88,26 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
     Parameters
     ----------
     fitness:
-        Picklable fitness callable shipped once to every worker.
+        Picklable fitness callable shipped once to every worker.  Mutually
+        exclusive with ``evaluator_factory``.
+    evaluator_factory:
+        Picklable zero-argument callable; each worker calls it once to build
+        its own fitness function.  This is how the ``process-shm`` backend
+        rebuilds lightweight evaluator views over a shared-memory genotype
+        store instead of receiving a pickled copy of the data.
     n_workers:
-        Number of slave processes (default: CPU count).
+        Number of slave processes (default: CPU count).  Must be a positive
+        integer.
     chunk_size:
-        Number of individuals sent to a slave per message.  The paper sends
-        one individual at a time (``chunk_size=1``); larger chunks trade
-        scheduling flexibility for lower communication overhead.
+        Number of individuals per message.  With ``dispatch="individual"``
+        the default is the paper's one-at-a-time protocol (``1``); with
+        ``dispatch="chunked"``, ``None`` (the default) sends each slave its
+        whole share of a generation as a single chunk.
+    dispatch:
+        ``"individual"`` (pool, one task per haplotype) or ``"chunked"``
+        (per-slave queues, affinity routing, worker-side batch fast path).
+    worker_cache_size:
+        Chunked dispatch only: bound of each slave's local fitness LRU.
     start_method:
         ``multiprocessing`` start method; the default ``"fork"`` (when
         available) avoids re-importing the scientific stack in every worker,
@@ -74,43 +118,68 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
         generation are collapsed and previously seen haplotypes are answered
         from a master-side cache, so only distinct, unseen individuals are
         scattered to the slaves.
+
+    The evaluator is a context manager and ``close()`` is idempotent, so
+    experiment loops cannot leak worker processes::
+
+        with MasterSlaveEvaluator(evaluator, n_workers=4) as farm:
+            fitnesses = farm.evaluate_batch(batch)
     """
+
+    _DISPATCH_MODES = ("individual", "chunked")
 
     def __init__(
         self,
-        fitness: FitnessCallable,
+        fitness: FitnessCallable | None = None,
         *,
+        evaluator_factory: EvaluatorFactory | None = None,
         n_workers: int | None = None,
-        chunk_size: int = 1,
+        chunk_size: int | None = None,
+        dispatch: str = "individual",
+        worker_cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE,
         start_method: str | None = None,
         dedup: bool = True,
         cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE,
     ) -> None:
         super().__init__(dedup=dedup, cache_size=cache_size)
-        if n_workers is not None and n_workers <= 0:
-            raise ValueError("n_workers must be positive")
-        if chunk_size <= 0:
-            raise ValueError("chunk_size must be positive")
+        if (fitness is None) == (evaluator_factory is None):
+            raise ValueError("provide exactly one of fitness or evaluator_factory")
+        validate_worker_count(n_workers)
+        validate_chunk_size(chunk_size)
+        if dispatch not in self._DISPATCH_MODES:
+            raise ValueError(f"dispatch must be one of {self._DISPATCH_MODES}, got {dispatch!r}")
         self._n_workers = n_workers or default_worker_count()
         self._chunk_size = chunk_size
-        if start_method is None:
-            try:
-                context = get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX platforms
-                context = get_context("spawn")
-        else:
-            context = get_context(start_method)
-        self._pool = context.Pool(
-            processes=self._n_workers,
-            initializer=_initialize_worker,
-            initargs=(fitness,),
-        )
+        self._dispatch = dispatch
+        factory = evaluator_factory if evaluator_factory is not None else _CallableFactory(fitness)
         self._closed = False
+        self._pool = None
+        self._farm: ChunkedWorkerFarm | None = None
+        if dispatch == "chunked":
+            self._farm = ChunkedWorkerFarm(
+                factory,
+                self._n_workers,
+                chunk_size=chunk_size,
+                worker_cache_size=worker_cache_size,
+                start_method=start_method,
+            )
+        else:
+            context = default_mp_context(start_method)
+            self._pool = context.Pool(
+                processes=self._n_workers,
+                initializer=_initialize_worker,
+                initargs=(factory,),
+            )
 
     # ------------------------------------------------------------------ #
     @property
     def n_workers(self) -> int:
         return self._n_workers
+
+    @property
+    def dispatch(self) -> str:
+        """The dispatch strategy (``"individual"`` or ``"chunked"``)."""
+        return self._dispatch
 
     def evaluate_batch(self, batch: Sequence[SnpSet]) -> list[float]:
         if self._closed:
@@ -118,22 +187,43 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
         return super().evaluate_batch(batch)
 
     def _evaluate_distinct(self, batch: Sequence[SnpSet]) -> list[float]:
+        return self._evaluate_distinct_details(batch).values
+
+    def _evaluate_distinct_details(self, batch: Sequence[SnpSet]) -> DistinctEvaluation:
         tasks = [tuple(int(s) for s in snps) for snps in batch]
-        results = self._pool.map(_evaluate_in_worker, tasks, chunksize=self._chunk_size)
-        return [float(r) for r in results]
+        if self._farm is not None:
+            values, chunk_stats = self._farm.evaluate(tasks)
+            return DistinctEvaluation(
+                values=values,
+                n_evaluations=chunk_stats.n_evaluations,
+                n_cache_hits=chunk_stats.n_cache_hits,
+                backend_seconds=chunk_stats.seconds,
+            )
+        results = self._pool.map(
+            _evaluate_in_worker, tasks, chunksize=self._chunk_size or 1
+        )
+        return DistinctEvaluation(values=[float(r) for r in results])
 
     def close(self) -> None:
         if not self._closed:
-            self._pool.close()
-            self._pool.join()
             self._closed = True
+            if self._farm is not None:
+                self._farm.close()
+            if self._pool is not None:
+                self._pool.close()
+                self._pool.join()
+        self._run_close_callbacks()
 
     def terminate(self) -> None:
-        """Forcefully terminate the worker processes."""
+        """Forcefully terminate the worker processes; idempotent."""
         if not self._closed:
-            self._pool.terminate()
-            self._pool.join()
             self._closed = True
+            if self._farm is not None:
+                self._farm.terminate()
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool.join()
+        self._run_close_callbacks()
 
     def __del__(self) -> None:  # pragma: no cover - interpreter shutdown path
         try:

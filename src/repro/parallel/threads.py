@@ -1,0 +1,111 @@
+"""Thread-pool batch evaluator.
+
+A shared-memory sibling of the process farm: the genotype matrices are shared
+by construction (threads see the same arrays), there is no pickling, and
+start-up is cheap.  The GIL caps the achievable speedup for the numpy-heavy
+EM kernel, but the backend is valuable as the cheapest parallel substrate for
+small batches and as a drop-in parity check for the process backends.
+
+Thread safety: a :class:`~repro.stats.evaluation.HaplotypeEvaluator`'s
+internal caches are plain dict/OrderedDict layers and are not synchronised,
+so sharing one evaluator across threads would race.  When built from an
+``evaluator_factory`` the pool therefore gives every worker thread its own
+evaluator instance (they still share the underlying genotype arrays); a plain
+``fitness`` callable is shared as-is and must be thread-safe itself.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+from .base import (
+    BaseBatchEvaluator,
+    FitnessCallable,
+    SnpSet,
+    validate_chunk_size,
+    validate_worker_count,
+)
+
+__all__ = ["ThreadPoolEvaluator"]
+
+
+class ThreadPoolEvaluator(BaseBatchEvaluator):
+    """Evaluate batches on a pool of threads.
+
+    Parameters
+    ----------
+    fitness:
+        Thread-safe fitness callable shared by every worker thread.  Mutually
+        exclusive with ``evaluator_factory``.
+    evaluator_factory:
+        Zero-argument callable building a fitness function; called once per
+        worker thread (thread-local evaluators, shared genotype arrays).
+    n_workers:
+        Number of worker threads (default 4).
+    chunk_size:
+        Haplotypes per submitted task; ``None`` splits a batch evenly across
+        the workers.
+    dedup, cache_size:
+        Batch fast-path controls inherited from
+        :class:`~repro.parallel.base.BaseBatchEvaluator`.
+    """
+
+    def __init__(
+        self,
+        fitness: FitnessCallable | None = None,
+        *,
+        evaluator_factory: Callable[[], FitnessCallable] | None = None,
+        n_workers: int | None = None,
+        chunk_size: int | None = None,
+        dedup: bool = True,
+        cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE,
+    ) -> None:
+        super().__init__(dedup=dedup, cache_size=cache_size)
+        if (fitness is None) == (evaluator_factory is None):
+            raise ValueError("provide exactly one of fitness or evaluator_factory")
+        validate_worker_count(n_workers)
+        validate_chunk_size(chunk_size)
+        self._fitness = fitness
+        self._factory = evaluator_factory
+        self._n_workers = n_workers or 4
+        self._chunk_size = chunk_size
+        self._thread_state = threading.local()
+        self._executor: ThreadPoolExecutor | None = ThreadPoolExecutor(
+            max_workers=self._n_workers, thread_name_prefix="repro-eval"
+        )
+
+    @property
+    def n_workers(self) -> int:
+        return self._n_workers
+
+    def _thread_fitness(self) -> FitnessCallable:
+        if self._fitness is not None:
+            return self._fitness
+        fitness = getattr(self._thread_state, "fitness", None)
+        if fitness is None:
+            fitness = self._factory()  # type: ignore[misc]
+            self._thread_state.fitness = fitness
+        return fitness
+
+    def _evaluate_chunk(self, chunk: list[SnpSet]) -> list[float]:
+        fitness = self._thread_fitness()
+        return [float(fitness(snps)) for snps in chunk]
+
+    def _evaluate_distinct(self, batch: Sequence[SnpSet]) -> list[float]:
+        if self._executor is None:
+            raise RuntimeError("evaluator has been closed")
+        batch = list(batch)
+        size = self._chunk_size or max(1, -(-len(batch) // self._n_workers))
+        chunks = [batch[i: i + size] for i in range(0, len(batch), size)]
+        values: list[float] = []
+        for chunk_values in self._executor.map(self._evaluate_chunk, chunks):
+            values.extend(chunk_values)
+        return values
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        super().close()

@@ -1,0 +1,60 @@
+"""Execution-runtime layer: backend registry, shared-memory store, run service.
+
+This package is the seam between the GA/statistics code and the machinery
+that actually executes fitness evaluations:
+
+* :mod:`repro.runtime.spec` — picklable evaluator recipes and dataset handles;
+* :mod:`repro.runtime.backends` — the string-keyed execution-backend registry
+  (``serial`` / ``threads`` / ``process`` / ``process-shm``);
+* :mod:`repro.runtime.shm` — the one-copy shared-memory genotype store;
+* :mod:`repro.runtime.service` — the synchronous ``RunRequest -> RunResult``
+  service used by the CLI and the experiment harnesses.
+
+``service`` is re-exported lazily: it imports the GA core, which itself
+resolves its default backend through this package.
+"""
+
+from .backends import (
+    DEFAULT_BACKEND,
+    BackendRequest,
+    backend_names,
+    create_evaluator,
+    register_backend,
+    resolve_backend,
+)
+from .shm import SharedDatasetHandle, SharedGenotypeStore
+from .spec import (
+    DatasetHandle,
+    EvaluatorSpec,
+    InMemoryDatasetHandle,
+    SpecEvaluatorFactory,
+)
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "BackendRequest",
+    "backend_names",
+    "create_evaluator",
+    "register_backend",
+    "resolve_backend",
+    "EvaluatorSpec",
+    "DatasetHandle",
+    "InMemoryDatasetHandle",
+    "SpecEvaluatorFactory",
+    "SharedGenotypeStore",
+    "SharedDatasetHandle",
+    "RunRequest",
+    "RunResult",
+    "RunService",
+]
+
+
+def __getattr__(name: str):
+    # Lazy re-export: service.py imports the GA core, which in turn imports
+    # this package for its default backend; importing it eagerly here would
+    # create a cycle.
+    if name in ("RunRequest", "RunResult", "RunService"):
+        from . import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

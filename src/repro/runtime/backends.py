@@ -1,0 +1,246 @@
+"""The pluggable execution-backend registry.
+
+Every layer that needs fitnesses — the GA core, the island model, the
+experiment harnesses, the CLI — asks this registry for a
+:class:`~repro.parallel.base.BatchEvaluator` by *name* instead of
+hand-building one:
+
+========== ==================================================================
+name       substrate
+========== ==================================================================
+serial     in-process loop (the reference backend)
+threads    thread pool; shared arrays, per-thread evaluators, GIL-bound
+process    chunked master/slave farm; data pickled once per slave
+process-shm chunked master/slave farm; slaves attach to one shared-memory
+           copy of the genotype matrices and rebuild lightweight evaluator
+           views over it
+========== ==================================================================
+
+A backend factory receives the normalised request — an
+:class:`~repro.runtime.spec.EvaluatorSpec` plus dataset and/or a plain
+fitness callable — and returns a live evaluator.  New substrates (async,
+sharded, remote) become a :func:`register_backend` call instead of a rewrite
+of every call site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..genetics.dataset import GenotypeDataset
+from ..parallel.base import BaseBatchEvaluator, BatchEvaluator, FitnessCallable
+from ..parallel.master_slave import MasterSlaveEvaluator
+from ..parallel.serial import SerialEvaluator
+from ..parallel.threads import ThreadPoolEvaluator
+from ..stats.evaluation import HaplotypeEvaluator
+from .shm import SharedGenotypeStore
+from .spec import EvaluatorSpec, InMemoryDatasetHandle, SpecEvaluatorFactory
+
+__all__ = [
+    "BackendRequest",
+    "BackendFactory",
+    "register_backend",
+    "backend_names",
+    "resolve_backend",
+    "create_evaluator",
+    "DEFAULT_BACKEND",
+]
+
+DEFAULT_BACKEND = "serial"
+
+
+@dataclass(frozen=True)
+class BackendRequest:
+    """Normalised arguments every backend factory receives.
+
+    Exactly one of (``fitness``) or (``spec`` + ``dataset``) is guaranteed to
+    be usable; backends that must rebuild evaluators in another process
+    (``process-shm``) require the spec form and raise a ``TypeError``
+    otherwise.
+    """
+
+    spec: EvaluatorSpec | None
+    dataset: GenotypeDataset | None
+    fitness: FitnessCallable | None
+    n_workers: int | None
+    chunk_size: int | None
+    dedup: bool
+    cache_size: int | None
+    worker_cache_size: int | None
+    start_method: str | None
+
+    def local_fitness(self) -> FitnessCallable:
+        """A fitness callable usable in the calling process."""
+        if self.fitness is not None:
+            return self.fitness
+        assert self.spec is not None and self.dataset is not None
+        return self.spec.build(self.dataset)
+
+    def require_spec(self, backend: str) -> tuple[EvaluatorSpec, GenotypeDataset]:
+        if self.spec is None or self.dataset is None:
+            raise TypeError(
+                f"the {backend!r} backend rebuilds evaluators in worker processes "
+                f"and therefore needs an EvaluatorSpec + dataset (or a "
+                f"HaplotypeEvaluator to derive them from), not a bare callable"
+            )
+        return self.spec, self.dataset
+
+
+BackendFactory = Callable[[BackendRequest], BatchEvaluator]
+
+_REGISTRY: dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory, *, replace: bool = False) -> None:
+    """Register an execution backend under ``name``."""
+    if not replace and name in _REGISTRY:
+        raise ValueError(f"backend {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def backend_names() -> tuple[str, ...]:
+    """Names of all registered backends (sorted)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_backend(name: str) -> BackendFactory:
+    """Look up a backend factory by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown execution backend {name!r}; available: {', '.join(backend_names())}"
+        ) from None
+
+
+def create_evaluator(
+    backend: str,
+    source: HaplotypeEvaluator | EvaluatorSpec | FitnessCallable,
+    *,
+    dataset: GenotypeDataset | None = None,
+    n_workers: int | None = None,
+    chunk_size: int | None = None,
+    dedup: bool = True,
+    cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE,
+    worker_cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE,
+    start_method: str | None = None,
+) -> BatchEvaluator:
+    """Build a batch evaluator on the named backend.
+
+    ``source`` may be a live :class:`HaplotypeEvaluator` (spec and dataset
+    are derived from it), an :class:`EvaluatorSpec` (``dataset`` required),
+    or any fitness callable (sufficient for the in-process backends and, if
+    picklable, for ``process``).
+    """
+    spec: EvaluatorSpec | None = None
+    fitness: FitnessCallable | None = None
+    if isinstance(source, EvaluatorSpec):
+        if dataset is None:
+            raise TypeError("an EvaluatorSpec source requires the dataset argument")
+        spec = source
+    elif isinstance(source, HaplotypeEvaluator):
+        spec = EvaluatorSpec.from_evaluator(source)
+        dataset = source.dataset if dataset is None else dataset
+        fitness = source
+    elif callable(source):
+        fitness = source
+    else:
+        raise TypeError(
+            f"source must be a HaplotypeEvaluator, EvaluatorSpec or callable, "
+            f"got {type(source).__name__}"
+        )
+    request = BackendRequest(
+        spec=spec,
+        dataset=dataset,
+        fitness=fitness,
+        n_workers=n_workers,
+        chunk_size=chunk_size,
+        dedup=dedup,
+        cache_size=cache_size,
+        worker_cache_size=worker_cache_size,
+        start_method=start_method,
+    )
+    return resolve_backend(backend)(request)
+
+
+# --------------------------------------------------------------------- #
+# the built-in backends
+# --------------------------------------------------------------------- #
+def _serial_backend(request: BackendRequest) -> BatchEvaluator:
+    return SerialEvaluator(
+        request.local_fitness(), dedup=request.dedup, cache_size=request.cache_size
+    )
+
+
+def _threads_backend(request: BackendRequest) -> BatchEvaluator:
+    if request.spec is not None and request.dataset is not None:
+        # per-thread evaluators over the (naturally shared) in-process arrays
+        return ThreadPoolEvaluator(
+            evaluator_factory=SpecEvaluatorFactory(
+                request.spec, InMemoryDatasetHandle(request.dataset)
+            ),
+            n_workers=request.n_workers,
+            chunk_size=request.chunk_size,
+            dedup=request.dedup,
+            cache_size=request.cache_size,
+        )
+    return ThreadPoolEvaluator(
+        request.fitness,
+        n_workers=request.n_workers,
+        chunk_size=request.chunk_size,
+        dedup=request.dedup,
+        cache_size=request.cache_size,
+    )
+
+
+def _process_backend(request: BackendRequest) -> BatchEvaluator:
+    if request.spec is not None and request.dataset is not None:
+        factory = SpecEvaluatorFactory(request.spec, InMemoryDatasetHandle(request.dataset))
+        return MasterSlaveEvaluator(
+            evaluator_factory=factory,
+            dispatch="chunked",
+            n_workers=request.n_workers,
+            chunk_size=request.chunk_size,
+            worker_cache_size=request.worker_cache_size,
+            start_method=request.start_method,
+            dedup=request.dedup,
+            cache_size=request.cache_size,
+        )
+    return MasterSlaveEvaluator(
+        request.fitness,
+        dispatch="chunked",
+        n_workers=request.n_workers,
+        chunk_size=request.chunk_size,
+        worker_cache_size=request.worker_cache_size,
+        start_method=request.start_method,
+        dedup=request.dedup,
+        cache_size=request.cache_size,
+    )
+
+
+def _process_shm_backend(request: BackendRequest) -> BatchEvaluator:
+    spec, dataset = request.require_spec("process-shm")
+    store = SharedGenotypeStore(dataset)
+    try:
+        evaluator = MasterSlaveEvaluator(
+            evaluator_factory=SpecEvaluatorFactory(spec, store.handle),
+            dispatch="chunked",
+            n_workers=request.n_workers,
+            chunk_size=request.chunk_size,
+            worker_cache_size=request.worker_cache_size,
+            start_method=request.start_method,
+            dedup=request.dedup,
+            cache_size=request.cache_size,
+        )
+    except BaseException:
+        store.release()
+        raise
+    evaluator.register_close_callback(store.release)
+    return evaluator
+
+
+register_backend("serial", _serial_backend)
+register_backend("threads", _threads_backend)
+register_backend("process", _process_backend)
+register_backend("process-shm", _process_shm_backend)

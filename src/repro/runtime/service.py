@@ -1,0 +1,207 @@
+"""The synchronous run service: one front door for executing GA runs.
+
+``RunRequest`` describes *what* to run (GA configuration, number of repeated
+runs, fitness statistic) and *how* to run it (execution backend, worker
+count, chunking, caching policy); :class:`RunService` owns a dataset,
+resolves the backend through the registry, executes the runs and returns a
+:class:`RunResult` carrying the per-run :class:`~repro.core.history.GAResult`
+objects plus the merged :class:`~repro.parallel.base.EvaluationStats`.
+
+The CLI ``run`` command and the Table-2 / ablation / speedup harnesses all
+route through this service, so backend choice, seeding, caching policy and
+stats reporting live in exactly one place.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.config import GAConfig
+from ..core.ga import AdaptiveMultiPopulationGA
+from ..core.history import GAResult
+from ..core.individual import HaplotypeIndividual
+from ..genetics.constraints import HaplotypeConstraints
+from ..genetics.dataset import GenotypeDataset
+from ..parallel.base import BaseBatchEvaluator, EvaluationStats
+from .backends import DEFAULT_BACKEND, create_evaluator
+from .spec import EvaluatorSpec
+
+__all__ = ["RunRequest", "RunResult", "RunService"]
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """A declarative description of one (possibly repeated) GA execution.
+
+    Attributes
+    ----------
+    config:
+        GA parameters (default: the paper's :class:`GAConfig` defaults).
+    n_runs:
+        Number of independent runs; run ``i`` uses seed ``seed + i``.
+    seed:
+        Base seed; ``None`` uses ``config.seed``.
+    statistic:
+        CLUMP statistic optimised as fitness (ignored when ``spec`` given).
+    spec:
+        Full evaluator recipe; overrides ``statistic``.
+    backend:
+        Execution-backend name (see :func:`repro.runtime.backends.backend_names`).
+    n_workers, chunk_size:
+        Parallel-backend sizing (ignored by ``serial``).
+    dedup, cache_size, worker_cache_size:
+        Batch fast-path policy for the backend evaluator.
+    constraints:
+        Haplotype-validity constraints (default: unconstrained).
+    """
+
+    config: GAConfig | None = None
+    n_runs: int = 1
+    seed: int | None = None
+    statistic: str = "t1"
+    spec: EvaluatorSpec | None = None
+    backend: str = DEFAULT_BACKEND
+    n_workers: int | None = None
+    chunk_size: int | None = None
+    dedup: bool = True
+    cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE
+    worker_cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE
+    constraints: HaplotypeConstraints | None = None
+
+    def resolved_spec(self) -> EvaluatorSpec:
+        return self.spec if self.spec is not None else EvaluatorSpec(statistic=self.statistic)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of a :class:`RunRequest`.
+
+    Attributes
+    ----------
+    runs:
+        The per-run GA results, in seed order.
+    stats:
+        Backend evaluation stats merged over all runs (requests vs
+        evaluations actually performed, reuse, timings).
+    backend:
+        Name of the execution backend used.
+    elapsed_seconds:
+        Wall-clock time of the whole request.
+    """
+
+    runs: tuple[GAResult, ...]
+    stats: EvaluationStats
+    backend: str
+    elapsed_seconds: float
+    request: RunRequest = field(repr=False, default_factory=RunRequest)
+
+    @property
+    def result(self) -> GAResult:
+        """The first run's result (the common single-run case)."""
+        return self.runs[0]
+
+    @property
+    def n_evaluations(self) -> int:
+        """Total fitness requests across runs (the paper's cost metric)."""
+        return sum(run.n_evaluations for run in self.runs)
+
+    @property
+    def reuse_rate(self) -> float:
+        """Fraction of requests answered without evaluating (dedup + caches)."""
+        return self.stats.reuse_rate
+
+    def best_per_size(self) -> dict[int, HaplotypeIndividual]:
+        """Best individual of every size across all runs."""
+        best: dict[int, HaplotypeIndividual] = {}
+        for run in self.runs:
+            for size, individual in run.best_per_size.items():
+                current = best.get(size)
+                if current is None or individual.fitness_value() > current.fitness_value():
+                    best[size] = individual
+        return best
+
+    def summary_line(self) -> str:
+        """One-line account of the backend work (surfaced by the CLI)."""
+        stats = self.stats
+        return (
+            f"evaluation backend: {self.backend} — {stats.n_requests} requests -> "
+            f"{stats.n_evaluations} evaluations "
+            f"({stats.reuse_rate:.1%} answered by dedup/caches)"
+        )
+
+
+class RunService:
+    """Execute :class:`RunRequest` objects against one dataset.
+
+    The service builds the backend evaluator once per request (workers are
+    started once, shared by every run of the request, and always released —
+    the farm cannot leak), and snapshots the evaluator's stats around the
+    runs so the result reports exactly the work of this request.
+    """
+
+    def __init__(self, dataset: GenotypeDataset) -> None:
+        self._dataset = dataset
+        self._local_evaluators: dict[EvaluatorSpec, object] = {}
+
+    @property
+    def dataset(self) -> GenotypeDataset:
+        return self._dataset
+
+    def local_evaluator(self, request: RunRequest):
+        """A master-side in-process evaluator matching the request's spec.
+
+        Memoised per spec, so repeated requests (e.g. one per ablation
+        scheme) share the evaluator's internal reuse caches exactly like the
+        pre-service harnesses did.
+        """
+        spec = request.resolved_spec()
+        evaluator = self._local_evaluators.get(spec)
+        if evaluator is None:
+            evaluator = spec.build(self._dataset)
+            self._local_evaluators[spec] = evaluator
+        return evaluator
+
+    def run(self, request: RunRequest) -> RunResult:
+        if request.n_runs < 1:
+            raise ValueError("n_runs must be positive")
+        start = time.perf_counter()
+        config = request.config or GAConfig()
+        base_seed = config.seed if request.seed is None else request.seed
+        constraints = request.constraints or HaplotypeConstraints.unconstrained(
+            self._dataset.n_snps
+        )
+        # the in-process backends wrap the memoised local evaluator (shared
+        # reuse caches across requests); the process backends derive their
+        # worker-side spec from it
+        evaluator = create_evaluator(
+            request.backend,
+            self.local_evaluator(request),
+            dataset=self._dataset,
+            n_workers=request.n_workers,
+            chunk_size=request.chunk_size,
+            dedup=request.dedup,
+            cache_size=request.cache_size,
+            worker_cache_size=request.worker_cache_size,
+        )
+        runs: list[GAResult] = []
+        before = evaluator.stats.copy()
+        try:
+            for run_index in range(request.n_runs):
+                ga = AdaptiveMultiPopulationGA(
+                    n_snps=self._dataset.n_snps,
+                    config=config.with_seed(base_seed + run_index),
+                    constraints=constraints,
+                    evaluator=evaluator,
+                )
+                runs.append(ga.run())
+            stats = evaluator.stats.since(before)
+        finally:
+            evaluator.close()
+        return RunResult(
+            runs=tuple(runs),
+            stats=stats,
+            backend=request.backend,
+            elapsed_seconds=time.perf_counter() - start,
+            request=request,
+        )

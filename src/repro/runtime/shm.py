@@ -1,0 +1,180 @@
+"""Shared-memory genotype store for the ``process-shm`` backend.
+
+Second-generation PLINK attributes much of its scaling to keeping **one**
+in-memory copy of the genotype matrix that every computation unit reads.
+This module does the same for the worker farm: the case/control matrix is
+written once into a :mod:`multiprocessing.shared_memory` segment, and every
+slave process attaches to that segment and rebuilds a *view* — a
+:class:`~repro.genetics.dataset.GenotypeDataset` whose arrays point straight
+into the shared pages — instead of receiving a pickled copy of the data.
+
+Layout: rows are re-ordered **affected first, then unaffected** (individuals
+with unknown status are dropped — no evaluation ever reads them), each group
+preserving its original relative order.  Group selection then happens by
+basic slicing, which :meth:`GenotypeDataset.select_individuals` turns into
+zero-copy views, so a worker's evaluator holds windows into the shared matrix
+for the full dataset *and* for both groups.  The group-wise row order matches
+what ``dataset.affected()`` / ``dataset.unaffected()`` produce on the
+original dataset, so results are bit-identical to the in-memory path.
+
+The genotype block is followed by the status vector in the same segment::
+
+    [ genotypes int8 (n_individuals x n_snps) | status int8 (n_individuals) ]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..genetics.dataset import GenotypeDataset
+
+__all__ = ["SharedDatasetHandle", "SharedGenotypeStore"]
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment.
+
+    On Python < 3.13 attachments also register the segment name with the
+    ``multiprocessing`` resource tracker.  The tracker keeps a *set* of
+    names, so these re-registrations of the creating store's name are
+    harmless no-ops — the entry is removed exactly once, when the store
+    unlinks — and must **not** be compensated with an ``unregister`` call
+    (that would remove the store's own entry and make the final unlink warn).
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+@dataclass(frozen=True)
+class SharedDatasetHandle:
+    """Picklable pointer to a :class:`SharedGenotypeStore` segment.
+
+    ``load()`` attaches to the segment and rebuilds a read-only
+    :class:`GenotypeDataset` view (no genotype bytes are copied).  The handle
+    keeps the attachment alive for its own lifetime, which — held inside a
+    worker's evaluator factory — is the lifetime of the worker.
+    """
+
+    name: str
+    n_individuals: int
+    n_snps: int
+    snp_names: tuple[str, ...]
+    individual_ids: tuple[str, ...]
+    _segments: list = field(default_factory=list, repr=False, compare=False)
+
+    def __getstate__(self) -> dict:
+        # live attachments are process-local; a pickled handle starts fresh
+        state = self.__dict__.copy()
+        state["_segments"] = []
+        return state
+
+    def load(self) -> GenotypeDataset:
+        segment = _attach_segment(self.name)
+        self._segments.append(segment)  # keep the mapping alive
+        n, m = self.n_individuals, self.n_snps
+        genotypes = np.frombuffer(segment.buf, dtype=np.int8, count=n * m).reshape(n, m)
+        status = np.frombuffer(segment.buf, dtype=np.int8, count=n, offset=n * m)
+        genotypes.flags.writeable = False
+        status.flags.writeable = False
+        return GenotypeDataset(
+            genotypes,
+            status,
+            snp_names=self.snp_names,
+            individual_ids=self.individual_ids,
+        )
+
+    def detach(self) -> None:
+        """Drop this handle's attachments (in-process users only).
+
+        Every dataset view obtained from :meth:`load` must be garbage first;
+        worker processes never need this — they exit without tearing the
+        mapping down.  Attachments whose buffers are still exported are left
+        alone rather than invalidating live arrays.
+        """
+        remaining = []
+        for segment in self._segments:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - live views still exported
+                remaining.append(segment)
+        self._segments[:] = remaining
+
+
+class SharedGenotypeStore:
+    """Owner of one shared-memory copy of a case/control genotype matrix.
+
+    The creating process writes the (affected-first) matrix into a fresh
+    segment and hands out :class:`SharedDatasetHandle` objects; workers
+    attach through the handle.  The store must outlive every attachment and
+    is responsible for unlinking the segment (``release()``, also available
+    as a context manager).
+    """
+
+    def __init__(self, dataset: GenotypeDataset) -> None:
+        order = np.concatenate(
+            [np.flatnonzero(dataset.affected_mask), np.flatnonzero(dataset.unaffected_mask)]
+        )
+        if order.size == 0:
+            raise ValueError("the dataset has no individuals with known status")
+        genotypes = np.ascontiguousarray(dataset.genotypes[order], dtype=np.int8)
+        status = np.ascontiguousarray(dataset.status[order], dtype=np.int8)
+        n, m = genotypes.shape
+        self._segment = shared_memory.SharedMemory(create=True, size=n * m + n)
+        # explicit bounds: some platforms page-round the segment size upward
+        buffer = np.frombuffer(self._segment.buf, dtype=np.int8)
+        buffer[: n * m] = genotypes.ravel()
+        buffer[n * m: n * m + n] = status
+        del buffer  # drop the exported view so close() can release the mmap
+        self._released = False
+        self._handle = SharedDatasetHandle(
+            name=self._segment.name,
+            n_individuals=n,
+            n_snps=m,
+            snp_names=tuple(dataset.snp_names),
+            individual_ids=tuple(dataset.individual_ids[i] for i in order),
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Name of the underlying shared-memory segment."""
+        return self._segment.name
+
+    @property
+    def n_bytes(self) -> int:
+        """Size of the shared segment in bytes."""
+        return self._segment.size
+
+    @property
+    def handle(self) -> SharedDatasetHandle:
+        """A picklable handle workers can :meth:`~SharedDatasetHandle.load`."""
+        return self._handle
+
+    def dataset(self) -> GenotypeDataset:
+        """The store's own zero-copy view (master-side convenience)."""
+        return self._handle.load()
+
+    def release(self) -> None:
+        """Close and unlink the segment; idempotent."""
+        if self._released:
+            return
+        self._released = True
+        self._segment.close()
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked elsewhere
+            pass
+
+    def __enter__(self) -> "SharedGenotypeStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown path
+        try:
+            self.release()
+        except Exception:
+            pass

@@ -1,0 +1,107 @@
+"""Evaluator specifications: *how* to build an evaluator, not the evaluator.
+
+The execution-backend layer never ships live
+:class:`~repro.stats.evaluation.HaplotypeEvaluator` objects around by
+default.  Instead it passes a small, picklable :class:`EvaluatorSpec`
+(statistic + EM/CLUMP/caching parameters) together with a
+:class:`DatasetHandle` describing *where the genotype data lives* — embedded
+in the message (:class:`InMemoryDatasetHandle`) or in a shared-memory segment
+(:class:`~repro.runtime.shm.SharedDatasetHandle`).  Every worker combines the
+two once at start-up and keeps the resulting evaluator for its lifetime,
+which is exactly the paper's "the slaves are initiated at the beginning and
+access only once to the data".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Protocol, runtime_checkable
+
+from ..genetics.dataset import GenotypeDataset
+from ..stats.evaluation import HaplotypeEvaluator
+
+__all__ = [
+    "EvaluatorSpec",
+    "DatasetHandle",
+    "InMemoryDatasetHandle",
+    "SpecEvaluatorFactory",
+]
+
+
+@runtime_checkable
+class DatasetHandle(Protocol):
+    """A picklable reference through which a worker obtains the dataset."""
+
+    def load(self) -> GenotypeDataset:
+        """Materialise (or attach to) the dataset; called once per worker."""
+        ...
+
+
+@dataclass(frozen=True)
+class InMemoryDatasetHandle:
+    """The trivial handle: the dataset itself travels with the message."""
+
+    dataset: GenotypeDataset
+
+    def load(self) -> GenotypeDataset:
+        return self.dataset
+
+
+@dataclass(frozen=True)
+class EvaluatorSpec:
+    """Declarative recipe for a :class:`~repro.stats.evaluation.HaplotypeEvaluator`.
+
+    Field defaults mirror the evaluator's constructor defaults, so
+    ``EvaluatorSpec()`` describes the seed pipeline's exact statistical
+    behaviour.
+    """
+
+    statistic: str = "t1"
+    em_max_iter: int = 200
+    em_tol: float = 1e-8
+    clump_min_expected: float = 5.0
+    cache_size: int | None = 256
+    warm_start: bool | str = False
+
+    def build(self, dataset: GenotypeDataset) -> HaplotypeEvaluator:
+        """Construct the evaluator this spec describes over ``dataset``."""
+        return HaplotypeEvaluator(
+            dataset,
+            statistic=self.statistic,
+            em_max_iter=self.em_max_iter,
+            em_tol=self.em_tol,
+            clump_min_expected=self.clump_min_expected,
+            cache_size=self.cache_size,
+            warm_start=self.warm_start,
+        )
+
+    @classmethod
+    def from_evaluator(cls, evaluator: HaplotypeEvaluator) -> "EvaluatorSpec":
+        """The spec an existing evaluator was built from."""
+        return cls(
+            statistic=evaluator.statistic,
+            em_max_iter=evaluator.em_max_iter,
+            em_tol=evaluator.em_tol,
+            clump_min_expected=evaluator.clump_min_expected,
+            cache_size=evaluator.cache_size,
+            warm_start=evaluator.warm_start,
+        )
+
+    def with_statistic(self, statistic: str) -> "EvaluatorSpec":
+        return replace(self, statistic=statistic)
+
+
+@dataclass(frozen=True)
+class SpecEvaluatorFactory:
+    """Picklable worker-side factory: ``handle.load()`` + ``spec.build()``.
+
+    Instances are shipped to worker processes (or shared with worker threads)
+    and called exactly once each; the handle decides whether the data is
+    embedded, re-read or attached from shared memory.
+    """
+
+    spec: EvaluatorSpec
+    handle: DatasetHandle
+
+    def __call__(self) -> HaplotypeEvaluator:
+        return self.spec.build(self.handle.load())

@@ -172,7 +172,6 @@ class HaplotypeEvaluator:
         self._dataset = dataset
         self._affected = dataset.affected()
         self._unaffected = dataset.unaffected()
-        self._combined = dataset.with_known_status()
         self._statistic = statistic
         self._em_max_iter = int(em_max_iter)
         self._em_tol = float(em_tol)
@@ -211,6 +210,27 @@ class HaplotypeEvaluator:
     def statistic(self) -> str:
         """Name of the CLUMP statistic used as fitness."""
         return self._statistic
+
+    @property
+    def em_max_iter(self) -> int:
+        return self._em_max_iter
+
+    @property
+    def em_tol(self) -> float:
+        return self._em_tol
+
+    @property
+    def clump_min_expected(self) -> float:
+        return self._clump_min_expected
+
+    @property
+    def cache_size(self) -> int | None:
+        """Bound of the per-group reuse caches (see the constructor)."""
+        return self._cache_size
+
+    @property
+    def warm_start(self) -> bool | str:
+        return self._warm_start
 
     @property
     def n_snps(self) -> int:

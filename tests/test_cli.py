@@ -28,6 +28,16 @@ class TestParser:
         assert parser.parse_args(["evaluate", "dir", "1", "2", "--statistic", "lrt"]
                                  ).statistic == "lrt"
 
+    def test_backend_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--backend", "process-shm", "--chunk-size", "8"])
+        assert args.backend == "process-shm" and args.chunk_size == 8
+        args = parser.parse_args(["speedup", "--measured", "--backend", "threads",
+                                  "--chunk-size", "4"])
+        assert args.backend == "threads" and args.chunk_size == 4
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "--backend", "carrier-pigeon"])
+
 
 class TestCommands:
     def test_table1_command(self, capsys):
@@ -59,6 +69,36 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "size 2" in out and "size 3" in out
         assert "evaluations" in out
+        # the reuse rate (requests vs evaluations) is surfaced in the summary
+        assert "evaluation backend: serial" in out
+        assert "requests" in out
+
+    def test_run_with_explicit_backend(self, tmp_path, capsys):
+        study_dir = tmp_path / "study"
+        main(["simulate", str(study_dir), "--n-snps", "10",
+              "--n-affected", "12", "--n-unaffected", "12", "--seed", "9"])
+        capsys.readouterr()
+        assert main([
+            "run", str(study_dir), "--backend", "threads", "--workers", "2",
+            "--population-size", "10", "--max-size", "3",
+            "--stagnation", "2", "--max-generations", "3", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "evaluation backend: threads" in out
+
+    @pytest.mark.slow
+    def test_run_with_process_shm_backend(self, tmp_path, capsys):
+        study_dir = tmp_path / "study"
+        main(["simulate", str(study_dir), "--n-snps", "10",
+              "--n-affected", "12", "--n-unaffected", "12", "--seed", "9"])
+        capsys.readouterr()
+        assert main([
+            "run", str(study_dir), "--backend", "process-shm", "--workers", "2",
+            "--population-size", "10", "--max-size", "3",
+            "--stagnation", "2", "--max-generations", "3", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "evaluation backend: process-shm" in out
 
     def test_speedup_command_simulated_only(self, capsys):
         assert main(["speedup"]) == 0

@@ -93,6 +93,18 @@ class TestSubsetting:
         assert sub.individual_ids == ("ind0", "ind4")
         assert np.array_equal(sub.genotypes[1], tiny.genotypes[4])
 
+    def test_select_individuals_contiguous_run_is_a_view(self, tiny):
+        sub = tiny.select_individuals([1, 2, 3])
+        assert np.shares_memory(sub.genotypes, tiny.genotypes)
+        assert np.array_equal(sub.genotypes, tiny.genotypes[1:4])
+
+    def test_select_individuals_negative_indices(self, tiny):
+        sub = tiny.select_individuals([-1])
+        assert sub.n_individuals == 1
+        assert np.array_equal(sub.genotypes[0], tiny.genotypes[-1])
+        run = tiny.select_individuals([-3, -2, -1])
+        assert np.array_equal(run.genotypes, tiny.genotypes[-3:])
+
     def test_genotypes_at(self, tiny):
         cols = tiny.genotypes_at([1, 3])
         assert cols.shape == (5, 2)

@@ -64,6 +64,39 @@ class TestConstruction:
                 config=_config(),
             )
 
+    def test_rejects_backend_alongside_explicit_evaluator(self, small_evaluator):
+        from repro.parallel.serial import SerialEvaluator
+
+        with pytest.raises(ValueError):
+            AdaptiveMultiPopulationGA(
+                n_snps=N_SNPS, evaluator=SerialEvaluator(small_evaluator),
+                backend="serial",
+            )
+
+    def test_backend_name_resolves_the_evaluator(self, small_evaluator):
+        from repro.parallel.threads import ThreadPoolEvaluator
+
+        with AdaptiveMultiPopulationGA(
+            small_evaluator, n_snps=N_SNPS, backend="threads",
+            backend_options={"n_workers": 2},
+        ) as ga:
+            assert isinstance(ga.evaluator, ThreadPoolEvaluator)
+
+    def test_close_releases_only_owned_evaluators(self, small_evaluator):
+        from repro.parallel.serial import SerialEvaluator
+
+        owned = AdaptiveMultiPopulationGA(small_evaluator, n_snps=N_SNPS)
+        closed = []
+        owned.evaluator.register_close_callback(lambda: closed.append("owned"))
+        owned.close()
+        assert closed == ["owned"]
+
+        supplied = SerialEvaluator(small_evaluator)
+        supplied.register_close_callback(lambda: closed.append("supplied"))
+        ga = AdaptiveMultiPopulationGA(n_snps=N_SNPS, evaluator=supplied)
+        ga.close()
+        assert closed == ["owned"]  # the caller's evaluator is left untouched
+
 
 class TestRunBehaviour:
     def test_produces_one_best_per_size(self, quick_result):

@@ -24,6 +24,19 @@ class TestConfiguration:
         with pytest.raises(ValueError):
             MasterSlaveEvaluator(_product_fitness, chunk_size=0)
 
+    @pytest.mark.parametrize("n_workers", [0, -1, -4, 1.5, True])
+    def test_rejects_non_positive_or_non_integer_worker_counts(self, n_workers):
+        with pytest.raises(ValueError, match="positive integer"):
+            MasterSlaveEvaluator(_product_fitness, n_workers=n_workers)
+
+    def test_rejects_unknown_dispatch(self):
+        with pytest.raises(ValueError, match="dispatch"):
+            MasterSlaveEvaluator(_product_fitness, dispatch="quantum")
+
+    def test_requires_exactly_one_fitness_source(self):
+        with pytest.raises(ValueError):
+            MasterSlaveEvaluator()
+
     def test_default_worker_count_positive(self):
         assert default_worker_count() >= 1
 
@@ -65,3 +78,82 @@ class TestEvaluation:
         master_slave = MasterSlaveEvaluator(_product_fitness, n_workers=2)
         master_slave.terminate()
         master_slave.terminate()
+
+    def test_context_manager_closes_and_close_stays_idempotent(self):
+        with MasterSlaveEvaluator(_product_fitness, n_workers=2) as master_slave:
+            master_slave.evaluate_batch([(1, 2)])
+        with pytest.raises(RuntimeError):
+            master_slave.evaluate_batch([(3,)])
+        master_slave.close()  # after context exit: still a no-op
+        master_slave.terminate()
+
+
+def _failing_fitness(snps):
+    raise RuntimeError("boom on " + repr(tuple(snps)))
+
+
+def _fail_on_marker_fitness(snps):
+    if any(s >= 90 for s in tuple(snps)):
+        raise RuntimeError("marker haplotype")
+    return float(sum(snps)) + 1.0
+
+
+class TestChunkedDispatch:
+    def test_matches_individual_dispatch(self, small_evaluator):
+        batch = [(0, 1), (2, 5, 9), (3, 4), (0, 1), (1, 6, 10)]
+        with MasterSlaveEvaluator(small_evaluator, n_workers=2) as individual:
+            expected = individual.evaluate_batch(batch)
+        with MasterSlaveEvaluator(
+            small_evaluator, n_workers=2, dispatch="chunked"
+        ) as chunked:
+            assert chunked.dispatch == "chunked"
+            assert chunked.evaluate_batch(batch) == pytest.approx(expected, rel=1e-12)
+
+    def test_small_chunks_cover_the_whole_batch(self):
+        with MasterSlaveEvaluator(
+            _product_fitness, n_workers=2, dispatch="chunked", chunk_size=1,
+            dedup=False, cache_size=0,
+        ) as chunked:
+            batch = [(i,) for i in range(7)]
+            assert chunked.evaluate_batch(batch) == [float(i + 1) for i in range(7)]
+
+    def test_worker_side_cache_reported_in_merged_stats(self):
+        # master fast path off: repeats must travel to the slaves, whose
+        # affinity-pinned local LRUs answer them without re-evaluating
+        with MasterSlaveEvaluator(
+            _product_fitness, n_workers=2, dispatch="chunked",
+            dedup=False, cache_size=0,
+        ) as chunked:
+            chunked.evaluate_batch([(1,), (2,), (3,)])
+            chunked.evaluate_batch([(1,), (2,), (4,)])
+            assert chunked.stats.n_requests == 6
+            assert chunked.stats.n_evaluations == 4
+            assert chunked.stats.n_cache_hits == 2
+            assert chunked.stats.backend_seconds >= 0.0
+
+    def test_worker_exception_propagates_with_traceback(self):
+        with MasterSlaveEvaluator(
+            _failing_fitness, n_workers=2, dispatch="chunked"
+        ) as chunked:
+            with pytest.raises(RuntimeError, match="boom"):
+                chunked.evaluate_batch([(1, 2)])
+
+    def test_batches_after_a_worker_error_return_correct_values(self):
+        # a failed batch must not leave stale messages (results *or* errors)
+        # that a later batch consumes: task ids are farm-unique and stale
+        # ids are discarded.  Markers 90-93 error on whichever slaves own
+        # them, so the aborted batch leaves stale error tuples behind too.
+        with MasterSlaveEvaluator(
+            _fail_on_marker_fitness, n_workers=2, dispatch="chunked",
+            chunk_size=1, dedup=False, cache_size=0,
+        ) as chunked:
+            with pytest.raises(RuntimeError, match="marker"):
+                chunked.evaluate_batch([(1,), (90,), (91,), (92,), (93,), (2,)])
+            assert chunked.evaluate_batch([(5,), (6,), (7,)]) == [6.0, 7.0, 8.0]
+
+    def test_affinity_routing_is_deterministic(self):
+        from repro.parallel.farm import affinity_worker
+
+        key = (3, 7, 11)
+        assert affinity_worker(key, 4) == affinity_worker(key, 4)
+        assert 0 <= affinity_worker(key, 4) < 4

@@ -1,0 +1,77 @@
+"""Tests of the thread-pool batch evaluator."""
+
+import threading
+
+import pytest
+
+from repro.parallel.serial import SerialEvaluator
+from repro.parallel.threads import ThreadPoolEvaluator
+
+
+def _sum_fitness(snps):
+    return float(sum(snps))
+
+
+class TestConfiguration:
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            ThreadPoolEvaluator()
+        with pytest.raises(ValueError):
+            ThreadPoolEvaluator(_sum_fitness, evaluator_factory=lambda: _sum_fitness)
+
+    def test_invalid_sizing(self):
+        with pytest.raises(ValueError):
+            ThreadPoolEvaluator(_sum_fitness, n_workers=0)
+        with pytest.raises(ValueError):
+            ThreadPoolEvaluator(_sum_fitness, chunk_size=0)
+
+
+class TestEvaluation:
+    def test_matches_serial(self, small_evaluator, small_dataset):
+        # per-thread evaluators via the factory: a HaplotypeEvaluator's
+        # caches are not synchronised, so it must not be shared across threads
+        from repro.runtime.spec import (
+            EvaluatorSpec,
+            InMemoryDatasetHandle,
+            SpecEvaluatorFactory,
+        )
+
+        factory = SpecEvaluatorFactory(
+            EvaluatorSpec.from_evaluator(small_evaluator),
+            InMemoryDatasetHandle(small_dataset),
+        )
+        batch = [(0, 1), (2, 5, 9), (3, 4), (1, 6, 10), (0, 1)]
+        expected = SerialEvaluator(small_evaluator).evaluate_batch(batch)
+        with ThreadPoolEvaluator(evaluator_factory=factory, n_workers=2) as threaded:
+            assert threaded.evaluate_batch(batch) == pytest.approx(expected, rel=1e-12)
+            assert threaded.stats.n_requests == len(batch)
+            assert threaded.stats.n_dedup_hits == 1
+
+    def test_chunking_preserves_order(self):
+        with ThreadPoolEvaluator(_sum_fitness, n_workers=3, chunk_size=2,
+                                 dedup=False, cache_size=0) as threaded:
+            batch = [(i,) for i in range(11)]
+            assert threaded.evaluate_batch(batch) == [float(i) for i in range(11)]
+
+    def test_factory_builds_one_evaluator_per_thread(self):
+        built = []
+        lock = threading.Lock()
+
+        def factory():
+            with lock:
+                built.append(threading.get_ident())
+            return _sum_fitness
+
+        with ThreadPoolEvaluator(evaluator_factory=factory, n_workers=2,
+                                 chunk_size=1, dedup=False, cache_size=0) as threaded:
+            threaded.evaluate_batch([(i,) for i in range(8)])
+            threaded.evaluate_batch([(i,) for i in range(8, 16)])
+        assert 1 <= len(built) <= 2
+        assert len(set(built)) == len(built)  # one build per distinct thread
+
+    def test_close_is_idempotent_and_rejects_work(self):
+        threaded = ThreadPoolEvaluator(_sum_fitness, n_workers=2)
+        threaded.close()
+        threaded.close()
+        with pytest.raises(RuntimeError):
+            threaded.evaluate_batch([(1,)])

@@ -1,0 +1,110 @@
+"""Tests of the shared-memory genotype store (one-copy guarantee)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.shm import SharedGenotypeStore
+from repro.runtime.spec import EvaluatorSpec, SpecEvaluatorFactory
+
+
+@pytest.fixture()
+def store(small_dataset):
+    store = SharedGenotypeStore(small_dataset)
+    yield store
+    store.release()
+
+
+class TestLayout:
+    def test_affected_first_row_order(self, small_dataset, store):
+        view = store.handle.load()
+        assert view.n_affected == small_dataset.n_affected
+        assert view.n_unaffected == small_dataset.n_unaffected
+        assert view.n_unknown == 0
+        # affected block first, each group preserving its original order
+        np.testing.assert_array_equal(
+            view.genotypes[: view.n_affected],
+            small_dataset.affected().genotypes,
+        )
+        np.testing.assert_array_equal(
+            view.genotypes[view.n_affected:],
+            small_dataset.unaffected().genotypes,
+        )
+        del view
+        store.handle.detach()
+
+    def test_segment_size_is_one_matrix_plus_status(self, small_dataset, store):
+        n = small_dataset.n_affected + small_dataset.n_unaffected
+        assert store.n_bytes >= n * small_dataset.n_snps + n
+        # a shared segment may be page-rounded, but never a second copy
+        assert store.n_bytes < 2 * n * small_dataset.n_snps
+
+
+class TestOneCopy:
+    def test_attached_dataset_is_a_view_not_a_copy(self, store):
+        handle = store.handle
+        view = handle.load()
+        # mutate the store's segment directly; the attached dataset must see
+        # the change — i.e. it reads the shared pages, not a private copy
+        original = int(view.genotypes[0, 0])
+        replacement = 0 if original != 0 else 1
+        store_view = np.frombuffer(store._segment.buf, dtype=np.int8)
+        store_view[0] = replacement
+        assert int(view.genotypes[0, 0]) == replacement
+        store_view[0] = original
+        assert int(view.genotypes[0, 0]) == original
+        del store_view, view
+        handle.detach()
+
+    def test_worker_evaluator_groups_are_windows_into_the_shared_matrix(self, store):
+        """The factory's evaluator holds zero-copy group views (PLINK-style)."""
+        factory = SpecEvaluatorFactory(EvaluatorSpec(), store.handle)
+        evaluator = factory()
+        full = evaluator.dataset.genotypes
+        affected = evaluator._affected.genotypes
+        unaffected = evaluator._unaffected.genotypes
+        assert np.shares_memory(full, affected)
+        assert np.shares_memory(full, unaffected)
+        del evaluator, full, affected, unaffected
+        store.handle.detach()
+
+    def test_handle_pickles_without_live_attachments(self, store):
+        import pickle
+
+        view = store.handle.load()
+        clone = pickle.loads(pickle.dumps(store.handle))
+        assert clone.name == store.handle.name
+        assert clone._segments == []
+        del view
+        store.handle.detach()
+
+
+class TestParity:
+    def test_shm_evaluator_matches_plain_evaluator(self, small_dataset, store):
+        plain = EvaluatorSpec().build(small_dataset)
+        shared = SpecEvaluatorFactory(EvaluatorSpec(), store.handle)()
+        for snps in [(0, 1), (2, 5, 9), (3, 4), (1, 6, 10)]:
+            assert shared.evaluate(snps) == pytest.approx(plain.evaluate(snps), rel=1e-12)
+        del shared
+        store.handle.detach()
+
+
+class TestLifecycle:
+    def test_release_is_idempotent(self, small_dataset):
+        store = SharedGenotypeStore(small_dataset)
+        store.release()
+        store.release()
+
+    def test_context_manager_releases(self, small_dataset):
+        from multiprocessing import shared_memory
+
+        with SharedGenotypeStore(small_dataset) as store:
+            name = store.name
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_rejects_dataset_without_known_status(self):
+        from repro.genetics.dataset import GenotypeDataset
+
+        dataset = GenotypeDataset([[0, 1], [1, 2]], [-1, -1])
+        with pytest.raises(ValueError):
+            SharedGenotypeStore(dataset)
