@@ -14,10 +14,16 @@ that argument on the simulated dataset:
    classic single-population GA the same evaluation budget and compare what
    they find.
 
-Run with:  python examples/landscape_and_baselines.py
+Run with:  python examples/landscape_and_baselines.py [--backend process-shm]
+
+Every search method — the adaptive GA and the baselines alike — routes its
+fitness through the execution-backend registry, so ``--backend`` switches
+the whole comparison onto any registered substrate.
 """
 
 from __future__ import annotations
+
+import argparse
 
 from repro import AdaptiveMultiPopulationGA, GAConfig, HaplotypeEvaluator, lille_like_study
 from repro.experiments.landscape_study import run_landscape_study
@@ -31,6 +37,16 @@ TARGET_SIZE = 4
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    from repro.runtime.backends import backend_names
+
+    parser.add_argument("--backend", default="serial",
+                        choices=list(backend_names()),
+                        help="execution backend shared by the GA and the baselines")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker count for the parallel backends")
+    args = parser.parse_args()
+    backend_options = {"n_workers": args.workers}
     # ------------------------------------------------------------------ #
     # 1. Table 1 — the search space
     # ------------------------------------------------------------------ #
@@ -59,9 +75,14 @@ def main() -> None:
         max_generations=40,
         seed=11,
     )
-    ga_result = AdaptiveMultiPopulationGA(
-        cached, n_snps=dataset.n_snps, config=config
-    ).run()
+    # the HaplotypeEvaluator source lets every backend (including the
+    # spec-rebuilding process-shm) derive its worker-side recipe
+    with AdaptiveMultiPopulationGA(
+        cached if args.backend == "serial" else evaluator,
+        n_snps=dataset.n_snps, config=config,
+        backend=args.backend, backend_options=backend_options,
+    ) as ga:
+        ga_result = ga.run()
     budget = ga_result.n_evaluations
 
     random_result = random_search(
@@ -71,12 +92,15 @@ def main() -> None:
     hill_result = restarted_hill_climbing(
         evaluator, n_snps=dataset.n_snps, size=TARGET_SIZE,
         n_evaluations=budget, max_neighbours=60, seed=11,
+        backend=args.backend, backend_options=backend_options,
     )
-    simple = SimpleGA(
+    with SimpleGA(
         evaluator, n_snps=dataset.n_snps, size=TARGET_SIZE,
         population_size=60, elitism=2,
-    )
-    simple_result = simple.run(n_generations=max(budget // 60, 1), stagnation=10, seed=11)
+        backend=args.backend, backend_options=backend_options,
+    ) as simple:
+        simple_result = simple.run(n_generations=max(budget // 60, 1),
+                                   stagnation=10, seed=11)
 
     print(f"evaluation budget (set by the adaptive GA's run): {budget} evaluations\n")
     print(f"{'method':<28} {'best size-'+str(TARGET_SIZE)+' haplotype':<24} {'fitness':>9}")

@@ -43,7 +43,8 @@ from .parallel import (
     ThreadPoolEvaluator,
 )
 from .runtime import EvaluatorSpec, backend_names, create_evaluator
-from .runtime.service import RunRequest, RunResult, RunService
+from .runtime.service import RunRequest, RunResult, RunScheduler, RunService
+from .scan import ScanReport, plan_scan, run_scan
 from .stats import (
     CachedEvaluator,
     ClumpResult,
@@ -95,5 +96,10 @@ __all__ = [
     "create_evaluator",
     "RunRequest",
     "RunResult",
+    "RunScheduler",
     "RunService",
+    # scan
+    "plan_scan",
+    "run_scan",
+    "ScanReport",
 ]

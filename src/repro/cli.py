@@ -7,8 +7,14 @@ main workflows:
   paper's three-table layout;
 * ``evaluate``   — score one haplotype (EH-DIALL + CLUMP) on a dataset;
 * ``run``        — run the adaptive multi-population GA on a dataset;
+* ``scan``       — windowed genome-scale scan: one GA job per overlapping
+  locus window, multiplexed over one persistent scheduler/worker farm;
 * ``table1`` / ``figure4`` / ``table2`` / ``ablation`` / ``speedup`` /
   ``landscape`` — regenerate the corresponding experiment of the paper.
+
+Every experiment subcommand takes the same ``--seed`` and ``--backend``
+flags, routed through the run scheduler, so any study can be repeated on any
+execution substrate.
 """
 
 from __future__ import annotations
@@ -18,6 +24,36 @@ import sys
 from typing import Sequence
 
 __all__ = ["build_parser", "main"]
+
+
+def _backend_choices() -> list[str]:
+    """Every registered execution backend (plug-ins included).
+
+    Resolved from the registry at parser-build time, so a backend added via
+    :func:`repro.runtime.backends.register_backend` is selectable from every
+    subcommand without touching the CLI.
+    """
+    from .runtime.backends import backend_names
+
+    return list(backend_names())
+
+
+def _add_backend_arguments(
+    parser: argparse.ArgumentParser,
+    *,
+    default_backend: str | None = "serial",
+    default_seed: int = 2004,
+) -> None:
+    """The uniform ``--seed`` / ``--backend`` / ``--workers`` flag set."""
+    parser.add_argument("--seed", type=int, default=default_seed,
+                        help=f"base random seed (default {default_seed})")
+    parser.add_argument("--backend", default=default_backend,
+                        choices=_backend_choices(),
+                        help="execution backend for fitness evaluation "
+                             f"(default: {default_backend})")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="number of evaluation workers for the parallel "
+                             "backends (default: backend's own default)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,7 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--stagnation", type=int, default=100)
     p_run.add_argument("--max-generations", type=int, default=600)
     p_run.add_argument("--backend", default=None,
-                       choices=["serial", "threads", "process", "process-shm"],
+                       choices=_backend_choices(),
                        help="execution backend for fitness evaluation "
                             "(default: serial, or process when --workers > 1)")
     p_run.add_argument("--workers", type=int, default=1,
@@ -73,22 +109,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig4.add_argument("--samples", type=int, default=20)
     p_fig4.add_argument("--max-size", type=int, default=7)
 
+    p_scan = sub.add_parser(
+        "scan",
+        help="genome-scale windowed scan: one GA job per locus window over "
+             "one persistent scheduler",
+    )
+    p_scan.add_argument("study", nargs="?", default=None,
+                        help="study directory (default: the built-in 249-SNP "
+                             "chromosome-scale panel)")
+    p_scan.add_argument("--window-size", type=int, default=8,
+                        help="loci per window (default 8)")
+    p_scan.add_argument("--window-overlap", type=int, default=4,
+                        help="loci shared by consecutive windows (default 4)")
+    p_scan.add_argument("--jobs", type=int, default=1,
+                        help="window jobs executed concurrently over the "
+                             "shared substrate (default 1)")
+    p_scan.add_argument("--chunk-size", type=int, default=None,
+                        help="individuals per worker message for the chunked "
+                             "backends")
+    p_scan.add_argument("--statistic", default="t1",
+                        choices=["t1", "t2", "t3", "t4", "lrt"])
+    p_scan.add_argument("--population-size", type=int, default=30)
+    p_scan.add_argument("--max-size", type=int, default=4,
+                        help="largest haplotype size searched per window")
+    p_scan.add_argument("--stagnation", type=int, default=8)
+    p_scan.add_argument("--max-generations", type=int, default=60)
+    p_scan.add_argument("--top", type=int, default=10,
+                        help="number of top windows to print")
+    _add_backend_arguments(p_scan, default_seed=0)
+
     p_t2 = sub.add_parser("table2", help="regenerate Table 2 (GA results over repeated runs)")
     p_t2.add_argument("--runs", type=int, default=10)
     p_t2.add_argument("--quick", action="store_true",
                       help="use the reduced configuration (minutes instead of hours)")
+    _add_backend_arguments(p_t2)
 
     p_abl = sub.add_parser("ablation", help="regenerate the Section 5.2 scheme comparison")
     p_abl.add_argument("--runs", type=int, default=3)
+    _add_backend_arguments(p_abl)
 
     p_speed = sub.add_parser("speedup", help="parallel speedup study")
     p_speed.add_argument("--measured", action="store_true",
                          help="also time the real multiprocessing farm")
-    p_speed.add_argument("--backend", default="process",
-                         choices=["threads", "process", "process-shm"],
-                         help="parallel backend timed by --measured")
     p_speed.add_argument("--chunk-size", type=int, default=None,
                          help="individuals per worker message for --measured")
+    _add_backend_arguments(p_speed, default_backend="process")
 
     p_land = sub.add_parser("landscape", help="regenerate the Section 3 landscape study")
     p_land.add_argument("--panel-size", type=int, default=16)
@@ -97,10 +162,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_rob = sub.add_parser("robustness",
                            help="cross-run solution similarity (Section 5.2 claim)")
     p_rob.add_argument("--runs", type=int, default=5)
+    _add_backend_arguments(p_rob)
 
     p_obj = sub.add_parser("objectives",
                            help="compare candidate objective functions (paper conclusion)")
     p_obj.add_argument("--per-size", type=int, default=40)
+    _add_backend_arguments(p_obj)
 
     return parser
 
@@ -191,6 +258,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scan(args: argparse.Namespace) -> int:
+    from .core.config import GAConfig
+    from .scan import run_scan
+
+    if args.study is None:
+        from .experiments.datasets import large249
+
+        dataset = large249().dataset
+    else:
+        dataset = _load_study_dataset(args.study)
+    config = GAConfig(
+        population_size=args.population_size,
+        min_haplotype_size=2,
+        max_haplotype_size=min(args.max_size, args.window_size),
+        termination_stagnation=args.stagnation,
+        max_generations=args.max_generations,
+    )
+    report = run_scan(
+        dataset,
+        window_size=args.window_size,
+        overlap=args.window_overlap,
+        config=config,
+        seed=args.seed,
+        statistic=args.statistic,
+        backend=args.backend,
+        n_workers=args.workers,
+        chunk_size=args.chunk_size,
+        jobs=args.jobs,
+    )
+    print(report.format(top=args.top))
+    print()
+    print(report.summary_line())
+    return 0
+
+
 def _cmd_table1(_args: argparse.Namespace) -> int:
     from .experiments.table1 import run_table1
 
@@ -210,7 +312,13 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     from .experiments.table2 import paper_scale_config, quick_config, run_table2
 
     config = quick_config() if args.quick else paper_scale_config()
-    result = run_table2(config=config, n_runs=args.runs)
+    result = run_table2(
+        config=config,
+        n_runs=args.runs,
+        seed=args.seed,
+        backend=args.backend,
+        n_workers=args.workers,
+    )
     print(result.format())
     return 0
 
@@ -218,18 +326,34 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 def _cmd_ablation(args: argparse.Namespace) -> int:
     from .experiments.ablation import run_ablation
 
-    print(run_ablation(n_runs=args.runs).format())
+    print(
+        run_ablation(
+            n_runs=args.runs,
+            seed=args.seed,
+            backend=args.backend,
+            n_workers=args.workers,
+        ).format()
+    )
     return 0
 
 
 def _cmd_speedup(args: argparse.Namespace) -> int:
     from .experiments.speedup import run_measured_speedup, run_simulated_speedup
 
-    print(run_simulated_speedup().format())
+    if args.measured and args.backend == "serial":
+        print("speedup --measured times a parallel farm; pick --backend "
+              "threads, process or process-shm", file=sys.stderr)
+        return 2
+    print(run_simulated_speedup(seed=args.seed).format())
     if args.measured:
+        # 1 is always present: it is the in-process serial baseline the
+        # parallel timings are normalised against
+        worker_counts = sorted({1, args.workers}) if args.workers else None
         print()
         print(run_measured_speedup(backend=args.backend,
-                                   chunk_size=args.chunk_size).format())
+                                   chunk_size=args.chunk_size,
+                                   worker_counts=worker_counts,
+                                   seed=args.seed).format())
     return 0
 
 
@@ -244,7 +368,12 @@ def _cmd_landscape(args: argparse.Namespace) -> int:
 def _cmd_robustness(args: argparse.Namespace) -> int:
     from .experiments.robustness import run_robustness
 
-    result = run_robustness(n_runs=args.runs)
+    result = run_robustness(
+        n_runs=args.runs,
+        seed=args.seed,
+        backend=args.backend,
+        n_workers=args.workers,
+    )
     print(result.format())
     print(f"mean similarity across sizes: {result.mean_similarity():.3f}")
     return 0
@@ -253,7 +382,14 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
 def _cmd_objectives(args: argparse.Namespace) -> int:
     from .experiments.objectives import run_objective_comparison
 
-    print(run_objective_comparison(n_per_size=args.per_size).format())
+    print(
+        run_objective_comparison(
+            n_per_size=args.per_size,
+            seed=args.seed,
+            backend=args.backend,
+            n_workers=args.workers,
+        ).format()
+    )
     return 0
 
 
@@ -261,6 +397,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "evaluate": _cmd_evaluate,
     "run": _cmd_run,
+    "scan": _cmd_scan,
     "table1": _cmd_table1,
     "figure4": _cmd_figure4,
     "table2": _cmd_table2,

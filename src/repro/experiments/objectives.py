@@ -109,8 +109,17 @@ def run_objective_comparison(
     n_per_size: int = 40,
     top_k: int = 10,
     seed: int = DEFAULT_SEED,
+    backend: str = "serial",
+    n_workers: int | None = None,
 ) -> ObjectiveComparisonResult:
-    """Score a common candidate set under several objectives and compare them."""
+    """Score a common candidate set under several objectives and compare them.
+
+    With the default ``serial`` backend the T1–T4 family shares a single
+    EH-DIALL pipeline run per haplotype; any other backend scores each
+    objective through the execution-backend registry (one evaluator spec per
+    statistic, batched over all candidates) — the values are identical, the
+    dispatch substrate is not.
+    """
     if not objectives:
         raise ValueError("at least one objective is required")
     if n_per_size < 2 or top_k < 1:
@@ -121,17 +130,34 @@ def run_objective_comparison(
     haplotypes = _sample_haplotypes(dataset.n_snps, sizes, n_per_size,
                                     study.causal_snps, rng)
 
-    # one evaluator per objective; the T1-T4 family shares a single pipeline run
-    base = HaplotypeEvaluator(dataset, statistic="t1")
-    scores: dict[str, list[float]] = {name: [] for name in objectives}
-    for snps in haplotypes:
-        record = base.evaluate_detailed(snps)
+    if backend == "serial":
+        # one evaluator per objective; the T1-T4 family shares a single pipeline run
+        base = HaplotypeEvaluator(dataset, statistic="t1")
+        scores: dict[str, list[float]] = {name: [] for name in objectives}
+        for snps in haplotypes:
+            record = base.evaluate_detailed(snps)
+            for name in objectives:
+                if name == "lrt":
+                    scores[name].append(base.case_control_lrt(snps))
+                else:
+                    scores[name].append(record.clump.statistic(name))
+        score_arrays = {name: np.asarray(values) for name, values in scores.items()}
+    else:
+        from ..runtime.backends import create_evaluator
+        from ..runtime.spec import EvaluatorSpec
+
+        score_arrays = {}
         for name in objectives:
-            if name == "lrt":
-                scores[name].append(base.case_control_lrt(snps))
-            else:
-                scores[name].append(record.clump.statistic(name))
-    score_arrays = {name: np.asarray(values) for name, values in scores.items()}
+            evaluator = create_evaluator(
+                backend,
+                EvaluatorSpec(statistic=name),
+                dataset=dataset,
+                n_workers=n_workers,
+            )
+            try:
+                score_arrays[name] = np.asarray(evaluator.evaluate_batch(haplotypes))
+            finally:
+                evaluator.close()
 
     correlations: dict[tuple[str, str], float] = {}
     for a, b in combinations(objectives, 2):

@@ -19,11 +19,10 @@ from typing import Sequence
 import numpy as np
 
 from ..core.config import GAConfig
-from ..core.ga import AdaptiveMultiPopulationGA
 from ..core.history import GAResult
 from ..genetics.constraints import HaplotypeConstraints
 from ..genetics.simulate import SimulatedStudy
-from ..stats.evaluation import HaplotypeEvaluator
+from ..runtime.service import RunRequest, RunScheduler
 from .datasets import DEFAULT_SEED, lille51
 from .reporting import format_table
 from .table2 import quick_config
@@ -85,25 +84,43 @@ def run_robustness(
     constraints: HaplotypeConstraints | None = None,
     seed: int = DEFAULT_SEED,
     statistic: str = "t1",
+    backend: str = "serial",
+    n_workers: int | None = None,
+    chunk_size: int | None = None,
 ) -> RobustnessResult:
-    """Run the GA ``n_runs`` times and measure the similarity of its solutions."""
+    """Run the GA ``n_runs`` times and measure the similarity of its solutions.
+
+    All runs share one persistent :class:`~repro.runtime.service.RunScheduler`
+    substrate (one farm spin-up for the whole study on the parallel
+    backends); run ``i`` keeps its historical seed ``seed + 1000 * i``, so
+    results are identical to the pre-scheduler harness on every backend.
+    """
     if n_runs < 2:
         raise ValueError("robustness needs at least two runs")
     study = study or lille51(seed)
     config = config or quick_config()
-    evaluator = HaplotypeEvaluator(study.dataset, statistic=statistic)
     n_snps = study.dataset.n_snps
     constraints = constraints or HaplotypeConstraints.unconstrained(n_snps)
 
     results: list[GAResult] = []
-    for run_index in range(n_runs):
-        ga = AdaptiveMultiPopulationGA(
-            evaluator,
-            n_snps=n_snps,
-            config=config.with_seed(seed + 1000 * run_index),
-            constraints=constraints,
-        )
-        results.append(ga.run())
+    with RunScheduler(
+        study.dataset,
+        statistic=statistic,
+        backend=backend,
+        n_workers=n_workers,
+        chunk_size=chunk_size,
+    ) as scheduler:
+        requests = [
+            RunRequest(
+                config=config,
+                seed=seed + 1000 * run_index,
+                statistic=statistic,
+                constraints=constraints,
+            )
+            for run_index in range(n_runs)
+        ]
+        for run in scheduler.map(requests):
+            results.append(run.result)
 
     sizes = sorted({size for result in results for size in result.best_per_size})
     similarity: dict[int, float] = {}

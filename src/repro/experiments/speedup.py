@@ -98,11 +98,12 @@ def run_simulated_speedup(
     batch: Sequence[tuple[int, ...]] | None = None,
     cost_model: EvaluationCostModel | None = None,
     message_latency_seconds: float = 1.0e-4,
+    seed: int = DEFAULT_SEED,
 ) -> SimulatedSpeedupResult:
     """Schedule a generation batch on simulated clusters of several sizes."""
     if not worker_counts:
         raise ValueError("worker_counts must not be empty")
-    batch = list(batch) if batch is not None else generation_batch()
+    batch = list(batch) if batch is not None else generation_batch(seed=seed)
     sizes = [len(snps) for snps in batch]
     cost_model = cost_model or EvaluationCostModel()
     speedups: dict[int, float] = {}

@@ -25,7 +25,14 @@ from .alleles import (
     validate_genotype_array,
 )
 
-__all__ = ["GenotypeDataset", "DatasetSummary"]
+__all__ = [
+    "GenotypeDataset",
+    "DatasetSummary",
+    "LocusWindow",
+    "WindowPlan",
+    "plan_windows",
+    "shard_dataset",
+]
 
 
 @dataclass(frozen=True)
@@ -221,16 +228,35 @@ class GenotypeDataset:
         )
 
     def select_snps(self, indices: Iterable[int] | np.ndarray) -> "GenotypeDataset":
-        """New dataset containing only the given SNP column indices (in the given order)."""
+        """New dataset containing only the given SNP column indices (in the given order).
+
+        Contiguous ascending runs are taken as a basic column slice — a
+        *view* sharing the parent's memory — so locus windows carved out of a
+        chromosome-scale panel (:func:`shard_dataset`) cost no genotype
+        copies, mirroring what :meth:`select_individuals` does for rows.
+        """
         idx = np.asarray(list(indices), dtype=np.intp)
         if idx.size and (idx.min() < 0 or idx.max() >= self.n_snps):
             raise IndexError(f"SNP index out of range [0, {self.n_snps})")
+        if idx.size and np.array_equal(idx, np.arange(idx[0], idx[0] + idx.size)):
+            columns = slice(int(idx[0]), int(idx[0]) + idx.size)
+            genotypes = self._genotypes[:, columns]
+        else:
+            genotypes = self._genotypes[:, idx]
         return GenotypeDataset(
-            self._genotypes[:, idx],
+            genotypes,
             self._status,
             snp_names=[self._snp_names[i] for i in idx],
             individual_ids=self._individual_ids,
         )
+
+    def window(self, start: int, stop: int) -> "GenotypeDataset":
+        """Zero-copy view of the contiguous locus window ``[start, stop)``."""
+        if not 0 <= start < stop <= self.n_snps:
+            raise IndexError(
+                f"window [{start}, {stop}) out of range for {self.n_snps} SNPs"
+            )
+        return self.select_snps(range(start, stop))
 
     def genotypes_at(self, snp_indices: Sequence[int] | np.ndarray) -> np.ndarray:
         """Genotype columns for the given SNP indices, shape ``(n_individuals, k)``."""
@@ -273,3 +299,135 @@ class GenotypeDataset:
             snp_names=self._snp_names,
             individual_ids=self._individual_ids,
         )
+
+
+# --------------------------------------------------------------------------- #
+# locus windows: slicing a chromosome-scale panel into overlapping sub-panels
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class LocusWindow:
+    """One contiguous locus window ``[start, stop)`` of a SNP panel.
+
+    Windows are the unit of work of the genome-scale scan subsystem: each one
+    is searched by an independent GA run over the window's sub-panel, and a
+    haplotype found inside the window is reported in *global* panel indices
+    (``start + local_index``).
+    """
+
+    index: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("window index must be non-negative")
+        if not 0 <= self.start < self.stop:
+            raise ValueError(f"invalid window bounds [{self.start}, {self.stop})")
+
+    @property
+    def size(self) -> int:
+        """Number of loci in the window."""
+        return self.stop - self.start
+
+    @property
+    def snp_indices(self) -> tuple[int, ...]:
+        """Global panel indices covered by the window, in order."""
+        return tuple(range(self.start, self.stop))
+
+    def to_global(self, local_snps: Sequence[int]) -> tuple[int, ...]:
+        """Translate window-local SNP indices to global panel indices."""
+        out = []
+        for snp in local_snps:
+            snp = int(snp)
+            if not 0 <= snp < self.size:
+                raise IndexError(f"local SNP index {snp} outside window of size {self.size}")
+            out.append(self.start + snp)
+        return tuple(out)
+
+    def span(self) -> str:
+        """Human-readable ``start..stop-1`` locus span."""
+        return f"{self.start}..{self.stop - 1}"
+
+
+@dataclass(frozen=True)
+class WindowPlan:
+    """A tiling of an ``n_snps`` panel into overlapping locus windows.
+
+    Built by :func:`plan_windows`; consumed by :func:`shard_dataset`, the
+    sharded shared-memory store and the scan planner.  The plan guarantees
+    full coverage: every locus belongs to at least one window, consecutive
+    windows overlap by ``overlap`` loci (the final window may overlap more —
+    it is anchored to the end of the panel rather than truncated).
+    """
+
+    n_snps: int
+    window_size: int
+    overlap: int
+    windows: tuple[LocusWindow, ...]
+
+    @property
+    def n_windows(self) -> int:
+        return len(self.windows)
+
+    @property
+    def stride(self) -> int:
+        """Distance between consecutive window starts."""
+        return self.window_size - self.overlap
+
+    def __iter__(self):
+        return iter(self.windows)
+
+    def __len__(self) -> int:
+        return self.n_windows
+
+    def window_of(self, snp: int) -> tuple[LocusWindow, ...]:
+        """Every window containing the given global SNP index."""
+        if not 0 <= snp < self.n_snps:
+            raise IndexError(f"SNP index {snp} out of range [0, {self.n_snps})")
+        return tuple(w for w in self.windows if w.start <= snp < w.stop)
+
+
+def plan_windows(n_snps: int, *, window_size: int, overlap: int = 0) -> WindowPlan:
+    """Tile a panel of ``n_snps`` loci into overlapping windows.
+
+    Windows start every ``window_size - overlap`` loci; the final window is
+    anchored at ``n_snps - window_size`` so every window has exactly
+    ``window_size`` loci and the panel is fully covered.
+    """
+    if n_snps < 1:
+        raise ValueError("n_snps must be positive")
+    if not 2 <= window_size <= n_snps:
+        raise ValueError(
+            f"window_size must be in [2, n_snps={n_snps}], got {window_size}"
+        )
+    if not 0 <= overlap < window_size:
+        raise ValueError(
+            f"overlap must be in [0, window_size), got {overlap} for window_size {window_size}"
+        )
+    stride = window_size - overlap
+    starts = list(range(0, n_snps - window_size + 1, stride))
+    if starts[-1] + window_size < n_snps:  # anchor a final window at the panel end
+        starts.append(n_snps - window_size)
+    windows = tuple(
+        LocusWindow(index=i, start=start, stop=start + window_size)
+        for i, start in enumerate(starts)
+    )
+    return WindowPlan(
+        n_snps=n_snps, window_size=window_size, overlap=overlap, windows=windows
+    )
+
+
+def shard_dataset(
+    dataset: GenotypeDataset, plan: WindowPlan
+) -> tuple[GenotypeDataset, ...]:
+    """Zero-copy window views of ``dataset``, one per window of ``plan``.
+
+    Each returned dataset shares the parent's genotype buffer (basic column
+    slicing — see :meth:`GenotypeDataset.select_snps`), so sharding a
+    chromosome-scale panel into hundreds of windows costs no genotype copies.
+    """
+    if plan.n_snps != dataset.n_snps:
+        raise ValueError(
+            f"plan covers {plan.n_snps} SNPs but the dataset has {dataset.n_snps}"
+        )
+    return tuple(dataset.window(w.start, w.stop) for w in plan.windows)

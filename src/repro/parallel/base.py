@@ -201,6 +201,20 @@ class EvaluationStats:
         """Snapshot of the current counters."""
         return EvaluationStats(**self.__dict__)
 
+    def merge(self, other: "EvaluationStats") -> None:
+        """Accumulate another stats object's counters into this one (in place).
+
+        Used by the run scheduler to fold the per-batch deltas of one job into
+        that job's own stats while many jobs share a single backend evaluator.
+        """
+        self.n_evaluations += other.n_evaluations
+        self.n_requests += other.n_requests
+        self.n_batches += other.n_batches
+        self.n_dedup_hits += other.n_dedup_hits
+        self.n_cache_hits += other.n_cache_hits
+        self.total_seconds += other.total_seconds
+        self.backend_seconds += other.backend_seconds
+
     def since(self, snapshot: "EvaluationStats") -> "EvaluationStats":
         """Stats accumulated after ``snapshot`` was taken (field-wise difference)."""
         return EvaluationStats(

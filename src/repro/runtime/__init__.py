@@ -22,7 +22,7 @@ from .backends import (
     register_backend,
     resolve_backend,
 )
-from .shm import SharedDatasetHandle, SharedGenotypeStore
+from .shm import ShardedGenotypeStore, SharedDatasetHandle, SharedGenotypeStore
 from .spec import (
     DatasetHandle,
     EvaluatorSpec,
@@ -43,8 +43,10 @@ __all__ = [
     "SpecEvaluatorFactory",
     "SharedGenotypeStore",
     "SharedDatasetHandle",
+    "ShardedGenotypeStore",
     "RunRequest",
     "RunResult",
+    "RunScheduler",
     "RunService",
 ]
 
@@ -53,7 +55,7 @@ def __getattr__(name: str):
     # Lazy re-export: service.py imports the GA core, which in turn imports
     # this package for its default backend; importing it eagerly here would
     # create a cycle.
-    if name in ("RunRequest", "RunResult", "RunService"):
+    if name in ("RunRequest", "RunResult", "RunScheduler", "RunService"):
         from . import service
 
         return getattr(service, name)

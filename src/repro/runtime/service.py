@@ -1,21 +1,34 @@
-"""The synchronous run service: one front door for executing GA runs.
+"""The run layer: a persistent multi-run scheduler and the one-shot service.
 
 ``RunRequest`` describes *what* to run (GA configuration, number of repeated
-runs, fitness statistic) and *how* to run it (execution backend, worker
-count, chunking, caching policy); :class:`RunService` owns a dataset,
-resolves the backend through the registry, executes the runs and returns a
-:class:`RunResult` carrying the per-run :class:`~repro.core.history.GAResult`
-objects plus the merged :class:`~repro.parallel.base.EvaluationStats`.
+runs, fitness statistic, optionally a locus window of the panel) and *how* to
+run it (execution backend, worker count, chunking, caching policy).
 
-The CLI ``run`` command and the Table-2 / ablation / speedup harnesses all
-route through this service, so backend choice, seeding, caching policy and
-stats reporting live in exactly one place.
+:class:`RunScheduler` is the persistent execution substrate: it builds **one**
+backend evaluator (one worker farm, one shared-memory registration, one
+content-affinity cache population) when constructed and keeps it alive across
+arbitrarily many submitted requests — exactly the jump from "one region, one
+run, one farm spin-up" to the genome-scale scan workload where hundreds of
+windowed GA runs multiplex over a single substrate.  Jobs are queued with
+:meth:`~RunScheduler.submit` and executed by :meth:`~RunScheduler.as_completed`
+(streaming results as they finish, optionally ``jobs`` runs at a time) or
+:meth:`~RunScheduler.map` (submission order).
+
+:class:`RunService` keeps its PR-2 one-shot API — ``run(request)`` builds the
+substrate, executes, tears down — but is now a thin wrapper that hands a
+single job to a request-scoped scheduler.  The CLI ``run`` command and the
+Table-2 / ablation / robustness harnesses route through these two classes, so
+backend choice, seeding, caching policy and stats reporting live in exactly
+one place.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from dataclasses import dataclass, field
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Sequence
 
 from ..core.config import GAConfig
 from ..core.ga import AdaptiveMultiPopulationGA
@@ -23,11 +36,27 @@ from ..core.history import GAResult
 from ..core.individual import HaplotypeIndividual
 from ..genetics.constraints import HaplotypeConstraints
 from ..genetics.dataset import GenotypeDataset
-from ..parallel.base import BaseBatchEvaluator, EvaluationStats
+from ..parallel.base import BaseBatchEvaluator, BatchEvaluator, EvaluationStats, SnpSet
+from ..stats.evaluation import HaplotypeEvaluator
 from .backends import DEFAULT_BACKEND, create_evaluator
 from .spec import EvaluatorSpec
 
-__all__ = ["RunRequest", "RunResult", "RunService"]
+__all__ = [
+    "RunRequest",
+    "RunResult",
+    "RunScheduler",
+    "RunService",
+    "backend_summary_line",
+]
+
+
+def backend_summary_line(backend: str, stats: EvaluationStats) -> str:
+    """The one-line reuse account printed by ``run`` and ``scan`` alike."""
+    return (
+        f"evaluation backend: {backend} — {stats.n_requests} requests -> "
+        f"{stats.n_evaluations} evaluations "
+        f"({stats.reuse_rate:.1%} answered by dedup/caches)"
+    )
 
 
 @dataclass(frozen=True)
@@ -46,6 +75,12 @@ class RunRequest:
         CLUMP statistic optimised as fitness (ignored when ``spec`` given).
     spec:
         Full evaluator recipe; overrides ``statistic``.
+    snp_indices:
+        Optional sub-panel restriction (global SNP indices, e.g. a locus
+        window of a chromosome-scale scan).  The GA then searches local
+        indices ``0 … len(snp_indices) - 1``; fitnesses are computed on the
+        corresponding global columns, so results are bit-identical to running
+        on a zero-copy window view of the panel.
     backend:
         Execution-backend name (see :func:`repro.runtime.backends.backend_names`).
     n_workers, chunk_size:
@@ -53,7 +88,8 @@ class RunRequest:
     dedup, cache_size, worker_cache_size:
         Batch fast-path policy for the backend evaluator.
     constraints:
-        Haplotype-validity constraints (default: unconstrained).
+        Haplotype-validity constraints (default: unconstrained; sized to the
+        sub-panel when ``snp_indices`` is given).
     """
 
     config: GAConfig | None = None
@@ -61,6 +97,7 @@ class RunRequest:
     seed: int | None = None
     statistic: str = "t1"
     spec: EvaluatorSpec | None = None
+    snp_indices: tuple[int, ...] | None = None
     backend: str = DEFAULT_BACKEND
     n_workers: int | None = None
     chunk_size: int | None = None
@@ -83,7 +120,8 @@ class RunResult:
         The per-run GA results, in seed order.
     stats:
         Backend evaluation stats merged over all runs (requests vs
-        evaluations actually performed, reuse, timings).
+        evaluations actually performed, reuse, timings) — scoped to exactly
+        this request's work even when many jobs share a scheduler.
     backend:
         Name of the execution backend used.
     elapsed_seconds:
@@ -123,32 +161,363 @@ class RunResult:
 
     def summary_line(self) -> str:
         """One-line account of the backend work (surfaced by the CLI)."""
-        stats = self.stats
-        return (
-            f"evaluation backend: {self.backend} — {stats.n_requests} requests -> "
-            f"{stats.n_evaluations} evaluations "
-            f"({stats.reuse_rate:.1%} answered by dedup/caches)"
+        return backend_summary_line(self.backend, self.stats)
+
+
+class _JobEvaluator:
+    """Per-job view onto the scheduler's shared backend evaluator.
+
+    Implements the :class:`~repro.parallel.base.BatchEvaluator` protocol for
+    one scheduled job: it optionally maps window-local SNP indices to global
+    panel indices, serialises access to the shared evaluator (many jobs may
+    run concurrently) and keeps the job's **own** :class:`EvaluationStats`, so
+    each :class:`RunResult` reports exactly the work its request caused even
+    though the caches and worker farm are shared.  ``close()`` is a no-op —
+    the substrate belongs to the scheduler.
+    """
+
+    def __init__(
+        self,
+        evaluator: BatchEvaluator,
+        lock: threading.Lock,
+        snp_indices: tuple[int, ...] | None = None,
+    ) -> None:
+        self._evaluator = evaluator
+        self._lock = lock
+        self._mapping = tuple(int(s) for s in snp_indices) if snp_indices else None
+        self._stats = EvaluationStats()
+
+    @property
+    def stats(self) -> EvaluationStats:
+        return self._stats
+
+    def evaluate_batch(self, batch: Sequence[SnpSet]) -> list[float]:
+        if self._mapping is not None:
+            mapping = self._mapping
+            batch = [[mapping[int(s)] for s in snps] for snps in batch]
+        # the lock both makes the shared evaluator safe under concurrent jobs
+        # and guarantees the stats delta below covers exactly this batch
+        with self._lock:
+            before = self._evaluator.stats.copy()
+            values = self._evaluator.evaluate_batch(batch)
+            delta = self._evaluator.stats.since(before)
+        self._stats.merge(delta)
+        return values
+
+    def evaluate(self, snps: SnpSet) -> float:
+        return self.evaluate_batch([snps])[0]
+
+    def close(self) -> None:
+        pass
+
+
+class RunScheduler:
+    """A persistent multi-run scheduler over one shared execution substrate.
+
+    The scheduler resolves its backend evaluator **once** (worker processes
+    started once, shared-memory panel registered once) and executes every
+    submitted :class:`RunRequest` against it, so N queued runs — e.g. one GA
+    job per locus window of a genome-scale scan — pay one farm spin-up and
+    share the master-side fitness cache and the slaves' content-affinity
+    caches.  Execution policy (backend, worker count, chunking, caching)
+    lives on the scheduler; a submitted request's own execution fields are
+    ignored (only the one-shot :class:`RunService` honours them).
+
+    Parameters
+    ----------
+    dataset:
+        The full genotype panel every job evaluates against.
+    source:
+        Evaluator recipe: an :class:`EvaluatorSpec`, a live
+        :class:`HaplotypeEvaluator` (its caches are then shared with in-process
+        backends) or ``None`` (a default spec with ``statistic``).
+    statistic:
+        CLUMP statistic when no ``source`` is given.
+    backend, n_workers, chunk_size, dedup, cache_size, worker_cache_size:
+        Execution substrate configuration (see
+        :func:`repro.runtime.backends.create_evaluator`).
+    jobs:
+        Maximum number of requests executed concurrently by
+        :meth:`as_completed` / :meth:`map`.  Fitness batches are serialised
+        through the shared substrate either way; extra jobs overlap GA
+        bookkeeping (selection, variation, replacement) with other jobs'
+        evaluation batches.  Results are bit-identical for any ``jobs`` value
+        — every run is a deterministic function of its seed.
+    """
+
+    def __init__(
+        self,
+        dataset: GenotypeDataset,
+        *,
+        source: HaplotypeEvaluator | EvaluatorSpec | None = None,
+        statistic: str = "t1",
+        backend: str = DEFAULT_BACKEND,
+        n_workers: int | None = None,
+        chunk_size: int | None = None,
+        dedup: bool = True,
+        cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE,
+        worker_cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE,
+        jobs: int = 1,
+    ) -> None:
+        if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+            raise ValueError(f"jobs must be a positive integer, got {jobs!r}")
+        if source is None:
+            source = EvaluatorSpec(statistic=statistic)
+        if isinstance(source, HaplotypeEvaluator):
+            self._spec = EvaluatorSpec.from_evaluator(source)
+        elif isinstance(source, EvaluatorSpec):
+            self._spec = source.normalized()
+        else:
+            raise TypeError(
+                f"source must be a HaplotypeEvaluator, EvaluatorSpec or None, "
+                f"got {type(source).__name__}"
+            )
+        self._dataset = dataset
+        self._backend = backend
+        self._jobs = jobs
+        self._lock = threading.Lock()
+        self._pending: list[tuple[int, RunRequest]] = []
+        # results of jobs that finished during an abandoned concurrent drain;
+        # handed out first by the next as_completed()
+        self._unclaimed: dict[int, RunResult] = {}
+        self._next_job_id = 0
+        self._n_completed = 0
+        self._closed = False
+        self._evaluator = create_evaluator(
+            backend,
+            source,
+            dataset=dataset,
+            n_workers=n_workers,
+            chunk_size=chunk_size,
+            dedup=dedup,
+            cache_size=cache_size,
+            worker_cache_size=worker_cache_size,
         )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def dataset(self) -> GenotypeDataset:
+        return self._dataset
+
+    @property
+    def backend(self) -> str:
+        return self._backend
+
+    @property
+    def spec(self) -> EvaluatorSpec:
+        return self._spec
+
+    @property
+    def jobs(self) -> int:
+        return self._jobs
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def n_pending(self) -> int:
+        return len(self._pending)
+
+    @property
+    def n_unclaimed(self) -> int:
+        """Results of finished jobs an abandoned drain has not handed out yet."""
+        return len(self._unclaimed)
+
+    @property
+    def n_completed(self) -> int:
+        return self._n_completed
+
+    @property
+    def stats(self) -> EvaluationStats:
+        """Substrate-lifetime stats (all jobs since the scheduler started)."""
+        return self._evaluator.stats.copy()
+
+    def summary_line(self) -> str:
+        """Scheduler-lifetime reuse account (same format as ``run``'s)."""
+        return backend_summary_line(self._backend, self._evaluator.stats)
+
+    def probe_evaluator(self) -> BatchEvaluator:
+        """A job-scoped view of the substrate for calibration/timing probes.
+
+        Batches travel the exact dispatch path scheduled runs use (lock,
+        chunking, worker farm); the view keeps its own stats, so probe work
+        appears in :attr:`stats` but not in any job's :class:`RunResult`.
+        """
+        return _JobEvaluator(self._evaluator, self._lock)
+
+    # ------------------------------------------------------------------ #
+    def _validate(self, request: RunRequest) -> None:
+        if self._closed:
+            raise RuntimeError("the scheduler has been closed")
+        if request.n_runs < 1:
+            raise ValueError("n_runs must be positive")
+        spec = request.resolved_spec().normalized()
+        if spec != self._spec:
+            raise ValueError(
+                f"request spec {spec} does not match the scheduler's substrate "
+                f"spec {self._spec}; use one scheduler per evaluator recipe"
+            )
+        if request.snp_indices is not None:
+            indices = request.snp_indices
+            if len(indices) < 2:
+                raise ValueError("snp_indices must select at least two SNPs")
+            if len(set(indices)) != len(indices):
+                raise ValueError("snp_indices must be distinct")
+            if min(indices) < 0 or max(indices) >= self._dataset.n_snps:
+                raise ValueError(
+                    f"snp_indices out of range [0, {self._dataset.n_snps})"
+                )
+
+    def submit(self, request: RunRequest) -> int:
+        """Queue a request; returns its job id (used by :meth:`as_completed`)."""
+        self._validate(request)
+        job_id = self._next_job_id
+        self._next_job_id += 1
+        self._pending.append((job_id, request))
+        return job_id
+
+    def _execute(self, request: RunRequest) -> RunResult:
+        start = time.perf_counter()
+        config = request.config or GAConfig()
+        base_seed = config.seed if request.seed is None else request.seed
+        n_snps = (
+            len(request.snp_indices)
+            if request.snp_indices is not None
+            else self._dataset.n_snps
+        )
+        constraints = request.constraints or HaplotypeConstraints.unconstrained(n_snps)
+        evaluator = _JobEvaluator(self._evaluator, self._lock, request.snp_indices)
+        runs: list[GAResult] = []
+        for run_index in range(request.n_runs):
+            ga = AdaptiveMultiPopulationGA(
+                n_snps=n_snps,
+                config=config.with_seed(base_seed + run_index),
+                constraints=constraints,
+                evaluator=evaluator,
+            )
+            runs.append(ga.run())
+        return RunResult(
+            runs=tuple(runs),
+            stats=evaluator.stats,
+            backend=self._backend,
+            elapsed_seconds=time.perf_counter() - start,
+            request=request,
+        )
+
+    def run(self, request: RunRequest) -> RunResult:
+        """Execute one request synchronously, bypassing the queue."""
+        self._validate(request)
+        result = self._execute(request)
+        self._n_completed += 1
+        return result
+
+    def as_completed(self) -> Iterator[tuple[int, RunResult]]:
+        """Execute every queued job, yielding ``(job_id, result)`` as they finish.
+
+        With ``jobs == 1`` the queue is drained in submission order; with more
+        jobs, up to ``jobs`` requests run concurrently and results stream in
+        completion order.  Either way each yielded result is bit-identical to
+        a standalone execution of its request.  Abandoning the iterator early
+        (``break``, an exception in the consumer) loses nothing: unstarted
+        jobs return to the queue, and jobs that were already in flight finish
+        and hand their results to the next drain.
+        """
+        while self._unclaimed:
+            job_id = min(self._unclaimed)
+            result = self._unclaimed.pop(job_id)
+            self._n_completed += 1
+            yield job_id, result
+        if self._jobs == 1 or len(self._pending) <= 1:
+            while self._pending:
+                job_id, request = self._pending.pop(0)
+                try:
+                    result = self._execute(request)
+                except BaseException:
+                    # same retry semantics as the concurrent path: a failed
+                    # job stays in the queue and re-runs on the next drain
+                    self._pending.insert(0, (job_id, request))
+                    raise
+                self._n_completed += 1
+                yield job_id, result
+            return
+        pending, self._pending = self._pending, []
+        yielded: set[int] = set()
+        with ThreadPoolExecutor(max_workers=self._jobs) as executor:
+            jobs_by_future: dict[Future, tuple[int, RunRequest]] = {
+                executor.submit(self._execute, request): (job_id, request)
+                for job_id, request in pending
+            }
+            try:
+                remaining = set(jobs_by_future)
+                while remaining:
+                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        result = future.result()  # propagates job errors
+                        job_id = jobs_by_future[future][0]
+                        yielded.add(job_id)
+                        self._n_completed += 1
+                        yield job_id, result
+            finally:
+                # abandoned drain: re-queue what never started, keep what ran
+                requeued: list[tuple[int, RunRequest]] = []
+                for future, (job_id, request) in jobs_by_future.items():
+                    if job_id in yielded:
+                        continue
+                    if future.cancel():
+                        requeued.append((job_id, request))
+                        continue
+                    try:
+                        # in flight or done: wait and keep the result
+                        self._unclaimed[job_id] = future.result()
+                    except BaseException:
+                        # a failed job re-runs (and re-raises) on the next
+                        # drain instead of masking the in-flight exception
+                        requeued.append((job_id, request))
+                self._pending = sorted(requeued) + self._pending
+
+    def map(self, requests: Iterable[RunRequest]) -> list[RunResult]:
+        """Execute requests (plus anything already queued) in submission order."""
+        for request in requests:
+            self.submit(request)
+        results: dict[int, RunResult] = dict(self.as_completed())
+        return [results[job_id] for job_id in sorted(results)]
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the shared substrate (worker farm, shm segment); idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._evaluator.close()
+
+    def __enter__(self) -> "RunScheduler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 class RunService:
-    """Execute :class:`RunRequest` objects against one dataset.
+    """Execute :class:`RunRequest` objects against one dataset, one at a time.
 
-    The service builds the backend evaluator once per request (workers are
-    started once, shared by every run of the request, and always released —
-    the farm cannot leak), and snapshots the evaluator's stats around the
-    runs so the result reports exactly the work of this request.
+    The one-shot front door: each ``run`` builds a request-scoped
+    :class:`RunScheduler` (workers started once, shared by every run of the
+    request, and always released — the farm cannot leak), submits the single
+    job and tears the substrate down.  Long-lived multi-request workloads
+    (genome scans, request queues) should hold a :class:`RunScheduler`
+    directly and keep the substrate warm.
     """
 
     def __init__(self, dataset: GenotypeDataset) -> None:
         self._dataset = dataset
-        self._local_evaluators: dict[EvaluatorSpec, object] = {}
+        self._local_evaluators: dict[EvaluatorSpec, HaplotypeEvaluator] = {}
 
     @property
     def dataset(self) -> GenotypeDataset:
         return self._dataset
 
-    def local_evaluator(self, request: RunRequest):
+    def local_evaluator(self, request: RunRequest) -> HaplotypeEvaluator:
         """A master-side in-process evaluator matching the request's spec.
 
         Memoised per spec, so repeated requests (e.g. one per ablation
@@ -166,42 +535,22 @@ class RunService:
         if request.n_runs < 1:
             raise ValueError("n_runs must be positive")
         start = time.perf_counter()
-        config = request.config or GAConfig()
-        base_seed = config.seed if request.seed is None else request.seed
-        constraints = request.constraints or HaplotypeConstraints.unconstrained(
-            self._dataset.n_snps
-        )
         # the in-process backends wrap the memoised local evaluator (shared
         # reuse caches across requests); the process backends derive their
         # worker-side spec from it
-        evaluator = create_evaluator(
-            request.backend,
-            self.local_evaluator(request),
-            dataset=self._dataset,
+        scheduler = RunScheduler(
+            self._dataset,
+            source=self.local_evaluator(request),
+            backend=request.backend,
             n_workers=request.n_workers,
             chunk_size=request.chunk_size,
             dedup=request.dedup,
             cache_size=request.cache_size,
             worker_cache_size=request.worker_cache_size,
         )
-        runs: list[GAResult] = []
-        before = evaluator.stats.copy()
         try:
-            for run_index in range(request.n_runs):
-                ga = AdaptiveMultiPopulationGA(
-                    n_snps=self._dataset.n_snps,
-                    config=config.with_seed(base_seed + run_index),
-                    constraints=constraints,
-                    evaluator=evaluator,
-                )
-                runs.append(ga.run())
-            stats = evaluator.stats.since(before)
+            result = scheduler.run(request)
         finally:
-            evaluator.close()
-        return RunResult(
-            runs=tuple(runs),
-            stats=stats,
-            backend=request.backend,
-            elapsed_seconds=time.perf_counter() - start,
-            request=request,
-        )
+            scheduler.close()
+        # account the substrate spin-up/teardown to the request, as before
+        return replace(result, elapsed_seconds=time.perf_counter() - start)

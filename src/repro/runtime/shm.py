@@ -29,9 +29,9 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-from ..genetics.dataset import GenotypeDataset
+from ..genetics.dataset import GenotypeDataset, WindowPlan
 
-__all__ = ["SharedDatasetHandle", "SharedGenotypeStore"]
+__all__ = ["SharedDatasetHandle", "SharedGenotypeStore", "ShardedGenotypeStore"]
 
 
 def _attach_segment(name: str) -> shared_memory.SharedMemory:
@@ -55,6 +55,12 @@ class SharedDatasetHandle:
     :class:`GenotypeDataset` view (no genotype bytes are copied).  The handle
     keeps the attachment alive for its own lifetime, which — held inside a
     worker's evaluator factory — is the lifetime of the worker.
+
+    ``column_window`` is the sharded-store fast path: when set to
+    ``(start, stop)``, ``load()`` returns a view of only those genotype
+    *columns* (a basic column slice of the shared matrix — still zero-copy),
+    so per-window workers of a genome-scale scan attach to the one full-panel
+    segment but see exactly their locus window.
     """
 
     name: str
@@ -62,6 +68,7 @@ class SharedDatasetHandle:
     n_snps: int
     snp_names: tuple[str, ...]
     individual_ids: tuple[str, ...]
+    column_window: tuple[int, int] | None = None
     _segments: list = field(default_factory=list, repr=False, compare=False)
 
     def __getstate__(self) -> dict:
@@ -69,6 +76,15 @@ class SharedDatasetHandle:
         state = self.__dict__.copy()
         state["_segments"] = []
         return state
+
+    def __post_init__(self) -> None:
+        if self.column_window is not None:
+            start, stop = self.column_window
+            if not 0 <= start < stop <= self.n_snps:
+                raise ValueError(
+                    f"column_window [{start}, {stop}) out of range for "
+                    f"{self.n_snps} SNPs"
+                )
 
     def load(self) -> GenotypeDataset:
         segment = _attach_segment(self.name)
@@ -78,11 +94,33 @@ class SharedDatasetHandle:
         status = np.frombuffer(segment.buf, dtype=np.int8, count=n, offset=n * m)
         genotypes.flags.writeable = False
         status.flags.writeable = False
+        snp_names = self.snp_names
+        if self.column_window is not None:
+            start, stop = self.column_window
+            genotypes = genotypes[:, start:stop]  # basic slice: still a view
+            snp_names = snp_names[start:stop]
         return GenotypeDataset(
             genotypes,
             status,
+            snp_names=snp_names,
+            individual_ids=self.individual_ids,
+        )
+
+    def window(self, start: int, stop: int) -> "SharedDatasetHandle":
+        """A handle onto the same segment restricted to columns ``[start, stop)``.
+
+        Windows compose against the *full* panel, not against this handle's
+        own window (a windowed handle cannot be re-windowed).
+        """
+        if self.column_window is not None:
+            raise ValueError("cannot re-window an already windowed handle")
+        return SharedDatasetHandle(
+            name=self.name,
+            n_individuals=self.n_individuals,
+            n_snps=self.n_snps,
             snp_names=self.snp_names,
             individual_ids=self.individual_ids,
+            column_window=(int(start), int(stop)),
         )
 
     def detach(self) -> None:
@@ -178,3 +216,83 @@ class SharedGenotypeStore:
             self.release()
         except Exception:
             pass
+
+
+class ShardedGenotypeStore:
+    """One shared-memory panel copy serving many locus-window views.
+
+    The genome-scale scan subsystem slices a chromosome-scale panel into
+    overlapping windows (:func:`repro.genetics.dataset.plan_windows`), and
+    every window's GA run needs the window's genotype columns.  Copying the
+    sub-panel per window would undo the one-copy property PLINK-style systems
+    get their scaling from, so this store writes the **full** panel into a
+    single :class:`SharedGenotypeStore` segment (affected-first row layout,
+    unchanged) and registers per-window :class:`SharedDatasetHandle` objects
+    against it: each handle attaches to the same segment and views only its
+    column window.  N windows therefore cost one genotype copy total, and a
+    worker holding the full-panel handle serves *every* window.
+    """
+
+    def __init__(self, dataset: GenotypeDataset, plan: WindowPlan | None = None) -> None:
+        if plan is not None and plan.n_snps != dataset.n_snps:
+            raise ValueError(
+                f"plan covers {plan.n_snps} SNPs but the dataset has {dataset.n_snps}"
+            )
+        self._store = SharedGenotypeStore(dataset)
+        self._plan = plan
+        self._window_handles: dict[tuple[int, int], SharedDatasetHandle] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Name of the underlying shared-memory segment (one for all windows)."""
+        return self._store.name
+
+    @property
+    def n_bytes(self) -> int:
+        return self._store.n_bytes
+
+    @property
+    def plan(self) -> WindowPlan | None:
+        return self._plan
+
+    @property
+    def handle(self) -> SharedDatasetHandle:
+        """Full-panel handle (identical to :class:`SharedGenotypeStore`'s)."""
+        return self._store.handle
+
+    def window_handle(self, start: int, stop: int) -> SharedDatasetHandle:
+        """A picklable handle restricted to the locus window ``[start, stop)``.
+
+        Handles are memoised per window, so repeatedly scheduling the same
+        window reuses one registration.
+        """
+        key = (int(start), int(stop))
+        handle = self._window_handles.get(key)
+        if handle is None:
+            handle = self._store.handle.window(*key)
+            self._window_handles[key] = handle
+        return handle
+
+    def window_handles(self) -> tuple[SharedDatasetHandle, ...]:
+        """One handle per window of the store's plan (requires a plan)."""
+        if self._plan is None:
+            raise ValueError("the store was created without a WindowPlan")
+        return tuple(self.window_handle(w.start, w.stop) for w in self._plan.windows)
+
+    def dataset(self) -> GenotypeDataset:
+        """The store's own zero-copy full-panel view."""
+        return self._store.dataset()
+
+    def release(self) -> None:
+        """Close and unlink the shared segment; idempotent."""
+        for handle in self._window_handles.values():
+            handle.detach()
+        self._store.handle.detach()
+        self._store.release()
+
+    def __enter__(self) -> "ShardedGenotypeStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()

@@ -90,6 +90,25 @@ class EvaluatorSpec:
     def with_statistic(self, statistic: str) -> "EvaluatorSpec":
         return replace(self, statistic=statistic)
 
+    def normalized(self) -> "EvaluatorSpec":
+        """The spec with its fields in the evaluator's normalised form.
+
+        :class:`HaplotypeEvaluator` lower-cases the statistic and coerces the
+        numeric parameters, so ``spec.build(...)`` followed by
+        :meth:`from_evaluator` yields exactly ``spec.normalized()``.  Spec
+        equality checks (e.g. the run scheduler's substrate validation) must
+        compare normalised forms or ``statistic="T1"`` would not match
+        ``statistic="t1"``.
+        """
+        return EvaluatorSpec(
+            statistic=self.statistic.lower(),
+            em_max_iter=int(self.em_max_iter),
+            em_tol=float(self.em_tol),
+            clump_min_expected=float(self.clump_min_expected),
+            cache_size=self.cache_size,
+            warm_start=self.warm_start,
+        )
+
 
 @dataclass(frozen=True)
 class SpecEvaluatorFactory:

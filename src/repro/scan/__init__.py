@@ -1,0 +1,41 @@
+"""Genome-scale windowed scan subsystem.
+
+The paper runs its adaptive GA on a single candidate region; this package
+scales the same search to chromosome/genome-scale panels the way PLINK-style
+systems scale LD computation — by restructuring the workload into sharded,
+windowed passes over the genotype matrix:
+
+* :mod:`repro.scan.planner` — tile the panel into overlapping locus windows
+  and derive per-window GA jobs with deterministic seeds;
+* :mod:`repro.scan.runner` — execute one GA job per window over a single
+  persistent :class:`~repro.runtime.service.RunScheduler` substrate (one
+  worker farm, one shared-memory panel copy, shared caches);
+* :mod:`repro.scan.report` — aggregate per-window best haplotypes into the
+  genome-wide LD report, calibrate the paper's PVM cost model from a recorded
+  trace and check the scan against the simulated cluster.
+"""
+
+from .planner import ScanPlan, plan_scan, window_seed
+from .report import (
+    CostTrace,
+    ScanReport,
+    SimulatedScanSpeedup,
+    WindowResult,
+    record_cost_trace,
+    simulate_scan_on_cluster,
+)
+from .runner import execute_plan, run_scan
+
+__all__ = [
+    "ScanPlan",
+    "plan_scan",
+    "window_seed",
+    "run_scan",
+    "execute_plan",
+    "ScanReport",
+    "WindowResult",
+    "CostTrace",
+    "record_cost_trace",
+    "SimulatedScanSpeedup",
+    "simulate_scan_on_cluster",
+]

@@ -1,0 +1,118 @@
+"""Scan planning: turn a panel + window geometry into per-window GA jobs.
+
+The genome-scale scan searches every overlapping locus window of a
+chromosome-scale panel with an independent GA run.  The planner owns the
+deterministic part of that: the window tiling (delegated to
+:func:`repro.genetics.dataset.plan_windows`), the per-window GA configuration
+(the base configuration clamped to the window's size — a 6-locus window
+cannot host a size-8 sub-population) and the per-window seeds.
+
+Seeds are a pure function of the scan's base seed and the window index,
+spaced so that the ``seed + run_index`` offsets used inside a repeated-run
+request can never collide across windows.  Two scans with the same base seed
+therefore produce bit-identical per-window results regardless of backend,
+job concurrency or completion order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from ..core.config import GAConfig
+from ..genetics.dataset import LocusWindow, WindowPlan, plan_windows
+from ..runtime.service import RunRequest
+
+__all__ = ["ScanPlan", "plan_scan", "window_seed"]
+
+#: Seed spacing between windows; any ``n_runs`` below this cannot make run
+#: seeds of different windows collide.
+_WINDOW_SEED_STRIDE = 100_003
+
+
+def window_seed(base_seed: int, window_index: int) -> int:
+    """Deterministic base seed of one window's GA job."""
+    return int(base_seed) + _WINDOW_SEED_STRIDE * int(window_index)
+
+
+@dataclass(frozen=True)
+class ScanPlan:
+    """A fully-determined genome-scale scan: windows + per-window GA jobs."""
+
+    windows: WindowPlan
+    config: GAConfig
+    base_seed: int
+    statistic: str = "t1"
+    n_runs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_runs < 1:
+            raise ValueError("n_runs must be positive")
+        if self.n_runs >= _WINDOW_SEED_STRIDE:  # pragma: no cover - absurd input
+            raise ValueError("n_runs too large for the per-window seed spacing")
+
+    @property
+    def n_windows(self) -> int:
+        return self.windows.n_windows
+
+    def window_config(self, window: LocusWindow) -> GAConfig:
+        """The base configuration clamped to the window's locus count."""
+        max_size = min(self.config.max_haplotype_size, window.size)
+        min_size = min(self.config.min_haplotype_size, max_size)
+        if (max_size, min_size) == (
+            self.config.max_haplotype_size,
+            self.config.min_haplotype_size,
+        ):
+            return self.config
+        return replace(
+            self.config, min_haplotype_size=min_size, max_haplotype_size=max_size
+        )
+
+    def request_for(self, window: LocusWindow) -> RunRequest:
+        """The :class:`RunRequest` searching one window."""
+        return RunRequest(
+            config=self.window_config(window),
+            n_runs=self.n_runs,
+            seed=window_seed(self.base_seed, window.index),
+            statistic=self.statistic,
+            snp_indices=window.snp_indices,
+        )
+
+    def requests(self) -> Iterator[tuple[LocusWindow, RunRequest]]:
+        """Every window paired with its run request, in window order."""
+        for window in self.windows:
+            yield window, self.request_for(window)
+
+
+def plan_scan(
+    n_snps: int,
+    *,
+    window_size: int,
+    overlap: int = 0,
+    config: GAConfig | None = None,
+    seed: int = 0,
+    statistic: str = "t1",
+    n_runs: int = 1,
+) -> ScanPlan:
+    """Plan a windowed scan of an ``n_snps`` panel.
+
+    ``config`` defaults to a scan-sized configuration (small populations —
+    windows are small search spaces — and short stagnation patience) rather
+    than the paper's single-region defaults.
+    """
+    windows = plan_windows(n_snps, window_size=window_size, overlap=overlap)
+    if config is None:
+        config = GAConfig(
+            population_size=30,
+            min_haplotype_size=2,
+            max_haplotype_size=min(4, window_size),
+            termination_stagnation=8,
+            max_generations=60,
+        )
+    return ScanPlan(
+        windows=windows,
+        config=config,
+        base_seed=int(seed),
+        statistic=statistic,
+        n_runs=int(n_runs),
+    )

@@ -1,0 +1,158 @@
+"""Scan execution: one GA job per window over one shared substrate.
+
+``run_scan`` is the front door of the genome-scale scan subsystem: it plans
+the windows, opens (or borrows) a persistent
+:class:`~repro.runtime.service.RunScheduler`, submits one
+:class:`~repro.runtime.service.RunRequest` per window and folds the streamed
+per-window results into a :class:`~repro.scan.report.ScanReport`.  All
+windows share a single worker farm, a single shared-memory panel
+registration and the substrate's dedup/LRU caches — overlapping windows
+re-request many of the same haplotypes (in global indices), so later windows
+are answered partly from the cache population earlier windows built.
+
+Window-local results are translated back to global panel indices here, so
+everything downstream (the report, the CLI, the benchmarks) speaks global
+locus coordinates.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..core.config import GAConfig
+from ..genetics.dataset import GenotypeDataset, LocusWindow
+from ..runtime.backends import DEFAULT_BACKEND
+from ..runtime.service import RunResult, RunScheduler
+from .planner import ScanPlan, plan_scan
+from .report import ScanReport, WindowResult
+
+__all__ = ["run_scan", "execute_plan"]
+
+#: Optional progress hook: called with each window's result as it completes.
+ProgressCallback = Callable[[WindowResult], None]
+
+
+def _window_result(window: LocusWindow, run: RunResult) -> WindowResult:
+    """Fold one window job's RunResult into global-index form."""
+    best_per_size: dict[int, tuple[tuple[int, ...], float]] = {}
+    for size, individual in run.best_per_size().items():
+        best_per_size[size] = (
+            window.to_global(individual.snps),
+            individual.fitness_value(),
+        )
+    best_size = max(best_per_size, key=lambda s: best_per_size[s][1])
+    best_snps, best_fitness = best_per_size[best_size]
+    n_generations = sum(r.n_generations for r in run.runs)
+    return WindowResult(
+        window=window,
+        best_snps=best_snps,
+        best_fitness=best_fitness,
+        best_per_size=best_per_size,
+        n_evaluations=run.stats.n_requests,
+        n_distinct_evaluations=run.stats.n_evaluations,
+        n_generations=n_generations,
+        seed=run.request.seed if run.request.seed is not None else 0,
+        elapsed_seconds=run.elapsed_seconds,
+    )
+
+
+def execute_plan(
+    plan: ScanPlan,
+    scheduler: RunScheduler,
+    *,
+    progress: ProgressCallback | None = None,
+) -> tuple[WindowResult, ...]:
+    """Run every window job of ``plan`` on ``scheduler``; window order output.
+
+    Results stream through ``progress`` in completion order (whatever the
+    scheduler's job concurrency makes that); the returned tuple is always in
+    window order and bit-identical regardless of it.
+
+    The scheduler's queue (and any unclaimed results of an abandoned drain)
+    must be empty: draining them would consume — and lose — results of jobs
+    the caller submitted before the scan.
+    """
+    if scheduler.n_pending or scheduler.n_unclaimed:
+        raise ValueError(
+            f"the scheduler has {scheduler.n_pending} queued job(s) and "
+            f"{scheduler.n_unclaimed} unclaimed result(s); drain them before "
+            f"running a scan on it (the scan would consume them)"
+        )
+    windows_by_job: dict[int, LocusWindow] = {}
+    for window, request in plan.requests():
+        windows_by_job[scheduler.submit(request)] = window
+    results: dict[int, WindowResult] = {}
+    for job_id, run in scheduler.as_completed():
+        window = windows_by_job[job_id]
+        result = _window_result(window, run)
+        results[window.index] = result
+        if progress is not None:
+            progress(result)
+    return tuple(results[index] for index in sorted(results))
+
+
+def run_scan(
+    dataset: GenotypeDataset,
+    *,
+    window_size: int,
+    overlap: int = 0,
+    config: GAConfig | None = None,
+    seed: int = 0,
+    statistic: str = "t1",
+    n_runs: int = 1,
+    backend: str = DEFAULT_BACKEND,
+    n_workers: int | None = None,
+    chunk_size: int | None = None,
+    jobs: int = 1,
+    scheduler: RunScheduler | None = None,
+    progress: ProgressCallback | None = None,
+) -> ScanReport:
+    """Scan a panel with one GA job per overlapping locus window.
+
+    Parameters mirror :func:`repro.scan.planner.plan_scan` (geometry, GA
+    configuration, seeding) plus the execution substrate (``backend``,
+    ``n_workers``, ``chunk_size``, ``jobs``).  Passing an existing
+    ``scheduler`` reuses its warm substrate (and ignores the execution
+    parameters); otherwise a scheduler is created for the scan and released
+    afterwards.
+    """
+    start = time.perf_counter()
+    plan = plan_scan(
+        dataset.n_snps,
+        window_size=window_size,
+        overlap=overlap,
+        config=config,
+        seed=seed,
+        statistic=statistic,
+        n_runs=n_runs,
+    )
+    owns_scheduler = scheduler is None
+    if scheduler is None:
+        scheduler = RunScheduler(
+            dataset,
+            statistic=statistic,
+            backend=backend,
+            n_workers=n_workers,
+            chunk_size=chunk_size,
+            jobs=jobs,
+        )
+    stats_before = scheduler.stats
+    try:
+        windows = execute_plan(plan, scheduler, progress=progress)
+        stats = scheduler.stats.since(stats_before)
+    finally:
+        if owns_scheduler:
+            scheduler.close()
+    return ScanReport(
+        windows=windows,
+        backend=scheduler.backend,
+        n_jobs=scheduler.jobs,
+        stats=stats,
+        elapsed_seconds=time.perf_counter() - start,
+        n_snps=dataset.n_snps,
+        window_size=window_size,
+        overlap=overlap,
+        statistic=statistic,
+        seed=int(seed),
+    )

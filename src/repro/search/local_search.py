@@ -16,9 +16,25 @@ import numpy as np
 
 from ..core.individual import random_individual
 from ..genetics.constraints import HaplotypeConstraints
-from ..parallel.base import FitnessCallable
+from ..parallel.base import BatchEvaluator, FitnessCallable
+from ..runtime.backends import DEFAULT_BACKEND, create_evaluator
 
 __all__ = ["HillClimbingResult", "hill_climb", "restarted_hill_climbing"]
+
+
+def _batch_values(
+    fitness: FitnessCallable | BatchEvaluator, batch: list[tuple[int, ...]]
+) -> list[float]:
+    """Evaluate a neighbourhood, batched when the fitness is a batch evaluator.
+
+    The batch travels the evaluator's generation-level fast path (dedup +
+    LRU), so revisited neighbours across climbs and restarts are answered
+    from cache; a plain callable is simply mapped.
+    """
+    evaluate_batch = getattr(fitness, "evaluate_batch", None)
+    if evaluate_batch is not None:
+        return [float(v) for v in evaluate_batch(batch)]
+    return [float(fitness(snps)) for snps in batch]
 
 
 @dataclass(frozen=True)
@@ -54,7 +70,7 @@ def _swap_neighbours(
 
 
 def hill_climb(
-    fitness: FitnessCallable,
+    fitness: FitnessCallable | BatchEvaluator,
     start: tuple[int, ...],
     *,
     constraints: HaplotypeConstraints,
@@ -64,22 +80,26 @@ def hill_climb(
 ) -> tuple[tuple[int, ...], float, int]:
     """Best-improvement hill climbing from one start point.
 
-    Returns the local optimum, its fitness and the number of evaluations used
-    (including the start's own evaluation).
+    Each step's whole neighbourhood (truncated to the remaining budget) is
+    evaluated as a single batch, so a batch evaluator's dedup/caching fast
+    path applies.  Returns the local optimum, its fitness and the number of
+    evaluation requests used (including the start's own evaluation).
     """
     current = tuple(sorted(int(s) for s in start))
-    current_fitness = float(fitness(current))
+    current_fitness = _batch_values(fitness, [current])[0]
     used = 1
     improved = True
     while improved and used < max_evaluations:
         improved = False
+        neighbours = _swap_neighbours(current, constraints, rng, max_neighbours)
+        neighbours = neighbours[: max_evaluations - used]
+        if not neighbours:
+            break
+        values = _batch_values(fitness, neighbours)
+        used += len(neighbours)
         best_neighbour = None
         best_value = current_fitness
-        for neighbour in _swap_neighbours(current, constraints, rng, max_neighbours):
-            if used >= max_evaluations:
-                break
-            value = float(fitness(neighbour))
-            used += 1
+        for neighbour, value in zip(neighbours, values):
             if value > best_value:
                 best_value = value
                 best_neighbour = neighbour
@@ -98,32 +118,47 @@ def restarted_hill_climbing(
     constraints: HaplotypeConstraints | None = None,
     max_neighbours: int | None = None,
     seed: int = 0,
+    backend: str | None = None,
+    backend_options: dict | None = None,
 ) -> HillClimbingResult:
-    """Hill climbing with random restarts under a fixed evaluation budget."""
+    """Hill climbing with random restarts under a fixed evaluation budget.
+
+    The fitness callable is routed through the execution-backend registry
+    (``backend``, default ``serial``), so the baseline shares the adaptive
+    GA's dedup/LRU caching stack — neighbourhoods revisited across restarts
+    are answered from cache — and can be dispatched on any registered
+    substrate.
+    """
     if n_evaluations < 1:
         raise ValueError("n_evaluations must be positive")
     constraints = constraints or HaplotypeConstraints.unconstrained(n_snps)
     rng = np.random.default_rng(seed)
+    evaluator = create_evaluator(
+        backend or DEFAULT_BACKEND, fitness, **(backend_options or {})
+    )
     best_snps: tuple[int, ...] | None = None
     best_fitness = -np.inf
     used = 0
     restarts = 0
     found_at = 0
-    while used < n_evaluations:
-        start = random_individual(size, constraints, rng).snps
-        snps, value, spent = hill_climb(
-            fitness,
-            start,
-            constraints=constraints,
-            rng=rng,
-            max_evaluations=n_evaluations - used,
-            max_neighbours=max_neighbours,
-        )
-        used += spent
-        restarts += 1
-        if value > best_fitness:
-            best_snps, best_fitness = snps, value
-            found_at = used
+    try:
+        while used < n_evaluations:
+            start = random_individual(size, constraints, rng).snps
+            snps, value, spent = hill_climb(
+                evaluator,
+                start,
+                constraints=constraints,
+                rng=rng,
+                max_evaluations=n_evaluations - used,
+                max_neighbours=max_neighbours,
+            )
+            used += spent
+            restarts += 1
+            if value > best_fitness:
+                best_snps, best_fitness = snps, value
+                found_at = used
+    finally:
+        evaluator.close()
     assert best_snps is not None
     return HillClimbingResult(
         best_snps=best_snps,

@@ -14,10 +14,37 @@ from typing import Sequence
 __all__ = [
     "n_haplotypes_of_size",
     "n_haplotypes_up_to_size",
+    "sample_distinct_haplotypes",
     "search_space_table",
     "PAPER_TABLE1_SNP_COUNTS",
     "PAPER_TABLE1_SIZES",
 ]
+
+
+def sample_distinct_haplotypes(
+    rng, n_snps: int, size: int, count: int
+) -> list[tuple[int, ...]]:
+    """``count`` distinct random haplotypes of one size (sorted SNP tuples).
+
+    The count is clamped to ``C(n_snps, size)`` — a small panel cannot supply
+    more distinct subsets, and an unclamped rejection loop would never
+    terminate.  (Several experiment harnesses keep their own historical
+    sampling loops because changing their RNG draw order would change
+    recorded results; new call sites should use this helper.)
+    """
+    if count < 1:
+        raise ValueError("count must be positive")
+    if not 1 <= size <= n_snps:
+        raise ValueError(f"size must be in [1, n_snps={n_snps}], got {size}")
+    target = min(count, n_haplotypes_of_size(n_snps, size))
+    batch: list[tuple[int, ...]] = []
+    seen: set[tuple[int, ...]] = set()
+    while len(batch) < target:
+        snps = tuple(sorted(rng.choice(n_snps, size=size, replace=False).tolist()))
+        if snps not in seen:
+            seen.add(snps)
+            batch.append(snps)
+    return batch
 
 #: The SNP panel sizes of the paper's Table 1.
 PAPER_TABLE1_SNP_COUNTS: tuple[int, ...] = (51, 150, 249)

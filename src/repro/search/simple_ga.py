@@ -20,7 +20,8 @@ from ..core.operators.crossover import IntraPopulationCrossover
 from ..core.operators.mutation import PointMutation
 from ..core.selection import tournament_selection
 from ..genetics.constraints import HaplotypeConstraints
-from ..parallel.base import FitnessCallable
+from ..parallel.base import BatchEvaluator, FitnessCallable
+from ..runtime.backends import DEFAULT_BACKEND, create_evaluator
 
 __all__ = ["SimpleGAResult", "SimpleGA"]
 
@@ -42,7 +43,9 @@ class SimpleGA:
     Parameters
     ----------
     fitness:
-        Fitness callable.
+        Fitness callable; routed through the execution-backend registry, so
+        the baseline shares the same generation-level dedup and LRU caching
+        stack as the adaptive GA.  Mutually exclusive with ``evaluator``.
     n_snps:
         SNP panel size.
     size:
@@ -57,11 +60,18 @@ class SimpleGA:
         Number of best individuals copied unchanged to the next generation.
     constraints:
         Optional haplotype-validity constraints.
+    evaluator:
+        An already-built :class:`~repro.parallel.base.BatchEvaluator` to use
+        as is (the caller keeps ownership).
+    backend, backend_options:
+        Execution-backend name and extra
+        :func:`repro.runtime.backends.create_evaluator` arguments used to
+        build the evaluator from ``fitness`` (default: ``serial``).
     """
 
     def __init__(
         self,
-        fitness: FitnessCallable,
+        fitness: FitnessCallable | None = None,
         *,
         n_snps: int,
         size: int,
@@ -71,6 +81,9 @@ class SimpleGA:
         tournament_size: int = 2,
         elitism: int = 1,
         constraints: HaplotypeConstraints | None = None,
+        evaluator: BatchEvaluator | None = None,
+        backend: str | None = None,
+        backend_options: dict | None = None,
     ) -> None:
         if size < 1:
             raise ValueError("size must be positive")
@@ -80,7 +93,16 @@ class SimpleGA:
             raise ValueError("rates must be in [0, 1]")
         if elitism < 0 or elitism >= population_size:
             raise ValueError("elitism must be in [0, population_size)")
-        self.fitness = fitness
+        if fitness is None and evaluator is None:
+            raise ValueError("either a fitness callable or a batch evaluator is required")
+        if evaluator is not None and backend is not None:
+            raise ValueError("backend and an explicit evaluator are mutually exclusive")
+        self._owns_evaluator = evaluator is None
+        if evaluator is None:
+            evaluator = create_evaluator(
+                backend or DEFAULT_BACKEND, fitness, **(backend_options or {})
+            )
+        self.evaluator: BatchEvaluator = evaluator
         self.n_snps = int(n_snps)
         self.size = int(size)
         self.population_size = int(population_size)
@@ -96,11 +118,33 @@ class SimpleGA:
     # ------------------------------------------------------------------ #
     @property
     def n_evaluations(self) -> int:
+        """Number of fitness requests so far (the paper's cost metric)."""
         return self._n_evaluations
 
-    def _evaluate(self, snps: tuple[int, ...]) -> HaplotypeIndividual:
-        self._n_evaluations += 1
-        return HaplotypeIndividual(snps, float(self.fitness(snps)))
+    def _evaluate_all(self, batch: list[tuple[int, ...]]) -> list[HaplotypeIndividual]:
+        """Evaluate one generation's candidates through the batch evaluator.
+
+        Duplicate and previously seen haplotypes are answered by the
+        evaluator's dedup/cache fast path; every request still counts toward
+        :attr:`n_evaluations`.
+        """
+        self._n_evaluations += len(batch)
+        fitnesses = self.evaluator.evaluate_batch(batch)
+        return [
+            HaplotypeIndividual(snps, float(value))
+            for snps, value in zip(batch, fitnesses)
+        ]
+
+    def close(self) -> None:
+        """Release the evaluator if this GA built it (idempotent)."""
+        if self._owns_evaluator:
+            self.evaluator.close()
+
+    def __enter__(self) -> "SimpleGA":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def run(
         self,
@@ -119,14 +163,15 @@ class SimpleGA:
         rng = np.random.default_rng(seed)
         self._n_evaluations = 0
 
-        population = []
+        initial: list[tuple[int, ...]] = []
         seen: set[tuple[int, ...]] = set()
-        while len(population) < self.population_size:
+        while len(initial) < self.population_size:
             candidate = random_individual(self.size, self.constraints, rng)
             if candidate.snps in seen and len(seen) < self.population_size * 10:
                 continue
             seen.add(candidate.snps)
-            population.append(self._evaluate(candidate.snps))
+            initial.append(candidate.snps)
+        population = self._evaluate_all(initial)
 
         best = max(population, key=lambda ind: ind.fitness_value())
         evaluations_to_best = self._n_evaluations
@@ -134,8 +179,12 @@ class SimpleGA:
         generation = 0
         for generation in range(1, n_generations + 1):
             population.sort(key=lambda ind: ind.fitness_value(), reverse=True)
-            next_population = population[: self.elitism]
-            while len(next_population) < self.population_size:
+            elite = population[: self.elitism]
+            # parents come from the (sorted, frozen) current population, so the
+            # whole generation's offspring can be planned first and evaluated
+            # as one batch through the backend
+            offspring: list[tuple[int, ...]] = []
+            while len(elite) + len(offspring) < self.population_size:
                 parent_a = tournament_selection(population, rng,
                                                 tournament_size=self.tournament_size)
                 parent_b = tournament_selection(population, rng,
@@ -152,8 +201,8 @@ class SimpleGA:
                     )
                     if variants:
                         child_snps = variants[0]
-                next_population.append(self._evaluate(child_snps))
-            population = next_population
+                offspring.append(child_snps)
+            population = elite + self._evaluate_all(offspring)
             generation_best = max(population, key=lambda ind: ind.fitness_value())
             if generation_best.fitness_value() > best.fitness_value() + 1e-12:
                 best = generation_best

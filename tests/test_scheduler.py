@@ -1,0 +1,192 @@
+"""Tests of the persistent RunScheduler (one substrate, many runs)."""
+
+import pytest
+
+from repro.core.config import GAConfig
+from repro.runtime.service import RunRequest, RunScheduler, RunService
+from repro.runtime.spec import EvaluatorSpec
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return GAConfig(
+        population_size=12,
+        max_haplotype_size=3,
+        termination_stagnation=2,
+        max_generations=4,
+    )
+
+
+def _requests(quick_config, n=4):
+    return [RunRequest(config=quick_config, seed=100 + i) for i in range(n)]
+
+
+def _result_key(result):
+    return [
+        (size, ind.snps, ind.fitness_value())
+        for size, ind in sorted(result.result.best_per_size.items())
+    ]
+
+
+class TestRunScheduler:
+    def test_submit_and_stream(self, small_dataset, quick_config):
+        with RunScheduler(small_dataset) as scheduler:
+            ids = [scheduler.submit(r) for r in _requests(quick_config, 3)]
+            assert ids == [0, 1, 2]
+            assert scheduler.n_pending == 3
+            seen = dict(scheduler.as_completed())
+            assert sorted(seen) == ids
+            assert scheduler.n_pending == 0
+            assert scheduler.n_completed == 3
+            for result in seen.values():
+                assert result.backend == "serial"
+                assert result.runs
+
+    def test_map_preserves_submission_order(self, small_dataset, quick_config):
+        requests = _requests(quick_config, 3)
+        with RunScheduler(small_dataset) as scheduler:
+            results = scheduler.map(requests)
+        assert [r.request.seed for r in results] == [100, 101, 102]
+
+    def test_results_identical_across_jobs(self, small_dataset, quick_config):
+        requests = _requests(quick_config, 4)
+        with RunScheduler(small_dataset, jobs=1) as scheduler:
+            sequential = scheduler.map(requests)
+            total_seq = scheduler.stats
+        with RunScheduler(small_dataset, jobs=3) as scheduler:
+            concurrent = scheduler.map(requests)
+            total_con = scheduler.stats
+        for a, b in zip(sequential, concurrent):
+            assert _result_key(a) == _result_key(b)
+        # the work totals are completion-order invariant; only the split
+        # between dedup hits and cache hits depends on the interleaving
+        assert total_seq.n_requests == total_con.n_requests
+        assert total_seq.n_evaluations == total_con.n_evaluations
+        assert (
+            total_seq.n_dedup_hits + total_seq.n_cache_hits
+            == total_con.n_dedup_hits + total_con.n_cache_hits
+        )
+
+    def test_matches_standalone_service(self, small_dataset, quick_config):
+        request = RunRequest(config=quick_config, seed=7)
+        standalone = RunService(small_dataset).run(request)
+        with RunScheduler(small_dataset) as scheduler:
+            scheduled = scheduler.run(request)
+        assert _result_key(standalone) == _result_key(scheduled)
+        assert standalone.stats.counters() == scheduled.stats.counters()
+
+    def test_per_job_stats_are_scoped(self, small_dataset, quick_config):
+        with RunScheduler(small_dataset) as scheduler:
+            first = scheduler.run(RunRequest(config=quick_config, seed=1))
+            second = scheduler.run(RunRequest(config=quick_config, seed=1))
+            # identical request replayed on a warm substrate: all requests
+            # answered by the shared cache, none evaluated again
+            assert second.stats.n_requests == first.stats.n_requests
+            assert second.stats.n_evaluations == 0
+            total = scheduler.stats
+        assert total.n_requests == first.stats.n_requests + second.stats.n_requests
+        assert total.n_evaluations == first.stats.n_evaluations
+
+    def test_window_restriction_matches_window_view(
+        self, small_dataset, quick_config
+    ):
+        window = (3, 9)
+        request = RunRequest(
+            config=quick_config, seed=5, snp_indices=tuple(range(*window))
+        )
+        with RunScheduler(small_dataset) as scheduler:
+            windowed = scheduler.run(request)
+        view_service = RunService(small_dataset.window(*window))
+        on_view = view_service.run(RunRequest(config=quick_config, seed=5))
+        assert _result_key(windowed) == _result_key(on_view)
+
+    def test_spec_mismatch_rejected(self, small_dataset, quick_config):
+        with RunScheduler(small_dataset, statistic="t1") as scheduler:
+            with pytest.raises(ValueError, match="spec"):
+                scheduler.submit(RunRequest(config=quick_config, statistic="t2"))
+            # a matching explicit spec is accepted
+            scheduler.submit(
+                RunRequest(config=quick_config, spec=EvaluatorSpec(statistic="t1"))
+            )
+
+    def test_spec_comparison_is_normalised(self, small_dataset, quick_config):
+        """'T1' vs 't1' (the evaluator lower-cases) must not be a mismatch."""
+        result = RunService(small_dataset).run(
+            RunRequest(config=quick_config, seed=1, statistic="T1")
+        )
+        assert result.runs
+        with RunScheduler(small_dataset, statistic="t1") as scheduler:
+            scheduler.submit(RunRequest(config=quick_config, statistic="T1"))
+
+    def test_abandoned_drain_keeps_unstarted_jobs(self, small_dataset, quick_config):
+        with RunScheduler(small_dataset) as scheduler:
+            ids = [scheduler.submit(r) for r in _requests(quick_config, 3)]
+            for job_id, _result in scheduler.as_completed():
+                break  # abandon after the first result
+            assert scheduler.n_completed == 1
+            assert scheduler.n_pending == 2
+            remaining = dict(scheduler.as_completed())
+            assert sorted(remaining) == ids[1:]
+
+    def test_abandoned_concurrent_drain_loses_nothing(
+        self, small_dataset, quick_config
+    ):
+        """jobs>1: in-flight jobs finish and surface on the next drain."""
+        requests = _requests(quick_config, 4)
+        with RunScheduler(small_dataset, jobs=1) as scheduler:
+            expected = {
+                job_id: _result_key(result)
+                for job_id, result in zip(
+                    range(4), scheduler.map(list(requests))
+                )
+            }
+        with RunScheduler(small_dataset, jobs=2) as scheduler:
+            ids = [scheduler.submit(r) for r in requests]
+            collected = {}
+            for job_id, result in scheduler.as_completed():
+                collected[job_id] = _result_key(result)
+                break  # abandon with one job potentially still in flight
+            collected.update(
+                (job_id, _result_key(result))
+                for job_id, result in scheduler.as_completed()
+            )
+            assert sorted(collected) == ids
+            assert scheduler.n_completed == len(ids)
+        assert collected == expected
+
+    def test_snp_indices_validation(self, small_dataset, quick_config):
+        with RunScheduler(small_dataset) as scheduler:
+            with pytest.raises(ValueError, match="at least two"):
+                scheduler.submit(RunRequest(config=quick_config, snp_indices=(3,)))
+            with pytest.raises(ValueError, match="distinct"):
+                scheduler.submit(RunRequest(config=quick_config, snp_indices=(3, 3)))
+            with pytest.raises(ValueError, match="range"):
+                scheduler.submit(
+                    RunRequest(config=quick_config, snp_indices=(0, 99))
+                )
+
+    def test_validation(self, small_dataset, quick_config):
+        with pytest.raises(ValueError):
+            RunScheduler(small_dataset, jobs=0)
+        with RunScheduler(small_dataset) as scheduler:
+            with pytest.raises(ValueError):
+                scheduler.submit(RunRequest(config=quick_config, n_runs=0))
+        with pytest.raises(RuntimeError):
+            scheduler.submit(RunRequest(config=quick_config))
+        scheduler.close()  # idempotent
+
+    def test_probe_evaluator_is_stats_isolated(self, small_dataset, quick_config):
+        with RunScheduler(small_dataset) as scheduler:
+            probe = scheduler.probe_evaluator()
+            values = probe.evaluate_batch([(0, 1), (2, 3)])
+            assert len(values) == 2
+            assert probe.stats.n_requests == 2
+            result = scheduler.run(RunRequest(config=quick_config, seed=2))
+            # the probe's work is on the substrate but not in the job's stats
+            assert scheduler.stats.n_requests == 2 + result.stats.n_requests
+
+    def test_summary_line_matches_run_format(self, small_dataset, quick_config):
+        with RunScheduler(small_dataset) as scheduler:
+            result = scheduler.run(RunRequest(config=quick_config, seed=3))
+            line = scheduler.summary_line()
+        assert line == result.summary_line()
