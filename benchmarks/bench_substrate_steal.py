@@ -1,0 +1,236 @@
+"""Benchmark: work-stealing dispatch vs the affinity-only synchronous farm.
+
+Measures what the steal engine was built for: a *skewed-window-cost* trace —
+generation batches mixing many cheap (small-haplotype) evaluations with a
+minority of expensive (large-haplotype) ones, the regime of a chromosome scan
+whose windows clamp to heterogeneous sizes — dispatched over the same
+4-slave :class:`repro.parallel.farm.ChunkedWorkerFarm` with stealing off
+(every chunk waits for its affinity owner; the batch barrier waits for the
+most-loaded slave) and on (idle slaves are refilled from the longest
+affinity queue).  Records the trajectory to ``BENCH_steal.json`` (diffable
+with ``scripts/bench_compare.py``, which also gates the ``*_gain*`` leaves).
+
+Workload
+--------
+Evaluation cost is *modelled*, not measured: the fitness sleeps for the
+paper's Figure-4 exponential cost ``base_seconds * growth ** (size - 1)``
+(:class:`repro.parallel.pvm.EvaluationCostModel`'s calibration) and returns a
+deterministic value.  Sleeping slaves do not contend for CPU, so the
+measurement isolates *dispatch quality* — which slave runs what, when — from
+host core count, exactly like the repo's ``SimulatedPVM`` but exercising the
+real farm code path (queues, chunking, streamed completions, steal refills).
+
+Both modes evaluate the identical batches and must return identical values
+and work counters (asserted); only the slave-to-chunk assignment differs.
+
+Usage::
+
+    python benchmarks/bench_substrate_steal.py            # full run
+    python benchmarks/bench_substrate_steal.py --quick    # CI smoke
+    python benchmarks/bench_substrate_steal.py -o out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.parallel.farm import ChunkedWorkerFarm, affinity_worker  # noqa: E402
+from repro.parallel.pvm import EvaluationCostModel  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_steal.json"
+)
+
+N_WORKERS = 4
+TRACE_SEED = 0
+N_SNPS = 240
+EXPENSIVE_SIZE = 7
+CHEAP_SIZE = 2
+
+
+class CostModelFitness:
+    """Picklable fitness whose runtime is the paper's cost model (a sleep)."""
+
+    def __init__(self, base_seconds: float, growth_factor: float = 2.4) -> None:
+        self.model = EvaluationCostModel(
+            base_seconds=base_seconds, growth_factor=growth_factor
+        )
+
+    def __call__(self, snps) -> float:
+        key = tuple(sorted(int(s) for s in snps))
+        time.sleep(self.model.cost(len(key)))
+        return float(sum(key)) / (1.0 + len(key))
+
+
+class _FitnessFactory:
+    """Picklable zero-argument factory the farm ships to every slave."""
+
+    def __init__(self, fitness: CostModelFitness) -> None:
+        self._fitness = fitness
+
+    def __call__(self) -> CostModelFitness:
+        return self._fitness
+
+
+def skewed_trace(
+    *, n_batches: int, n_expensive: int, n_cheap: int, seed: int = TRACE_SEED
+) -> list[list[tuple[int, ...]]]:
+    """Generation batches of mostly-cheap haplotypes with an expensive minority."""
+    rng = np.random.default_rng(seed)
+    batches = []
+    for _ in range(n_batches):
+        batch: list[tuple[int, ...]] = []
+        seen: set[tuple[int, ...]] = set()
+
+        def draw(size: int, count: int) -> None:
+            while sum(1 for b in batch if len(b) == size) < count:
+                key = tuple(
+                    sorted(int(x) for x in rng.choice(N_SNPS, size, replace=False))
+                )
+                if key not in seen:
+                    seen.add(key)
+                    batch.append(key)
+
+        draw(EXPENSIVE_SIZE, n_expensive)
+        draw(CHEAP_SIZE, n_cheap)
+        rng.shuffle(batch)
+        batches.append([tuple(int(s) for s in b) for b in batch])
+    return batches
+
+
+def static_imbalance(batches: list[list[tuple[int, ...]]]) -> float:
+    """Mean ratio of the most-loaded slave's expensive share to the fair share."""
+    ratios = []
+    for batch in batches:
+        counts = [0] * N_WORKERS
+        for key in batch:
+            if len(key) == EXPENSIVE_SIZE:
+                counts[affinity_worker(key, N_WORKERS)] += 1
+        total = sum(counts)
+        if total:
+            ratios.append(max(counts) / (total / N_WORKERS))
+    return float(np.mean(ratios)) if ratios else 1.0
+
+
+def run_mode(
+    batches: list[list[tuple[int, ...]]], *, steal: bool, base_seconds: float
+) -> dict:
+    fitness = CostModelFitness(base_seconds)
+    n_requests = n_evaluations = 0
+    checksum = 0.0
+    with ChunkedWorkerFarm(
+        _FitnessFactory(fitness),
+        N_WORKERS,
+        chunk_size=1,
+        worker_cache_size=0,
+        steal=steal,
+        # no prefetch: a buffered expensive chunk cannot be stolen, and the
+        # modelled tasks are long enough that the dispatch round-trip is noise
+        max_inflight=1,
+    ) as farm:
+        start = time.perf_counter()
+        for batch in batches:
+            values, stats = farm.evaluate(batch)
+            checksum += sum(values)
+            n_requests += stats.n_requests
+            n_evaluations += stats.n_evaluations
+        elapsed = time.perf_counter() - start
+    return {
+        "mode": "steal" if steal else "affinity",
+        "n_workers": N_WORKERS,
+        "elapsed_seconds": elapsed,
+        "evaluations_per_second": n_evaluations / elapsed if elapsed > 0 else 0.0,
+        "n_requests": n_requests,
+        "n_evaluations": n_evaluations,
+        "checksum": round(checksum, 9),
+    }
+
+
+def run_benchmark(*, quick: bool) -> dict:
+    if quick:
+        base_seconds, n_batches, n_expensive, n_cheap = 4e-4, 2, 8, 40
+    else:
+        base_seconds, n_batches, n_expensive, n_cheap = 8e-4, 3, 8, 60
+    batches = skewed_trace(
+        n_batches=n_batches, n_expensive=n_expensive, n_cheap=n_cheap
+    )
+    model = EvaluationCostModel(base_seconds=base_seconds)
+    serial_seconds = sum(model.cost(len(key)) for batch in batches for key in batch)
+    report: dict = {
+        "benchmark": "substrate_steal",
+        "trace": {
+            "seed": TRACE_SEED,
+            "n_batches": n_batches,
+            "n_expensive_per_batch": n_expensive,
+            "n_cheap_per_batch": n_cheap,
+            "expensive_size": EXPENSIVE_SIZE,
+            "cheap_size": CHEAP_SIZE,
+            "base_seconds": base_seconds,
+            "modelled_serial_seconds": serial_seconds,
+            "static_imbalance": static_imbalance(batches),
+        },
+        "results": {},
+        "headline": {},
+    }
+    affinity = run_mode(batches, steal=False, base_seconds=base_seconds)
+    steal = run_mode(batches, steal=True, base_seconds=base_seconds)
+    # the two engines must do the identical work and agree bit-for-bit; a
+    # divergence is a dispatch correctness bug, not a timing artefact
+    if affinity["checksum"] != steal["checksum"]:
+        raise AssertionError(
+            f"steal/affinity results diverged: "
+            f"{steal['checksum']} != {affinity['checksum']}"
+        )
+    if (affinity["n_requests"], affinity["n_evaluations"]) != (
+        steal["n_requests"], steal["n_evaluations"]
+    ):
+        raise AssertionError("steal/affinity work counters diverged")
+    report["results"]["affinity_4w"] = affinity
+    report["results"]["steal_4w"] = steal
+    report["headline"][f"steal_vs_affinity_gain_at_{N_WORKERS}_workers"] = (
+        affinity["elapsed_seconds"] / steal["elapsed_seconds"]
+    )
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized smoke run")
+    parser.add_argument("-o", "--output", default=DEFAULT_OUTPUT,
+                        help=f"output JSON path (default {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(quick=args.quick)
+
+    print(
+        f"trace: static imbalance {report['trace']['static_imbalance']:.2f}x, "
+        f"modelled serial {report['trace']['modelled_serial_seconds']:.2f}s"
+    )
+    for label, result in report["results"].items():
+        print(
+            f"  {label:14s} {result['elapsed_seconds']:7.2f} s "
+            f"({result['evaluations_per_second']:7.1f} evals/s, "
+            f"{result['n_evaluations']} evals)"
+        )
+    for key, gain in report["headline"].items():
+        print(f"{key}: {gain:.2f}x")
+
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

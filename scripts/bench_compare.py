@@ -1,10 +1,15 @@
 #!/usr/bin/env python
 """Diff two ``BENCH_*.json`` trajectory files and fail on regressions.
 
-Compares every numeric leaf whose key ends in ``_seconds`` between a baseline
-and a candidate benchmark report (same schema, e.g. two runs of
-``benchmarks/bench_em_kernel.py``) and exits non-zero when any timing
-regressed by more than the threshold (default 10%).
+Compares two benchmark reports of the same schema (e.g. two runs of
+``benchmarks/bench_em_kernel.py``) and exits non-zero on regressions beyond
+the threshold (default 10%):
+
+* every numeric leaf whose key ends in ``_seconds`` — lower is better, a
+  slowdown beyond the threshold fails;
+* every numeric leaf whose key contains ``_gain`` (the benchmarks' headline
+  speedup ratios, e.g. ``steal_vs_affinity_gain_at_4_workers``) — higher is
+  better, a drop beyond the threshold fails.
 
 Usage::
 
@@ -20,44 +25,71 @@ import sys
 from typing import Iterator
 
 
-def _timing_leaves(node, path: str = "") -> Iterator[tuple[str, float]]:
-    """Yield ``(dotted.path, value)`` for every ``*_seconds`` numeric leaf."""
+def _metric_leaves(node, path: str = "") -> Iterator[tuple[str, float, bool]]:
+    """Yield ``(dotted.path, value, higher_is_better)`` for every gated leaf."""
     if isinstance(node, dict):
         for key, value in sorted(node.items()):
             child = f"{path}.{key}" if path else str(key)
             if isinstance(value, (int, float)) and str(key).endswith("_seconds"):
-                yield child, float(value)
+                yield child, float(value), False
+            elif isinstance(value, (int, float)) and "_gain" in str(key):
+                yield child, float(value), True
             else:
-                yield from _timing_leaves(value, child)
+                yield from _metric_leaves(value, child)
     elif isinstance(node, list):
         for index, value in enumerate(node):
-            yield from _timing_leaves(value, f"{path}[{index}]")
+            yield from _metric_leaves(value, f"{path}[{index}]")
 
 
-def compare(baseline: dict, candidate: dict, *, threshold: float) -> tuple[list[str], list[str]]:
-    """Return (report lines, regression lines)."""
-    base = dict(_timing_leaves(baseline))
-    cand = dict(_timing_leaves(candidate))
+def compare(
+    baseline: dict, candidate: dict, *, threshold: float, gains_only: bool = False
+) -> tuple[list[str], list[str]]:
+    """Return (report lines, regression lines).
+
+    ``gains_only`` restricts the gate to the ``*_gain*`` leaves — the mode
+    for comparing trajectories recorded on *different hosts*, where absolute
+    ``*_seconds`` differ by machine while the gain ratios are comparable.
+    """
+    base = {
+        path: (value, higher)
+        for path, value, higher in _metric_leaves(baseline)
+        if higher or not gains_only
+    }
+    cand = {
+        path: (value, higher)
+        for path, value, higher in _metric_leaves(candidate)
+        if higher or not gains_only
+    }
     lines: list[str] = []
     regressions: list[str] = []
     for path in sorted(base):
         if path not in cand:
-            lines.append(f"  {path}: missing from candidate")
+            # a gated metric that vanished is a regression, not a footnote:
+            # the gain gate must not silently pass because a key was renamed
+            lines.append(f"  {path}: missing from candidate  <-- REGRESSION")
+            regressions.append(f"{path}: missing from candidate")
             continue
-        old, new = base[path], cand[path]
+        (old, higher), (new, _) = base[path], cand[path]
         if old <= 0:
             continue
         ratio = new / old
-        marker = ""
-        if ratio > 1.0 + threshold:
-            marker = "  <-- REGRESSION"
-            regressions.append(f"{path}: {old*1e3:.3f} ms -> {new*1e3:.3f} ms ({ratio:.2f}x)")
-        lines.append(
-            f"  {path}: {old*1e3:8.3f} ms -> {new*1e3:8.3f} ms ({ratio:5.2f}x){marker}"
-        )
+        if higher:
+            regressed = ratio < 1.0 - threshold
+            display = f"  {path}: {old:8.2f} x  -> {new:8.2f} x  ({ratio:5.2f}x)"
+            detail = f"{path}: {old:.2f}x -> {new:.2f}x ({ratio:.2f}x)"
+        else:
+            regressed = ratio > 1.0 + threshold
+            display = f"  {path}: {old*1e3:8.3f} ms -> {new*1e3:8.3f} ms ({ratio:5.2f}x)"
+            detail = f"{path}: {old*1e3:.3f} ms -> {new*1e3:.3f} ms ({ratio:.2f}x)"
+        if regressed:
+            regressions.append(detail)
+            display += "  <-- REGRESSION"
+        lines.append(display)
     only_candidate = sorted(set(cand) - set(base))
     for path in only_candidate:
-        lines.append(f"  {path}: new metric ({cand[path]*1e3:.3f} ms)")
+        value, higher = cand[path]
+        unit = f"{value:.2f}x" if higher else f"{value*1e3:.3f} ms"
+        lines.append(f"  {path}: new metric ({unit})")
     return lines, regressions
 
 
@@ -67,6 +99,10 @@ def main(argv=None) -> int:
     parser.add_argument("candidate", help="candidate BENCH_*.json")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="allowed slowdown fraction before failing (default 0.10)")
+    parser.add_argument("--gains-only", action="store_true",
+                        help="gate only the *_gain* leaves (for cross-host "
+                             "comparisons, where absolute timings differ by "
+                             "machine)")
     args = parser.parse_args(argv)
 
     with open(args.baseline) as handle:
@@ -74,7 +110,9 @@ def main(argv=None) -> int:
     with open(args.candidate) as handle:
         candidate = json.load(handle)
 
-    lines, regressions = compare(baseline, candidate, threshold=args.threshold)
+    lines, regressions = compare(
+        baseline, candidate, threshold=args.threshold, gains_only=args.gains_only
+    )
     print(f"comparing {args.baseline} (baseline) vs {args.candidate} (candidate)")
     for line in lines:
         print(line)

@@ -124,6 +124,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_scan.add_argument("--jobs", type=int, default=1,
                         help="window jobs executed concurrently over the "
                              "shared substrate (default 1)")
+    p_scan.add_argument("--max-pending", type=int, default=256,
+                        help="bound on window jobs submitted but not yet "
+                             "finished (default 256, so chromosome-scale "
+                             "plans never hold every job in memory; 0 = "
+                             "unlimited)")
     p_scan.add_argument("--chunk-size", type=int, default=None,
                         help="individuals per worker message for the chunked "
                              "backends")
@@ -286,6 +291,9 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         chunk_size=args.chunk_size,
         jobs=args.jobs,
+        # 0 is the unlimited sentinel; negatives fall through to
+        # execute_plan's validation and fail loudly
+        max_pending=args.max_pending if args.max_pending != 0 else None,
     )
     print(report.format(top=args.top))
     print()

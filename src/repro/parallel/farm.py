@@ -1,4 +1,4 @@
-"""Chunked worker farm: per-slave queues, content-affinity routing, batch chunks.
+"""Chunked worker farm: affinity queues, work stealing, streamed completions.
 
 The seed master/slave evaluator reproduced the paper's protocol literally —
 one individual per message through a :class:`multiprocessing.Pool` — which has
@@ -10,26 +10,43 @@ two structural costs the paper's C/PVM implementation did not pay:
   re-requested in a later generation usually lands on a different slave than
   the one whose caches already hold its phase expansions and EM result.
 
-This module keeps the synchronous-farm organisation (the master blocks until
-the whole generation is evaluated) but gives every slave its **own** inbox
-queue.  The master routes each distinct haplotype to the slave that owns it —
-a deterministic function of the sorted SNP tuple — and sends each slave its
-share of the generation as a small number of chunks.  Inside the slave the
-chunk runs through the batch fast path (a worker-local
-:class:`~repro.parallel.serial.SerialEvaluator` over the once-loaded fitness
-function, with its own LRU), so re-requested haplotypes are answered from the
-slave-side caches instead of being re-evaluated; per-chunk counters and
-timings travel back with the results and are merged master-side into the
-farm's :class:`~repro.parallel.base.EvaluationStats`.
+This module keeps per-slave ownership (the master routes each distinct
+haplotype to the slave that owns it — a deterministic function of the sorted
+SNP tuple — so slave-side caches survive across generations) but the dispatch
+engine itself is asynchronous:
+
+* work is submitted as **tickets** (:meth:`ChunkedWorkerFarm.submit`) whose
+  chunks are queued master-side in per-slave *affinity queues*;
+* completions stream back through one shared outbox and are folded into their
+  ticket as they arrive (:meth:`~ChunkedWorkerFarm.collect` /
+  :meth:`~ChunkedWorkerFarm.as_completed`) instead of being barrier-joined;
+* in **steal mode** each slave holds only a bounded number of in-flight
+  chunks; when a slave drains its own affinity queue the master refills it
+  from the *longest* other queue (work stealing on behalf of the idle slave —
+  the master is the only party with global queue knowledge, exactly as in the
+  paper's master/slave organisation), so one slow slave or one expensive
+  chunk no longer stalls the whole generation.
+
+The synchronous entry point :meth:`~ChunkedWorkerFarm.evaluate` is
+``collect(submit(batch))`` and, with ``steal=False`` (the default), dispatches
+every chunk to its affinity owner up front — the exact behaviour of the
+synchronous farm.  Inside the slave a chunk runs through the batch fast path
+(a worker-local :class:`~repro.parallel.serial.SerialEvaluator` with its own
+LRU); per-chunk counters and timings travel back with the results and are
+merged into the farm's :class:`~repro.parallel.base.EvaluationStats`, so the
+counter parity with the serial path holds under stealing too (fitness values
+are a pure function of the haplotype, not of the slave that computes them).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 import traceback
+from collections import deque
 from dataclasses import dataclass
 from queue import Empty
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from .base import (
     FitnessCallable,
@@ -69,6 +86,7 @@ def affinity_worker(key: tuple[int, ...], n_workers: int) -> int:
 
 
 def _farm_worker_main(
+    worker_id: int,
     factory: EvaluatorFactory,
     worker_cache_size: int | None,
     inbox,
@@ -81,7 +99,7 @@ def _farm_worker_main(
         fitness = factory()
         local = SerialEvaluator(fitness, cache_size=worker_cache_size)
     except Exception:  # pragma: no cover - exercised via the startup-error test
-        outbox.put((None, None, None, traceback.format_exc()))
+        outbox.put((None, worker_id, None, None, traceback.format_exc()))
         return
     while True:
         message = inbox.get()
@@ -100,13 +118,41 @@ def _farm_worker_main(
                 n_cache_hits=delta.n_cache_hits + delta.n_dedup_hits,
                 seconds=elapsed,
             )
-            outbox.put((task_id, values, stats, None))
+            outbox.put((task_id, worker_id, values, stats, None))
         except Exception:
-            outbox.put((task_id, None, None, traceback.format_exc()))
+            outbox.put((task_id, worker_id, None, None, traceback.format_exc()))
+
+
+class _Ticket:
+    """Master-side state of one submitted batch (results fill in as chunks land)."""
+
+    __slots__ = (
+        "ticket_id", "results", "remaining", "n_requests", "n_evaluations",
+        "n_cache_hits", "seconds", "error",
+    )
+
+    def __init__(self, ticket_id: int, batch_size: int) -> None:
+        self.ticket_id = ticket_id
+        self.results: list[float] = [0.0] * batch_size
+        self.remaining: set[int] = set()  # outstanding task ids (queued or in flight)
+        self.n_requests = 0
+        self.n_evaluations = 0
+        self.n_cache_hits = 0
+        self.seconds = 0.0
+        self.error: str | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.error is not None or not self.remaining
+
+    def stats(self) -> ChunkStats:
+        return ChunkStats(
+            self.n_requests, self.n_evaluations, self.n_cache_hits, self.seconds
+        )
 
 
 class ChunkedWorkerFarm:
-    """A synchronous farm of slave processes fed through per-slave queues.
+    """A farm of slave processes fed through master-side affinity queues.
 
     Parameters
     ----------
@@ -118,17 +164,31 @@ class ChunkedWorkerFarm:
         Number of slave processes.
     chunk_size:
         Maximum number of haplotypes per message.  ``None`` sends each
-        slave's whole share of a batch as a single chunk (one message per
-        slave per generation — the synchronous-farm optimum when slaves are
-        homogeneous).
+        slave's whole share of a batch as a single chunk when ``steal`` is
+        off (one message per slave per generation — the synchronous-farm
+        optimum for homogeneous slaves); in steal mode ``None`` auto-sizes
+        chunks so each slave's share splits into a few stealable pieces.
     worker_cache_size:
         Bound of each slave's local fitness LRU (``0`` disables slave-side
         result reuse, e.g. for timing studies).
     start_method:
         ``multiprocessing`` start method (default: ``fork`` where available).
+    steal:
+        Enable work stealing: each slave holds at most ``max_inflight``
+        chunks; an idle slave is refilled from the longest other affinity
+        queue.  Fitness values are identical either way (they depend only on
+        the haplotype), only which slave's caches serve a re-request changes.
+    max_inflight:
+        Steal mode only: in-flight chunk bound per slave (default 2 — one
+        computing, one buffered, the rest stealable).
+
+    The farm is a context manager; :meth:`close` and :meth:`terminate` are
+    idempotent (double ``__exit__`` included).
     """
 
     _RESULT_POLL_SECONDS = 0.5
+    #: steal mode: auto chunking targets this many stealable chunks per slave
+    _STEAL_CHUNKS_PER_WORKER = 4
 
     def __init__(
         self,
@@ -138,27 +198,48 @@ class ChunkedWorkerFarm:
         chunk_size: int | None = None,
         worker_cache_size: int | None = 4096,
         start_method: str | None = None,
+        steal: bool = False,
+        max_inflight: int = 2,
     ) -> None:
         if n_workers is None:
             raise ValueError("n_workers must be a positive integer, got None")
         validate_worker_count(n_workers)
         validate_chunk_size(chunk_size)
+        if not isinstance(max_inflight, int) or isinstance(max_inflight, bool) or max_inflight < 1:
+            raise ValueError(f"max_inflight must be a positive integer, got {max_inflight!r}")
         context = default_mp_context(start_method)
         self._n_workers = n_workers
         self._chunk_size = chunk_size
+        self._steal = bool(steal)
+        self._max_inflight = max_inflight
         self._outbox = context.Queue()
         self._inboxes = []
         self._processes = []
         self._closed = False
-        # monotone across the farm's lifetime: after a failed batch, stale
-        # results still in the outbox can never collide with a later batch's
-        # task ids (they are drained and discarded as unknown)
-        self._next_task_id = 0
-        for _ in range(n_workers):
+        # engine state (all master-side; guarded by _lock so the ticket API is
+        # safe to drive from the scheduler's job threads).  The blocking
+        # outbox wait happens *outside* the lock — one thread drains at a
+        # time (_draining) while other waiters sleep on the condition, so a
+        # long batch never serialises unrelated submits/collects.
+        self._lock = threading.RLock()
+        self._progress = threading.Condition(self._lock)
+        self._draining = False
+        self._next_task_id = 0  # monotone across the farm's lifetime: stale
+        # results of a failed ticket can never collide with a later ticket's
+        # task ids (unknown ids are drained and discarded)
+        self._next_ticket_id = 0
+        self._tickets: dict[int, _Ticket] = {}
+        #: task id -> (ticket id, positions of the chunk within the batch)
+        self._task_info: dict[int, tuple[int, list[int]]] = {}
+        #: per-slave affinity queues of not-yet-dispatched (task_id, chunk)
+        self._queues: list[deque] = [deque() for _ in range(n_workers)]
+        #: chunks currently inside each slave's inbox / being evaluated
+        self._inflight: list[int] = [0] * n_workers
+        for worker_id in range(n_workers):
             inbox = context.Queue()
             process = context.Process(
                 target=_farm_worker_main,
-                args=(factory, worker_cache_size, inbox, self._outbox),
+                args=(worker_id, factory, worker_cache_size, inbox, self._outbox),
                 daemon=True,
             )
             process.start()
@@ -174,9 +255,231 @@ class ChunkedWorkerFarm:
     def closed(self) -> bool:
         return self._closed
 
-    def _chunks_for_worker(self, indices: list[int]) -> list[list[int]]:
-        size = self._chunk_size or len(indices)
+    @property
+    def steal(self) -> bool:
+        return self._steal
+
+    def _chunks_for_worker(self, indices: list[int], batch_size: int) -> list[list[int]]:
+        size = self._chunk_size
+        if size is None:
+            if self._steal:
+                # a share of one unsplittable chunk cannot be stolen; target a
+                # few chunks per slave so imbalance has somewhere to go
+                size = max(
+                    1, -(-batch_size // (self._n_workers * self._STEAL_CHUNKS_PER_WORKER))
+                )
+            else:
+                size = len(indices)
         return [indices[i: i + size] for i in range(0, len(indices), size)]
+
+    # ------------------------------------------------------------------ #
+    # the dispatch engine
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, worker: int, task_id: int, chunk) -> None:
+        self._inboxes[worker].put((task_id, chunk))
+        self._inflight[worker] += 1
+
+    def _steal_source(self, thief: int) -> int | None:
+        """The slave whose affinity queue the idle ``thief`` should steal from."""
+        longest, length = None, 0
+        for worker in range(self._n_workers):
+            if worker == thief:
+                continue
+            queued = len(self._queues[worker])
+            if queued > length:
+                longest, length = worker, queued
+        return longest
+
+    def _pump(self) -> None:
+        """Dispatch queued chunks within the in-flight bounds (steal when idle)."""
+        if not self._steal:
+            # synchronous-farm behaviour: everything goes to its owner upfront
+            for worker, queue in enumerate(self._queues):
+                while queue:
+                    task_id, chunk = queue.popleft()
+                    self._dispatch(worker, task_id, chunk)
+            return
+        progress = True
+        while progress:
+            progress = False
+            for worker in range(self._n_workers):
+                if self._inflight[worker] >= self._max_inflight:
+                    continue
+                if self._queues[worker]:
+                    task_id, chunk = self._queues[worker].popleft()
+                elif (source := self._steal_source(worker)) is not None:
+                    # steal from the *tail* of the longest queue: the head is
+                    # next in line for its owner, the tail is the work least
+                    # likely to benefit from the owner's caches soon
+                    task_id, chunk = self._queues[source].pop()
+                else:
+                    continue
+                self._dispatch(worker, task_id, chunk)
+                progress = True
+
+    def _fail_ticket(self, ticket: _Ticket, error: str) -> None:
+        ticket.error = error
+        for queue in self._queues:
+            retained = [
+                (task_id, chunk)
+                for task_id, chunk in queue
+                if self._task_info.get(task_id, (None,))[0] != ticket.ticket_id
+            ]
+            queue.clear()
+            queue.extend(retained)
+        for task_id in list(ticket.remaining):
+            self._task_info.pop(task_id, None)
+        ticket.remaining.clear()
+
+    def _drain_one(self) -> bool:
+        """Receive and fold in one outbox message; False on poll timeout.
+
+        The blocking receive runs without the engine lock; only the folding
+        of the message into engine state is locked.
+        """
+        try:
+            received_id, worker_id, values, stats, error = self._outbox.get(
+                timeout=self._RESULT_POLL_SECONDS
+            )
+        except Empty:
+            dead = [i for i, p in enumerate(self._processes) if not p.is_alive()]
+            if dead:
+                raise RuntimeError(
+                    f"worker process(es) {dead} died while evaluating a batch"
+                ) from None
+            return False
+        if received_id is None:
+            raise RuntimeError(f"a worker failed during start-up:\n{error}")
+        with self._lock:
+            info = self._task_info.pop(received_id, None)
+            if info is None:
+                # stale message (result or error) from a ticket that a worker
+                # error already aborted; its slave is free again either way
+                self._note_completion(worker_id)
+                return True
+            ticket_id, positions = info
+            ticket = self._tickets[ticket_id]
+            self._note_completion(worker_id)
+            if error is not None:
+                self._fail_ticket(ticket, error)
+                return True
+            for position, value in zip(positions, values):
+                ticket.results[position] = float(value)
+            ticket.n_requests += stats.n_requests
+            ticket.n_evaluations += stats.n_evaluations
+            ticket.n_cache_hits += stats.n_cache_hits
+            ticket.seconds += stats.seconds
+            ticket.remaining.discard(received_id)
+        return True
+
+    def _wait_for_progress(self) -> None:
+        """Drain one message, or wait for the thread that is already draining.
+
+        Exactly one thread blocks on the outbox at a time; everyone else
+        sleeps on the condition and re-checks their ticket when woken.
+        """
+        with self._lock:
+            if self._draining:
+                self._progress.wait(timeout=self._RESULT_POLL_SECONDS)
+                return
+            self._draining = True
+        try:
+            self._drain_one()
+        finally:
+            with self._lock:
+                self._draining = False
+                self._progress.notify_all()
+
+    def _note_completion(self, worker_id: int) -> None:
+        """A slave finished a chunk: release its in-flight slot and refill."""
+        if self._inflight[worker_id] > 0:
+            self._inflight[worker_id] -= 1
+        self._pump()
+
+    # ------------------------------------------------------------------ #
+    # the ticket API
+    # ------------------------------------------------------------------ #
+    def submit(self, batch: Sequence[tuple[int, ...]]) -> int:
+        """Queue one batch for evaluation; returns a ticket for :meth:`collect`.
+
+        Chunks are appended to their owner slaves' affinity queues and
+        dispatched by the engine (bounded + stealing in steal mode, all
+        upfront otherwise).  Completions are folded in whenever any
+        :meth:`collect` / :meth:`as_completed` call pumps the engine.
+        """
+        if self._closed:
+            raise RuntimeError("the worker farm has been closed")
+        # sorted keys: affinity routing must see one canonical form per
+        # haplotype or (5, 2) and (2, 5) would land on different slaves
+        batch = [tuple(sorted(int(s) for s in snps)) for snps in batch]
+        with self._lock:
+            ticket = _Ticket(self._next_ticket_id, len(batch))
+            self._next_ticket_id += 1
+            self._tickets[ticket.ticket_id] = ticket
+            by_worker: dict[int, list[int]] = {}
+            for index, key in enumerate(batch):
+                by_worker.setdefault(
+                    affinity_worker(key, self._n_workers), []
+                ).append(index)
+            for worker, indices in sorted(by_worker.items()):
+                for chunk_indices in self._chunks_for_worker(indices, len(batch)):
+                    chunk = [batch[i] for i in chunk_indices]
+                    task_id = self._next_task_id
+                    self._next_task_id += 1
+                    self._task_info[task_id] = (ticket.ticket_id, chunk_indices)
+                    ticket.remaining.add(task_id)
+                    self._queues[worker].append((task_id, chunk))
+            self._pump()
+            return ticket.ticket_id
+
+    def collect(self, ticket_id: int) -> tuple[list[float], ChunkStats]:
+        """Block until the ticket's batch is fully evaluated; return its results.
+
+        Completions of *other* tickets received while waiting are folded into
+        their own state (and can be collected later without blocking) —
+        concurrent collects of different tickets from different threads make
+        progress together.
+        """
+        while True:
+            with self._lock:
+                ticket = self._tickets.get(ticket_id)
+                if ticket is None:
+                    raise KeyError(
+                        f"unknown or already-collected ticket {ticket_id!r}"
+                    )
+                if ticket.done:
+                    del self._tickets[ticket_id]
+                    break
+            self._wait_for_progress()
+        if ticket.error is not None:
+            raise RuntimeError(
+                f"a worker failed while evaluating a chunk:\n{ticket.error}"
+            )
+        return ticket.results, ticket.stats()
+
+    def as_completed(
+        self, ticket_ids: Iterable[int]
+    ) -> Iterator[tuple[int, list[float], ChunkStats]]:
+        """Yield ``(ticket, values, stats)`` for each ticket as it completes."""
+        outstanding = list(ticket_ids)
+        while outstanding:
+            ready = None
+            with self._lock:
+                for ticket_id in outstanding:
+                    ticket = self._tickets.get(ticket_id)
+                    if ticket is None:
+                        raise KeyError(
+                            f"unknown or already-collected ticket {ticket_id!r}"
+                        )
+                    if ticket.done:
+                        ready = ticket_id
+                        break
+            if ready is None:
+                self._wait_for_progress()
+                continue
+            values, stats = self.collect(ready)
+            outstanding.remove(ready)
+            yield ready, values, stats
 
     def evaluate(
         self, batch: Sequence[tuple[int, ...]]
@@ -187,55 +490,9 @@ class ChunkedWorkerFarm:
         """
         if self._closed:
             raise RuntimeError("the worker farm has been closed")
-        # sorted keys: affinity routing must see one canonical form per
-        # haplotype or (5, 2) and (2, 5) would land on different slaves
-        batch = [tuple(sorted(int(s) for s in snps)) for snps in batch]
         if not batch:
             return [], ChunkStats(0, 0, 0, 0.0)
-
-        by_worker: dict[int, list[int]] = {}
-        for index, key in enumerate(batch):
-            by_worker.setdefault(affinity_worker(key, self._n_workers), []).append(index)
-
-        pending_tasks: dict[int, list[int]] = {}
-        for worker, indices in by_worker.items():
-            for chunk_indices in self._chunks_for_worker(indices):
-                chunk = [batch[i] for i in chunk_indices]
-                task_id = self._next_task_id
-                self._next_task_id += 1
-                self._inboxes[worker].put((task_id, chunk))
-                pending_tasks[task_id] = chunk_indices
-
-        results: list[float] = [0.0] * len(batch)
-        n_requests = n_evaluations = n_cache_hits = 0
-        seconds = 0.0
-        remaining = set(pending_tasks)
-        while remaining:
-            try:
-                received_id, values, stats, error = self._outbox.get(
-                    timeout=self._RESULT_POLL_SECONDS
-                )
-            except Empty:
-                dead = [i for i, p in enumerate(self._processes) if not p.is_alive()]
-                if dead:
-                    raise RuntimeError(
-                        f"worker process(es) {dead} died while evaluating a batch"
-                    ) from None
-                continue
-            if received_id is not None and received_id not in remaining:
-                # stale message (result or error) from a batch that a worker
-                # error already aborted; drop it — this batch never sent it
-                continue
-            if error is not None:
-                raise RuntimeError(f"a worker failed while evaluating a chunk:\n{error}")
-            for index, value in zip(pending_tasks[received_id], values):
-                results[index] = float(value)
-            n_requests += stats.n_requests
-            n_evaluations += stats.n_evaluations
-            n_cache_hits += stats.n_cache_hits
-            seconds += stats.seconds
-            remaining.discard(received_id)
-        return results, ChunkStats(n_requests, n_evaluations, n_cache_hits, seconds)
+        return self.collect(self.submit(batch))
 
     # ------------------------------------------------------------------ #
     def close(self, *, join_timeout: float = 5.0) -> None:
@@ -264,3 +521,9 @@ class ChunkedWorkerFarm:
                 process.terminate()
         for process in self._processes:
             process.join(timeout=5.0)
+
+    def __enter__(self) -> "ChunkedWorkerFarm":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -108,6 +108,16 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
         (per-slave queues, affinity routing, worker-side batch fast path).
     worker_cache_size:
         Chunked dispatch only: bound of each slave's local fitness LRU.
+    steal, max_inflight:
+        Chunked dispatch only: enable the work-stealing dispatch engine —
+        each slave holds at most ``max_inflight`` in-flight chunks and idle
+        slaves are refilled from the longest affinity queue (see
+        :class:`~repro.parallel.farm.ChunkedWorkerFarm`).  Fitness values
+        are identical with stealing on or off, as are ``n_requests`` and the
+        total answered (``n_evaluations + n_cache_hits``); the *split*
+        between the two can shift when a re-requested haplotype reaches the
+        slaves, since a stolen chunk is served by the thief's cache or
+        re-evaluated there instead of hitting its owner's cache.
     start_method:
         ``multiprocessing`` start method; the default ``"fork"`` (when
         available) avoids re-importing the scientific stack in every worker,
@@ -137,6 +147,8 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
         chunk_size: int | None = None,
         dispatch: str = "individual",
         worker_cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE,
+        steal: bool = False,
+        max_inflight: int = 2,
         start_method: str | None = None,
         dedup: bool = True,
         cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE,
@@ -148,6 +160,8 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
         validate_chunk_size(chunk_size)
         if dispatch not in self._DISPATCH_MODES:
             raise ValueError(f"dispatch must be one of {self._DISPATCH_MODES}, got {dispatch!r}")
+        if steal and dispatch != "chunked":
+            raise ValueError("steal requires dispatch='chunked'")
         self._n_workers = n_workers or default_worker_count()
         self._chunk_size = chunk_size
         self._dispatch = dispatch
@@ -162,6 +176,8 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
                 chunk_size=chunk_size,
                 worker_cache_size=worker_cache_size,
                 start_method=start_method,
+                steal=steal,
+                max_inflight=max_inflight,
             )
         else:
             context = default_mp_context(start_method)
@@ -180,6 +196,11 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
     def dispatch(self) -> str:
         """The dispatch strategy (``"individual"`` or ``"chunked"``)."""
         return self._dispatch
+
+    @property
+    def steal(self) -> bool:
+        """Whether the chunked farm runs the work-stealing dispatch engine."""
+        return self._farm.steal if self._farm is not None else False
 
     def evaluate_batch(self, batch: Sequence[SnpSet]) -> list[float]:
         if self._closed:

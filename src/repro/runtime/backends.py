@@ -14,13 +14,17 @@ process    chunked master/slave farm; data pickled once per slave
 process-shm chunked master/slave farm; slaves attach to one shared-memory
            copy of the genotype matrices and rebuild lightweight evaluator
            views over it
+async      work-stealing master/slave farm: bounded per-slave in-flight
+           chunks, idle slaves refilled from the longest affinity queue,
+           completions streamed instead of barrier-joined; shared-memory
+           data when a spec + dataset is available, pickled otherwise
 ========== ==================================================================
 
 A backend factory receives the normalised request — an
 :class:`~repro.runtime.spec.EvaluatorSpec` plus dataset and/or a plain
-fitness callable — and returns a live evaluator.  New substrates (async,
-sharded, remote) become a :func:`register_backend` call instead of a rewrite
-of every call site.
+fitness callable — and returns a live evaluator.  New substrates (sharded,
+remote) become a :func:`register_backend` call instead of a rewrite of every
+call site.
 """
 
 from __future__ import annotations
@@ -194,21 +198,9 @@ def _threads_backend(request: BackendRequest) -> BatchEvaluator:
     )
 
 
-def _process_backend(request: BackendRequest) -> BatchEvaluator:
-    if request.spec is not None and request.dataset is not None:
-        factory = SpecEvaluatorFactory(request.spec, InMemoryDatasetHandle(request.dataset))
-        return MasterSlaveEvaluator(
-            evaluator_factory=factory,
-            dispatch="chunked",
-            n_workers=request.n_workers,
-            chunk_size=request.chunk_size,
-            worker_cache_size=request.worker_cache_size,
-            start_method=request.start_method,
-            dedup=request.dedup,
-            cache_size=request.cache_size,
-        )
-    return MasterSlaveEvaluator(
-        request.fitness,
+def _farm_kwargs(request: BackendRequest, *, steal: bool) -> dict:
+    """The MasterSlaveEvaluator arguments shared by every chunked-farm backend."""
+    return dict(
         dispatch="chunked",
         n_workers=request.n_workers,
         chunk_size=request.chunk_size,
@@ -216,22 +208,28 @@ def _process_backend(request: BackendRequest) -> BatchEvaluator:
         start_method=request.start_method,
         dedup=request.dedup,
         cache_size=request.cache_size,
+        steal=steal,
     )
 
 
-def _process_shm_backend(request: BackendRequest) -> BatchEvaluator:
-    spec, dataset = request.require_spec("process-shm")
+def _process_backend(request: BackendRequest, *, steal: bool = False) -> BatchEvaluator:
+    if request.spec is not None and request.dataset is not None:
+        factory = SpecEvaluatorFactory(request.spec, InMemoryDatasetHandle(request.dataset))
+        return MasterSlaveEvaluator(
+            evaluator_factory=factory, **_farm_kwargs(request, steal=steal)
+        )
+    return MasterSlaveEvaluator(request.fitness, **_farm_kwargs(request, steal=steal))
+
+
+def _shm_farm_backend(
+    request: BackendRequest, *, backend_name: str, steal: bool
+) -> BatchEvaluator:
+    spec, dataset = request.require_spec(backend_name)
     store = SharedGenotypeStore(dataset)
     try:
         evaluator = MasterSlaveEvaluator(
             evaluator_factory=SpecEvaluatorFactory(spec, store.handle),
-            dispatch="chunked",
-            n_workers=request.n_workers,
-            chunk_size=request.chunk_size,
-            worker_cache_size=request.worker_cache_size,
-            start_method=request.start_method,
-            dedup=request.dedup,
-            cache_size=request.cache_size,
+            **_farm_kwargs(request, steal=steal),
         )
     except BaseException:
         store.release()
@@ -240,7 +238,26 @@ def _process_shm_backend(request: BackendRequest) -> BatchEvaluator:
     return evaluator
 
 
+def _process_shm_backend(request: BackendRequest) -> BatchEvaluator:
+    return _shm_farm_backend(request, backend_name="process-shm", steal=False)
+
+
+def _async_backend(request: BackendRequest) -> BatchEvaluator:
+    """The work-stealing farm: shared-memory data when possible, pickled otherwise.
+
+    Synchronous calls (``evaluate_batch``) return bit-identical fitnesses to
+    the other farm backends — stealing only changes which slave evaluates a
+    chunk, never the result.  Requests and total answered work match too;
+    only the evaluations-vs-slave-cache-hits split can shift when repeats
+    reach the slaves (the master-side dedup/LRU normally prevents that).
+    """
+    if request.spec is not None and request.dataset is not None:
+        return _shm_farm_backend(request, backend_name="async", steal=True)
+    return _process_backend(request, steal=True)
+
+
 register_backend("serial", _serial_backend)
 register_backend("threads", _threads_backend)
 register_backend("process", _process_backend)
 register_backend("process-shm", _process_shm_backend)
+register_backend("async", _async_backend)

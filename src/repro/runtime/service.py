@@ -24,9 +24,9 @@ one place.
 
 from __future__ import annotations
 
+import queue as queue_module
 import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator, Sequence
 
@@ -37,6 +37,7 @@ from ..core.individual import HaplotypeIndividual
 from ..genetics.constraints import HaplotypeConstraints
 from ..genetics.dataset import GenotypeDataset
 from ..parallel.base import BaseBatchEvaluator, BatchEvaluator, EvaluationStats, SnpSet
+from ..parallel.pvm import EvaluationCostModel
 from ..stats.evaluation import HaplotypeEvaluator
 from .backends import DEFAULT_BACKEND, create_evaluator
 from .spec import EvaluatorSpec
@@ -47,7 +48,31 @@ __all__ = [
     "RunScheduler",
     "RunService",
     "backend_summary_line",
+    "estimate_request_cost",
 ]
+
+
+def estimate_request_cost(
+    request: RunRequest, cost_model: EvaluationCostModel
+) -> float:
+    """Rough compute-cost estimate (seconds) of one request under a cost model.
+
+    Used as a *relative* scheduling priority, not a forecast: the number of
+    evaluations is bounded by the configuration (initial population plus
+    offspring for the plausible generation count) and each evaluation is
+    priced at the mean per-size cost of the configuration's haplotype range —
+    the exponential :class:`~repro.parallel.pvm.EvaluationCostModel` term, so
+    a window clamped to large haplotypes dwarfs a small-haplotype window,
+    which is exactly the skew the cost-aware executor schedules around.
+    """
+    config = request.config or GAConfig()
+    sizes = config.haplotype_sizes
+    mean_cost = sum(cost_model.cost(size) for size in sizes) / len(sizes)
+    n_generations = min(config.max_generations, 4 * config.termination_stagnation)
+    n_evaluations = config.population_size + config.n_offspring * n_generations
+    if config.max_evaluations is not None:
+        n_evaluations = min(n_evaluations, config.max_evaluations)
+    return request.n_runs * n_evaluations * mean_cost
 
 
 def backend_summary_line(backend: str, stats: EvaluationStats) -> str:
@@ -243,6 +268,15 @@ class RunScheduler:
         bookkeeping (selection, variation, replacement) with other jobs'
         evaluation batches.  Results are bit-identical for any ``jobs`` value
         — every run is a deterministic function of its seed.
+    cost_model:
+        Optional calibrated :class:`~repro.parallel.pvm.EvaluationCostModel`.
+        With ``jobs > 1`` the drain becomes a cost-aware executor: idle job
+        slots take the *most expensive* queued request first (longest-
+        processing-time-first keeps one huge window from becoming the
+        straggler that outlives every other job), using
+        :func:`estimate_request_cost` unless :meth:`submit` received an
+        explicit ``cost``.  Results stay bit-identical — only the completion
+        order changes.  ``jobs == 1`` always drains in submission order.
     """
 
     def __init__(
@@ -258,6 +292,7 @@ class RunScheduler:
         cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE,
         worker_cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE,
         jobs: int = 1,
+        cost_model: EvaluationCostModel | None = None,
     ) -> None:
         if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
             raise ValueError(f"jobs must be a positive integer, got {jobs!r}")
@@ -275,8 +310,13 @@ class RunScheduler:
         self._dataset = dataset
         self._backend = backend
         self._jobs = jobs
+        self._cost_model = cost_model
         self._lock = threading.Lock()
-        self._pending: list[tuple[int, RunRequest]] = []
+        # guards the pending queue (job threads pull from it while the
+        # consumer may keep submitting); _lock stays dedicated to serialising
+        # the shared evaluator
+        self._queue_lock = threading.Lock()
+        self._pending: list[tuple[int, RunRequest, float | None]] = []
         # results of jobs that finished during an abandoned concurrent drain;
         # handed out first by the next as_completed()
         self._unclaimed: dict[int, RunResult] = {}
@@ -369,13 +409,36 @@ class RunScheduler:
                     f"snp_indices out of range [0, {self._dataset.n_snps})"
                 )
 
-    def submit(self, request: RunRequest) -> int:
-        """Queue a request; returns its job id (used by :meth:`as_completed`)."""
+    def submit(self, request: RunRequest, *, cost: float | None = None) -> int:
+        """Queue a request; returns its job id (used by :meth:`as_completed`).
+
+        ``cost`` is the request's scheduling priority for cost-aware drains
+        (higher runs earlier when ``jobs > 1``); when omitted it is estimated
+        from the scheduler's ``cost_model`` (no model: first-in, first-out).
+        Submitting *during* a drain is supported — job threads pull from the
+        live queue, so a consumer can keep a bounded number of jobs in flight
+        while streaming results (the scan runner's spill mode).
+        """
         self._validate(request)
-        job_id = self._next_job_id
-        self._next_job_id += 1
-        self._pending.append((job_id, request))
+        if cost is None and self._cost_model is not None:
+            cost = estimate_request_cost(request, self._cost_model)
+        with self._queue_lock:
+            job_id = self._next_job_id
+            self._next_job_id += 1
+            self._pending.append((job_id, request, cost))
         return job_id
+
+    def _pop_next(self) -> tuple[int, RunRequest, float | None] | None:
+        """Take the next queued job: the priciest known cost, else FIFO."""
+        with self._queue_lock:
+            if not self._pending:
+                return None
+            best = 0
+            best_cost = self._pending[0][2]
+            for index, (_job_id, _request, cost) in enumerate(self._pending):
+                if cost is not None and (best_cost is None or cost > best_cost):
+                    best, best_cost = index, cost
+            return self._pending.pop(best)
 
     def _execute(self, request: RunRequest) -> RunResult:
         start = time.perf_counter()
@@ -416,65 +479,114 @@ class RunScheduler:
         """Execute every queued job, yielding ``(job_id, result)`` as they finish.
 
         With ``jobs == 1`` the queue is drained in submission order; with more
-        jobs, up to ``jobs`` requests run concurrently and results stream in
-        completion order.  Either way each yielded result is bit-identical to
-        a standalone execution of its request.  Abandoning the iterator early
-        (``break``, an exception in the consumer) loses nothing: unstarted
-        jobs return to the queue, and jobs that were already in flight finish
-        and hand their results to the next drain.
+        jobs, up to ``jobs`` job threads pull from the queue — the most
+        expensive known request first when a cost model or explicit costs are
+        present — and results stream in completion order.  Either way each
+        yielded result is bit-identical to a standalone execution of its
+        request.  Jobs submitted while the drain is running join it (the
+        consumer may keep a bounded window of jobs in flight).  Abandoning the
+        iterator early (``break``, an exception in the consumer) loses
+        nothing: unstarted jobs stay in the queue, and jobs that were already
+        in flight finish and hand their results to the next drain.
         """
         while self._unclaimed:
             job_id = min(self._unclaimed)
             result = self._unclaimed.pop(job_id)
             self._n_completed += 1
             yield job_id, result
-        if self._jobs == 1 or len(self._pending) <= 1:
-            while self._pending:
-                job_id, request = self._pending.pop(0)
+        if self._jobs == 1:
+            while True:
+                with self._queue_lock:
+                    if not self._pending:
+                        return
+                    job_id, request, cost = self._pending.pop(0)
                 try:
                     result = self._execute(request)
                 except BaseException:
                     # same retry semantics as the concurrent path: a failed
                     # job stays in the queue and re-runs on the next drain
-                    self._pending.insert(0, (job_id, request))
+                    with self._queue_lock:
+                        self._pending.insert(0, (job_id, request, cost))
                     raise
                 self._n_completed += 1
                 yield job_id, result
-            return
-        pending, self._pending = self._pending, []
-        yielded: set[int] = set()
-        with ThreadPoolExecutor(max_workers=self._jobs) as executor:
-            jobs_by_future: dict[Future, tuple[int, RunRequest]] = {
-                executor.submit(self._execute, request): (job_id, request)
-                for job_id, request in pending
-            }
+        yield from self._drain_concurrently()
+
+    def _drain_concurrently(self) -> Iterator[tuple[int, RunResult]]:
+        """The ``jobs > 1`` drain: job threads steal queued work by priority.
+
+        Runs in rounds: a thread that polls the queue empty exits, but before
+        the generator finishes it re-checks the queue — a submission that
+        raced past the exiting threads (the consumer topping up mid-drain)
+        starts a fresh round instead of being silently stranded.
+        """
+        while True:
+            with self._queue_lock:
+                if not self._pending:
+                    return
+            yield from self._drain_round()
+
+    def _drain_round(self) -> Iterator[tuple[int, RunResult]]:
+        results: queue_module.SimpleQueue = queue_module.SimpleQueue()
+        stop = threading.Event()
+        sentinel = object()
+
+        def job_thread() -> None:
             try:
-                remaining = set(jobs_by_future)
-                while remaining:
-                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        result = future.result()  # propagates job errors
-                        job_id = jobs_by_future[future][0]
-                        yielded.add(job_id)
-                        self._n_completed += 1
-                        yield job_id, result
-            finally:
-                # abandoned drain: re-queue what never started, keep what ran
-                requeued: list[tuple[int, RunRequest]] = []
-                for future, (job_id, request) in jobs_by_future.items():
-                    if job_id in yielded:
-                        continue
-                    if future.cancel():
-                        requeued.append((job_id, request))
-                        continue
+                while not stop.is_set():
+                    entry = self._pop_next()
+                    if entry is None:
+                        return
+                    job_id, request, cost = entry
                     try:
-                        # in flight or done: wait and keep the result
-                        self._unclaimed[job_id] = future.result()
-                    except BaseException:
-                        # a failed job re-runs (and re-raises) on the next
-                        # drain instead of masking the in-flight exception
-                        requeued.append((job_id, request))
-                self._pending = sorted(requeued) + self._pending
+                        result = self._execute(request)
+                    except BaseException as exc:  # re-raised by the consumer
+                        results.put((job_id, request, cost, None, exc))
+                    else:
+                        results.put((job_id, request, cost, result, None))
+            finally:
+                results.put(sentinel)
+
+        threads = [
+            threading.Thread(target=job_thread, daemon=True, name=f"run-job-{i}")
+            for i in range(self._jobs)
+        ]
+        for thread in threads:
+            thread.start()
+        n_live = len(threads)
+        failed: tuple[int, RunRequest, float | None] | None = None
+        try:
+            while n_live > 0 or not results.empty():
+                item = results.get()
+                if item is sentinel:
+                    n_live -= 1
+                    continue
+                job_id, request, cost, result, exc = item
+                if exc is not None:
+                    # the failed job re-queues (and re-raises here); in-flight
+                    # siblings finish in the cleanup below and surface on the
+                    # next drain
+                    failed = (job_id, request, cost)
+                    raise exc
+                self._n_completed += 1
+                yield job_id, result
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+            requeued = [] if failed is None else [failed]
+            while not results.empty():
+                item = results.get()
+                if item is sentinel:
+                    continue
+                job_id, request, cost, result, exc = item
+                if exc is not None:
+                    requeued.append((job_id, request, cost))
+                else:
+                    self._unclaimed[job_id] = result
+            if requeued:
+                with self._queue_lock:
+                    self._pending = sorted(requeued) + self._pending
 
     def map(self, requests: Iterable[RunRequest]) -> list[RunResult]:
         """Execute requests (plus anything already queued) in submission order."""

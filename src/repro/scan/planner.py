@@ -21,7 +21,8 @@ from typing import Iterator
 
 from ..core.config import GAConfig
 from ..genetics.dataset import LocusWindow, WindowPlan, plan_windows
-from ..runtime.service import RunRequest
+from ..parallel.pvm import EvaluationCostModel
+from ..runtime.service import RunRequest, estimate_request_cost
 
 __all__ = ["ScanPlan", "plan_scan", "window_seed"]
 
@@ -78,8 +79,25 @@ class ScanPlan:
             snp_indices=window.snp_indices,
         )
 
+    def window_cost(
+        self, window: LocusWindow, cost_model: EvaluationCostModel
+    ) -> float:
+        """Estimated compute cost of one window's job (a scheduling priority).
+
+        Windows clamped to smaller haplotype sizes are exponentially cheaper
+        under the paper's cost model — exactly the heterogeneity the
+        cost-aware executor schedules around (expensive windows first, so no
+        straggler outlives the rest of the scan).
+        """
+        return estimate_request_cost(self.request_for(window), cost_model)
+
     def requests(self) -> Iterator[tuple[LocusWindow, RunRequest]]:
-        """Every window paired with its run request, in window order."""
+        """Every window paired with its run request, in window order.
+
+        A lazy stream on purpose: a chromosome-scale plan can hold tens of
+        thousands of windows, and the scan runner submits only a bounded
+        number of jobs at a time.
+        """
         for window in self.windows:
             yield window, self.request_for(window)
 

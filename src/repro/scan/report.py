@@ -160,7 +160,12 @@ class ScanReport:
         return "\n\n".join(lines)
 
     def to_json(self) -> dict:
-        """JSON-serialisable summary (benchmarks, persisted reports)."""
+        """JSON-serialisable form (benchmarks, persisted reports).
+
+        Complete enough for :meth:`from_json` to rebuild an equivalent
+        report, so scans can be persisted and later reloaded for stitching
+        or cross-scan comparison.
+        """
         return {
             "n_snps": self.n_snps,
             "window_size": self.window_size,
@@ -173,6 +178,11 @@ class ScanReport:
             "elapsed_seconds": self.elapsed_seconds,
             "n_evaluations": self.n_evaluations,
             "reuse_rate": self.stats.reuse_rate,
+            "stats": {
+                key: value
+                for key, value in self.stats.__dict__.items()
+                if not key.startswith("_")
+            },
             "windows": [
                 {
                     "index": w.window.index,
@@ -180,12 +190,59 @@ class ScanReport:
                     "stop": w.window.stop,
                     "best_snps": list(w.best_snps),
                     "best_fitness": w.best_fitness,
+                    "best_per_size": {
+                        str(size): [list(snps), fitness]
+                        for size, (snps, fitness) in sorted(w.best_per_size.items())
+                    },
                     "n_evaluations": w.n_evaluations,
+                    "n_distinct_evaluations": w.n_distinct_evaluations,
+                    "n_generations": w.n_generations,
+                    "seed": w.seed,
                     "elapsed_seconds": w.elapsed_seconds,
                 }
                 for w in self.windows
             ],
         }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ScanReport":
+        """Rebuild a report persisted by :meth:`to_json` (round-trip exact).
+
+        Reloaded reports support every aggregation the original did —
+        ``best_window``, ``best_per_size``, ``format`` — so persisted scans
+        can be stitched or compared without re-running them.
+        """
+        windows = tuple(
+            WindowResult(
+                window=LocusWindow(
+                    index=int(w["index"]), start=int(w["start"]), stop=int(w["stop"])
+                ),
+                best_snps=tuple(int(s) for s in w["best_snps"]),
+                best_fitness=float(w["best_fitness"]),
+                best_per_size={
+                    int(size): (tuple(int(s) for s in snps), float(fitness))
+                    for size, (snps, fitness) in w.get("best_per_size", {}).items()
+                },
+                n_evaluations=int(w["n_evaluations"]),
+                n_distinct_evaluations=int(w.get("n_distinct_evaluations", 0)),
+                n_generations=int(w.get("n_generations", 0)),
+                seed=int(w.get("seed", 0)),
+                elapsed_seconds=float(w["elapsed_seconds"]),
+            )
+            for w in payload["windows"]
+        )
+        return cls(
+            windows=windows,
+            backend=str(payload["backend"]),
+            n_jobs=int(payload["jobs"]),
+            stats=EvaluationStats(**payload.get("stats", {})),
+            elapsed_seconds=float(payload["elapsed_seconds"]),
+            n_snps=int(payload["n_snps"]),
+            window_size=int(payload["window_size"]),
+            overlap=int(payload["overlap"]),
+            statistic=str(payload["statistic"]),
+            seed=int(payload["seed"]),
+        )
 
 
 # --------------------------------------------------------------------------- #

@@ -22,15 +22,21 @@ from typing import Callable
 
 from ..core.config import GAConfig
 from ..genetics.dataset import GenotypeDataset, LocusWindow
+from ..parallel.pvm import EvaluationCostModel
 from ..runtime.backends import DEFAULT_BACKEND
-from ..runtime.service import RunResult, RunScheduler
+from ..runtime.service import RunResult, RunScheduler, estimate_request_cost
 from .planner import ScanPlan, plan_scan
 from .report import ScanReport, WindowResult
 
-__all__ = ["run_scan", "execute_plan"]
+__all__ = ["run_scan", "execute_plan", "DEFAULT_MAX_PENDING"]
 
 #: Optional progress hook: called with each window's result as it completes.
 ProgressCallback = Callable[[WindowResult], None]
+
+#: Default bound on the number of window jobs submitted but not yet finished:
+#: enough to keep any realistic job concurrency fed, small enough that a
+#: 10k-window plan never materialises all its requests at once.
+DEFAULT_MAX_PENDING = 256
 
 
 def _window_result(window: LocusWindow, run: RunResult) -> WindowResult:
@@ -62,12 +68,22 @@ def execute_plan(
     scheduler: RunScheduler,
     *,
     progress: ProgressCallback | None = None,
+    max_pending: int | None = DEFAULT_MAX_PENDING,
+    cost_model: EvaluationCostModel | None = None,
 ) -> tuple[WindowResult, ...]:
     """Run every window job of ``plan`` on ``scheduler``; window order output.
 
     Results stream through ``progress`` in completion order (whatever the
     scheduler's job concurrency makes that); the returned tuple is always in
     window order and bit-identical regardless of it.
+
+    ``max_pending`` bounds how many window jobs are submitted but not yet
+    finished: the plan's request stream is consumed lazily and topped up as
+    results come back, so a 10k-window plan holds a bounded deque of live
+    jobs instead of materialising every request up front (``None`` submits
+    everything at once).  With a ``cost_model``, each job carries its
+    :meth:`~repro.scan.planner.ScanPlan.window_cost` estimate and a
+    multi-job scheduler starts the most expensive queued window first.
 
     The scheduler's queue (and any unclaimed results of an abandoned drain)
     must be empty: draining them would consume — and lose — results of jobs
@@ -79,16 +95,43 @@ def execute_plan(
             f"{scheduler.n_unclaimed} unclaimed result(s); drain them before "
             f"running a scan on it (the scan would consume them)"
         )
+    if max_pending is not None and max_pending < 1:
+        raise ValueError(f"max_pending must be a positive integer or None, got {max_pending!r}")
+    request_stream = iter(plan.requests())
     windows_by_job: dict[int, LocusWindow] = {}
-    for window, request in plan.requests():
-        windows_by_job[scheduler.submit(request)] = window
     results: dict[int, WindowResult] = {}
-    for job_id, run in scheduler.as_completed():
-        window = windows_by_job[job_id]
-        result = _window_result(window, run)
-        results[window.index] = result
-        if progress is not None:
-            progress(result)
+    n_outstanding = 0
+    exhausted = False
+
+    def top_up() -> None:
+        nonlocal n_outstanding, exhausted
+        while not exhausted and (max_pending is None or n_outstanding < max_pending):
+            try:
+                window, request = next(request_stream)
+            except StopIteration:
+                exhausted = True
+                return
+            # price the request already in hand (equivalent to
+            # plan.window_cost without rebuilding the window's request)
+            cost = (
+                None if cost_model is None
+                else estimate_request_cost(request, cost_model)
+            )
+            windows_by_job[scheduler.submit(request, cost=cost)] = window
+            n_outstanding += 1
+
+    top_up()
+    while n_outstanding:
+        # one drain usually finishes the scan (mid-drain submissions join
+        # it); re-drain if its job threads raced out while work remained
+        for job_id, run in scheduler.as_completed():
+            window = windows_by_job.pop(job_id)
+            result = _window_result(window, run)
+            results[window.index] = result
+            n_outstanding -= 1
+            if progress is not None:
+                progress(result)
+            top_up()
     return tuple(results[index] for index in sorted(results))
 
 
@@ -107,6 +150,8 @@ def run_scan(
     jobs: int = 1,
     scheduler: RunScheduler | None = None,
     progress: ProgressCallback | None = None,
+    max_pending: int | None = DEFAULT_MAX_PENDING,
+    cost_model: EvaluationCostModel | None = None,
 ) -> ScanReport:
     """Scan a panel with one GA job per overlapping locus window.
 
@@ -116,7 +161,17 @@ def run_scan(
     ``scheduler`` reuses its warm substrate (and ignores the execution
     parameters); otherwise a scheduler is created for the scan and released
     afterwards.
+
+    Window jobs flow through the bounded, cost-prioritised pipeline of
+    :func:`execute_plan`: at most ``max_pending`` jobs are live at a time,
+    and with ``jobs > 1`` the priciest windows under ``cost_model`` start
+    first (default: the paper's Figure-4
+    :class:`~repro.parallel.pvm.EvaluationCostModel`, so clamped small
+    windows defer to full-size ones).  Neither knob changes the report —
+    per-window results are a pure function of their seeds.
     """
+    if cost_model is None and jobs > 1:
+        cost_model = EvaluationCostModel()
     start = time.perf_counter()
     plan = plan_scan(
         dataset.n_snps,
@@ -139,7 +194,13 @@ def run_scan(
         )
     stats_before = scheduler.stats
     try:
-        windows = execute_plan(plan, scheduler, progress=progress)
+        windows = execute_plan(
+            plan,
+            scheduler,
+            progress=progress,
+            max_pending=max_pending,
+            cost_model=cost_model,
+        )
         stats = scheduler.stats.since(stats_before)
     finally:
         if owns_scheduler:

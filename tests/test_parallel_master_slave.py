@@ -157,3 +157,179 @@ class TestChunkedDispatch:
         key = (3, 7, 11)
         assert affinity_worker(key, 4) == affinity_worker(key, 4)
         assert 0 <= affinity_worker(key, 4) < 4
+
+
+class TestStealDispatch:
+    """The work-stealing engine: same values and counters, streamed completions."""
+
+    def _batch(self, n=24):
+        return [(i, i + 1, (i * 7) % 50 + 60) for i in range(n)]
+
+    def test_steal_matches_affinity_values_and_counters(self):
+        batch = self._batch()
+        with MasterSlaveEvaluator(
+            _product_fitness, n_workers=3, dispatch="chunked",
+            dedup=False, cache_size=0,
+        ) as affinity:
+            expected = affinity.evaluate_batch(batch)
+            counters = affinity.stats.counters()
+        with MasterSlaveEvaluator(
+            _product_fitness, n_workers=3, dispatch="chunked", steal=True,
+            chunk_size=2, dedup=False, cache_size=0,
+        ) as stealing:
+            assert stealing.steal
+            assert stealing.evaluate_batch(batch) == pytest.approx(expected)
+            assert stealing.stats.counters() == counters
+
+    def test_steal_requires_chunked_dispatch(self):
+        with pytest.raises(ValueError, match="chunked"):
+            MasterSlaveEvaluator(_product_fitness, n_workers=2, steal=True,
+                                 dispatch="individual")
+        with pytest.raises(ValueError, match="max_inflight"):
+            from repro.parallel.farm import ChunkedWorkerFarm
+
+            ChunkedWorkerFarm(lambda: _product_fitness, 2, max_inflight=0)
+
+    def test_ticket_streaming_out_of_order_collect(self):
+        from repro.parallel.farm import ChunkedWorkerFarm
+
+        class Factory:
+            def __call__(self):
+                return _product_fitness
+
+        with ChunkedWorkerFarm(Factory(), 2, steal=True, chunk_size=1) as farm:
+            batches = [self._batch(6), self._batch(10)[6:], [(1, 2), (3, 4)]]
+            tickets = [farm.submit(batch) for batch in batches]
+            # collect in reverse submission order: earlier tickets' results
+            # arrive meanwhile and are folded into their own state
+            for ticket, batch in list(zip(tickets, batches))[::-1]:
+                values, stats = farm.collect(ticket)
+                assert values == [_product_fitness(snps) for snps in
+                                  [tuple(sorted(b)) for b in batch]]
+                assert stats.n_requests == len(batch)
+            with pytest.raises(KeyError):
+                farm.collect(tickets[0])  # already collected
+
+    def test_as_completed_streams_every_ticket(self):
+        from repro.parallel.farm import ChunkedWorkerFarm
+
+        class Factory:
+            def __call__(self):
+                return _product_fitness
+
+        with ChunkedWorkerFarm(Factory(), 2, steal=True, chunk_size=2) as farm:
+            batches = {farm.submit(self._batch(8)): 8, farm.submit(self._batch(5)): 5}
+            seen = {}
+            for ticket, values, stats in farm.as_completed(list(batches)):
+                seen[ticket] = len(values)
+                # the second batch overlaps the first, so depending on which
+                # slave serves a stolen chunk it may be answered entirely from
+                # slave caches; only the request total is timing-invariant
+                assert stats.n_evaluations + stats.n_cache_hits == len(values)
+            assert seen == batches
+
+    def test_concurrent_collects_from_different_threads_both_progress(self):
+        """Two threads collecting different tickets must not serialise: the
+        blocking outbox wait is taken by one drainer at a time while the
+        other waits on the condition, and both tickets complete."""
+        import threading
+
+        from repro.parallel.farm import ChunkedWorkerFarm
+
+        class Factory:
+            def __call__(self):
+                return _product_fitness
+
+        with ChunkedWorkerFarm(Factory(), 2, steal=True, chunk_size=1) as farm:
+            first = farm.submit(self._batch(12))
+            second = farm.submit(self._batch(20)[12:])
+            collected = {}
+
+            def collect(ticket):
+                collected[ticket] = farm.collect(ticket)
+
+            threads = [
+                threading.Thread(target=collect, args=(t,)) for t in (first, second)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not any(t.is_alive() for t in threads)
+            assert set(collected) == {first, second}
+            assert len(collected[first][0]) == 12
+            assert len(collected[second][0]) == 8
+
+    def test_worker_error_under_steal_only_fails_its_ticket(self):
+        from repro.parallel.farm import ChunkedWorkerFarm
+
+        class Factory:
+            def __call__(self):
+                return _fail_on_marker_fitness
+
+        with ChunkedWorkerFarm(Factory(), 2, steal=True, chunk_size=1) as farm:
+            good = farm.submit([(1,), (2,), (3,)])
+            bad = farm.submit([(4,), (90,), (5,)])
+            with pytest.raises(RuntimeError, match="marker"):
+                farm.collect(bad)
+            values, _stats = farm.collect(good)
+            assert values == [2.0, 3.0, 4.0]
+            # the farm stays usable after the failed ticket
+            values, _stats = farm.evaluate([(6,), (7,)])
+            assert values == [7.0, 8.0]
+
+    def test_steal_with_worker_caches_keeps_exact_accounting(self):
+        # repeats travel to the slaves; whichever slave answers (owner or
+        # thief), the merged counters must balance requests exactly
+        with MasterSlaveEvaluator(
+            _product_fitness, n_workers=2, dispatch="chunked", steal=True,
+            chunk_size=1, dedup=False, cache_size=0,
+        ) as stealing:
+            stealing.evaluate_batch([(1,), (2,), (3,), (4,)])
+            stealing.evaluate_batch([(1,), (2,), (5,)])
+            stats = stealing.stats
+            assert stats.n_requests == 7
+            assert stats.n_evaluations + stats.n_cache_hits == 7
+
+
+class TestFarmCloseIdempotency:
+    """Satellite regression: double context-manager exit and close/terminate
+    interleavings must all be safe no-ops after the first."""
+
+    def _farm(self):
+        from repro.parallel.farm import ChunkedWorkerFarm
+
+        class Factory:
+            def __call__(self):
+                return _product_fitness
+
+        return ChunkedWorkerFarm(Factory(), 2)
+
+    def test_double_context_manager_exit(self):
+        farm = self._farm()
+        with farm:
+            with farm:
+                farm.evaluate([(1, 2)])
+        assert farm.closed
+        farm.close()  # and an explicit third close
+
+    def test_close_then_terminate_then_close(self):
+        farm = self._farm()
+        farm.close()
+        farm.terminate()
+        farm.close()
+        assert farm.closed
+
+    def test_terminate_then_close(self):
+        farm = self._farm()
+        farm.terminate()
+        farm.close()
+        assert farm.closed
+
+    def test_closed_farm_rejects_submit_and_evaluate(self):
+        farm = self._farm()
+        farm.close()
+        with pytest.raises(RuntimeError):
+            farm.submit([(1,)])
+        with pytest.raises(RuntimeError):
+            farm.evaluate([(1,)])

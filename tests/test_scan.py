@@ -407,9 +407,36 @@ class TestChromosomeScaleScan:
         shm = self._scan(
             dataset, acceptance_config, backend="process-shm", n_workers=2
         )
+        stealing = self._scan(
+            dataset, acceptance_config, backend="async", n_workers=2
+        )
         threaded_jobs = self._scan(dataset, acceptance_config, jobs=4)
-        assert _scan_key(serial) == _scan_key(shm) == _scan_key(threaded_jobs)
+        assert (
+            _scan_key(serial)
+            == _scan_key(shm)
+            == _scan_key(stealing)
+            == _scan_key(threaded_jobs)
+        )
         assert serial.stats.counters() == shm.stats.counters()
+        # the work-stealing farm must preserve exact counter parity too
+        assert serial.stats.counters() == stealing.stats.counters()
+
+    def test_bounded_pending_and_cost_priority_do_not_change_the_scan(
+        self, chromosome_study, acceptance_config
+    ):
+        from repro.parallel.pvm import EvaluationCostModel
+
+        dataset = chromosome_study.dataset
+        reference = self._scan(dataset, acceptance_config)
+        spilled = self._scan(dataset, acceptance_config, max_pending=3)
+        prioritised = self._scan(
+            dataset,
+            acceptance_config,
+            jobs=2,
+            max_pending=5,
+            cost_model=EvaluationCostModel(),
+        )
+        assert _scan_key(reference) == _scan_key(spilled) == _scan_key(prioritised)
 
     def test_cli_scan_command(self, chromosome_study, tmp_path, capsys):
         from repro.cli import main
@@ -435,3 +462,49 @@ class TestChromosomeScaleScan:
         assert "201 loci" in out
         assert "windows" in out
         assert "evaluation backend: serial" in out
+
+
+class TestScanReportRoundTrip:
+    """Satellite: ScanReport.from_json must round-trip to_json exactly."""
+
+    @pytest.fixture(scope="class")
+    def report(self, request):
+        small_dataset = request.getfixturevalue("small_dataset")
+        config = GAConfig(
+            population_size=8, min_haplotype_size=2, max_haplotype_size=3,
+            termination_stagnation=2, max_generations=3, point_mutation_trials=1,
+        )
+        return run_scan(small_dataset, window_size=6, overlap=3, config=config, seed=11)
+
+    def test_json_round_trip_is_exact(self, report):
+        import json
+
+        from repro.scan.report import ScanReport
+
+        payload = report.to_json()
+        # through an actual serialisation, so types survive real persistence
+        reloaded = ScanReport.from_json(json.loads(json.dumps(payload)))
+        assert reloaded.to_json() == payload
+        assert _scan_key(reloaded) == _scan_key(report)
+        assert reloaded.stats.counters() == report.stats.counters()
+
+    def test_reloaded_report_supports_aggregation(self, report):
+        from repro.scan.report import ScanReport
+
+        reloaded = ScanReport.from_json(report.to_json())
+        assert reloaded.best_window().window.index == report.best_window().window.index
+        assert reloaded.best_per_size() == report.best_per_size()
+        assert reloaded.summary_line() == report.summary_line()
+        assert reloaded.format(top=3) == report.format(top=3)
+
+    def test_legacy_payload_without_new_fields_still_loads(self, report):
+        from repro.scan.report import ScanReport
+
+        payload = report.to_json()
+        payload.pop("stats")
+        for window in payload["windows"]:
+            for key in ("best_per_size", "n_distinct_evaluations",
+                        "n_generations", "seed"):
+                window.pop(key)
+        reloaded = ScanReport.from_json(payload)
+        assert _scan_key(reloaded) == _scan_key(report)

@@ -190,3 +190,116 @@ class TestRunScheduler:
             result = scheduler.run(RunRequest(config=quick_config, seed=3))
             line = scheduler.summary_line()
         assert line == result.summary_line()
+
+
+class TestCostAwareExecutor:
+    def test_estimate_is_monotone_in_haplotype_size(self, small_dataset):
+        from repro.parallel.pvm import EvaluationCostModel
+        from repro.runtime.service import estimate_request_cost
+
+        model = EvaluationCostModel()
+        cheap = RunRequest(config=GAConfig(max_haplotype_size=2, population_size=10))
+        pricey = RunRequest(config=GAConfig(max_haplotype_size=6, population_size=10))
+        assert estimate_request_cost(pricey, model) > estimate_request_cost(cheap, model)
+
+    def test_explicit_costs_order_the_concurrent_drain(self, small_dataset, quick_config):
+        """jobs=1 with a single job slot... use jobs=2 but serialise via a
+        start log: the priciest queued job must start first."""
+        import threading
+
+        started = []
+        log_lock = threading.Lock()
+
+        with RunScheduler(small_dataset, jobs=2) as scheduler:
+            original_execute = scheduler._execute
+
+            def logging_execute(request):
+                with log_lock:
+                    started.append(request.seed)
+                return original_execute(request)
+
+            scheduler._execute = logging_execute
+            costs = {100: 1.0, 101: 5.0, 102: 3.0, 103: 4.0}
+            for seed, cost in costs.items():
+                scheduler.submit(RunRequest(config=quick_config, seed=seed), cost=cost)
+            results = dict(scheduler.as_completed())
+        assert len(results) == 4
+        # the two job threads take the two priciest first; the cheapest
+        # queued request must be the last one started
+        assert started[-1] == 100
+
+    def test_scheduler_cost_model_orders_without_explicit_costs(self, small_dataset):
+        from repro.parallel.pvm import EvaluationCostModel
+
+        with RunScheduler(
+            small_dataset, jobs=2, cost_model=EvaluationCostModel()
+        ) as scheduler:
+            small = GAConfig(population_size=8, max_haplotype_size=2,
+                             termination_stagnation=1, max_generations=2)
+            big = GAConfig(population_size=8, max_haplotype_size=4,
+                           termination_stagnation=1, max_generations=2)
+            id_small = scheduler.submit(RunRequest(config=small, seed=1))
+            id_big = scheduler.submit(RunRequest(config=big, seed=2))
+            entry = scheduler._pop_next()
+            assert entry[0] == id_big  # the expensive request outranks FIFO
+            # put it back so the drain still runs everything
+            with scheduler._queue_lock:
+                scheduler._pending.insert(0, entry)
+            assert len(dict(scheduler.as_completed())) == 2
+
+    def test_results_identical_with_and_without_cost_priority(
+        self, small_dataset, quick_config
+    ):
+        from repro.parallel.pvm import EvaluationCostModel
+
+        requests = _requests(quick_config, 4)
+        with RunScheduler(small_dataset, jobs=2) as scheduler:
+            fifo = scheduler.map(list(requests))
+        with RunScheduler(
+            small_dataset, jobs=2, cost_model=EvaluationCostModel()
+        ) as scheduler:
+            prioritised = scheduler.map(list(requests))
+        for a, b in zip(fifo, prioritised):
+            assert _result_key(a) == _result_key(b)
+
+    def test_mid_drain_submission_joins_the_live_drain(
+        self, small_dataset, quick_config
+    ):
+        """The scan runner's bounded-pending pattern: keep topping up while
+        streaming, never holding more than the bound in the queue."""
+        extra = iter(_requests(quick_config, 6)[2:])
+        with RunScheduler(small_dataset, jobs=2) as scheduler:
+            for request in _requests(quick_config, 2):
+                scheduler.submit(request)
+            collected = {}
+            max_pending_seen = scheduler.n_pending
+            while True:
+                drained = False
+                for job_id, result in scheduler.as_completed():
+                    drained = True
+                    collected[job_id] = result
+                    request = next(extra, None)
+                    if request is not None:
+                        scheduler.submit(request)
+                    max_pending_seen = max(max_pending_seen, scheduler.n_pending)
+                if not drained and scheduler.n_pending == 0:
+                    break
+            assert len(collected) == 6
+            assert scheduler.n_completed == 6
+            assert max_pending_seen <= 2
+
+    def test_single_drain_covers_late_submissions(self, small_dataset, quick_config):
+        """After the round fix, ONE as_completed() call must yield jobs that
+        were submitted while it was already streaming (no re-drain needed)."""
+        extra = iter(_requests(quick_config, 5)[2:])
+        with RunScheduler(small_dataset, jobs=2) as scheduler:
+            for request in _requests(quick_config, 2):
+                scheduler.submit(request)
+            collected = {}
+            for job_id, result in scheduler.as_completed():
+                collected[job_id] = result
+                request = next(extra, None)
+                if request is not None:
+                    scheduler.submit(request)
+            assert len(collected) == 5
+            assert scheduler.n_pending == 0

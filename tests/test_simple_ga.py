@@ -51,3 +51,38 @@ class TestSimpleGA:
         result = ga.run(n_generations=5, seed=2)
         assert len(result.best_snps) == 3
         assert result.best_fitness > 0.0
+
+
+class TestCloseIdempotency:
+    """Satellite regression: double context-manager exit must be a safe no-op
+    on every owning path (only the master_slave path asserted this before)."""
+
+    def test_double_context_manager_exit_serial(self):
+        ga = SimpleGA(_toy_fitness, n_snps=10, size=2, population_size=8)
+        with ga:
+            with ga:
+                ga.run(n_generations=2, seed=0)
+        ga.close()  # explicit third close
+
+    def test_double_close_on_process_backend(self):
+        ga = SimpleGA(
+            _toy_fitness, n_snps=10, size=2, population_size=8,
+            backend="process", backend_options={"n_workers": 2},
+        )
+        with ga:
+            ga.run(n_generations=2, seed=0)
+        ga.close()
+        ga.close()
+        with pytest.raises(RuntimeError):
+            ga.evaluator.evaluate_batch([(1, 2)])
+
+    def test_callers_evaluator_survives_double_exit(self):
+        from repro.parallel.serial import SerialEvaluator
+
+        evaluator = SerialEvaluator(_toy_fitness)
+        ga = SimpleGA(evaluator=evaluator, n_snps=10, size=2, population_size=8)
+        with ga:
+            with ga:
+                ga.run(n_generations=1, seed=0)
+        # the caller keeps ownership: still usable afterwards
+        assert evaluator.evaluate_batch([(1, 2)])
