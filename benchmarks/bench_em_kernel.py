@@ -22,6 +22,17 @@ the steady-state cost of the evaluation kernel inside a GA run, where the
 expansion cache is warm because the affected/unaffected/pooled triple and
 repeated candidate haplotypes revisit the same SNP subsets constantly.
 
+A fourth, *batched* tier measures the generation-batched kernel: a whole
+distinct batch of candidate problems run through ``run_em_stacked`` (one
+numpy dispatch per EM operation for the entire batch, stacking cost
+included) against the per-candidate scalar loop over the same prebuilt
+expansions, both cold.  Cohort sizes are paper-scale (``--batch-individuals``,
+default 150 per group) so the per-problem pair counts sit in the
+dispatch-bound regime the stacked kernel exists for; its headline is the
+minimum ``batched_vs_scalar_gain`` over L=4-6 at batch sizes >= 32
+(acceptance floor: 2x).  Parity is asserted inside the bench — the stacked
+results must be bit-identical to the scalar ones.
+
 Usage::
 
     python benchmarks/bench_em_kernel.py                # full run, 4-8 loci
@@ -47,6 +58,8 @@ from repro.stats.em import (  # noqa: E402
     estimate_from_expansion,
     estimate_haplotype_frequencies,
     expand_phases,
+    run_em_stacked,
+    stack_expansions,
 )
 from repro.stats.em_reference import (  # noqa: E402
     reference_estimate_haplotype_frequencies,
@@ -125,7 +138,67 @@ def bench_size(n_loci: int, *, n_individuals: int, repeats: int, seed: int = 42)
     }
 
 
-def run(sizes, *, n_individuals: int, repeats: int) -> dict:
+def bench_batched(
+    n_loci: int,
+    batch_size: int,
+    *,
+    n_individuals: int,
+    repeats: int,
+    n_panel_snps: int = 32,
+    seed: int = 97,
+) -> dict:
+    """Time the stacked kernel vs the scalar loop on one generation-sized batch.
+
+    Both paths work from the same prebuilt expansions (expansion reuse is the
+    expansion cache's win, measured separately above); the stacked timing
+    includes ``stack_expansions`` — the real per-generation cost of the
+    batched path.  Cold EMs throughout: every problem starts uniform.
+    """
+    rng = np.random.default_rng(seed + 13 * n_loci + batch_size)
+    panel = rng.integers(0, 3, size=(n_individuals, n_panel_snps)).astype(np.int8)
+    panel[rng.random(panel.shape) < 0.02] = -1
+    subsets: set[tuple[int, ...]] = set()
+    while len(subsets) < batch_size:
+        subsets.add(
+            tuple(sorted(rng.choice(n_panel_snps, size=n_loci, replace=False).tolist()))
+        )
+    expansions = [expand_phases(panel[:, list(subset)]) for subset in sorted(subsets)]
+
+    scalar_results = [estimate_from_expansion(e) for e in expansions]
+    stacked_results = run_em_stacked(stack_expansions(expansions))
+    for scalar, stacked in zip(scalar_results, stacked_results):
+        assert scalar.n_iterations == stacked.n_iterations
+        assert scalar.log_likelihood == stacked.log_likelihood
+        assert np.array_equal(scalar.frequencies, stacked.frequencies)
+
+    timings = {
+        "scalar_loop_seconds": _best_of(
+            lambda: [estimate_from_expansion(e) for e in expansions], repeats
+        ),
+        "stacked_seconds": _best_of(
+            lambda: run_em_stacked(stack_expansions(expansions)), repeats
+        ),
+    }
+    return {
+        "n_loci": n_loci,
+        "batch_size": batch_size,
+        "n_individuals": n_individuals,
+        "mean_pairs_per_problem": sum(e.n_pairs for e in expansions) / len(expansions),
+        "timings": timings,
+        "batched_vs_scalar_gain": (
+            timings["scalar_loop_seconds"] / timings["stacked_seconds"]
+        ),
+    }
+
+
+def run(
+    sizes,
+    *,
+    n_individuals: int,
+    repeats: int,
+    batch_sizes=(32, 128, 512),
+    batch_individuals: int = 150,
+) -> dict:
     results = {}
     for n_loci in sizes:
         entry = bench_size(n_loci, n_individuals=n_individuals, repeats=repeats)
@@ -138,13 +211,46 @@ def run(sizes, *, n_individuals: int, repeats: int) -> dict:
             f"warm {t['new_em_warm_expansion_seconds']*1e3:7.2f} ms ({s['em_path_warm']:.2f}x) | "
             f"warm re-run {t['warm_rerun_seconds']*1e3:7.2f} ms ({s['warm_rerun']:.1f}x)"
         )
+    batched = {}
+    batch_repeats = min(repeats, 3)  # multi-hundred-ms cells: best-of-3 is stable
+    for n_loci in sizes:
+        per_size = {}
+        for batch_size in batch_sizes:
+            entry = bench_batched(
+                n_loci,
+                batch_size,
+                n_individuals=batch_individuals,
+                repeats=batch_repeats,
+            )
+            per_size[f"B{batch_size}"] = entry
+            t = entry["timings"]
+            print(
+                f"L={n_loci} batch={batch_size:4d}: scalar loop "
+                f"{t['scalar_loop_seconds']*1e3:8.2f} ms | stacked "
+                f"{t['stacked_seconds']*1e3:8.2f} ms "
+                f"({entry['batched_vs_scalar_gain']:.2f}x, "
+                f"{entry['mean_pairs_per_problem']:.0f} pairs/problem)"
+            )
+        batched[f"L{n_loci}"] = per_size
+
     high = [r for r in results.values() if r["n_loci"] >= 6]
+    dispatch_bound = [
+        entry
+        for per_size in (batched[f"L{n}"] for n in sizes if 4 <= n <= 6)
+        for entry in per_size.values()
+        if entry["batch_size"] >= 32
+    ]
     headline = {
         "min_em_path_warm_speedup_6plus": min(
             (r["speedups"]["em_path_warm"] for r in high), default=None
         ),
         "min_em_path_cold_speedup_6plus": min(
             (r["speedups"]["em_path_cold"] for r in high), default=None
+        ),
+        # the generation-batched kernel's acceptance metric: >= 2x over the
+        # scalar loop on generation-sized batches in the dispatch-bound regime
+        "min_batched_vs_scalar_gain_L4to6": min(
+            (e["batched_vs_scalar_gain"] for e in dispatch_bound), default=None
         ),
     }
     return {
@@ -154,9 +260,12 @@ def run(sizes, *, n_individuals: int, repeats: int) -> dict:
             "sizes": list(sizes),
             "n_individuals": n_individuals,
             "repeats": repeats,
+            "batch_sizes": list(batch_sizes),
+            "batch_individuals": batch_individuals,
         },
         "headline": headline,
         "sizes": results,
+        "batched": batched,
     }
 
 
@@ -169,12 +278,23 @@ def main(argv=None) -> int:
     parser.add_argument("--individuals", type=int, default=1000,
                         help="cohort size (default 1000, the production-scale "
                              "target of the ROADMAP; the paper's groups are ~53)")
+    parser.add_argument("--batch-individuals", type=int, default=150,
+                        help="cohort size for the batched tier (default 150 — "
+                             "paper-scale groups, the dispatch-bound regime "
+                             "the stacked kernel targets)")
     parser.add_argument("--repeats", type=int, default=None)
     args = parser.parse_args(argv)
 
     sizes = (4, 6) if args.quick else (4, 5, 6, 7, 8)
     repeats = args.repeats if args.repeats is not None else (3 if args.quick else 7)
-    report = run(sizes, n_individuals=args.individuals, repeats=repeats)
+    batch_sizes = (32, 128) if args.quick else (32, 128, 512)
+    report = run(
+        sizes,
+        n_individuals=args.individuals,
+        repeats=repeats,
+        batch_sizes=batch_sizes,
+        batch_individuals=args.batch_individuals,
+    )
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -182,6 +302,12 @@ def main(argv=None) -> int:
     headline = report["headline"]["min_em_path_warm_speedup_6plus"]
     if headline is not None:
         print(f"headline: min warm EM-path speedup at >=6 loci = {headline:.2f}x")
+    batched_headline = report["headline"]["min_batched_vs_scalar_gain_L4to6"]
+    if batched_headline is not None:
+        print(
+            f"headline: min batched-vs-scalar gain at L=4-6, batch>=32 = "
+            f"{batched_headline:.2f}x"
+        )
     return 0
 
 

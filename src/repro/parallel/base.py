@@ -48,6 +48,7 @@ __all__ = [
     "BatchEvaluator",
     "EvaluationStats",
     "DistinctEvaluation",
+    "evaluate_batch_with",
     "validate_worker_count",
     "validate_chunk_size",
     "default_mp_context",
@@ -101,6 +102,35 @@ def _key(snps: SnpSet) -> tuple[int, ...]:
     return tuple(sorted(int(s) for s in snps))
 
 
+def evaluate_batch_with(
+    fitness: FitnessCallable, batch: Sequence[SnpSet]
+) -> tuple[list[float], int, int]:
+    """Evaluate a distinct batch through the fitness function's batched path.
+
+    Fitness functions exposing ``evaluate_many`` (the
+    :class:`~repro.stats.evaluation.HaplotypeEvaluator` stacked-EM fast path)
+    get the whole batch in one call — results are bit-identical to the
+    per-candidate loop, only the dispatch changes; everything else falls back
+    to that loop.  Returns ``(values, n_stacked_em, n_stacked_problems)``
+    where the counter deltas report the stacked kernel work the call caused
+    (0 for plain callables).
+
+    This is the single routing point the serial evaluator, the thread pool's
+    worker chunks and the farm slaves' chunk fast path all share.
+    """
+    evaluate_many = getattr(fitness, "evaluate_many", None)
+    if evaluate_many is None or len(batch) < 2:
+        return [float(fitness(snps)) for snps in batch], 0, 0
+    calls_before = getattr(fitness, "n_stacked_em", 0)
+    problems_before = getattr(fitness, "n_stacked_problems", 0)
+    values = [float(value) for value in evaluate_many(batch)]
+    return (
+        values,
+        getattr(fitness, "n_stacked_em", 0) - calls_before,
+        getattr(fitness, "n_stacked_problems", 0) - problems_before,
+    )
+
+
 @dataclass(frozen=True)
 class DistinctEvaluation:
     """Outcome of one backend call on a batch of distinct, unseen haplotypes.
@@ -125,12 +155,19 @@ class DistinctEvaluation:
         Summed worker-side evaluation time (0 when the backend does not
         measure it); on a real cluster this exceeds the wall-clock batch time
         whenever workers overlap.
+    n_stacked_em:
+        Stacked multi-candidate EM kernel calls the backend performed.
+    n_stacked_problems:
+        EM problems answered by those stacked calls (their ratio is the mean
+        stacked batch occupancy).
     """
 
     values: list[float]
     n_evaluations: int | None = None
     n_cache_hits: int = 0
     backend_seconds: float = 0.0
+    n_stacked_em: int = 0
+    n_stacked_problems: int = 0
 
 
 @dataclass
@@ -158,6 +195,16 @@ class EvaluationStats:
     backend_seconds:
         Summed worker-side evaluation time reported by the backend (0 for
         backends that do not measure it).
+    n_stacked_em:
+        Stacked multi-candidate EM kernel calls performed by the evaluation
+        layer (0 for fitness functions without a batched path).
+    n_stacked_problems:
+        EM problems answered by those stacked calls;
+        ``n_stacked_problems / n_stacked_em`` is the mean stacked batch
+        occupancy.  Like the timings — and unlike the request/evaluation
+        counters — these depend on how work was chunked across workers, so
+        they are excluded from :meth:`counters` (the cross-backend parity
+        contract).
     """
 
     n_evaluations: int = 0
@@ -167,6 +214,8 @@ class EvaluationStats:
     n_cache_hits: int = 0
     total_seconds: float = 0.0
     backend_seconds: float = 0.0
+    n_stacked_em: int = 0
+    n_stacked_problems: int = 0
 
     def record_batch(
         self,
@@ -177,6 +226,8 @@ class EvaluationStats:
         n_dedup_hits: int = 0,
         n_cache_hits: int = 0,
         backend_seconds: float = 0.0,
+        n_stacked_em: int = 0,
+        n_stacked_problems: int = 0,
     ) -> None:
         self.n_evaluations += batch_size
         self.n_requests += batch_size if n_requests is None else n_requests
@@ -185,6 +236,8 @@ class EvaluationStats:
         self.n_cache_hits += n_cache_hits
         self.total_seconds += elapsed
         self.backend_seconds += backend_seconds
+        self.n_stacked_em += n_stacked_em
+        self.n_stacked_problems += n_stacked_problems
 
     def counters(self) -> dict[str, int]:
         """The integer counters as a dict (timings excluded) — the part of the
@@ -214,6 +267,8 @@ class EvaluationStats:
         self.n_cache_hits += other.n_cache_hits
         self.total_seconds += other.total_seconds
         self.backend_seconds += other.backend_seconds
+        self.n_stacked_em += other.n_stacked_em
+        self.n_stacked_problems += other.n_stacked_problems
 
     def since(self, snapshot: "EvaluationStats") -> "EvaluationStats":
         """Stats accumulated after ``snapshot`` was taken (field-wise difference)."""
@@ -225,7 +280,16 @@ class EvaluationStats:
             n_cache_hits=self.n_cache_hits - snapshot.n_cache_hits,
             total_seconds=self.total_seconds - snapshot.total_seconds,
             backend_seconds=self.backend_seconds - snapshot.backend_seconds,
+            n_stacked_em=self.n_stacked_em - snapshot.n_stacked_em,
+            n_stacked_problems=self.n_stacked_problems - snapshot.n_stacked_problems,
         )
+
+    @property
+    def mean_stacked_batch_size(self) -> float:
+        """Mean problems per stacked EM kernel call (0 when none were made)."""
+        if self.n_stacked_em == 0:
+            return 0.0
+        return self.n_stacked_problems / self.n_stacked_em
 
     @property
     def n_distinct_evaluations(self) -> int:
@@ -372,6 +436,8 @@ class BaseBatchEvaluator(abc.ABC):
             n_dedup_hits=n_dedup_hits,
             n_cache_hits=n_cache_hits + details.n_cache_hits,
             backend_seconds=details.backend_seconds,
+            n_stacked_em=details.n_stacked_em,
+            n_stacked_problems=details.n_stacked_problems,
         )
         return [float(r) for r in results]  # type: ignore[arg-type]
 

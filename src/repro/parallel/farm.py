@@ -55,8 +55,42 @@ from .base import (
     validate_chunk_size,
     validate_worker_count,
 )
+from .pvm import EvaluationCostModel
 
-__all__ = ["ChunkStats", "ChunkedWorkerFarm", "affinity_worker"]
+__all__ = [
+    "ChunkStats",
+    "ChunkedWorkerFarm",
+    "affinity_worker",
+    "cost_balanced_chunks",
+]
+
+
+def cost_balanced_chunks(
+    indices: Sequence[int], costs: Sequence[float], target_cost: float
+) -> list[list[int]]:
+    """Pack an ordered index run into contiguous chunks of ~equal modelled cost.
+
+    Greedy: indices accumulate into the current chunk until its summed cost
+    reaches ``target_cost``, so a size-7 haplotype (exponentially more
+    expensive under the paper's Figure-4 cost model) fills a chunk almost by
+    itself while size-3 candidates travel dozens to a message — every chunk
+    then represents a comparable slice of *work*, which is what the stealing
+    engine balances.
+    """
+    if target_cost <= 0:
+        return [list(indices)] if len(indices) else []
+    chunks: list[list[int]] = []
+    current: list[int] = []
+    accumulated = 0.0
+    for index, cost in zip(indices, costs):
+        current.append(index)
+        accumulated += cost
+        if accumulated >= target_cost:
+            chunks.append(current)
+            current, accumulated = [], 0.0
+    if current:
+        chunks.append(current)
+    return chunks
 
 #: A picklable zero-argument callable building the worker's fitness function.
 #: Called exactly once per slave process ("the slaves access only once to the
@@ -72,6 +106,8 @@ class ChunkStats:
     n_evaluations: int
     n_cache_hits: int
     seconds: float
+    n_stacked_em: int = 0
+    n_stacked_problems: int = 0
 
 
 def affinity_worker(key: tuple[int, ...], n_workers: int) -> int:
@@ -117,6 +153,8 @@ def _farm_worker_main(
                 n_evaluations=delta.n_evaluations,
                 n_cache_hits=delta.n_cache_hits + delta.n_dedup_hits,
                 seconds=elapsed,
+                n_stacked_em=delta.n_stacked_em,
+                n_stacked_problems=delta.n_stacked_problems,
             )
             outbox.put((task_id, worker_id, values, stats, None))
         except Exception:
@@ -128,7 +166,7 @@ class _Ticket:
 
     __slots__ = (
         "ticket_id", "results", "remaining", "n_requests", "n_evaluations",
-        "n_cache_hits", "seconds", "error",
+        "n_cache_hits", "seconds", "n_stacked_em", "n_stacked_problems", "error",
     )
 
     def __init__(self, ticket_id: int, batch_size: int) -> None:
@@ -139,6 +177,8 @@ class _Ticket:
         self.n_evaluations = 0
         self.n_cache_hits = 0
         self.seconds = 0.0
+        self.n_stacked_em = 0
+        self.n_stacked_problems = 0
         self.error: str | None = None
 
     @property
@@ -147,7 +187,12 @@ class _Ticket:
 
     def stats(self) -> ChunkStats:
         return ChunkStats(
-            self.n_requests, self.n_evaluations, self.n_cache_hits, self.seconds
+            self.n_requests,
+            self.n_evaluations,
+            self.n_cache_hits,
+            self.seconds,
+            self.n_stacked_em,
+            self.n_stacked_problems,
         )
 
 
@@ -166,8 +211,16 @@ class ChunkedWorkerFarm:
         Maximum number of haplotypes per message.  ``None`` sends each
         slave's whole share of a batch as a single chunk when ``steal`` is
         off (one message per slave per generation — the synchronous-farm
-        optimum for homogeneous slaves); in steal mode ``None`` auto-sizes
-        chunks so each slave's share splits into a few stealable pieces.
+        optimum for homogeneous slaves); in steal mode ``None`` sizes chunks
+        from the ``cost_model`` and the batch's composition, cutting each
+        slave's share into stealable pieces of ~equal modelled cost (so one
+        expensive large-haplotype chunk no longer hides a whole queue of
+        cheap work behind it).  An explicit ``chunk_size`` keeps the fixed
+        count-based slicing.
+    cost_model:
+        Evaluation-cost model used by the cost-driven auto chunking (default:
+        the paper's Figure-4 calibration; the scheduler passes its own
+        calibrated model through the backend layer).
     worker_cache_size:
         Bound of each slave's local fitness LRU (``0`` disables slave-side
         result reuse, e.g. for timing studies).
@@ -200,6 +253,7 @@ class ChunkedWorkerFarm:
         start_method: str | None = None,
         steal: bool = False,
         max_inflight: int = 2,
+        cost_model: EvaluationCostModel | None = None,
     ) -> None:
         if n_workers is None:
             raise ValueError("n_workers must be a positive integer, got None")
@@ -210,6 +264,7 @@ class ChunkedWorkerFarm:
         context = default_mp_context(start_method)
         self._n_workers = n_workers
         self._chunk_size = chunk_size
+        self._cost_model = cost_model if cost_model is not None else EvaluationCostModel()
         self._steal = bool(steal)
         self._max_inflight = max_inflight
         self._outbox = context.Queue()
@@ -259,18 +314,34 @@ class ChunkedWorkerFarm:
     def steal(self) -> bool:
         return self._steal
 
-    def _chunks_for_worker(self, indices: list[int], batch_size: int) -> list[list[int]]:
+    def _chunk_cost_target(self, batch: Sequence[tuple[int, ...]]) -> float:
+        """Per-chunk cost budget for one batch under the farm's cost model.
+
+        The batch's total modelled cost is spread over a few stealable chunks
+        per slave, so chunk boundaries land where the *work* divides evenly
+        rather than where the candidate count does.
+        """
+        total = float(
+            sum(self._cost_model.cost(len(key)) for key in batch)
+        )
+        return total / (self._n_workers * self._STEAL_CHUNKS_PER_WORKER)
+
+    def _chunks_for_worker(
+        self,
+        indices: list[int],
+        batch: Sequence[tuple[int, ...]],
+        cost_target: float | None,
+    ) -> list[list[int]]:
         size = self._chunk_size
-        if size is None:
-            if self._steal:
-                # a share of one unsplittable chunk cannot be stolen; target a
-                # few chunks per slave so imbalance has somewhere to go
-                size = max(
-                    1, -(-batch_size // (self._n_workers * self._STEAL_CHUNKS_PER_WORKER))
-                )
-            else:
-                size = len(indices)
-        return [indices[i: i + size] for i in range(0, len(indices), size)]
+        if size is not None:
+            return [indices[i: i + size] for i in range(0, len(indices), size)]
+        if not self._steal:
+            # synchronous-farm optimum: the slave's whole share in one message
+            return [indices]
+        # a share of one unsplittable chunk cannot be stolen; cut it into
+        # pieces of ~equal modelled cost so imbalance has somewhere to go
+        costs = [self._cost_model.cost(len(batch[i])) for i in indices]
+        return cost_balanced_chunks(indices, costs, cost_target or 0.0)
 
     # ------------------------------------------------------------------ #
     # the dispatch engine
@@ -369,6 +440,8 @@ class ChunkedWorkerFarm:
             ticket.n_evaluations += stats.n_evaluations
             ticket.n_cache_hits += stats.n_cache_hits
             ticket.seconds += stats.seconds
+            ticket.n_stacked_em += stats.n_stacked_em
+            ticket.n_stacked_problems += stats.n_stacked_problems
             ticket.remaining.discard(received_id)
         return True
 
@@ -421,8 +494,13 @@ class ChunkedWorkerFarm:
                 by_worker.setdefault(
                     affinity_worker(key, self._n_workers), []
                 ).append(index)
+            cost_target = (
+                self._chunk_cost_target(batch)
+                if self._chunk_size is None and self._steal
+                else None
+            )
             for worker, indices in sorted(by_worker.items()):
-                for chunk_indices in self._chunks_for_worker(indices, len(batch)):
+                for chunk_indices in self._chunks_for_worker(indices, batch, cost_target):
                     chunk = [batch[i] for i in chunk_indices]
                     task_id = self._next_task_id
                     self._next_task_id += 1

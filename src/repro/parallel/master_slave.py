@@ -41,6 +41,7 @@ from .base import (
     validate_worker_count,
 )
 from .farm import ChunkedWorkerFarm, EvaluatorFactory
+from .pvm import EvaluationCostModel
 
 __all__ = ["MasterSlaveEvaluator", "default_worker_count"]
 
@@ -102,7 +103,11 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
         Number of individuals per message.  With ``dispatch="individual"``
         the default is the paper's one-at-a-time protocol (``1``); with
         ``dispatch="chunked"``, ``None`` (the default) sends each slave its
-        whole share of a generation as a single chunk.
+        whole share of a generation as a single chunk (and, in steal mode,
+        cuts shares into pieces of ~equal modelled cost under ``cost_model``).
+    cost_model:
+        Chunked dispatch only: the evaluation-cost model behind the
+        cost-driven auto chunking (default: the paper's Figure-4 calibration).
     dispatch:
         ``"individual"`` (pool, one task per haplotype) or ``"chunked"``
         (per-slave queues, affinity routing, worker-side batch fast path).
@@ -149,6 +154,7 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
         worker_cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE,
         steal: bool = False,
         max_inflight: int = 2,
+        cost_model: EvaluationCostModel | None = None,
         start_method: str | None = None,
         dedup: bool = True,
         cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE,
@@ -178,6 +184,7 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
                 start_method=start_method,
                 steal=steal,
                 max_inflight=max_inflight,
+                cost_model=cost_model,
             )
         else:
             context = default_mp_context(start_method)
@@ -219,6 +226,8 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
                 n_evaluations=chunk_stats.n_evaluations,
                 n_cache_hits=chunk_stats.n_cache_hits,
                 backend_seconds=chunk_stats.seconds,
+                n_stacked_em=chunk_stats.n_stacked_em,
+                n_stacked_problems=chunk_stats.n_stacked_problems,
             )
         results = self._pool.map(
             _evaluate_in_worker, tasks, chunksize=self._chunk_size or 1

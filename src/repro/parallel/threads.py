@@ -22,8 +22,10 @@ from typing import Callable, Sequence
 
 from .base import (
     BaseBatchEvaluator,
+    DistinctEvaluation,
     FitnessCallable,
     SnpSet,
+    evaluate_batch_with,
     validate_chunk_size,
     validate_worker_count,
 )
@@ -89,20 +91,34 @@ class ThreadPoolEvaluator(BaseBatchEvaluator):
             self._thread_state.fitness = fitness
         return fitness
 
-    def _evaluate_chunk(self, chunk: list[SnpSet]) -> list[float]:
-        fitness = self._thread_fitness()
-        return [float(fitness(snps)) for snps in chunk]
+    def _evaluate_chunk(self, chunk: list[SnpSet]) -> tuple[list[float], int, int]:
+        # each worker thread runs its chunk through its own evaluator's
+        # batched path (stacked EM), reporting the stacked-kernel deltas
+        return evaluate_batch_with(self._thread_fitness(), chunk)
 
     def _evaluate_distinct(self, batch: Sequence[SnpSet]) -> list[float]:
+        return self._evaluate_distinct_details(batch).values
+
+    def _evaluate_distinct_details(self, batch: Sequence[SnpSet]) -> DistinctEvaluation:
         if self._executor is None:
             raise RuntimeError("evaluator has been closed")
         batch = list(batch)
         size = self._chunk_size or max(1, -(-len(batch) // self._n_workers))
         chunks = [batch[i: i + size] for i in range(0, len(batch), size)]
         values: list[float] = []
-        for chunk_values in self._executor.map(self._evaluate_chunk, chunks):
+        n_stacked_em = 0
+        n_stacked_problems = 0
+        for chunk_values, stacked_calls, stacked_problems in self._executor.map(
+            self._evaluate_chunk, chunks
+        ):
             values.extend(chunk_values)
-        return values
+            n_stacked_em += stacked_calls
+            n_stacked_problems += stacked_problems
+        return DistinctEvaluation(
+            values=values,
+            n_stacked_em=n_stacked_em,
+            n_stacked_problems=n_stacked_problems,
+        )
 
     def close(self) -> None:
         if self._executor is not None:

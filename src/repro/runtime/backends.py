@@ -35,6 +35,7 @@ from typing import Callable
 from ..genetics.dataset import GenotypeDataset
 from ..parallel.base import BaseBatchEvaluator, BatchEvaluator, FitnessCallable
 from ..parallel.master_slave import MasterSlaveEvaluator
+from ..parallel.pvm import EvaluationCostModel
 from ..parallel.serial import SerialEvaluator
 from ..parallel.threads import ThreadPoolEvaluator
 from ..stats.evaluation import HaplotypeEvaluator
@@ -73,6 +74,7 @@ class BackendRequest:
     cache_size: int | None
     worker_cache_size: int | None
     start_method: str | None
+    cost_model: EvaluationCostModel | None = None
 
     def local_fitness(self) -> FitnessCallable:
         """A fitness callable usable in the calling process."""
@@ -129,13 +131,16 @@ def create_evaluator(
     cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE,
     worker_cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE,
     start_method: str | None = None,
+    cost_model: EvaluationCostModel | None = None,
 ) -> BatchEvaluator:
     """Build a batch evaluator on the named backend.
 
     ``source`` may be a live :class:`HaplotypeEvaluator` (spec and dataset
     are derived from it), an :class:`EvaluatorSpec` (``dataset`` required),
     or any fitness callable (sufficient for the in-process backends and, if
-    picklable, for ``process``).
+    picklable, for ``process``).  ``cost_model`` (optional) feeds the chunked
+    farms' cost-driven auto chunking, e.g. a model the scheduler calibrated
+    on measured evaluation times.
     """
     spec: EvaluatorSpec | None = None
     fitness: FitnessCallable | None = None
@@ -164,6 +169,7 @@ def create_evaluator(
         cache_size=cache_size,
         worker_cache_size=worker_cache_size,
         start_method=start_method,
+        cost_model=cost_model,
     )
     return resolve_backend(backend)(request)
 
@@ -209,6 +215,7 @@ def _farm_kwargs(request: BackendRequest, *, steal: bool) -> dict:
         dedup=request.dedup,
         cache_size=request.cache_size,
         steal=steal,
+        cost_model=request.cost_model,
     )
 
 

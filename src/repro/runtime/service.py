@@ -77,11 +77,17 @@ def estimate_request_cost(
 
 def backend_summary_line(backend: str, stats: EvaluationStats) -> str:
     """The one-line reuse account printed by ``run`` and ``scan`` alike."""
-    return (
+    line = (
         f"evaluation backend: {backend} — {stats.n_requests} requests -> "
         f"{stats.n_evaluations} evaluations "
         f"({stats.reuse_rate:.1%} answered by dedup/caches)"
     )
+    if stats.n_stacked_em > 0:
+        line += (
+            f"; {stats.n_stacked_em} stacked EM calls, "
+            f"mean batch {stats.mean_stacked_batch_size:.1f} problems"
+        )
+    return line
 
 
 @dataclass(frozen=True)
@@ -332,6 +338,9 @@ class RunScheduler:
             dedup=dedup,
             cache_size=cache_size,
             worker_cache_size=worker_cache_size,
+            # the scheduler's (possibly calibrated) cost model also drives
+            # the chunked farms' cost-balanced auto chunking
+            cost_model=cost_model,
         )
 
     # ------------------------------------------------------------------ #

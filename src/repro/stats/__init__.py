@@ -20,16 +20,25 @@ from .clump import (
     t4_statistic,
 )
 from .contingency import ContingencyTable
-from .ehdiall import EHDiallResult, ehdiall_from_expansion, h0_frequencies, run_ehdiall
+from .ehdiall import (
+    EHDiallResult,
+    ehdiall_batch,
+    ehdiall_from_expansion,
+    h0_frequencies,
+    run_ehdiall,
+)
 from .em import (
     EMResult,
     PhaseExpansion,
     PhaseExpansionCache,
+    StackedExpansion,
     concat_expansions,
     estimate_from_expansion,
     estimate_haplotype_frequencies,
     expand_phases,
     expansion_log_likelihood,
+    run_em_stacked,
+    stack_expansions,
 )
 from .evaluation import EvaluationRecord, HaplotypeEvaluator
 
@@ -41,12 +50,16 @@ __all__ = [
     "EMResult",
     "PhaseExpansion",
     "PhaseExpansionCache",
+    "StackedExpansion",
     "concat_expansions",
     "estimate_from_expansion",
     "estimate_haplotype_frequencies",
     "expand_phases",
     "expansion_log_likelihood",
+    "run_em_stacked",
+    "stack_expansions",
     "EHDiallResult",
+    "ehdiall_batch",
     "ehdiall_from_expansion",
     "run_ehdiall",
     "h0_frequencies",

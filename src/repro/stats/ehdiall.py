@@ -48,9 +48,17 @@ from .em import (
     estimate_from_expansion,
     expand_phases,
     expansion_log_likelihood,
+    run_em_stacked,
+    stack_expansions,
 )
 
-__all__ = ["EHDiallResult", "run_ehdiall", "ehdiall_from_expansion", "h0_frequencies"]
+__all__ = [
+    "EHDiallResult",
+    "run_ehdiall",
+    "ehdiall_from_expansion",
+    "ehdiall_batch",
+    "h0_frequencies",
+]
 
 
 @dataclass(frozen=True)
@@ -143,10 +151,15 @@ def ehdiall_from_expansion(
         two group solutions when pooling case and control samples, or the
         final frequencies of an earlier run of the same haplotype).
     """
-    allele_freqs = expansion.allele_frequencies()
     em = estimate_from_expansion(
         expansion, initial_frequencies=initial_frequencies, max_iter=max_iter, tol=tol
     )
+    return _assemble_result(expansion, em)
+
+
+def _assemble_result(expansion: PhaseExpansion, em: EMResult) -> EHDiallResult:
+    """Wrap a fitted H1 EM into the full EH-DIALL report (H0, LRT)."""
+    allele_freqs = expansion.allele_frequencies()
     if expansion.n_individuals > 0 and not np.any(np.isnan(allele_freqs)):
         h0 = expansion_log_likelihood(expansion, h0_frequencies(allele_freqs))
     else:
@@ -163,6 +176,84 @@ def ehdiall_from_expansion(
         lrt_statistic=lrt,
         lrt_df=lrt_df,
     )
+
+
+def ehdiall_batch(
+    expansions: Sequence[PhaseExpansion],
+    *,
+    max_iter: int = 200,
+    tol: float = 1e-8,
+    initial_frequencies: "Sequence[np.ndarray | None] | None" = None,
+) -> list[EHDiallResult]:
+    """Run EH-DIALL on a batch of independent problems through one EM kernel call.
+
+    The expensive part of each run — the iterated H1 EM — is stacked
+    (:func:`~repro.stats.em.stack_expansions` +
+    :func:`~repro.stats.em.run_em_stacked`) so the whole batch pays one numpy
+    dispatch per EM operation; the one-shot H0 likelihood and the result
+    assembly stay per-problem.  Every result is **bit-identical** to the
+    corresponding :func:`ehdiall_from_expansion` call: the stacked kernel
+    reproduces the scalar kernel's arithmetic exactly, so batching is purely
+    a throughput decision and batch composition never changes a result.
+
+    A batch of one delegates to the scalar path, and problems whose expansion
+    does not support contiguous segmented reductions (possible only for
+    hand-built expansions with empty classes — never those built by
+    :func:`~repro.stats.em.expand_phases`) run scalar too, because the
+    scalar kernel's ``bincount`` fallback and the stacked reduction are not
+    bit-interchangeable.
+
+    Parameters
+    ----------
+    expansions:
+        Phase expansions of the problems (ragged: loci/class/pair counts and
+        chromosome totals may all differ).
+    max_iter, tol:
+        EM control parameters, shared by the whole batch.
+    initial_frequencies:
+        Optional per-problem EM warm starts (``None`` entries mean uniform).
+    """
+    expansions = list(expansions)
+    if initial_frequencies is not None and len(initial_frequencies) != len(expansions):
+        raise ValueError(
+            f"initial_frequencies must provide one entry per expansion "
+            f"({len(expansions)}), got {len(initial_frequencies)}"
+        )
+
+    def scalar(index: int) -> EHDiallResult:
+        initial = None if initial_frequencies is None else initial_frequencies[index]
+        return ehdiall_from_expansion(
+            expansions[index], max_iter=max_iter, tol=tol, initial_frequencies=initial
+        )
+
+    if len(expansions) < 2:
+        return [scalar(i) for i in range(len(expansions))]
+
+    stackable = [
+        i
+        for i, e in enumerate(expansions)
+        if e.n_individuals == 0 or e.sorted_by_class()._can_reduceat
+    ]
+    stackable_set = set(stackable)
+    results: list[EHDiallResult | None] = [None] * len(expansions)
+    for i in range(len(expansions)):
+        if i not in stackable_set:
+            results[i] = scalar(i)
+    if len(stackable) == 1:
+        results[stackable[0]] = scalar(stackable[0])
+    elif stackable:
+        stacked = stack_expansions([expansions[i] for i in stackable])
+        initials = (
+            None
+            if initial_frequencies is None
+            else [initial_frequencies[i] for i in stackable]
+        )
+        ems = run_em_stacked(
+            stacked, initial_frequencies=initials, max_iter=max_iter, tol=tol
+        )
+        for i, em in zip(stackable, ems):
+            results[i] = _assemble_result(expansions[i], em)
+    return results  # type: ignore[return-value]
 
 
 def run_ehdiall(

@@ -65,14 +65,40 @@ __all__ = [
     "EMResult",
     "PhaseExpansion",
     "PhaseExpansionCache",
+    "StackedExpansion",
     "expand_phases",
     "concat_expansions",
+    "stack_expansions",
     "expansion_log_likelihood",
     "estimate_haplotype_frequencies",
     "estimate_from_expansion",
+    "run_em_stacked",
+    "STACK_MAX_PAIRS_PER_PROBLEM",
+    "STACK_MAX_TOTAL_PAIRS",
 ]
 
 _LOG_FLOOR = 1e-300
+
+#: ``np.add.reduceat`` offsets for a single whole-array segment.  The scalar
+#: kernel sums its per-class log-likelihood contributions through this (a
+#: strict left-to-right reduction) so that the stacked kernel — which reduces
+#: the same contributions as one segment of a larger concatenated array — is
+#: bit-identical to it: ``reduceat`` segment sums depend only on the segment's
+#: own values, while ``np.dot``/``np.sum`` use pairwise/BLAS orders that do.
+_WHOLE_SEGMENT = np.zeros(1, dtype=np.intp)
+
+#: Stacking pays off while the per-problem EM is dispatch-bound; above this
+#: pair count a single problem's arrays are large enough that the scalar
+#: kernel is compute-bound and stacking only adds gather/compaction overhead
+#: (measured crossover ~1.5-2k pairs on the dev container).  Values are
+#: identical either way — this is purely a throughput routing hint for the
+#: evaluation layer.
+STACK_MAX_PAIRS_PER_PROBLEM = 2048
+
+#: Cap on the summed pair count of one stacked call: beyond this the
+#: concatenated working set falls out of cache and the batched gathers lose
+#: to the scalar loop's cache-resident arrays, so bigger batches are split.
+STACK_MAX_TOTAL_PAIRS = 1 << 18
 
 
 @dataclass(frozen=True)
@@ -444,9 +470,21 @@ class PhaseExpansionCache:
         self._hits = 0
         self._misses = 0
 
-    def get(self, snps: Sequence[int] | np.ndarray) -> PhaseExpansion:
-        """Return the (possibly cached) expansion of the given SNP columns."""
-        key = tuple(sorted(int(s) for s in snps))
+    def get(
+        self, snps: Sequence[int] | np.ndarray, *, presorted: bool = False
+    ) -> PhaseExpansion:
+        """Return the (possibly cached) expansion of the given SNP columns.
+
+        ``presorted=True`` promises that ``snps`` is already a sorted tuple of
+        ints (the normalised form :meth:`HaplotypeEvaluator._validate_snps`
+        produces), skipping the per-lookup re-sort/re-tuple on the hot path —
+        the key cost is then paid once per request instead of once per cache
+        layer.
+        """
+        if presorted:
+            key = snps if type(snps) is tuple else tuple(snps)
+        else:
+            key = tuple(sorted(int(s) for s in snps))
         cached = self._cache.get(key)
         if cached is not None:
             self._hits += 1
@@ -583,7 +621,10 @@ def estimate_from_expansion(
         class_prob = expansion.class_reduce(pair_prob)
         np.maximum(class_prob, _LOG_FLOOR, out=class_prob)
         np.log(class_prob, out=log_class)
-        log_likelihood = float(class_counts @ log_class)
+        log_class *= class_counts
+        # sequential segment sum, not a dot product: bit-identical to the
+        # per-problem segments of run_em_stacked (see _WHOLE_SEGMENT)
+        log_likelihood = float(np.add.reduceat(log_class, _WHOLE_SEGMENT)[0])
 
         if previous_ll is not None and abs(log_likelihood - previous_ll) < tol:
             converged = True
@@ -612,3 +653,341 @@ def estimate_from_expansion(
         n_individuals=n_individuals,
         n_loci=expansion.n_loci,
     )
+
+
+# --------------------------------------------------------------------- #
+# the generation-batched multi-problem kernel
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class StackedExpansion:
+    """A batch of :class:`PhaseExpansion` problems packed into flat arrays.
+
+    The GA's evaluation layers hand the kernel *batches* of independent EM
+    problems (one per distinct candidate × status group per generation), each
+    of which is tiny: below ~1k pairs the per-iteration numpy dispatch
+    overhead dominates the arithmetic.  Stacking the problems — concatenated
+    pair/class arrays with per-problem segment offsets, haplotype-state
+    indices shifted so every problem owns a disjoint block of one flat
+    frequency vector — lets :func:`run_em_stacked` drive **all** problems
+    through one numpy dispatch per EM operation.
+
+    The ragged layout is fully general: problems may differ in locus count
+    (and therefore state-space size), class count, pair count and chromosome
+    total.  Segment boundaries are carried as per-problem lengths; offsets
+    are their cumulative sums.
+
+    Attributes
+    ----------
+    n_loci, n_states, n_individuals:
+        Per-problem metadata (``n_states[p] == 2**n_loci[p]``).
+    classes_per_problem, pairs_per_problem:
+        Per-problem segment lengths of the concatenated class/pair arrays.
+    pairs_per_class:
+        Pairs in each concatenated class (for segmented class reductions).
+    class_counts:
+        Concatenated per-class individual counts.
+    pair_a, pair_b:
+        Haplotype states of each candidate pair as *global* indices into the
+        flat frequency vector (local state + the problem's state offset).
+    pair_class:
+        Global class index of each pair.
+    pair_multiplicity:
+        1.0 where ``pair_a == pair_b`` else 2.0.
+    can_reduceat:
+        Whether every non-empty problem supports contiguous segmented
+        reductions (class-sorted, no empty class) — true for every expansion
+        built by :func:`expand_phases` / :func:`concat_expansions`; the
+        kernel falls back to ``np.bincount`` otherwise.
+    """
+
+    n_loci: np.ndarray
+    n_states: np.ndarray
+    n_individuals: np.ndarray
+    classes_per_problem: np.ndarray
+    pairs_per_problem: np.ndarray
+    pairs_per_class: np.ndarray
+    class_counts: np.ndarray
+    pair_a: np.ndarray
+    pair_b: np.ndarray
+    pair_class: np.ndarray
+    pair_multiplicity: np.ndarray
+    can_reduceat: bool
+
+    @property
+    def n_problems(self) -> int:
+        return self.n_loci.shape[0]
+
+    @property
+    def n_total_states(self) -> int:
+        return int(self.n_states.sum())
+
+    @property
+    def n_total_pairs(self) -> int:
+        return self.pair_a.shape[0]
+
+
+def stack_expansions(expansions: Sequence[PhaseExpansion]) -> StackedExpansion:
+    """Pack a batch of phase expansions into one :class:`StackedExpansion`.
+
+    Problems keep their identity (nothing is merged — contrast with
+    :func:`concat_expansions`, which pools two groups into *one* problem);
+    empty problems (no complete individuals) are carried through and resolved
+    immediately by :func:`run_em_stacked`, exactly like the scalar kernel.
+    """
+    if len(expansions) == 0:
+        raise ValueError("at least one expansion is required")
+    exps = [e.sorted_by_class() for e in expansions]
+    n_loci = np.array([e.n_loci for e in exps], dtype=np.int64)
+    n_states = np.array([n_haplotype_states(e.n_loci) for e in exps], dtype=np.int64)
+    n_individuals = np.array([e.n_individuals for e in exps], dtype=np.int64)
+    classes_pp = np.array([e.n_classes for e in exps], dtype=np.int64)
+    pairs_pp = np.array([e.n_pairs for e in exps], dtype=np.int64)
+    state_offsets = np.concatenate([[0], np.cumsum(n_states)])
+    class_offsets = np.concatenate([[0], np.cumsum(classes_pp)])
+    pairs_per_class = np.concatenate(
+        [np.diff(np.append(e.class_starts, e.n_pairs)) for e in exps]
+    )
+    return StackedExpansion(
+        n_loci=n_loci,
+        n_states=n_states,
+        n_individuals=n_individuals,
+        classes_per_problem=classes_pp,
+        pairs_per_problem=pairs_pp,
+        pairs_per_class=pairs_per_class.astype(np.int64),
+        class_counts=np.concatenate([e.class_counts for e in exps]),
+        pair_a=np.concatenate(
+            [e.pair_a + state_offsets[i] for i, e in enumerate(exps)]
+        ),
+        pair_b=np.concatenate(
+            [e.pair_b + state_offsets[i] for i, e in enumerate(exps)]
+        ),
+        pair_class=np.concatenate(
+            [e.pair_class + class_offsets[i] for i, e in enumerate(exps)]
+        ),
+        pair_multiplicity=np.concatenate([e.pair_multiplicity for e in exps]),
+        can_reduceat=all(e._can_reduceat for e in exps if e.n_pairs > 0),
+    )
+
+
+def _stacked_initial_frequencies(
+    stacked: StackedExpansion,
+    initial_frequencies: "Sequence[np.ndarray | None] | None",
+) -> np.ndarray:
+    """The flat per-problem starting frequencies, validated like the scalar kernel."""
+    total_states = stacked.n_total_states
+    frequencies = np.empty(total_states, dtype=np.float64)
+    state_offsets = np.concatenate([[0], np.cumsum(stacked.n_states)])
+    if initial_frequencies is not None and len(initial_frequencies) != stacked.n_problems:
+        raise ValueError(
+            f"initial_frequencies must provide one entry per problem "
+            f"({stacked.n_problems}), got {len(initial_frequencies)}"
+        )
+    for p in range(stacked.n_problems):
+        n_states = int(stacked.n_states[p])
+        segment = frequencies[state_offsets[p]: state_offsets[p + 1]]
+        initial = None if initial_frequencies is None else initial_frequencies[p]
+        if initial is None:
+            segment[:] = 1.0 / n_states
+            continue
+        initial = np.asarray(initial, dtype=np.float64)
+        if initial.shape != (n_states,):
+            raise ValueError(f"initial_frequencies must have length {n_states}")
+        if np.any(initial < 0):
+            raise ValueError("initial_frequencies must be non-negative")
+        total = initial.sum()
+        if total <= 0:
+            raise ValueError("initial_frequencies must not be all zero")
+        segment[:] = initial / total
+    return frequencies
+
+
+def run_em_stacked(
+    stacked: StackedExpansion,
+    *,
+    initial_frequencies: "Sequence[np.ndarray | None] | None" = None,
+    max_iter: int = 200,
+    tol: float = 1e-8,
+) -> list[EMResult]:
+    """Run the EM on every problem of a stacked batch, one dispatch per op.
+
+    Per iteration the kernel performs the *same arithmetic per problem* as
+    :func:`estimate_from_expansion` — pair-probability gather, segmented
+    class reduction, floored log-likelihood, posterior E-step, ``bincount``
+    M-step — but over the concatenated arrays, so the whole batch pays one
+    numpy dispatch per operation instead of one per problem.  Every segmented
+    operation it uses is bit-stable under concatenation (segment sums depend
+    only on the segment's own values), so each problem reproduces the scalar
+    kernel's trajectory **exactly**: identical per-problem iteration counts,
+    convergence flags, log-likelihoods and frequencies, independent of how
+    the batch is composed.
+
+    Problems converge at different iterations; converged problems are
+    compacted out of the active arrays, so late iterations only pay for the
+    stragglers.
+
+    Parameters
+    ----------
+    stacked:
+        The packed batch (see :func:`stack_expansions`).
+    initial_frequencies:
+        Optional per-problem warm starts (``None`` entries mean uniform).
+    max_iter, tol:
+        EM control parameters, shared by every problem in the batch.
+
+    Returns
+    -------
+    list[EMResult] in problem order.
+    """
+    n_problems = stacked.n_problems
+    frequencies = _stacked_initial_frequencies(stacked, initial_frequencies)
+    results: list[EMResult | None] = [None] * n_problems
+
+    # --- active-subset state (mutated by compaction) ------------------- #
+    active = np.arange(n_problems)
+    states_pp = stacked.n_states.copy()
+    classes_pp = stacked.classes_per_problem.copy()
+    pairs_pp = stacked.pairs_per_problem.copy()
+    pairs_pc = stacked.pairs_per_class.copy()
+    class_counts = stacked.class_counts.astype(np.float64)
+    pair_a = stacked.pair_a
+    pair_b = stacked.pair_b
+    pair_class = stacked.pair_class
+    multiplicity = stacked.pair_multiplicity
+    n_chromosomes = 2.0 * stacked.n_individuals.astype(np.float64)
+    chrom_per_state = np.repeat(n_chromosomes, states_pp)
+    counts_per_pair = class_counts[pair_class]
+    prev_ll = np.zeros(n_problems, dtype=np.float64)
+    state_offsets = np.concatenate([[0], np.cumsum(states_pp)])
+    class_starts = np.concatenate([[0], np.cumsum(pairs_pc)[:-1]]).astype(np.intp)
+    problem_class_starts = np.concatenate(
+        [[0], np.cumsum(classes_pp)[:-1]]
+    ).astype(np.intp)
+
+    def finish(local: int, iteration: int, ll: float, converged: bool) -> None:
+        p = int(active[local])
+        segment = frequencies[state_offsets[local]: state_offsets[local + 1]]
+        results[p] = EMResult(
+            frequencies=segment.copy(),
+            log_likelihood=ll,
+            n_iterations=iteration,
+            converged=converged,
+            n_individuals=int(stacked.n_individuals[p]),
+            n_loci=int(stacked.n_loci[p]),
+        )
+
+    def compact(keep: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Drop finished problems; returns (pair_keep, class_keep) masks."""
+        nonlocal active, states_pp, classes_pp, pairs_pp, pairs_pc, class_counts
+        nonlocal pair_a, pair_b, pair_class, multiplicity, counts_per_pair
+        nonlocal n_chromosomes, chrom_per_state, frequencies, prev_ll
+        nonlocal state_offsets, class_starts, problem_class_starts
+        state_keep = np.repeat(keep, states_pp)
+        class_keep = np.repeat(keep, classes_pp)
+        pair_keep = np.repeat(keep, pairs_pp)
+        state_map = np.cumsum(state_keep) - 1
+        class_map = np.cumsum(class_keep) - 1
+        pair_a = state_map[pair_a[pair_keep]]
+        pair_b = state_map[pair_b[pair_keep]]
+        pair_class = class_map[pair_class[pair_keep]]
+        multiplicity = multiplicity[pair_keep]
+        counts_per_pair = counts_per_pair[pair_keep]
+        class_counts = class_counts[class_keep]
+        pairs_pc = pairs_pc[class_keep]
+        frequencies = frequencies[state_keep]
+        chrom_per_state = chrom_per_state[state_keep]
+        active = active[keep]
+        states_pp = states_pp[keep]
+        classes_pp = classes_pp[keep]
+        pairs_pp = pairs_pp[keep]
+        n_chromosomes = n_chromosomes[keep]
+        prev_ll = prev_ll[keep]
+        state_offsets = np.concatenate([[0], np.cumsum(states_pp)])
+        class_starts = np.concatenate([[0], np.cumsum(pairs_pc)[:-1]]).astype(np.intp)
+        problem_class_starts = np.concatenate(
+            [[0], np.cumsum(classes_pp)[:-1]]
+        ).astype(np.intp)
+        return pair_keep, class_keep
+
+    # problems with no complete individuals finish immediately (the scalar
+    # kernel's early return: ll 0.0, zero iterations, converged)
+    empty = stacked.n_individuals == 0
+    if empty.any():
+        for local in np.flatnonzero(empty):
+            finish(int(local), 0, 0.0, True)
+        compact(~empty)
+    if active.shape[0] == 0:
+        return results  # type: ignore[return-value]
+
+    # Finished problems are compacted out *lazily*: compaction costs several
+    # O(active) passes (masks, remaps, cumsums), so it only pays for itself
+    # once the finished problems own a decent share of the pair work.  Until
+    # then they simply keep iterating (their results were already recorded
+    # from a copy; the extra iterations are wasted but cheap, and the floored
+    # class probabilities keep the arithmetic NaN-free).
+    done = np.zeros(active.shape[0], dtype=bool)
+    n_total_states = int(states_pp.sum())
+    total_pairs = int(pairs_pp.sum())
+    iteration = 0
+    while True:
+        # pair probabilities under the current frequencies, shared by the
+        # likelihood and the E-step — arithmetic order matches the scalar
+        # kernel exactly: (multiplicity * f[a]) * f[b]
+        pair_prob = multiplicity * frequencies[pair_a]
+        pair_prob *= frequencies[pair_b]
+        if stacked.can_reduceat:
+            class_prob = np.add.reduceat(pair_prob, class_starts)
+        else:
+            class_prob = np.bincount(
+                pair_class, weights=pair_prob, minlength=class_counts.shape[0]
+            )
+        np.maximum(class_prob, _LOG_FLOOR, out=class_prob)
+        log_class = np.log(class_prob)
+        log_class *= class_counts
+        log_likelihood = np.add.reduceat(log_class, problem_class_starts)
+
+        if iteration > 0:
+            converged = np.abs(log_likelihood - prev_ll) < tol
+        else:
+            converged = np.zeros(active.shape[0], dtype=bool)
+        if iteration >= max_iter:
+            finished_now = ~done
+        else:
+            finished_now = converged & ~done
+
+        if finished_now.any():
+            for local in np.flatnonzero(finished_now):
+                finish(
+                    int(local),
+                    iteration,
+                    float(log_likelihood[local]),
+                    bool(converged[local]),
+                )
+            done |= finished_now
+            if done.all():
+                break
+            if 4 * int(pairs_pp[done].sum()) >= total_pairs:
+                keep = ~done
+                prev_ll = log_likelihood  # compact() subsets it via keep
+                pair_keep, class_keep = compact(keep)
+                pair_prob = pair_prob[pair_keep]
+                class_prob = class_prob[class_keep]
+                done = np.zeros(active.shape[0], dtype=bool)
+                n_total_states = int(states_pp.sum())
+                total_pairs = int(pairs_pp.sum())
+            else:
+                prev_ll = log_likelihood
+        else:
+            prev_ll = log_likelihood
+
+        # E-step: posterior probability of each compatible pair within its
+        # class, weighted by the class population
+        weight = pair_prob / class_prob[pair_class]
+        weight *= counts_per_pair
+
+        # M-step: expected haplotype counts -> new frequencies
+        hap_counts = np.bincount(pair_a, weights=weight, minlength=n_total_states)
+        hap_counts += np.bincount(pair_b, weights=weight, minlength=n_total_states)
+        frequencies = hap_counts / chrom_per_state
+        iteration += 1
+
+    return results  # type: ignore[return-value]

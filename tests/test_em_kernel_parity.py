@@ -20,6 +20,8 @@ from repro.stats.em import (
     estimate_haplotype_frequencies,
     expand_phases,
     expansion_log_likelihood,
+    run_em_stacked,
+    stack_expansions,
 )
 from repro.stats.em_reference import (
     reference_estimate_from_expansion,
@@ -206,6 +208,141 @@ class TestWarmStart:
         assert warm.log_likelihood == pytest.approx(cold.log_likelihood, abs=1e-6)
 
 
+def _assert_stacked_matches_scalar(expansions, *, initial_frequencies=None, **kwargs):
+    """The stacked kernel must reproduce the scalar kernel *bitwise*.
+
+    Bit-identity (not just tolerance-level agreement) is what makes batching
+    a pure throughput decision: any partition of a workload into stacked
+    calls — whole generations on the serial path, per-slave chunks on the
+    farm — yields the same fitnesses, which the 201-locus scan determinism
+    test relies on.
+    """
+    stacked = run_em_stacked(
+        stack_expansions(expansions),
+        initial_frequencies=initial_frequencies,
+        **kwargs,
+    )
+    for index, (expansion, batched) in enumerate(zip(expansions, stacked)):
+        initial = None if initial_frequencies is None else initial_frequencies[index]
+        scalar = estimate_from_expansion(
+            expansion, initial_frequencies=initial, **kwargs
+        )
+        assert batched.n_iterations == scalar.n_iterations
+        assert batched.converged == scalar.converged
+        assert batched.n_individuals == scalar.n_individuals
+        assert batched.n_loci == scalar.n_loci
+        assert batched.log_likelihood == scalar.log_likelihood
+        np.testing.assert_array_equal(batched.frequencies, scalar.frequencies)
+
+
+class TestStackedKernel:
+    """The generation-batched kernel vs the scalar kernel, per problem."""
+
+    def _random_problems(self, seed: int, count: int) -> list:
+        rng = np.random.default_rng(seed)
+        problems = []
+        for _ in range(count):
+            n = int(rng.integers(3, 90))
+            n_loci = int(rng.integers(1, 8))
+            missing = float(rng.choice([0.0, 0.05, 0.3]))
+            genotypes = rng.integers(0, 3, size=(n, n_loci)).astype(np.int8)
+            if missing > 0:
+                genotypes[rng.random(genotypes.shape) < missing] = -1
+            problems.append(expand_phases(genotypes))
+        return problems
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_ragged_batches(self, seed):
+        # mixed group sizes, locus counts and missingness in one stack
+        _assert_stacked_matches_scalar(self._random_problems(seed, 12))
+
+    def test_batch_of_one(self):
+        _assert_stacked_matches_scalar(self._random_problems(61, 1))
+
+    def test_large_batch(self):
+        _assert_stacked_matches_scalar(self._random_problems(62, 64))
+
+    def test_batch_with_empty_problem(self):
+        problems = self._random_problems(63, 5)
+        problems.insert(2, expand_phases(np.full((4, 3), -1, dtype=np.int8)))
+        _assert_stacked_matches_scalar(problems)
+        results = run_em_stacked(stack_expansions(problems))
+        assert results[2].n_individuals == 0
+        assert results[2].converged and results[2].n_iterations == 0
+
+    def test_all_empty_batch(self):
+        problems = [
+            expand_phases(np.full((3, L), -1, dtype=np.int8)) for L in (1, 2, 4)
+        ]
+        results = run_em_stacked(stack_expansions(problems))
+        assert all(r.converged and r.n_iterations == 0 for r in results)
+        np.testing.assert_allclose(results[2].frequencies, np.full(16, 1 / 16))
+
+    def test_all_converge_at_first_iteration(self):
+        # warm-starting every problem from its own converged frequencies makes
+        # the whole batch finish together within an iteration or two — the
+        # all-finish-at-once exit path, no straggler compaction involved
+        problems = self._random_problems(64, 8)
+        initials = [estimate_from_expansion(e).frequencies for e in problems]
+        _assert_stacked_matches_scalar(problems, initial_frequencies=initials)
+        results = run_em_stacked(stack_expansions(problems), initial_frequencies=initials)
+        assert all(r.n_iterations <= 2 for r in results)
+
+    def test_max_iter_cutoff(self):
+        problems = self._random_problems(65, 6)
+        _assert_stacked_matches_scalar(problems, max_iter=3)
+        _assert_stacked_matches_scalar(problems, max_iter=0)
+
+    def test_mixed_warm_and_cold_starts(self):
+        problems = self._random_problems(66, 6)
+        initials = [None] * len(problems)
+        initials[1] = estimate_from_expansion(problems[1]).frequencies
+        initials[4] = estimate_from_expansion(problems[4]).frequencies
+        _assert_stacked_matches_scalar(problems, initial_frequencies=initials)
+
+    def test_heterogeneous_convergence_compaction(self):
+        # deliberately mix a near-converged problem with cold ones so the
+        # lazy compaction path (some finish, stragglers continue) is exercised
+        problems = self._random_problems(67, 10)
+        initials = [None] * len(problems)
+        initials[0] = estimate_from_expansion(problems[0]).frequencies
+        initials[7] = estimate_from_expansion(problems[7]).frequencies
+        _assert_stacked_matches_scalar(problems, initial_frequencies=initials)
+
+    def test_unsorted_expansions_are_normalised(self):
+        base = expand_phases(_random_genotypes(68, 30, 4, missing_rate=0.1))
+        rng = np.random.default_rng(69)
+        order = rng.permutation(base.n_pairs)
+        shuffled = PhaseExpansion(
+            n_loci=base.n_loci,
+            class_counts=base.class_counts,
+            pair_a=base.pair_a[order],
+            pair_b=base.pair_b[order],
+            pair_class=base.pair_class[order],
+            pair_multiplicity=base.pair_multiplicity[order],
+        )
+        _assert_stacked_matches_scalar([shuffled, base])
+
+    def test_validation(self):
+        problems = self._random_problems(70, 3)
+        with pytest.raises(ValueError):
+            stack_expansions([])
+        stacked = stack_expansions(problems)
+        with pytest.raises(ValueError):
+            run_em_stacked(stacked, initial_frequencies=[None])  # wrong length
+        bad = [None, np.full(3, 0.5), None]  # length 3 is never a state count
+        with pytest.raises(ValueError):
+            run_em_stacked(stacked, initial_frequencies=bad)
+        with pytest.raises(ValueError):
+            run_em_stacked(
+                stacked,
+                initial_frequencies=[
+                    np.zeros(2 ** e.n_loci) for e in problems
+                ],
+            )
+
+
 class TestPhaseExpansionCache:
     def test_hit_returns_same_object(self):
         genotypes = _random_genotypes(51, 30, 6)
@@ -240,3 +377,16 @@ class TestPhaseExpansionCache:
             PhaseExpansionCache(genotypes, max_size=0)
         with pytest.raises(ValueError):
             PhaseExpansionCache(genotypes[0])
+
+    def test_presorted_key_fast_path(self):
+        # an already-normalised key (the evaluator's _validate_snps output)
+        # must hit the same entry as the slow path, without re-sorting
+        genotypes = _random_genotypes(55, 30, 6)
+        cache = PhaseExpansionCache(genotypes)
+        slow = cache.get((4, 0, 2))
+        fast = cache.get((0, 2, 4), presorted=True)
+        assert fast is slow
+        assert cache.hits == 1 and cache.misses == 1
+        fresh = cache.get((1, 3), presorted=True)
+        direct = expand_phases(genotypes[:, [1, 3]])
+        np.testing.assert_array_equal(fresh.pair_a, direct.pair_a)
