@@ -1,0 +1,287 @@
+"""Benchmark: the cost of surviving faults — recovery overhead and resume gain.
+
+Two measurements of the robustness layer, recorded to ``BENCH_faults.json``
+(diffable with ``scripts/bench_compare.py``, which also gates the ``*_gain*``
+leaves):
+
+1. **Recovery overhead.**  The work-stealing farm evaluates the same
+   skewed-cost trace as ``bench_substrate_steal.py`` twice — fault-free, and
+   with a :class:`repro.testing.faults.ChaosPolicy` hard-killing exactly one
+   of the 4 slaves early in the run (token file: one victim, not four) under
+   a ``respawn=True`` :class:`repro.parallel.farm.FarmRecoveryPolicy`.  Both
+   runs must return identical checksums (replay is bit-identical by purity);
+   the headline is how much wall-clock one slave death costs.  The run
+   asserts the overhead stays within the 25% acceptance budget.
+
+2. **Checkpoint resume.**  A windowed scan is journaled to a checkpoint and
+   interrupted halfway; the headline compares finishing via
+   ``run_scan(..., resume=True)`` against re-running the scan cold.  Both
+   reports must be fingerprint-identical.
+
+Usage::
+
+    python benchmarks/bench_faults.py            # full run
+    python benchmarks/bench_faults.py --quick    # CI smoke
+    python benchmarks/bench_faults.py -o out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+_HERE = os.path.dirname(os.path.abspath(__file__))
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
+
+from bench_substrate_steal import (  # noqa: E402
+    N_WORKERS,
+    CostModelFitness,
+    _FitnessFactory,
+    skewed_trace,
+)
+from repro.core.config import GAConfig  # noqa: E402
+from repro.genetics.simulate import (  # noqa: E402
+    DiseaseModel,
+    PopulationModel,
+    simulate_case_control_study,
+)
+from repro.parallel.farm import ChunkedWorkerFarm, FarmRecoveryPolicy  # noqa: E402
+from repro.scan import run_scan  # noqa: E402
+from repro.testing.faults import ChaosFactory, ChaosPolicy  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_faults.json"
+)
+
+#: faster death detection than the production 0.5 s poll, so the benchmark
+#: measures recovery work rather than polling latency
+POLL_SECONDS = 0.1
+
+OVERHEAD_BUDGET = 0.25  # acceptance: one death costs <= 25% wall-clock
+
+SCAN_WINDOW_SIZE = 4
+SCAN_OVERLAP = 2
+SCAN_SEED = 17
+
+
+def run_farm_mode(
+    batches, *, base_seconds: float, chaos: ChaosPolicy | None = None
+) -> dict:
+    factory = _FitnessFactory(CostModelFitness(base_seconds))
+    if chaos is not None:
+        factory = ChaosFactory(factory, chaos)
+    recovery = FarmRecoveryPolicy(
+        respawn=True, max_worker_restarts=4, max_chunk_retries=3
+    )
+    n_requests = n_evaluations = 0
+    checksum = 0.0
+    with ChunkedWorkerFarm(
+        factory,
+        N_WORKERS,
+        chunk_size=1,
+        worker_cache_size=0,
+        steal=True,
+        max_inflight=1,
+        recovery=recovery,
+    ) as farm:
+        farm._RESULT_POLL_SECONDS = POLL_SECONDS
+        start = time.perf_counter()
+        for batch in batches:
+            values, stats = farm.evaluate(batch)
+            checksum += sum(values)
+            n_requests += stats.n_requests
+            n_evaluations += stats.n_evaluations
+        elapsed = time.perf_counter() - start
+        counters = farm.recovery_counters()
+    return {
+        "mode": "fault_free" if chaos is None else "one_worker_killed",
+        "n_workers": N_WORKERS,
+        "elapsed_seconds": elapsed,
+        "n_requests": n_requests,
+        "n_evaluations": n_evaluations,
+        "checksum": round(checksum, 9),
+        "recovery_counters": counters,
+    }
+
+
+def bench_recovery_overhead(*, quick: bool) -> tuple[dict, dict, float]:
+    if quick:
+        base_seconds, n_batches, n_expensive, n_cheap = 4e-4, 2, 8, 40
+    else:
+        base_seconds, n_batches, n_expensive, n_cheap = 8e-4, 4, 8, 60
+    batches = skewed_trace(
+        n_batches=n_batches, n_expensive=n_expensive, n_cheap=n_cheap
+    )
+    fault_free = run_farm_mode(batches, base_seconds=base_seconds)
+    with tempfile.TemporaryDirectory() as tmp:
+        chaos = ChaosPolicy(
+            kill_after=3, token_path=os.path.join(tmp, "chaos.token")
+        )
+        faulty = run_farm_mode(batches, base_seconds=base_seconds, chaos=chaos)
+    if faulty["checksum"] != fault_free["checksum"]:
+        raise AssertionError(
+            f"recovery changed the results: "
+            f"{faulty['checksum']} != {fault_free['checksum']}"
+        )
+    if faulty["recovery_counters"]["n_worker_deaths"] != 1:
+        raise AssertionError(
+            f"expected exactly one injected death, got "
+            f"{faulty['recovery_counters']}"
+        )
+    overhead = (
+        faulty["elapsed_seconds"] / fault_free["elapsed_seconds"] - 1.0
+    )
+    if not quick and overhead > OVERHEAD_BUDGET:
+        raise AssertionError(
+            f"one worker death cost {overhead:.0%} wall-clock "
+            f"(budget {OVERHEAD_BUDGET:.0%})"
+        )
+    return fault_free, faulty, overhead
+
+
+class _Interrupted(Exception):
+    """Stand-in for the scan process being killed mid-flight."""
+
+
+def bench_checkpoint_resume(*, quick: bool) -> tuple[dict, dict]:
+    n_snps = 101 if quick else 201
+    model = PopulationModel(n_snps=n_snps, block_size=6, within_block_correlation=0.4)
+    disease = DiseaseModel(
+        causal_snps=(20, 60, 90) if quick else (20, 100, 180),
+        risk_alleles=(2, 2, 2),
+        baseline_penetrance=0.1,
+        relative_risk=6.0,
+        risk_haplotype_frequency=0.3,
+    )
+    study = simulate_case_control_study(
+        population_model=model,
+        disease_model=disease,
+        n_affected=20,
+        n_unaffected=20,
+        seed=31,
+    )
+    config = GAConfig(
+        population_size=6,
+        min_haplotype_size=2,
+        max_haplotype_size=2,
+        termination_stagnation=1,
+        max_generations=2,
+        point_mutation_trials=1,
+    )
+
+    def scan(**kwargs):
+        return run_scan(
+            study.dataset,
+            window_size=SCAN_WINDOW_SIZE,
+            overlap=SCAN_OVERLAP,
+            config=config,
+            seed=SCAN_SEED,
+            **kwargs,
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint = os.path.join(tmp, "scan.jsonl")
+
+        start = time.perf_counter()
+        cold = scan()
+        cold_seconds = time.perf_counter() - start
+        half = cold.n_windows // 2
+        seen = 0
+
+        def die_at_half(result):
+            nonlocal seen
+            seen += 1
+            if seen >= half:
+                raise _Interrupted()
+
+        try:
+            scan(checkpoint_path=checkpoint, progress=die_at_half)
+        except _Interrupted:
+            pass
+        start = time.perf_counter()
+        resumed = scan(checkpoint_path=checkpoint, resume=True)
+        resume_seconds = time.perf_counter() - start
+    if resumed.fingerprint() != cold.fingerprint():
+        raise AssertionError("resumed scan diverged from the cold scan")
+    cold_result = {
+        "mode": "cold_full_scan",
+        "n_windows": cold.n_windows,
+        "elapsed_seconds": cold_seconds,
+    }
+    resume_result = {
+        "mode": "resume_from_half_checkpoint",
+        "n_windows": resumed.n_windows,
+        "n_windows_restored": half,
+        "elapsed_seconds": resume_seconds,
+    }
+    return cold_result, resume_result
+
+
+def run_benchmark(*, quick: bool) -> dict:
+    fault_free, faulty, overhead = bench_recovery_overhead(quick=quick)
+    cold, resumed = bench_checkpoint_resume(quick=quick)
+    report: dict = {
+        "benchmark": "faults",
+        "results": {
+            f"fault_free_{N_WORKERS}w": fault_free,
+            f"one_death_{N_WORKERS}w": faulty,
+            "scan_cold": cold,
+            "scan_resume": resumed,
+        },
+        "headline": {
+            # both are *_gain leaves for scripts/bench_compare.py --gains-only
+            f"recovery_vs_faultfree_gain_at_{N_WORKERS}_workers": (
+                fault_free["elapsed_seconds"] / faulty["elapsed_seconds"]
+            ),
+            "resume_vs_cold_gain": (
+                cold["elapsed_seconds"] / resumed["elapsed_seconds"]
+            ),
+            "recovery_overhead_fraction": overhead,
+        },
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized smoke run")
+    parser.add_argument("-o", "--output", default=DEFAULT_OUTPUT,
+                        help=f"output JSON path (default {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(quick=args.quick)
+
+    for label, result in report["results"].items():
+        extra = ""
+        if "recovery_counters" in result:
+            counters = result["recovery_counters"]
+            extra = (
+                f" (deaths {counters['n_worker_deaths']}, "
+                f"replays {counters['n_chunks_replayed']}, "
+                f"respawns {counters['n_worker_respawns']})"
+            )
+        print(f"  {label:16s} {result['elapsed_seconds']:7.2f} s{extra}")
+    headline = report["headline"]
+    print(
+        f"one slave death costs "
+        f"{headline['recovery_overhead_fraction']:+.1%} wall-clock; "
+        f"resume vs cold rescan: {headline['resume_vs_cold_gain']:.2f}x"
+    )
+
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

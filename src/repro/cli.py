@@ -141,6 +141,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_scan.add_argument("--max-generations", type=int, default=60)
     p_scan.add_argument("--top", type=int, default=10,
                         help="number of top windows to print")
+    p_scan.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="journal each completed window to this JSONL "
+                             "file (crash-safe; see --resume)")
+    p_scan.add_argument("--resume", action="store_true",
+                        help="restore windows already in --checkpoint instead "
+                             "of re-running them (bit-identical to an "
+                             "uninterrupted scan)")
+    p_scan.add_argument("--self-heal", action="store_true",
+                        help="survive worker crashes on the process-farm "
+                             "backends: respawn dead slaves and replay their "
+                             "chunks on survivors")
     _add_backend_arguments(p_scan, default_seed=0)
 
     p_t2 = sub.add_parser("table2", help="regenerate Table 2 (GA results over repeated runs)")
@@ -265,8 +276,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_scan(args: argparse.Namespace) -> int:
     from .core.config import GAConfig
+    from .parallel.farm import FarmRecoveryPolicy
     from .scan import run_scan
 
+    if args.resume and args.checkpoint is None:
+        print("scan --resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    if args.self_heal and args.backend in ("serial", "threads"):
+        print(
+            f"scan --self-heal needs a process-farm backend "
+            f"(process, process-shm, async), not {args.backend!r}",
+            file=sys.stderr,
+        )
+        return 2
     if args.study is None:
         from .experiments.datasets import large249
 
@@ -294,6 +316,9 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         # 0 is the unlimited sentinel; negatives fall through to
         # execute_plan's validation and fail loudly
         max_pending=args.max_pending if args.max_pending != 0 else None,
+        recovery=FarmRecoveryPolicy(respawn=True) if args.self_heal else None,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
     )
     print(report.format(top=args.top))
     print()

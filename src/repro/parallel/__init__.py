@@ -18,7 +18,13 @@ from .base import (
     FitnessCallable,
     SnpSet,
 )
-from .farm import ChunkedWorkerFarm, ChunkStats, affinity_worker
+from .farm import (
+    ChunkedWorkerFarm,
+    ChunkStats,
+    FarmDeadError,
+    FarmRecoveryPolicy,
+    affinity_worker,
+)
 from .master_slave import MasterSlaveEvaluator, default_worker_count
 from .pvm import EvaluationCostModel, SimulatedPVM, SimulatedSchedule, SlaveTimeline
 from .serial import SerialEvaluator
@@ -36,6 +42,8 @@ __all__ = [
     "MasterSlaveEvaluator",
     "ChunkedWorkerFarm",
     "ChunkStats",
+    "FarmDeadError",
+    "FarmRecoveryPolicy",
     "affinity_worker",
     "default_worker_count",
     "EvaluationCostModel",

@@ -160,6 +160,9 @@ class DistinctEvaluation:
     n_stacked_problems:
         EM problems answered by those stacked calls (their ratio is the mean
         stacked batch occupancy).
+    n_worker_deaths / n_chunks_replayed / n_worker_respawns:
+        Recovery events the backend survived while evaluating this batch
+        (self-healing farm only; 0 everywhere else).
     """
 
     values: list[float]
@@ -168,6 +171,9 @@ class DistinctEvaluation:
     backend_seconds: float = 0.0
     n_stacked_em: int = 0
     n_stacked_problems: int = 0
+    n_worker_deaths: int = 0
+    n_chunks_replayed: int = 0
+    n_worker_respawns: int = 0
 
 
 @dataclass
@@ -205,6 +211,16 @@ class EvaluationStats:
         counters — these depend on how work was chunked across workers, so
         they are excluded from :meth:`counters` (the cross-backend parity
         contract).
+    n_worker_deaths:
+        Slave processes lost (died or reaped as hung) and survived via a
+        :class:`~repro.parallel.farm.FarmRecoveryPolicy`.
+    n_chunks_replayed:
+        Lost in-flight chunks replayed bit-identically on surviving slaves.
+    n_worker_respawns:
+        Dead slaves restarted in place.  All three recovery counters describe
+        *infrastructure* events, not evaluation work — a faulty run performs
+        exactly the same requests/evaluations as a fault-free one — so, like
+        the stacked-EM counters, they are excluded from :meth:`counters`.
     """
 
     n_evaluations: int = 0
@@ -216,6 +232,9 @@ class EvaluationStats:
     backend_seconds: float = 0.0
     n_stacked_em: int = 0
     n_stacked_problems: int = 0
+    n_worker_deaths: int = 0
+    n_chunks_replayed: int = 0
+    n_worker_respawns: int = 0
 
     def record_batch(
         self,
@@ -228,6 +247,9 @@ class EvaluationStats:
         backend_seconds: float = 0.0,
         n_stacked_em: int = 0,
         n_stacked_problems: int = 0,
+        n_worker_deaths: int = 0,
+        n_chunks_replayed: int = 0,
+        n_worker_respawns: int = 0,
     ) -> None:
         self.n_evaluations += batch_size
         self.n_requests += batch_size if n_requests is None else n_requests
@@ -238,10 +260,14 @@ class EvaluationStats:
         self.backend_seconds += backend_seconds
         self.n_stacked_em += n_stacked_em
         self.n_stacked_problems += n_stacked_problems
+        self.n_worker_deaths += n_worker_deaths
+        self.n_chunks_replayed += n_chunks_replayed
+        self.n_worker_respawns += n_worker_respawns
 
     def counters(self) -> dict[str, int]:
-        """The integer counters as a dict (timings excluded) — the part of the
-        stats that must agree exactly between backends on the same workload."""
+        """The integer counters as a dict (timings, stacked-EM and recovery
+        counters excluded) — the part of the stats that must agree exactly
+        between backends on the same workload."""
         return {
             "n_requests": self.n_requests,
             "n_evaluations": self.n_evaluations,
@@ -269,6 +295,9 @@ class EvaluationStats:
         self.backend_seconds += other.backend_seconds
         self.n_stacked_em += other.n_stacked_em
         self.n_stacked_problems += other.n_stacked_problems
+        self.n_worker_deaths += other.n_worker_deaths
+        self.n_chunks_replayed += other.n_chunks_replayed
+        self.n_worker_respawns += other.n_worker_respawns
 
     def since(self, snapshot: "EvaluationStats") -> "EvaluationStats":
         """Stats accumulated after ``snapshot`` was taken (field-wise difference)."""
@@ -282,6 +311,9 @@ class EvaluationStats:
             backend_seconds=self.backend_seconds - snapshot.backend_seconds,
             n_stacked_em=self.n_stacked_em - snapshot.n_stacked_em,
             n_stacked_problems=self.n_stacked_problems - snapshot.n_stacked_problems,
+            n_worker_deaths=self.n_worker_deaths - snapshot.n_worker_deaths,
+            n_chunks_replayed=self.n_chunks_replayed - snapshot.n_chunks_replayed,
+            n_worker_respawns=self.n_worker_respawns - snapshot.n_worker_respawns,
         )
 
     @property
@@ -438,6 +470,9 @@ class BaseBatchEvaluator(abc.ABC):
             backend_seconds=details.backend_seconds,
             n_stacked_em=details.n_stacked_em,
             n_stacked_problems=details.n_stacked_problems,
+            n_worker_deaths=details.n_worker_deaths,
+            n_chunks_replayed=details.n_chunks_replayed,
+            n_worker_respawns=details.n_worker_respawns,
         )
         return [float(r) for r in results]  # type: ignore[arg-type]
 

@@ -17,8 +17,9 @@ engine itself is asynchronous:
 
 * work is submitted as **tickets** (:meth:`ChunkedWorkerFarm.submit`) whose
   chunks are queued master-side in per-slave *affinity queues*;
-* completions stream back through one shared outbox and are folded into their
-  ticket as they arrive (:meth:`~ChunkedWorkerFarm.collect` /
+* completions stream back over per-slave result pipes (no writer lock shared
+  between slaves, so a dying slave cannot wedge the survivors) and are folded
+  into their ticket as they arrive (:meth:`~ChunkedWorkerFarm.collect` /
   :meth:`~ChunkedWorkerFarm.as_completed`) instead of being barrier-joined;
 * in **steal mode** each slave holds only a bounded number of in-flight
   chunks; when a slave drains its own affinity queue the master refills it
@@ -45,6 +46,7 @@ import time
 import traceback
 from collections import deque
 from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
 from queue import Empty
 from typing import Callable, Iterable, Iterator, Sequence
 
@@ -60,9 +62,87 @@ from .pvm import EvaluationCostModel
 __all__ = [
     "ChunkStats",
     "ChunkedWorkerFarm",
+    "FarmDeadError",
+    "FarmRecoveryPolicy",
     "affinity_worker",
     "cost_balanced_chunks",
 ]
+
+
+class FarmDeadError(RuntimeError):
+    """The farm lost its slave processes and cannot finish outstanding work.
+
+    Raised (and remembered — every later ``submit``/``collect`` re-raises it)
+    when a worker dies and no :class:`FarmRecoveryPolicy` is installed, or
+    when recovery is enabled but no worker survives.  :attr:`lost_tickets`
+    lists the tickets whose batches were in flight when the farm died.
+    """
+
+    def __init__(self, message: str, lost_tickets: Sequence[int] = ()) -> None:
+        super().__init__(message)
+        self.lost_tickets = tuple(lost_tickets)
+
+
+@dataclass(frozen=True)
+class FarmRecoveryPolicy:
+    """Self-healing policy of a :class:`ChunkedWorkerFarm`.
+
+    Fitness is a pure function of the haplotype and every chunk is fully
+    described master-side, so work lost to a dead or hung slave can be
+    replayed bit-identically on a survivor.  With a policy installed the farm
+    does exactly that instead of raising :class:`FarmDeadError`:
+
+    * a dead slave's in-flight and queued chunks are requeued onto survivors
+      (in-flight replays are bounded by ``max_chunk_retries``; a chunk lost
+      more often surfaces as a per-ticket error through the existing
+      error-isolation path, never a farm-wide crash);
+    * with ``respawn=True`` the slave is restarted in place (at most
+      ``max_worker_restarts`` restarts over the farm's lifetime), restoring
+      full capacity;
+    * with a ``chunk_timeout`` each dispatched chunk carries a soft deadline
+      of ``chunk_timeout + timeout_cost_factor * modelled_cost(chunk)``
+      seconds (scaled by the farm's cost model, so a legitimately expensive
+      large-haplotype chunk is not mistaken for a hang); a slave whose chunk
+      is overdue is treated as dead — terminated, its work replayed.  The
+      deadline clock starts at dispatch, so prefer steal mode (bounded
+      in-flight chunks) over the all-upfront synchronous dispatch when using
+      timeouts.
+    """
+
+    respawn: bool = False
+    max_worker_restarts: int = 2
+    max_chunk_retries: int = 2
+    chunk_timeout: float | None = None
+    timeout_cost_factor: float = 8.0
+
+    def __post_init__(self) -> None:
+        if (
+            not isinstance(self.max_worker_restarts, int)
+            or isinstance(self.max_worker_restarts, bool)
+            or self.max_worker_restarts < 0
+        ):
+            raise ValueError(
+                f"max_worker_restarts must be a non-negative integer, "
+                f"got {self.max_worker_restarts!r}"
+            )
+        if (
+            not isinstance(self.max_chunk_retries, int)
+            or isinstance(self.max_chunk_retries, bool)
+            or self.max_chunk_retries < 1
+        ):
+            raise ValueError(
+                f"max_chunk_retries must be a positive integer, "
+                f"got {self.max_chunk_retries!r}"
+            )
+        if self.chunk_timeout is not None and not self.chunk_timeout > 0:
+            raise ValueError(
+                f"chunk_timeout must be positive or None, got {self.chunk_timeout!r}"
+            )
+        if self.timeout_cost_factor < 0:
+            raise ValueError(
+                f"timeout_cost_factor must be non-negative, "
+                f"got {self.timeout_cost_factor!r}"
+            )
 
 
 def cost_balanced_chunks(
@@ -128,14 +208,23 @@ def _farm_worker_main(
     inbox,
     outbox,
 ) -> None:
-    """Slave loop: build the evaluator once, then evaluate chunks until told to stop."""
+    """Slave loop: build the evaluator once, then evaluate chunks until told to stop.
+
+    ``outbox`` is this slave's *private* result pipe (a ``Connection``, not a
+    shared queue): a slave killed mid-send can only tear its own channel, it
+    can never wedge the other slaves behind a shared writer lock.  A send
+    failing because the master closed the pipe (shutdown) ends the loop.
+    """
     from .serial import SerialEvaluator
 
     try:
         fitness = factory()
         local = SerialEvaluator(fitness, cache_size=worker_cache_size)
     except Exception:  # pragma: no cover - exercised via the startup-error test
-        outbox.put((None, worker_id, None, None, traceback.format_exc()))
+        try:
+            outbox.send((None, worker_id, None, None, traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
         return
     while True:
         message = inbox.get()
@@ -156,9 +245,13 @@ def _farm_worker_main(
                 n_stacked_em=delta.n_stacked_em,
                 n_stacked_problems=delta.n_stacked_problems,
             )
-            outbox.put((task_id, worker_id, values, stats, None))
+            reply = (task_id, worker_id, values, stats, None)
         except Exception:
-            outbox.put((task_id, worker_id, None, None, traceback.format_exc()))
+            reply = (task_id, worker_id, None, None, traceback.format_exc())
+        try:
+            outbox.send(reply)
+        except (BrokenPipeError, OSError):  # pragma: no cover - master gone
+            return
 
 
 class _Ticket:
@@ -194,6 +287,15 @@ class _Ticket:
             self.n_stacked_em,
             self.n_stacked_problems,
         )
+
+
+@dataclass
+class _Dispatch:
+    """Master-side record of one chunk currently inside a slave's inbox."""
+
+    worker: int
+    chunk: list
+    deadline: float | None  # monotonic soft deadline (None: no chunk_timeout)
 
 
 class ChunkedWorkerFarm:
@@ -234,9 +336,17 @@ class ChunkedWorkerFarm:
     max_inflight:
         Steal mode only: in-flight chunk bound per slave (default 2 — one
         computing, one buffered, the rest stealable).
+    recovery:
+        Optional :class:`FarmRecoveryPolicy`.  Without one (the default) a
+        dead slave raises :class:`FarmDeadError`; with one the farm heals
+        itself — lost chunks are replayed bit-identically on survivors, dead
+        slaves are optionally respawned, and hung slaves are reaped via the
+        policy's ``chunk_timeout``.
 
     The farm is a context manager; :meth:`close` and :meth:`terminate` are
-    idempotent (double ``__exit__`` included).
+    idempotent (double ``__exit__`` included) and safe after worker crashes —
+    shutdown closes every result pipe and detaches every inbox's feeder
+    thread so it can never hang on a half-flushed pipe.
     """
 
     _RESULT_POLL_SECONDS = 0.5
@@ -254,6 +364,7 @@ class ChunkedWorkerFarm:
         steal: bool = False,
         max_inflight: int = 2,
         cost_model: EvaluationCostModel | None = None,
+        recovery: FarmRecoveryPolicy | None = None,
     ) -> None:
         if n_workers is None:
             raise ValueError("n_workers must be a positive integer, got None")
@@ -261,20 +372,26 @@ class ChunkedWorkerFarm:
         validate_chunk_size(chunk_size)
         if not isinstance(max_inflight, int) or isinstance(max_inflight, bool) or max_inflight < 1:
             raise ValueError(f"max_inflight must be a positive integer, got {max_inflight!r}")
+        if recovery is not None and not isinstance(recovery, FarmRecoveryPolicy):
+            raise TypeError(f"recovery must be a FarmRecoveryPolicy or None, got {recovery!r}")
         context = default_mp_context(start_method)
+        self._context = context
+        self._factory = factory
+        self._worker_cache_size = worker_cache_size
+        self._recovery = recovery
         self._n_workers = n_workers
         self._chunk_size = chunk_size
         self._cost_model = cost_model if cost_model is not None else EvaluationCostModel()
         self._steal = bool(steal)
         self._max_inflight = max_inflight
-        self._outbox = context.Queue()
         self._inboxes = []
+        self._result_conns: list = []
         self._processes = []
         self._closed = False
         # engine state (all master-side; guarded by _lock so the ticket API is
         # safe to drive from the scheduler's job threads).  The blocking
-        # outbox wait happens *outside* the lock — one thread drains at a
-        # time (_draining) while other waiters sleep on the condition, so a
+        # result-pipe wait happens *outside* the lock — one thread drains at
+        # a time (_draining) while other waiters sleep on the condition, so a
         # long batch never serialises unrelated submits/collects.
         self._lock = threading.RLock()
         self._progress = threading.Condition(self._lock)
@@ -290,21 +407,80 @@ class ChunkedWorkerFarm:
         self._queues: list[deque] = [deque() for _ in range(n_workers)]
         #: chunks currently inside each slave's inbox / being evaluated
         self._inflight: list[int] = [0] * n_workers
+        # recovery state: which slaves are believed alive, what each one is
+        # working on (for replay), how often each task's chunk was already
+        # replayed, and the farm-lifetime recovery counters
+        self._alive: list[bool] = [True] * n_workers
+        self._inflight_tasks: dict[int, _Dispatch] = {}
+        self._retries: dict[int, int] = {}
+        self._restarts_used = 0
+        self._n_worker_deaths = 0
+        self._n_chunks_replayed = 0
+        self._n_worker_respawns = 0
+        self._dead_error: FarmDeadError | None = None
         for worker_id in range(n_workers):
-            inbox = context.Queue()
-            process = context.Process(
-                target=_farm_worker_main,
-                args=(worker_id, factory, worker_cache_size, inbox, self._outbox),
-                daemon=True,
-            )
-            process.start()
-            self._inboxes.append(inbox)
-            self._processes.append(process)
+            self._inboxes.append(None)
+            self._result_conns.append(None)
+            self._processes.append(None)
+            self._spawn_worker(worker_id)
+
+    def _spawn_worker(self, worker_id: int) -> None:
+        """(Re)start the slave in slot ``worker_id`` with a fresh inbox/pipe.
+
+        Each slave reports results over its own one-way pipe: there is no
+        writer lock shared between slaves, so a slave killed mid-send (the
+        way a SIGKILLed or OOM-killed node dies) cannot wedge the survivors.
+        The master closes its copy of the send end so a dead slave's channel
+        reads as EOF instead of blocking.
+        """
+        inbox = self._context.Queue()
+        recv_conn, send_conn = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_farm_worker_main,
+            args=(worker_id, self._factory, self._worker_cache_size, inbox, send_conn),
+            daemon=True,
+        )
+        process.start()
+        send_conn.close()
+        self._close_conn(self._result_conns[worker_id])
+        self._inboxes[worker_id] = inbox
+        self._result_conns[worker_id] = recv_conn
+        self._processes[worker_id] = process
+        self._inflight[worker_id] = 0
+        self._alive[worker_id] = True
+
+    @staticmethod
+    def _close_conn(conn) -> None:
+        if conn is None:
+            return
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
 
     # ------------------------------------------------------------------ #
     @property
     def n_workers(self) -> int:
         return self._n_workers
+
+    @property
+    def n_alive_workers(self) -> int:
+        """Slaves currently believed alive (death is detected lazily on poll)."""
+        with self._lock:
+            return sum(self._alive)
+
+    @property
+    def recovery(self) -> FarmRecoveryPolicy | None:
+        return self._recovery
+
+    def recovery_counters(self) -> dict[str, int]:
+        """Monotone counts of recovery events over the farm's lifetime."""
+        with self._lock:
+            return {
+                "n_worker_deaths": self._n_worker_deaths,
+                "n_chunks_replayed": self._n_chunks_replayed,
+                "n_worker_respawns": self._n_worker_respawns,
+            }
 
     @property
     def closed(self) -> bool:
@@ -347,8 +523,18 @@ class ChunkedWorkerFarm:
     # the dispatch engine
     # ------------------------------------------------------------------ #
     def _dispatch(self, worker: int, task_id: int, chunk) -> None:
+        deadline = None
+        policy = self._recovery
+        if policy is not None and policy.chunk_timeout is not None:
+            modelled = sum(self._cost_model.cost(len(key)) for key in chunk)
+            deadline = (
+                time.monotonic()
+                + policy.chunk_timeout
+                + policy.timeout_cost_factor * modelled
+            )
         self._inboxes[worker].put((task_id, chunk))
         self._inflight[worker] += 1
+        self._inflight_tasks[task_id] = _Dispatch(worker, chunk, deadline)
 
     def _steal_source(self, thief: int) -> int | None:
         """The slave whose affinity queue the idle ``thief`` should steal from."""
@@ -366,7 +552,7 @@ class ChunkedWorkerFarm:
         if not self._steal:
             # synchronous-farm behaviour: everything goes to its owner upfront
             for worker, queue in enumerate(self._queues):
-                while queue:
+                while queue and self._alive[worker]:
                     task_id, chunk = queue.popleft()
                     self._dispatch(worker, task_id, chunk)
             return
@@ -374,6 +560,8 @@ class ChunkedWorkerFarm:
         while progress:
             progress = False
             for worker in range(self._n_workers):
+                if not self._alive[worker]:
+                    continue
                 if self._inflight[worker] >= self._max_inflight:
                     continue
                 if self._queues[worker]:
@@ -400,39 +588,195 @@ class ChunkedWorkerFarm:
             queue.extend(retained)
         for task_id in list(ticket.remaining):
             self._task_info.pop(task_id, None)
+            self._retries.pop(task_id, None)
         ticket.remaining.clear()
 
-    def _drain_one(self) -> bool:
-        """Receive and fold in one outbox message; False on poll timeout.
+    # ------------------------------------------------------------------ #
+    # self-healing: death/hang detection, chunk replay, respawn
+    # ------------------------------------------------------------------ #
+    def _raise_if_dead(self) -> None:
+        if self._dead_error is not None:
+            raise self._dead_error
 
-        The blocking receive runs without the engine lock; only the folding
-        of the message into engine state is locked.
+    def _fail_farm(self, reason: str) -> None:
+        """No capacity left: remember the terminal error and raise it."""
+        lost = sorted(
+            ticket_id for ticket_id, ticket in self._tickets.items() if not ticket.done
+        )
+        error = FarmDeadError(
+            f"worker farm is dead: {reason}; lost ticket(s) {lost}",
+            lost_tickets=lost,
+        )
+        self._dead_error = error
+        raise error
+
+    def _affinity_target(self, key: tuple[int, ...]) -> int:
+        """The key's owner slave, rerouted deterministically if the owner died."""
+        owner = affinity_worker(key, self._n_workers)
+        if self._alive[owner]:
+            return owner
+        survivors = [w for w in range(self._n_workers) if self._alive[w]]
+        return survivors[hash(key) % len(survivors)]
+
+    def _check_farm_health(self) -> None:
+        """Poll-timeout health pass: reap dead slaves, expire overdue chunks.
+
+        Called with the engine lock held whenever the result wait times out —
+        the farm deadline the collect loop is bounded by, so a farm whose
+        every slave died raises instead of spinning forever.
         """
-        try:
-            received_id, worker_id, values, stats, error = self._outbox.get(
-                timeout=self._RESULT_POLL_SECONDS
+        if self._closed or self._dead_error is not None:
+            return
+        for worker in range(self._n_workers):
+            if self._alive[worker] and not self._processes[worker].is_alive():
+                exitcode = self._processes[worker].exitcode
+                self._on_worker_lost(
+                    worker, f"worker process {worker} died (exit code {exitcode})"
+                )
+        policy = self._recovery
+        if policy is None or policy.chunk_timeout is None:
+            return
+        now = time.monotonic()
+        overdue = sorted({
+            dispatch.worker
+            for dispatch in self._inflight_tasks.values()
+            if dispatch.deadline is not None
+            and now > dispatch.deadline
+            and self._alive[dispatch.worker]
+        })
+        for worker in overdue:
+            process = self._processes[worker]
+            process.terminate()
+            process.join(timeout=5.0)
+            self._on_worker_lost(
+                worker,
+                f"worker process {worker} exceeded its chunk deadline and was "
+                f"terminated as hung",
             )
-        except Empty:
-            dead = [i for i, p in enumerate(self._processes) if not p.is_alive()]
-            if dead:
-                raise RuntimeError(
-                    f"worker process(es) {dead} died while evaluating a batch"
-                ) from None
+
+    def _on_worker_lost(self, worker: int, reason: str) -> None:
+        """A slave died (or hung past its deadline): heal or fail the farm."""
+        self._alive[worker] = False
+        self._n_worker_deaths += 1
+        if self._recovery is None:
+            # legacy behaviour, now with a terminal, non-spinning error
+            self._fail_farm(f"{reason} while evaluating a batch")
+        # reclaim everything the dead slave was responsible for
+        lost = [
+            (task_id, dispatch)
+            for task_id, dispatch in self._inflight_tasks.items()
+            if dispatch.worker == worker
+        ]
+        for task_id, _dispatch in lost:
+            del self._inflight_tasks[task_id]
+        self._inflight[worker] = 0
+        orphaned = list(self._queues[worker])
+        self._queues[worker].clear()
+        policy = self._recovery
+        if policy.respawn and self._restarts_used < policy.max_worker_restarts:
+            self._restarts_used += 1
+            self._n_worker_respawns += 1
+            self._retire_queue(self._inboxes[worker])
+            self._spawn_worker(worker)  # also swaps in a fresh result pipe
+        else:
+            self._close_conn(self._result_conns[worker])
+            self._result_conns[worker] = None
+        if not any(self._alive):
+            self._fail_farm(f"{reason}; no surviving workers")
+        # in-flight chunks are bounded-retry replays; never-dispatched queued
+        # chunks are simply rerouted (no retry charged)
+        for task_id, dispatch in lost:
+            self._replay_chunk(task_id, dispatch.chunk)
+        for task_id, chunk in orphaned:
+            self._queues[self._affinity_target(chunk[0])].append((task_id, chunk))
+        self._pump()
+
+    def _replay_chunk(self, task_id: int, chunk: list) -> None:
+        """Requeue a lost in-flight chunk under a fresh task id (bit-identical
+        by purity; the fresh id makes any late duplicate result stale)."""
+        info = self._task_info.pop(task_id, None)
+        retries = self._retries.pop(task_id, 0)
+        if info is None:
+            return  # its ticket already failed; nothing to replay
+        ticket_id, positions = info
+        ticket = self._tickets[ticket_id]
+        ticket.remaining.discard(task_id)
+        if retries >= self._recovery.max_chunk_retries:
+            self._fail_ticket(
+                ticket,
+                f"a chunk was lost to worker death/hang {retries + 1} time(s); "
+                f"giving up on this ticket "
+                f"(max_chunk_retries={self._recovery.max_chunk_retries})",
+            )
+            return
+        new_id = self._next_task_id
+        self._next_task_id += 1
+        self._task_info[new_id] = (ticket_id, positions)
+        self._retries[new_id] = retries + 1
+        ticket.remaining.add(new_id)
+        self._n_chunks_replayed += 1
+        self._queues[self._affinity_target(chunk[0])].append((new_id, chunk))
+
+    @staticmethod
+    def _retire_queue(queue) -> None:
+        """Detach a queue's feeder thread so shutdown can never block on it."""
+        try:
+            queue.close()
+            queue.cancel_join_thread()
+        except (OSError, ValueError):  # pragma: no cover - queue already gone
+            pass
+
+    def _drain_one(self) -> bool:
+        """Receive and fold in one result message; False when none arrived.
+
+        The blocking wait on the slaves' result pipes runs without the engine
+        lock; only the folding of the message into engine state is locked.  A
+        poll timeout — and any pipe found torn or at EOF, the signature of a
+        slave that died mid-send — runs a health pass over the slaves (death
+        + hang detection), which is what turns a broken channel into a
+        reaped-and-replayed worker instead of a wedged farm.
+        """
+        with self._lock:
+            conns = [
+                conn
+                for worker, conn in enumerate(self._result_conns)
+                if self._alive[worker] and conn is not None
+            ]
+        message = None
+        for conn in _connection_wait(conns, timeout=self._RESULT_POLL_SECONDS):
+            try:
+                message = conn.recv()
+                break
+            except Exception:
+                # EOF, a closed fd or a torn pickle: leave it to the health
+                # pass (the owning slave is dead or dying; its chunks get
+                # replayed)
+                continue
+        if message is None:
+            with self._lock:
+                self._check_farm_health()
             return False
+        received_id, worker_id, values, stats, error = message
         if received_id is None:
             raise RuntimeError(f"a worker failed during start-up:\n{error}")
         with self._lock:
+            # release the slot only for a tracked dispatch: a late result of a
+            # chunk already replayed elsewhere must not free anyone's slot
+            dispatch = self._inflight_tasks.pop(received_id, None)
+            if dispatch is not None and self._inflight[dispatch.worker] > 0:
+                self._inflight[dispatch.worker] -= 1
+            self._retries.pop(received_id, None)
             info = self._task_info.pop(received_id, None)
             if info is None:
                 # stale message (result or error) from a ticket that a worker
-                # error already aborted; its slave is free again either way
-                self._note_completion(worker_id)
+                # error already aborted, or a replayed chunk's late duplicate
+                self._pump()
                 return True
             ticket_id, positions = info
             ticket = self._tickets[ticket_id]
-            self._note_completion(worker_id)
             if error is not None:
                 self._fail_ticket(ticket, error)
+                self._pump()
                 return True
             for position, value in zip(positions, values):
                 ticket.results[position] = float(value)
@@ -443,12 +787,13 @@ class ChunkedWorkerFarm:
             ticket.n_stacked_em += stats.n_stacked_em
             ticket.n_stacked_problems += stats.n_stacked_problems
             ticket.remaining.discard(received_id)
+            self._pump()
         return True
 
     def _wait_for_progress(self) -> None:
         """Drain one message, or wait for the thread that is already draining.
 
-        Exactly one thread blocks on the outbox at a time; everyone else
+        Exactly one thread blocks on the result pipes at a time; everyone else
         sleeps on the condition and re-checks their ticket when woken.
         """
         with self._lock:
@@ -462,12 +807,6 @@ class ChunkedWorkerFarm:
             with self._lock:
                 self._draining = False
                 self._progress.notify_all()
-
-    def _note_completion(self, worker_id: int) -> None:
-        """A slave finished a chunk: release its in-flight slot and refill."""
-        if self._inflight[worker_id] > 0:
-            self._inflight[worker_id] -= 1
-        self._pump()
 
     # ------------------------------------------------------------------ #
     # the ticket API
@@ -486,14 +825,13 @@ class ChunkedWorkerFarm:
         # haplotype or (5, 2) and (2, 5) would land on different slaves
         batch = [tuple(sorted(int(s) for s in snps)) for snps in batch]
         with self._lock:
+            self._raise_if_dead()
             ticket = _Ticket(self._next_ticket_id, len(batch))
             self._next_ticket_id += 1
             self._tickets[ticket.ticket_id] = ticket
             by_worker: dict[int, list[int]] = {}
             for index, key in enumerate(batch):
-                by_worker.setdefault(
-                    affinity_worker(key, self._n_workers), []
-                ).append(index)
+                by_worker.setdefault(self._affinity_target(key), []).append(index)
             cost_target = (
                 self._chunk_cost_target(batch)
                 if self._chunk_size is None and self._steal
@@ -528,6 +866,7 @@ class ChunkedWorkerFarm:
                 if ticket.done:
                     del self._tickets[ticket_id]
                     break
+                self._raise_if_dead()
             self._wait_for_progress()
         if ticket.error is not None:
             raise RuntimeError(
@@ -552,6 +891,8 @@ class ChunkedWorkerFarm:
                     if ticket.done:
                         ready = ticket_id
                         break
+                if ready is None:
+                    self._raise_if_dead()
             if ready is None:
                 self._wait_for_progress()
                 continue
@@ -574,31 +915,54 @@ class ChunkedWorkerFarm:
 
     # ------------------------------------------------------------------ #
     def close(self, *, join_timeout: float = 5.0) -> None:
-        """Stop the slaves and reap them; idempotent."""
-        if self._closed:
-            return
-        self._closed = True
-        for inbox in self._inboxes:
-            try:
-                inbox.put(None)
-            except (OSError, ValueError):  # pragma: no cover - queue already gone
-                pass
-        for process in self._processes:
-            process.join(timeout=join_timeout)
-            if process.is_alive():  # pragma: no cover - stuck worker
-                process.terminate()
-                process.join(timeout=join_timeout)
+        """Stop the slaves and reap them; idempotent, crash-safe, never hangs."""
+        self._shutdown(force=False, join_timeout=join_timeout)
 
     def terminate(self) -> None:
         """Forcefully kill the slaves; idempotent."""
+        self._shutdown(force=True, join_timeout=5.0)
+
+    def _shutdown(self, *, force: bool, join_timeout: float) -> None:
+        """Reap every slave (escalating sentinel → terminate → kill), then
+        detach every queue and pipe so shutdown survives crashed workers.
+
+        A worker that died mid-chunk leaves its inbox feeder half-flushed and
+        its unread messages buffered; a plain ``join`` on those queues (what
+        ``Queue.__del__``'s default join_thread does) can hang forever.
+        Every inbox is closed with ``cancel_join_thread`` and every result
+        pipe simply closed — nothing here blocks without a timeout.
+        """
         if self._closed:
             return
         self._closed = True
+        if force:
+            for process in self._processes:
+                if process.is_alive():
+                    process.terminate()
+        else:
+            for inbox in self._inboxes:
+                try:
+                    inbox.put(None)
+                except (OSError, ValueError):  # pragma: no cover - queue gone
+                    pass
         for process in self._processes:
+            process.join(timeout=join_timeout)
             if process.is_alive():
                 process.terminate()
-        for process in self._processes:
-            process.join(timeout=5.0)
+                process.join(timeout=join_timeout)
+            if process.is_alive():  # pragma: no cover - terminate ignored
+                process.kill()
+                process.join(timeout=join_timeout)
+        for conn in self._result_conns:
+            self._close_conn(conn)
+        for queue in self._inboxes:
+            self._retire_queue(queue)
+        with self._lock:
+            for affinity_queue in self._queues:
+                affinity_queue.clear()
+            self._inflight_tasks.clear()
+            self._task_info.clear()
+            self._retries.clear()
 
     def __enter__(self) -> "ChunkedWorkerFarm":
         return self

@@ -40,7 +40,7 @@ from .base import (
     validate_chunk_size,
     validate_worker_count,
 )
-from .farm import ChunkedWorkerFarm, EvaluatorFactory
+from .farm import ChunkedWorkerFarm, EvaluatorFactory, FarmRecoveryPolicy
 from .pvm import EvaluationCostModel
 
 __all__ = ["MasterSlaveEvaluator", "default_worker_count"]
@@ -123,6 +123,20 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
         between the two can shift when a re-requested haplotype reaches the
         slaves, since a stolen chunk is served by the thief's cache or
         re-evaluated there instead of hitting its owner's cache.
+    recovery:
+        Chunked dispatch only: a
+        :class:`~repro.parallel.farm.FarmRecoveryPolicy` making the farm
+        survive slave deaths and hangs (lost chunks are replayed
+        bit-identically on survivors; see the farm's documentation).  The
+        recovery events a batch survived are reported through
+        :class:`~repro.parallel.base.EvaluationStats`.
+    worker_wrapper:
+        Chunked dispatch only: a callable applied to the evaluator factory
+        before it is shipped to the slaves
+        (``wrapped_factory = worker_wrapper(factory)``); must be picklable
+        together with its result.  Exists for the fault-injection harness
+        (:mod:`repro.testing.faults`), which wraps slave fitness functions
+        with a chaos policy.
     start_method:
         ``multiprocessing`` start method; the default ``"fork"`` (when
         available) avoids re-importing the scientific stack in every worker,
@@ -155,6 +169,8 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
         steal: bool = False,
         max_inflight: int = 2,
         cost_model: EvaluationCostModel | None = None,
+        recovery: FarmRecoveryPolicy | None = None,
+        worker_wrapper=None,
         start_method: str | None = None,
         dedup: bool = True,
         cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE,
@@ -168,10 +184,16 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
             raise ValueError(f"dispatch must be one of {self._DISPATCH_MODES}, got {dispatch!r}")
         if steal and dispatch != "chunked":
             raise ValueError("steal requires dispatch='chunked'")
+        if recovery is not None and dispatch != "chunked":
+            raise ValueError("recovery requires dispatch='chunked'")
+        if worker_wrapper is not None and dispatch != "chunked":
+            raise ValueError("worker_wrapper requires dispatch='chunked'")
         self._n_workers = n_workers or default_worker_count()
         self._chunk_size = chunk_size
         self._dispatch = dispatch
         factory = evaluator_factory if evaluator_factory is not None else _CallableFactory(fitness)
+        if worker_wrapper is not None:
+            factory = worker_wrapper(factory)
         self._closed = False
         self._pool = None
         self._farm: ChunkedWorkerFarm | None = None
@@ -185,6 +207,7 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
                 steal=steal,
                 max_inflight=max_inflight,
                 cost_model=cost_model,
+                recovery=recovery,
             )
         else:
             context = default_mp_context(start_method)
@@ -209,6 +232,12 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
         """Whether the chunked farm runs the work-stealing dispatch engine."""
         return self._farm.steal if self._farm is not None else False
 
+    def recovery_counters(self) -> dict[str, int]:
+        """The farm's lifetime recovery counters (all zero without a farm)."""
+        if self._farm is None:
+            return {"n_worker_deaths": 0, "n_chunks_replayed": 0, "n_worker_respawns": 0}
+        return self._farm.recovery_counters()
+
     def evaluate_batch(self, batch: Sequence[SnpSet]) -> list[float]:
         if self._closed:
             raise RuntimeError("evaluator has been closed")
@@ -220,7 +249,12 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
     def _evaluate_distinct_details(self, batch: Sequence[SnpSet]) -> DistinctEvaluation:
         tasks = [tuple(int(s) for s in snps) for snps in batch]
         if self._farm is not None:
+            # recovery events are attributed to the batch that survived them;
+            # the scheduler's per-job delta scoping serialises evaluate calls,
+            # so before/after deltas cannot interleave across jobs
+            recovery_before = self._farm.recovery_counters()
             values, chunk_stats = self._farm.evaluate(tasks)
+            recovery_after = self._farm.recovery_counters()
             return DistinctEvaluation(
                 values=values,
                 n_evaluations=chunk_stats.n_evaluations,
@@ -228,6 +262,15 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
                 backend_seconds=chunk_stats.seconds,
                 n_stacked_em=chunk_stats.n_stacked_em,
                 n_stacked_problems=chunk_stats.n_stacked_problems,
+                n_worker_deaths=(
+                    recovery_after["n_worker_deaths"] - recovery_before["n_worker_deaths"]
+                ),
+                n_chunks_replayed=(
+                    recovery_after["n_chunks_replayed"] - recovery_before["n_chunks_replayed"]
+                ),
+                n_worker_respawns=(
+                    recovery_after["n_worker_respawns"] - recovery_before["n_worker_respawns"]
+                ),
             )
         results = self._pool.map(
             _evaluate_in_worker, tasks, chunksize=self._chunk_size or 1

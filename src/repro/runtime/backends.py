@@ -34,6 +34,7 @@ from typing import Callable
 
 from ..genetics.dataset import GenotypeDataset
 from ..parallel.base import BaseBatchEvaluator, BatchEvaluator, FitnessCallable
+from ..parallel.farm import FarmRecoveryPolicy
 from ..parallel.master_slave import MasterSlaveEvaluator
 from ..parallel.pvm import EvaluationCostModel
 from ..parallel.serial import SerialEvaluator
@@ -75,6 +76,8 @@ class BackendRequest:
     worker_cache_size: int | None
     start_method: str | None
     cost_model: EvaluationCostModel | None = None
+    recovery: FarmRecoveryPolicy | None = None
+    worker_wrapper: Callable | None = None
 
     def local_fitness(self) -> FitnessCallable:
         """A fitness callable usable in the calling process."""
@@ -132,6 +135,8 @@ def create_evaluator(
     worker_cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE,
     start_method: str | None = None,
     cost_model: EvaluationCostModel | None = None,
+    recovery: FarmRecoveryPolicy | None = None,
+    worker_wrapper: Callable | None = None,
 ) -> BatchEvaluator:
     """Build a batch evaluator on the named backend.
 
@@ -140,7 +145,12 @@ def create_evaluator(
     or any fitness callable (sufficient for the in-process backends and, if
     picklable, for ``process``).  ``cost_model`` (optional) feeds the chunked
     farms' cost-driven auto chunking, e.g. a model the scheduler calibrated
-    on measured evaluation times.
+    on measured evaluation times.  ``recovery`` (optional) installs a
+    :class:`~repro.parallel.farm.FarmRecoveryPolicy` on the process-farm
+    backends so slave deaths and hangs are survived instead of fatal;
+    ``worker_wrapper`` (optional, fault-injection harness) wraps the worker
+    evaluator factory before it ships to the slaves.  Both are process-farm
+    features — the in-process backends reject them.
     """
     spec: EvaluatorSpec | None = None
     fitness: FitnessCallable | None = None
@@ -170,6 +180,8 @@ def create_evaluator(
         worker_cache_size=worker_cache_size,
         start_method=start_method,
         cost_model=cost_model,
+        recovery=recovery,
+        worker_wrapper=worker_wrapper,
     )
     return resolve_backend(backend)(request)
 
@@ -177,13 +189,25 @@ def create_evaluator(
 # --------------------------------------------------------------------- #
 # the built-in backends
 # --------------------------------------------------------------------- #
+def _require_process_farm_features_unused(request: BackendRequest, backend: str) -> None:
+    """In-process backends have no slave processes to heal or wrap."""
+    if request.recovery is not None or request.worker_wrapper is not None:
+        raise TypeError(
+            f"the {backend!r} backend runs in-process and supports neither a "
+            f"recovery policy nor a worker_wrapper; use a process-farm backend "
+            f"(process, process-shm, async)"
+        )
+
+
 def _serial_backend(request: BackendRequest) -> BatchEvaluator:
+    _require_process_farm_features_unused(request, "serial")
     return SerialEvaluator(
         request.local_fitness(), dedup=request.dedup, cache_size=request.cache_size
     )
 
 
 def _threads_backend(request: BackendRequest) -> BatchEvaluator:
+    _require_process_farm_features_unused(request, "threads")
     if request.spec is not None and request.dataset is not None:
         # per-thread evaluators over the (naturally shared) in-process arrays
         return ThreadPoolEvaluator(
@@ -216,6 +240,8 @@ def _farm_kwargs(request: BackendRequest, *, steal: bool) -> dict:
         cache_size=request.cache_size,
         steal=steal,
         cost_model=request.cost_model,
+        recovery=request.recovery,
+        worker_wrapper=request.worker_wrapper,
     )
 
 

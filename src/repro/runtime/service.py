@@ -37,6 +37,7 @@ from ..core.individual import HaplotypeIndividual
 from ..genetics.constraints import HaplotypeConstraints
 from ..genetics.dataset import GenotypeDataset
 from ..parallel.base import BaseBatchEvaluator, BatchEvaluator, EvaluationStats, SnpSet
+from ..parallel.farm import FarmRecoveryPolicy
 from ..parallel.pvm import EvaluationCostModel
 from ..stats.evaluation import HaplotypeEvaluator
 from .backends import DEFAULT_BACKEND, create_evaluator
@@ -86,6 +87,12 @@ def backend_summary_line(backend: str, stats: EvaluationStats) -> str:
         line += (
             f"; {stats.n_stacked_em} stacked EM calls, "
             f"mean batch {stats.mean_stacked_batch_size:.1f} problems"
+        )
+    if stats.n_worker_deaths > 0:
+        line += (
+            f"; survived {stats.n_worker_deaths} worker death(s) "
+            f"({stats.n_chunks_replayed} chunk(s) replayed, "
+            f"{stats.n_worker_respawns} respawn(s))"
         )
     return line
 
@@ -283,6 +290,18 @@ class RunScheduler:
         :func:`estimate_request_cost` unless :meth:`submit` received an
         explicit ``cost``.  Results stay bit-identical — only the completion
         order changes.  ``jobs == 1`` always drains in submission order.
+    recovery:
+        Optional :class:`~repro.parallel.farm.FarmRecoveryPolicy` for the
+        process-farm backends: the substrate survives slave deaths and hangs
+        (lost chunks replayed bit-identically on survivors, optional
+        respawns) and keeps draining on a shrunken farm.  The recovery events
+        each job survived appear in its :class:`RunResult` stats
+        (``n_worker_deaths`` / ``n_chunks_replayed`` / ``n_worker_respawns``)
+        and in the scheduler-lifetime :attr:`stats`.
+    worker_wrapper:
+        Optional picklable wrapper applied to the worker evaluator factory
+        before it ships to the slaves (fault-injection harness; see
+        :mod:`repro.testing.faults`).
     """
 
     def __init__(
@@ -299,6 +318,8 @@ class RunScheduler:
         worker_cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE,
         jobs: int = 1,
         cost_model: EvaluationCostModel | None = None,
+        recovery: FarmRecoveryPolicy | None = None,
+        worker_wrapper=None,
     ) -> None:
         if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
             raise ValueError(f"jobs must be a positive integer, got {jobs!r}")
@@ -341,6 +362,8 @@ class RunScheduler:
             # the scheduler's (possibly calibrated) cost model also drives
             # the chunked farms' cost-balanced auto chunking
             cost_model=cost_model,
+            recovery=recovery,
+            worker_wrapper=worker_wrapper,
         )
 
     # ------------------------------------------------------------------ #

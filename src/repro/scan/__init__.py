@@ -15,6 +15,7 @@ windowed passes over the genotype matrix:
   trace and check the scan against the simulated cluster.
 """
 
+from .checkpoint import CheckpointMismatchError, ScanJournal, checkpoint_meta
 from .planner import ScanPlan, plan_scan, window_seed
 from .report import (
     CostTrace,
@@ -23,6 +24,8 @@ from .report import (
     WindowResult,
     record_cost_trace,
     simulate_scan_on_cluster,
+    window_result_from_json,
+    window_result_to_json,
 )
 from .runner import execute_plan, run_scan
 
@@ -34,6 +37,11 @@ __all__ = [
     "execute_plan",
     "ScanReport",
     "WindowResult",
+    "window_result_to_json",
+    "window_result_from_json",
+    "ScanJournal",
+    "CheckpointMismatchError",
+    "checkpoint_meta",
     "CostTrace",
     "record_cost_trace",
     "SimulatedScanSpeedup",

@@ -30,6 +30,8 @@ from ..runtime.service import RunScheduler, backend_summary_line
 __all__ = [
     "WindowResult",
     "ScanReport",
+    "window_result_to_json",
+    "window_result_from_json",
     "CostTrace",
     "record_cost_trace",
     "SimulatedScanSpeedup",
@@ -57,6 +59,49 @@ class WindowResult:
         if self.n_evaluations == 0:
             return 0.0
         return 1.0 - self.n_distinct_evaluations / self.n_evaluations
+
+
+def window_result_to_json(result: WindowResult) -> dict:
+    """One window's JSON payload — the unit both :meth:`ScanReport.to_json`
+    and the scan checkpoint journal persist."""
+    return {
+        "index": result.window.index,
+        "start": result.window.start,
+        "stop": result.window.stop,
+        "best_snps": list(result.best_snps),
+        "best_fitness": result.best_fitness,
+        "best_per_size": {
+            str(size): [list(snps), fitness]
+            for size, (snps, fitness) in sorted(result.best_per_size.items())
+        },
+        "n_evaluations": result.n_evaluations,
+        "n_distinct_evaluations": result.n_distinct_evaluations,
+        "n_generations": result.n_generations,
+        "seed": result.seed,
+        "elapsed_seconds": result.elapsed_seconds,
+    }
+
+
+def window_result_from_json(payload: dict) -> WindowResult:
+    """Rebuild one window from its :func:`window_result_to_json` payload."""
+    return WindowResult(
+        window=LocusWindow(
+            index=int(payload["index"]),
+            start=int(payload["start"]),
+            stop=int(payload["stop"]),
+        ),
+        best_snps=tuple(int(s) for s in payload["best_snps"]),
+        best_fitness=float(payload["best_fitness"]),
+        best_per_size={
+            int(size): (tuple(int(s) for s in snps), float(fitness))
+            for size, (snps, fitness) in payload.get("best_per_size", {}).items()
+        },
+        n_evaluations=int(payload["n_evaluations"]),
+        n_distinct_evaluations=int(payload.get("n_distinct_evaluations", 0)),
+        n_generations=int(payload.get("n_generations", 0)),
+        seed=int(payload.get("seed", 0)),
+        elapsed_seconds=float(payload["elapsed_seconds"]),
+    )
 
 
 @dataclass(frozen=True)
@@ -123,6 +168,42 @@ class ScanReport:
         """The same reuse account ``run`` prints, over the whole scan."""
         return backend_summary_line(self.backend, self.stats)
 
+    def fingerprint(self) -> dict:
+        """The deterministic subset of the report — identical across backends,
+        job counts, worker deaths (replayed chunks are bit-identical by
+        purity) and checkpoint resumes of the same planned scan.
+
+        Timings are excluded, as is each window's ``n_distinct_evaluations``:
+        which cache answers a re-requested haplotype depends on where its
+        chunk physically ran (stealing, replay after a death), while
+        ``n_evaluations`` (fitness *requests*) and ``n_generations`` are
+        functions of the per-window seed alone.
+        """
+        return {
+            "n_snps": self.n_snps,
+            "window_size": self.window_size,
+            "overlap": self.overlap,
+            "statistic": self.statistic,
+            "seed": self.seed,
+            "windows": [
+                {
+                    "index": w.window.index,
+                    "start": w.window.start,
+                    "stop": w.window.stop,
+                    "best_snps": list(w.best_snps),
+                    "best_fitness": w.best_fitness,
+                    "best_per_size": {
+                        str(size): [list(snps), fitness]
+                        for size, (snps, fitness) in sorted(w.best_per_size.items())
+                    },
+                    "n_evaluations": w.n_evaluations,
+                    "n_generations": w.n_generations,
+                    "seed": w.seed,
+                }
+                for w in self.windows
+            ],
+        }
+
     def format(self, *, top: int = 10) -> str:
         """Human-readable genome-wide report (CLI output)."""
         from ..experiments.reporting import format_table
@@ -183,25 +264,7 @@ class ScanReport:
                 for key, value in self.stats.__dict__.items()
                 if not key.startswith("_")
             },
-            "windows": [
-                {
-                    "index": w.window.index,
-                    "start": w.window.start,
-                    "stop": w.window.stop,
-                    "best_snps": list(w.best_snps),
-                    "best_fitness": w.best_fitness,
-                    "best_per_size": {
-                        str(size): [list(snps), fitness]
-                        for size, (snps, fitness) in sorted(w.best_per_size.items())
-                    },
-                    "n_evaluations": w.n_evaluations,
-                    "n_distinct_evaluations": w.n_distinct_evaluations,
-                    "n_generations": w.n_generations,
-                    "seed": w.seed,
-                    "elapsed_seconds": w.elapsed_seconds,
-                }
-                for w in self.windows
-            ],
+            "windows": [window_result_to_json(w) for w in self.windows],
         }
 
     @classmethod
@@ -212,25 +275,7 @@ class ScanReport:
         ``best_window``, ``best_per_size``, ``format`` — so persisted scans
         can be stitched or compared without re-running them.
         """
-        windows = tuple(
-            WindowResult(
-                window=LocusWindow(
-                    index=int(w["index"]), start=int(w["start"]), stop=int(w["stop"])
-                ),
-                best_snps=tuple(int(s) for s in w["best_snps"]),
-                best_fitness=float(w["best_fitness"]),
-                best_per_size={
-                    int(size): (tuple(int(s) for s in snps), float(fitness))
-                    for size, (snps, fitness) in w.get("best_per_size", {}).items()
-                },
-                n_evaluations=int(w["n_evaluations"]),
-                n_distinct_evaluations=int(w.get("n_distinct_evaluations", 0)),
-                n_generations=int(w.get("n_generations", 0)),
-                seed=int(w.get("seed", 0)),
-                elapsed_seconds=float(w["elapsed_seconds"]),
-            )
-            for w in payload["windows"]
-        )
+        windows = tuple(window_result_from_json(w) for w in payload["windows"])
         return cls(
             windows=windows,
             backend=str(payload["backend"]),

@@ -22,9 +22,11 @@ from typing import Callable
 
 from ..core.config import GAConfig
 from ..genetics.dataset import GenotypeDataset, LocusWindow
+from ..parallel.farm import FarmRecoveryPolicy
 from ..parallel.pvm import EvaluationCostModel
 from ..runtime.backends import DEFAULT_BACKEND
 from ..runtime.service import RunResult, RunScheduler, estimate_request_cost
+from .checkpoint import ScanJournal, checkpoint_meta
 from .planner import ScanPlan, plan_scan
 from .report import ScanReport, WindowResult
 
@@ -70,6 +72,8 @@ def execute_plan(
     progress: ProgressCallback | None = None,
     max_pending: int | None = DEFAULT_MAX_PENDING,
     cost_model: EvaluationCostModel | None = None,
+    checkpoint_path=None,
+    resume: bool = False,
 ) -> tuple[WindowResult, ...]:
     """Run every window job of ``plan`` on ``scheduler``; window order output.
 
@@ -85,6 +89,12 @@ def execute_plan(
     :meth:`~repro.scan.planner.ScanPlan.window_cost` estimate and a
     multi-job scheduler starts the most expensive queued window first.
 
+    ``checkpoint_path`` journals every completed window to a crash-safe JSONL
+    file (:class:`~repro.scan.checkpoint.ScanJournal`) as it finishes; with
+    ``resume=True`` windows already in the journal are restored instead of
+    re-run (``progress`` still sees them, first) and the merged output is
+    bit-identical to an uninterrupted run.
+
     The scheduler's queue (and any unclaimed results of an abandoned drain)
     must be empty: draining them would consume — and lose — results of jobs
     the caller submitted before the scan.
@@ -97,42 +107,67 @@ def execute_plan(
         )
     if max_pending is not None and max_pending < 1:
         raise ValueError(f"max_pending must be a positive integer or None, got {max_pending!r}")
-    request_stream = iter(plan.requests())
-    windows_by_job: dict[int, LocusWindow] = {}
-    results: dict[int, WindowResult] = {}
-    n_outstanding = 0
-    exhausted = False
-
-    def top_up() -> None:
-        nonlocal n_outstanding, exhausted
-        while not exhausted and (max_pending is None or n_outstanding < max_pending):
-            try:
-                window, request = next(request_stream)
-            except StopIteration:
-                exhausted = True
-                return
-            # price the request already in hand (equivalent to
-            # plan.window_cost without rebuilding the window's request)
-            cost = (
-                None if cost_model is None
-                else estimate_request_cost(request, cost_model)
-            )
-            windows_by_job[scheduler.submit(request, cost=cost)] = window
-            n_outstanding += 1
-
-    top_up()
-    while n_outstanding:
-        # one drain usually finishes the scan (mid-drain submissions join
-        # it); re-drain if its job threads raced out while work remained
-        for job_id, run in scheduler.as_completed():
-            window = windows_by_job.pop(job_id)
-            result = _window_result(window, run)
-            results[window.index] = result
-            n_outstanding -= 1
+    if resume and checkpoint_path is None:
+        raise ValueError("resume=True requires a checkpoint_path")
+    journal = None
+    completed: dict[int, WindowResult] = {}
+    if checkpoint_path is not None:
+        journal, completed = ScanJournal.open(
+            checkpoint_path,
+            checkpoint_meta(plan, scheduler.dataset.n_snps),
+            resume=resume,
+        )
+    try:
+        results: dict[int, WindowResult] = {}
+        for index in sorted(completed):
+            restored = completed[index]
+            results[index] = restored
             if progress is not None:
-                progress(result)
-            top_up()
-    return tuple(results[index] for index in sorted(results))
+                progress(restored)
+        request_stream = iter(
+            (window, request)
+            for window, request in plan.requests()
+            if window.index not in results
+        )
+        windows_by_job: dict[int, LocusWindow] = {}
+        n_outstanding = 0
+        exhausted = False
+
+        def top_up() -> None:
+            nonlocal n_outstanding, exhausted
+            while not exhausted and (max_pending is None or n_outstanding < max_pending):
+                try:
+                    window, request = next(request_stream)
+                except StopIteration:
+                    exhausted = True
+                    return
+                # price the request already in hand (equivalent to
+                # plan.window_cost without rebuilding the window's request)
+                cost = (
+                    None if cost_model is None
+                    else estimate_request_cost(request, cost_model)
+                )
+                windows_by_job[scheduler.submit(request, cost=cost)] = window
+                n_outstanding += 1
+
+        top_up()
+        while n_outstanding:
+            # one drain usually finishes the scan (mid-drain submissions join
+            # it); re-drain if its job threads raced out while work remained
+            for job_id, run in scheduler.as_completed():
+                window = windows_by_job.pop(job_id)
+                result = _window_result(window, run)
+                results[window.index] = result
+                if journal is not None:
+                    journal.append(result)
+                n_outstanding -= 1
+                if progress is not None:
+                    progress(result)
+                top_up()
+        return tuple(results[index] for index in sorted(results))
+    finally:
+        if journal is not None:
+            journal.close()
 
 
 def run_scan(
@@ -152,6 +187,9 @@ def run_scan(
     progress: ProgressCallback | None = None,
     max_pending: int | None = DEFAULT_MAX_PENDING,
     cost_model: EvaluationCostModel | None = None,
+    recovery: FarmRecoveryPolicy | None = None,
+    checkpoint_path=None,
+    resume: bool = False,
 ) -> ScanReport:
     """Scan a panel with one GA job per overlapping locus window.
 
@@ -169,6 +207,16 @@ def run_scan(
     :class:`~repro.parallel.pvm.EvaluationCostModel`, so clamped small
     windows defer to full-size ones).  Neither knob changes the report —
     per-window results are a pure function of their seeds.
+
+    Robustness: ``recovery`` installs a
+    :class:`~repro.parallel.farm.FarmRecoveryPolicy` on a scan-owned
+    scheduler's process farm (ignored when an existing ``scheduler`` is
+    passed — its substrate is already built), so slave deaths mid-scan are
+    survived with a bit-identical report.  ``checkpoint_path`` journals each
+    completed window durably and ``resume=True`` restores journaled windows
+    instead of re-running them — a scan killed halfway resumes to the same
+    report an uninterrupted run produces (window results are pure functions
+    of their seeds).
     """
     if cost_model is None and jobs > 1:
         cost_model = EvaluationCostModel()
@@ -191,6 +239,7 @@ def run_scan(
             n_workers=n_workers,
             chunk_size=chunk_size,
             jobs=jobs,
+            recovery=recovery,
         )
     stats_before = scheduler.stats
     try:
@@ -200,6 +249,8 @@ def run_scan(
             progress=progress,
             max_pending=max_pending,
             cost_model=cost_model,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
         )
         stats = scheduler.stats.since(stats_before)
     finally:

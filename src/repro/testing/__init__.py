@@ -1,0 +1,11 @@
+"""Test-support utilities shipped with the package.
+
+:mod:`repro.testing.faults` is the fault-injection harness behind the
+self-healing execution core's tests and benchmarks: picklable chaos wrappers
+that make a slave process die, hang or raise at a chosen point, so recovery
+paths are exercised deterministically instead of waiting for real failures.
+"""
+
+from .faults import ChaosError, ChaosFactory, ChaosPolicy, chaos_wrapper
+
+__all__ = ["ChaosPolicy", "ChaosError", "ChaosFactory", "chaos_wrapper"]

@@ -1,0 +1,172 @@
+"""Fault injection for the self-healing execution core.
+
+The recovery machinery of :class:`~repro.parallel.farm.ChunkedWorkerFarm`
+(death detection, chunk replay, respawn, hang reaping) only runs when slaves
+actually fail, so its tests and benchmarks need failures on demand — in the
+*slave process*, at a deterministic point in the evaluation stream, without
+touching production code paths.
+
+:class:`ChaosPolicy` describes one fault (die hard, hang, or raise, after the
+N-th evaluation or on a poison haplotype); :func:`chaos_wrapper` turns it
+into a ``worker_wrapper`` for :func:`repro.runtime.backends.create_evaluator`
+/ :class:`~repro.runtime.service.RunScheduler`, and :class:`ChaosFactory`
+wraps an evaluator factory directly for farm-level tests.  Everything is
+picklable — the chaos ships to the slaves exactly like the real evaluator
+factory does.
+
+Faults fired *before* the fault point evaluate normally, so values produced
+by a chaotic run are bit-identical to a fault-free one — which is precisely
+the property the recovery tests assert.  With a ``token_path``, only the
+first slave to claim the token file fires (``O_CREAT | O_EXCL`` — atomic
+across processes), turning "every slave would die on call 3" into the
+realistic "exactly one slave dies".
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+__all__ = ["ChaosPolicy", "ChaosError", "ChaosFactory", "chaos_wrapper"]
+
+
+class ChaosError(RuntimeError):
+    """The injected in-band failure (travels the worker-error path)."""
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """One injected fault in a slave's evaluation stream.
+
+    Exactly one trigger must be set:
+
+    * ``kill_after=N`` — the N-th evaluation hard-kills the slave process
+      (``os._exit(exit_code)``: no traceback, no queue flush — what a
+      SIGKILLed or OOM-killed cluster node looks like to the master);
+    * ``hang_after=N`` — the N-th evaluation sleeps ``hang_seconds`` (a
+      wedged slave: alive but silent, detectable only via chunk deadlines);
+    * ``raise_after=N`` — the N-th evaluation raises :class:`ChaosError`
+      (an in-band evaluation error: travels the normal per-ticket error
+      path, no recovery involved);
+    * ``kill_on_key=(snp, ...)`` — evaluating exactly this haplotype kills
+      the slave.  A *poison chunk*: replaying it kills the replayer too,
+      which is how retry-exhaustion is exercised.
+
+    ``token_path`` (optional) arms the fault only in the one process that
+    wins the token file; everyone else evaluates normally forever.
+    """
+
+    kill_after: int | None = None
+    hang_after: int | None = None
+    raise_after: int | None = None
+    kill_on_key: tuple[int, ...] | None = None
+    exit_code: int = 23
+    hang_seconds: float = 3600.0
+    token_path: str | None = None
+
+    def __post_init__(self) -> None:
+        triggers = [
+            self.kill_after is not None,
+            self.hang_after is not None,
+            self.raise_after is not None,
+            self.kill_on_key is not None,
+        ]
+        if sum(triggers) != 1:
+            raise ValueError(
+                "exactly one of kill_after, hang_after, raise_after or "
+                "kill_on_key must be set"
+            )
+        for name in ("kill_after", "hang_after", "raise_after"):
+            value = getattr(self, name)
+            if value is not None and (
+                not isinstance(value, int) or isinstance(value, bool) or value < 1
+            ):
+                raise ValueError(f"{name} must be a positive integer, got {value!r}")
+        if self.kill_on_key is not None:
+            object.__setattr__(
+                self, "kill_on_key", tuple(sorted(int(s) for s in self.kill_on_key))
+            )
+
+    def claim_token(self) -> bool:
+        """Atomically claim the fault token (True = this process faults).
+
+        Without a ``token_path`` every process is armed.
+        """
+        if self.token_path is None:
+            return True
+        try:
+            fd = os.open(self.token_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+
+class _ChaosFitness:
+    """Wraps a slave's fitness callable, firing the policy's fault in stream.
+
+    Deliberately does *not* expose ``evaluate_many``: the scalar loop keeps
+    the evaluation count exact (so ``kill_after`` means what it says) and the
+    values stay bit-identical — the stacked path computes the same numbers,
+    only faster.
+    """
+
+    def __init__(self, fitness, policy: ChaosPolicy) -> None:
+        self._fitness = fitness
+        self._policy = policy
+        self._armed = policy.claim_token()
+        self._calls = 0
+
+    def __call__(self, snps) -> float:
+        policy = self._policy
+        if self._armed:
+            self._calls += 1
+            if policy.kill_on_key is not None:
+                if tuple(sorted(int(s) for s in snps)) == policy.kill_on_key:
+                    os._exit(policy.exit_code)
+            elif policy.kill_after is not None and self._calls == policy.kill_after:
+                os._exit(policy.exit_code)
+            elif policy.hang_after is not None and self._calls == policy.hang_after:
+                time.sleep(policy.hang_seconds)
+            elif policy.raise_after is not None and self._calls == policy.raise_after:
+                raise ChaosError(
+                    f"injected failure on evaluation {self._calls}"
+                )
+        return float(self._fitness(snps))
+
+
+@dataclass(frozen=True)
+class ChaosFactory:
+    """Picklable evaluator factory wrapping another factory with a policy.
+
+    Use directly as a :class:`~repro.parallel.farm.ChunkedWorkerFarm`
+    factory; for the backend/scheduler layers prefer :func:`chaos_wrapper`.
+    """
+
+    factory: object
+    policy: ChaosPolicy
+
+    def __call__(self):
+        return _ChaosFitness(self.factory(), self.policy)
+
+
+@dataclass(frozen=True)
+class _ChaosWrapper:
+    """The picklable ``worker_wrapper`` :func:`chaos_wrapper` returns."""
+
+    policy: ChaosPolicy
+
+    def __call__(self, factory) -> ChaosFactory:
+        return ChaosFactory(factory, self.policy)
+
+
+def chaos_wrapper(policy: ChaosPolicy) -> _ChaosWrapper:
+    """A ``worker_wrapper`` installing ``policy`` in every slave's evaluator.
+
+    Pass to :func:`repro.runtime.backends.create_evaluator`,
+    :class:`~repro.runtime.service.RunScheduler` or
+    :class:`~repro.parallel.master_slave.MasterSlaveEvaluator` via their
+    ``worker_wrapper`` parameter.
+    """
+    return _ChaosWrapper(policy)

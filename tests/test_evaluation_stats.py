@@ -17,6 +17,9 @@ def _filled(scale: int = 1) -> EvaluationStats:
         n_cache_hits=3 * scale,
         total_seconds=0.5 * scale,
         backend_seconds=0.25 * scale,
+        n_worker_deaths=1 * scale,
+        n_chunks_replayed=2 * scale,
+        n_worker_respawns=1 * scale,
     )
 
 
@@ -78,10 +81,48 @@ class TestSince:
         assert delta.total_seconds == pytest.approx(0.1)
         assert delta.backend_seconds == pytest.approx(0.05)
 
+    def test_since_scopes_recovery_counters(self):
+        stats = _filled()
+        before = stats.copy()
+        stats.record_batch(
+            5, 0.1, n_worker_deaths=2, n_chunks_replayed=3, n_worker_respawns=1
+        )
+        delta = stats.since(before)
+        assert delta.n_worker_deaths == 2
+        assert delta.n_chunks_replayed == 3
+        assert delta.n_worker_respawns == 1
+
     def test_reuse_rate_of_empty_stats_is_zero(self):
         assert EvaluationStats().reuse_rate == 0.0
         assert EvaluationStats().mean_seconds_per_evaluation == 0.0
         assert EvaluationStats().mean_seconds_per_request == 0.0
+
+
+class TestCountersContract:
+    def test_counters_exclude_recovery_and_timing_fields(self):
+        """counters() is the cross-backend parity contract: recovery events
+        (like timings and stacked-EM counters) depend on *which* run survived
+        a fault, not on the workload, so they must never enter it."""
+        stats = _filled()
+        counters = stats.counters()
+        assert counters == {
+            "n_requests": stats.n_requests,
+            "n_evaluations": stats.n_evaluations,
+            "n_batches": stats.n_batches,
+            "n_dedup_hits": stats.n_dedup_hits,
+            "n_cache_hits": stats.n_cache_hits,
+        }
+        for excluded in ("n_worker_deaths", "n_chunks_replayed", "n_worker_respawns"):
+            assert excluded not in counters
+
+    def test_recovery_counters_agree_between_faulty_and_clean_contract(self):
+        clean = _filled()
+        faulty = _filled()
+        faulty.record_batch(0, 0.0, n_worker_deaths=3, n_chunks_replayed=4,
+                            n_worker_respawns=2)
+        faulty.n_batches -= 1  # undo the bookkeeping batch
+        assert faulty.counters() == clean.counters()
+        assert faulty != clean
 
 
 class TestConcurrentJobScoping:

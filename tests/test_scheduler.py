@@ -154,6 +154,74 @@ class TestRunScheduler:
             assert scheduler.n_completed == len(ids)
         assert collected == expected
 
+    @staticmethod
+    def _fail_once(scheduler, seed):
+        """Patch the scheduler to fail ``seed``'s first execution, before any
+        substrate work (so per-job stats partitioning stays exact)."""
+        original = scheduler._execute
+        fired = []
+
+        def flaky(request):
+            if request.seed == seed and not fired:
+                fired.append(True)
+                raise RuntimeError("injected job failure")
+            return original(request)
+
+        scheduler._execute = flaky
+
+    def test_failed_job_requeues_at_front_of_serial_drain(
+        self, small_dataset, quick_config
+    ):
+        requests = _requests(quick_config, 3)
+        with RunScheduler(small_dataset) as reference:
+            expected = [_result_key(r) for r in reference.map(list(requests))]
+        with RunScheduler(small_dataset) as scheduler:
+            ids = [scheduler.submit(r) for r in requests]
+            self._fail_once(scheduler, seed=101)
+            collected = {}
+            with pytest.raises(RuntimeError, match="injected"):
+                for job_id, result in scheduler.as_completed():
+                    collected[job_id] = result
+            assert sorted(collected) == [ids[0]]
+            assert scheduler.n_pending == 2
+            assert scheduler._pending[0][0] == ids[1]  # failed job up front
+            collected.update(scheduler.as_completed())  # re-runs and finishes
+            assert sorted(collected) == ids
+        assert [_result_key(collected[i]) for i in ids] == expected
+
+    def test_mid_drain_failure_with_concurrent_jobs(
+        self, small_dataset, quick_config
+    ):
+        """jobs>1: one job failing mid-drain propagates, requeues that job,
+        and neither loses nor double-counts the surviving jobs' work."""
+        requests = _requests(quick_config, 4)
+        with RunScheduler(small_dataset, jobs=1) as reference:
+            expected = [_result_key(r) for r in reference.map(list(requests))]
+        with RunScheduler(small_dataset, jobs=2) as scheduler:
+            ids = [scheduler.submit(r) for r in requests]
+            self._fail_once(scheduler, seed=102)
+            collected = {}
+            with pytest.raises(RuntimeError, match="injected"):
+                for job_id, result in scheduler.as_completed():
+                    collected[job_id] = result
+            # every job is accounted for: yielded, parked unclaimed by the
+            # aborted drain, or back in the queue (the failed one included)
+            assert ids[2] in [entry[0] for entry in scheduler._pending]
+            assert (
+                len(collected) + scheduler.n_unclaimed + scheduler.n_pending
+                == len(ids)
+            )
+            collected.update(scheduler.as_completed())
+            assert sorted(collected) == ids
+            total = scheduler.stats
+            # the surviving jobs' delta-scoped stats still partition the
+            # substrate exactly (the failed attempt did no substrate work)
+            for field in ("n_requests", "n_evaluations", "n_batches"):
+                assert sum(
+                    getattr(r.stats, field) for r in collected.values()
+                ) == getattr(total, field)
+        assert [_result_key(collected[i]) for i in ids] == expected
+
     def test_snp_indices_validation(self, small_dataset, quick_config):
         with RunScheduler(small_dataset) as scheduler:
             with pytest.raises(ValueError, match="at least two"):
