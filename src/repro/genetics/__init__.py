@@ -27,7 +27,13 @@ from .alleles import (
     parse_haplotype_label,
 )
 from .constraints import HaplotypeConstraints, build_constraints
-from .dataset import DatasetSummary, GenotypeDataset
+from .dataset import (
+    DatasetSummary,
+    GenotypeDataset,
+    PackedGenotypeStore,
+    as_packed_dataset,
+)
+from .packed import CODE_MISSING, PackedPanel, pack_genotypes, unpack_genotypes
 from .frequencies import (
     SnpFrequencyTable,
     allele_frequencies,
@@ -73,6 +79,13 @@ __all__ = [
     # dataset
     "GenotypeDataset",
     "DatasetSummary",
+    "PackedGenotypeStore",
+    "as_packed_dataset",
+    # packed storage
+    "CODE_MISSING",
+    "PackedPanel",
+    "pack_genotypes",
+    "unpack_genotypes",
     # frequencies
     "allele_frequencies",
     "minor_allele_frequencies",

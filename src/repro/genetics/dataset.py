@@ -8,10 +8,24 @@ individuals, each labelled *affected*, *unaffected* (healthy) or *unknown*
 :class:`GenotypeDataset` is the single in-memory representation used by every
 other subsystem: the EH-DIALL/CLUMP evaluation pipeline, the pairwise-LD
 tables, the constraint checks and the GA itself all consume it.
+
+A dataset can carry its genotypes in one or both of two physical forms:
+
+* the classic **byte matrix** — ``(n_individuals, n_snps)`` int8; and
+* a **2-bit packed panel** (:class:`repro.genetics.packed.PackedPanel`) —
+  4 genotypes per byte, SNP-major, with missing as the fourth state.
+
+A *packed-native* dataset (built from a packed panel, ``genotypes=None``)
+materialises the byte matrix lazily and only when some consumer actually
+asks for it; the packed-aware consumers (phase expansion, the shared-memory
+store, missing-rate counting) never do.  :class:`PackedGenotypeStore` packs
+a dataset affected-first — the same row order the shared-memory store uses —
+so group and window selections stay zero-copy views of one packed buffer.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -24,15 +38,21 @@ from .alleles import (
     STATUS_UNKNOWN,
     validate_genotype_array,
 )
+from .packed import PackedPanel, pack_genotypes
 
 __all__ = [
     "GenotypeDataset",
     "DatasetSummary",
     "LocusWindow",
     "WindowPlan",
+    "PackedGenotypeStore",
+    "as_packed_dataset",
     "plan_windows",
     "shard_dataset",
 ]
+
+#: SNP rows processed per step by chunked pack/hash loops (bounds temporaries).
+_CHUNK_SNPS = 4096
 
 
 @dataclass(frozen=True)
@@ -70,56 +90,115 @@ class GenotypeDataset:
         Optional SNP identifiers; defaults to ``"snp0" … "snpN-1"``.
     individual_ids:
         Optional individual identifiers; defaults to ``"ind0" …``.
+    packed:
+        Optional 2-bit packed panel carrying the same genotypes.  When given
+        with ``genotypes=None`` the dataset is *packed-native*: the byte
+        matrix is materialised lazily on first access, and packed-aware
+        consumers never materialise it at all.
     """
 
     def __init__(
         self,
-        genotypes: np.ndarray | Sequence[Sequence[int]],
+        genotypes: np.ndarray | Sequence[Sequence[int]] | None,
         status: np.ndarray | Sequence[int],
         snp_names: Sequence[str] | None = None,
         individual_ids: Sequence[str] | None = None,
+        *,
+        packed: PackedPanel | None = None,
     ) -> None:
-        geno = validate_genotype_array(np.asarray(genotypes))
-        if geno.ndim != 2:
-            raise ValueError(f"genotypes must be 2-D, got shape {geno.shape}")
+        if genotypes is None:
+            if packed is None:
+                raise ValueError("either genotypes or a packed panel is required")
+            # codes are valid by construction: unpacking maps 0/1/2/3 onto
+            # 0/1/2/missing, so byte validation happens only if/when the
+            # matrix is materialised from foreign byte input.
+            geno = None
+            n_individuals, n_snps = packed.n_individuals, packed.n_snps
+        else:
+            geno = validate_genotype_array(np.asarray(genotypes))
+            if geno.ndim != 2:
+                raise ValueError(f"genotypes must be 2-D, got shape {geno.shape}")
+            n_individuals, n_snps = geno.shape
+            if packed is not None and (
+                packed.n_individuals != n_individuals or packed.n_snps != n_snps
+            ):
+                raise ValueError(
+                    f"packed panel shape ({packed.n_individuals}, {packed.n_snps}) "
+                    f"does not match genotypes shape {geno.shape}"
+                )
         stat = np.asarray(status, dtype=np.int8)
         if stat.ndim != 1:
             raise ValueError("status must be a 1-D array")
-        if stat.shape[0] != geno.shape[0]:
+        if stat.shape[0] != n_individuals:
             raise ValueError(
                 f"status length {stat.shape[0]} does not match "
-                f"{geno.shape[0]} individuals"
+                f"{n_individuals} individuals"
             )
         valid_status = {STATUS_AFFECTED, STATUS_UNAFFECTED, STATUS_UNKNOWN}
         if not set(np.unique(stat).tolist()) <= valid_status:
             raise ValueError(f"status values must be in {sorted(valid_status)}")
 
         self._genotypes = geno
+        self._packed = packed
         self._status = stat
+        self._n_individuals = int(n_individuals)
+        self._n_snps = int(n_snps)
 
         if snp_names is None:
-            snp_names = [f"snp{i}" for i in range(geno.shape[1])]
-        if len(snp_names) != geno.shape[1]:
+            snp_names = [f"snp{i}" for i in range(n_snps)]
+        if len(snp_names) != n_snps:
             raise ValueError("snp_names length does not match number of SNPs")
         if len(set(snp_names)) != len(snp_names):
             raise ValueError("snp_names must be unique")
         self._snp_names = tuple(str(s) for s in snp_names)
 
         if individual_ids is None:
-            individual_ids = [f"ind{i}" for i in range(geno.shape[0])]
-        if len(individual_ids) != geno.shape[0]:
+            individual_ids = [f"ind{i}" for i in range(n_individuals)]
+        if len(individual_ids) != n_individuals:
             raise ValueError("individual_ids length does not match number of individuals")
         self._individual_ids = tuple(str(s) for s in individual_ids)
 
     # ------------------------------------------------------------------ #
     # basic accessors
     # ------------------------------------------------------------------ #
+    def _materialize(self) -> np.ndarray:
+        """The byte genotype matrix, unpacking it on first demand.
+
+        Unpacking is deterministic and idempotent, so a racing double
+        materialisation is benign (last write wins with identical content).
+        """
+        if self._genotypes is None:
+            self._genotypes = self._packed.unpack()
+        return self._genotypes
+
     @property
     def genotypes(self) -> np.ndarray:
         """The ``(n_individuals, n_snps)`` genotype matrix (read-only view)."""
-        view = self._genotypes.view()
+        view = self._materialize().view()
         view.flags.writeable = False
         return view
+
+    @property
+    def packed(self) -> PackedPanel | None:
+        """The 2-bit packed panel carrying these genotypes, if one exists."""
+        return self._packed
+
+    @property
+    def is_materialized(self) -> bool:
+        """Whether the byte matrix currently exists in memory."""
+        return self._genotypes is not None
+
+    def with_packed(self) -> "GenotypeDataset":
+        """This dataset with a packed panel attached (self if already packed)."""
+        if self._packed is not None:
+            return self
+        return GenotypeDataset(
+            self._genotypes,
+            self._status,
+            snp_names=self._snp_names,
+            individual_ids=self._individual_ids,
+            packed=PackedPanel(pack_genotypes(self._genotypes), self.n_individuals),
+        )
 
     @property
     def status(self) -> np.ndarray:
@@ -138,11 +217,11 @@ class GenotypeDataset:
 
     @property
     def n_individuals(self) -> int:
-        return self._genotypes.shape[0]
+        return self._n_individuals
 
     @property
     def n_snps(self) -> int:
-        return self._genotypes.shape[1]
+        return self._n_snps
 
     def __len__(self) -> int:
         return self.n_individuals
@@ -154,11 +233,39 @@ class GenotypeDataset:
         if not isinstance(other, GenotypeDataset):
             return NotImplemented
         return (
-            np.array_equal(self._genotypes, other._genotypes)
+            np.array_equal(self._materialize(), other._materialize())
             and np.array_equal(self._status, other._status)
             and self._snp_names == other._snp_names
             and self._individual_ids == other._individual_ids
         )
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        if self._packed is not None:
+            # the packed panel is lossless (values are confined to
+            # {0, 1, 2, missing}), so ship 2 bits per genotype instead of 8.
+            state["_genotypes"] = None
+        return state
+
+    def fingerprint(self) -> str:
+        """Content hash of dimensions, status and genotypes (hex digest).
+
+        Representation-independent: packed-native and byte datasets with the
+        same content hash identically.  Genotype bytes are folded SNP-major
+        (one locus at a time) so a packed panel hashes chunk-by-chunk without
+        ever materialising the full byte matrix.
+        """
+        digest = hashlib.sha256()
+        digest.update(f"{self.n_individuals}x{self.n_snps}".encode())
+        digest.update(np.ascontiguousarray(self._status).tobytes())
+        for start in range(0, self.n_snps, _CHUNK_SNPS):
+            stop = min(start + _CHUNK_SNPS, self.n_snps)
+            if self._genotypes is not None:
+                chunk = self._genotypes[:, start:stop].T
+            else:
+                chunk = self._packed.column_window(start, stop).unpack().T
+            digest.update(np.ascontiguousarray(chunk).tobytes())
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------ #
     # group selectors
@@ -213,18 +320,23 @@ class GenotypeDataset:
         the one shared matrix instead of per-process copies.
         """
         idx = np.asarray(list(indices), dtype=np.intp)
+        packed = None
         if idx.size and idx[0] >= 0 and np.array_equal(idx, np.arange(idx[0], idx[0] + idx.size)):
             rows = slice(int(idx[0]), int(idx[0]) + idx.size)
-            genotypes = self._genotypes[rows]
+            if self._packed is not None:
+                # bit-offset view: the group still shares the packed buffer
+                packed = self._packed.row_window(rows.start, rows.stop)
+            genotypes = self._genotypes[rows] if self._genotypes is not None else None
             status = self._status[rows]
         else:
-            genotypes = self._genotypes[idx]
+            genotypes = self._materialize()[idx]
             status = self._status[idx]
         return GenotypeDataset(
             genotypes,
             status,
             snp_names=self._snp_names,
             individual_ids=[self._individual_ids[i] for i in idx],
+            packed=packed,
         )
 
     def select_snps(self, indices: Iterable[int] | np.ndarray) -> "GenotypeDataset":
@@ -238,16 +350,27 @@ class GenotypeDataset:
         idx = np.asarray(list(indices), dtype=np.intp)
         if idx.size and (idx.min() < 0 or idx.max() >= self.n_snps):
             raise IndexError(f"SNP index out of range [0, {self.n_snps})")
+        packed = None
         if idx.size and np.array_equal(idx, np.arange(idx[0], idx[0] + idx.size)):
             columns = slice(int(idx[0]), int(idx[0]) + idx.size)
-            genotypes = self._genotypes[:, columns]
+            if self._packed is not None:
+                packed = self._packed.column_window(columns.start, columns.stop)
+            genotypes = self._genotypes[:, columns] if self._genotypes is not None else None
         else:
-            genotypes = self._genotypes[:, idx]
+            if self._packed is not None:
+                # SNP-major packed rows gather cheaply: (k, width) bytes
+                packed = PackedPanel(
+                    np.ascontiguousarray(self._packed.data[idx]),
+                    self._packed.n_individuals,
+                    self._packed.row_start,
+                )
+            genotypes = self._genotypes[:, idx] if self._genotypes is not None else None
         return GenotypeDataset(
             genotypes,
             self._status,
             snp_names=[self._snp_names[i] for i in idx],
             individual_ids=self._individual_ids,
+            packed=packed,
         )
 
     def window(self, start: int, stop: int) -> "GenotypeDataset":
@@ -261,6 +384,8 @@ class GenotypeDataset:
     def genotypes_at(self, snp_indices: Sequence[int] | np.ndarray) -> np.ndarray:
         """Genotype columns for the given SNP indices, shape ``(n_individuals, k)``."""
         idx = np.asarray(snp_indices, dtype=np.intp)
+        if self._genotypes is None:
+            return self._packed.unpack_columns(idx)
         return self._genotypes[:, idx]
 
     def snp_index(self, name: str) -> int:
@@ -276,9 +401,16 @@ class GenotypeDataset:
     @property
     def missing_rate(self) -> float:
         """Fraction of genotype entries that are missing."""
-        if self._genotypes.size == 0:
+        size = self.n_individuals * self.n_snps
+        if size == 0:
             return 0.0
-        return float(np.count_nonzero(self._genotypes == GENOTYPE_MISSING)) / self._genotypes.size
+        if self._genotypes is None:
+            # popcount kernel over the packed bytes; the count is an exact
+            # integer either way, so the two paths divide identically.
+            n_missing = int(self._packed.missing_counts().sum())
+        else:
+            n_missing = int(np.count_nonzero(self._genotypes == GENOTYPE_MISSING))
+        return float(n_missing) / size
 
     def summary(self) -> DatasetSummary:
         """Return a :class:`DatasetSummary` of this dataset."""
@@ -292,13 +424,105 @@ class GenotypeDataset:
         )
 
     def copy(self) -> "GenotypeDataset":
-        """Deep copy of the dataset."""
+        """Deep copy of the dataset (preserves the storage representation)."""
+        packed = None
+        if self._packed is not None:
+            packed = PackedPanel(
+                self._packed.data.copy(),
+                self._packed.n_individuals,
+                self._packed.row_start,
+            )
         return GenotypeDataset(
-            self._genotypes.copy(),
+            self._genotypes.copy() if self._genotypes is not None else None,
             self._status.copy(),
             snp_names=self._snp_names,
             individual_ids=self._individual_ids,
+            packed=packed,
         )
+
+
+# --------------------------------------------------------------------------- #
+# packed substrate: affected-first 2-bit panels
+# --------------------------------------------------------------------------- #
+class PackedGenotypeStore:
+    """A dataset re-packed 2-bit, affected-first, behind one panel buffer.
+
+    Rows are laid out affected block first, unaffected block second and
+    unknown-status individuals dropped — the exact order the shared-memory
+    store uses — so :meth:`GenotypeDataset.affected` / ``unaffected`` of the
+    produced dataset are bit-offset views into the same packed buffer, and
+    locus windows are basic row slices of it.
+
+    An already-packed source panel is reused as-is when its rows are already
+    in that order, and re-ordered chunk-by-chunk otherwise (never
+    materialising the full byte matrix); byte sources are packed directly.
+    """
+
+    def __init__(self, dataset: GenotypeDataset) -> None:
+        order = np.concatenate(
+            [np.flatnonzero(dataset.affected_mask), np.flatnonzero(dataset.unaffected_mask)]
+        )
+        if order.size == 0:
+            raise ValueError("the dataset has no individuals with known status")
+        identity = order.size == dataset.n_individuals and np.array_equal(
+            order, np.arange(order.size)
+        )
+        source = dataset.packed
+        if source is not None:
+            panel = source if identity else source.reorder_individuals(order)
+        elif identity:
+            panel = PackedPanel(pack_genotypes(dataset.genotypes), order.size)
+        else:
+            panel = PackedPanel(pack_genotypes(dataset.genotypes[order]), order.size)
+        self._panel = panel
+        self._status = np.ascontiguousarray(dataset.status[order], dtype=np.int8)
+        self._snp_names = dataset.snp_names
+        self._individual_ids = tuple(dataset.individual_ids[i] for i in order)
+
+    @property
+    def panel(self) -> PackedPanel:
+        return self._panel
+
+    @property
+    def n_bytes(self) -> int:
+        """Size of the packed genotype payload in bytes."""
+        return self._panel.n_bytes
+
+    def dataset(self) -> GenotypeDataset:
+        """The packed-native affected-first dataset over this store's panel."""
+        return GenotypeDataset(
+            None,
+            self._status,
+            snp_names=self._snp_names,
+            individual_ids=self._individual_ids,
+            packed=self._panel,
+        )
+
+    def window(self, start: int, stop: int) -> GenotypeDataset:
+        """Packed-native dataset over the locus window ``[start, stop)``."""
+        return GenotypeDataset(
+            None,
+            self._status,
+            snp_names=self._snp_names[start:stop],
+            individual_ids=self._individual_ids,
+            packed=self._panel.column_window(start, stop),
+        )
+
+
+def as_packed_dataset(dataset: GenotypeDataset) -> GenotypeDataset:
+    """``dataset`` in packed affected-first form (no-op when already there).
+
+    The produced dataset is what the ``--packed`` execution paths run on: a
+    packed panel whose affected/unaffected groups are contiguous row windows,
+    so the whole evaluation pipeline stays on 2-bit storage.
+    """
+    if (
+        dataset.packed is not None
+        and dataset.n_unknown == 0
+        and bool(np.all(dataset.status[: dataset.n_affected] == STATUS_AFFECTED))
+    ):
+        return dataset
+    return PackedGenotypeStore(dataset).dataset()
 
 
 # --------------------------------------------------------------------------- #

@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from ..genetics.dataset import GenotypeDataset
+from ..genetics.dataset import GenotypeDataset, as_packed_dataset
 from ..parallel.base import BaseBatchEvaluator, BatchEvaluator, FitnessCallable
 from ..parallel.farm import FarmRecoveryPolicy
 from ..parallel.master_slave import MasterSlaveEvaluator
@@ -78,6 +78,7 @@ class BackendRequest:
     cost_model: EvaluationCostModel | None = None
     recovery: FarmRecoveryPolicy | None = None
     worker_wrapper: Callable | None = None
+    packed: bool = False
 
     def local_fitness(self) -> FitnessCallable:
         """A fitness callable usable in the calling process."""
@@ -137,6 +138,7 @@ def create_evaluator(
     cost_model: EvaluationCostModel | None = None,
     recovery: FarmRecoveryPolicy | None = None,
     worker_wrapper: Callable | None = None,
+    packed: bool = False,
 ) -> BatchEvaluator:
     """Build a batch evaluator on the named backend.
 
@@ -151,6 +153,14 @@ def create_evaluator(
     ``worker_wrapper`` (optional, fault-injection harness) wraps the worker
     evaluator factory before it ships to the slaves.  Both are process-farm
     features — the in-process backends reject them.
+
+    ``packed=True`` runs the whole pipeline on the 2-bit packed substrate:
+    the dataset is converted to packed affected-first form
+    (:func:`~repro.genetics.dataset.as_packed_dataset`), shared-memory
+    segments hold the packed panel (~4× smaller), and phase expansions are
+    counted from packed columns.  Results are bit-identical to the byte
+    path.  Requires the spec form (a bare fitness callable carries no
+    dataset to pack).
     """
     spec: EvaluatorSpec | None = None
     fitness: FitnessCallable | None = None
@@ -169,6 +179,16 @@ def create_evaluator(
             f"source must be a HaplotypeEvaluator, EvaluatorSpec or callable, "
             f"got {type(source).__name__}"
         )
+    if packed:
+        if spec is None or dataset is None:
+            raise TypeError(
+                "packed=True needs an EvaluatorSpec + dataset (or a "
+                "HaplotypeEvaluator to derive them from), not a bare callable"
+            )
+        dataset = as_packed_dataset(dataset)
+        # a live evaluator from the caller is bound to the byte dataset;
+        # rebuild from the spec so every backend runs on the packed panel
+        fitness = None
     request = BackendRequest(
         spec=spec,
         dataset=dataset,
@@ -182,6 +202,7 @@ def create_evaluator(
         cost_model=cost_model,
         recovery=recovery,
         worker_wrapper=worker_wrapper,
+        packed=packed,
     )
     return resolve_backend(backend)(request)
 
@@ -258,7 +279,7 @@ def _shm_farm_backend(
     request: BackendRequest, *, backend_name: str, steal: bool
 ) -> BatchEvaluator:
     spec, dataset = request.require_spec(backend_name)
-    store = SharedGenotypeStore(dataset)
+    store = SharedGenotypeStore(dataset, packed=request.packed)
     try:
         evaluator = MasterSlaveEvaluator(
             evaluator_factory=SpecEvaluatorFactory(spec, store.handle),

@@ -35,7 +35,7 @@ from ..core.ga import AdaptiveMultiPopulationGA
 from ..core.history import GAResult
 from ..core.individual import HaplotypeIndividual
 from ..genetics.constraints import HaplotypeConstraints
-from ..genetics.dataset import GenotypeDataset
+from ..genetics.dataset import GenotypeDataset, as_packed_dataset
 from ..parallel.base import BaseBatchEvaluator, BatchEvaluator, EvaluationStats, SnpSet
 from ..parallel.farm import FarmRecoveryPolicy
 from ..parallel.pvm import EvaluationCostModel
@@ -128,6 +128,9 @@ class RunRequest:
     constraints:
         Haplotype-validity constraints (default: unconstrained; sized to the
         sub-panel when ``snp_indices`` is given).
+    packed:
+        Run on the 2-bit packed genotype substrate (bit-identical results,
+        ~4× smaller shared-memory panels).
     """
 
     config: GAConfig | None = None
@@ -143,6 +146,7 @@ class RunRequest:
     cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE
     worker_cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE
     constraints: HaplotypeConstraints | None = None
+    packed: bool = False
 
     def resolved_spec(self) -> EvaluatorSpec:
         return self.spec if self.spec is not None else EvaluatorSpec(statistic=self.statistic)
@@ -320,6 +324,7 @@ class RunScheduler:
         cost_model: EvaluationCostModel | None = None,
         recovery: FarmRecoveryPolicy | None = None,
         worker_wrapper=None,
+        packed: bool = False,
     ) -> None:
         if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
             raise ValueError(f"jobs must be a positive integer, got {jobs!r}")
@@ -334,8 +339,13 @@ class RunScheduler:
                 f"source must be a HaplotypeEvaluator, EvaluatorSpec or None, "
                 f"got {type(source).__name__}"
             )
+        if packed:
+            # run the whole substrate on the 2-bit panel: shm segments hold
+            # packed bytes and expansions are counted from packed columns
+            dataset = as_packed_dataset(dataset)
         self._dataset = dataset
         self._backend = backend
+        self._packed = bool(packed)
         self._jobs = jobs
         self._cost_model = cost_model
         self._lock = threading.Lock()
@@ -364,6 +374,7 @@ class RunScheduler:
             cost_model=cost_model,
             recovery=recovery,
             worker_wrapper=worker_wrapper,
+            packed=packed,
         )
 
     # ------------------------------------------------------------------ #
@@ -374,6 +385,11 @@ class RunScheduler:
     @property
     def backend(self) -> str:
         return self._backend
+
+    @property
+    def packed(self) -> bool:
+        """Whether the substrate runs on the 2-bit packed panel."""
+        return self._packed
 
     @property
     def spec(self) -> EvaluatorSpec:
@@ -691,6 +707,7 @@ class RunService:
             dedup=request.dedup,
             cache_size=request.cache_size,
             worker_cache_size=request.worker_cache_size,
+            packed=request.packed,
         )
         try:
             result = scheduler.run(request)

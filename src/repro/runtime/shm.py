@@ -20,18 +20,44 @@ original dataset, so results are bit-identical to the in-memory path.
 The genotype block is followed by the status vector in the same segment::
 
     [ genotypes int8 (n_individuals x n_snps) | status int8 (n_individuals) ]
+
+With ``packed=True`` the store writes the 2-bit packed panel instead — the
+PLINK-style representation (4 genotypes per byte, SNP-major, missing as the
+fourth state) — shrinking the segment ~4×::
+
+    [ packed uint8 (n_snps x ceil(n_individuals/4)) | status int8 (n_individuals) ]
+
+Workers then rebuild *packed-native* datasets whose affected/unaffected
+groups are bit-offset views of the shared packed bytes, and phase expansions
+are counted straight from the packed columns.  A handle can opt out with
+``unpack_on_attach=True``, rebuilding a plain byte-matrix dataset on attach
+(one private unpacked copy per worker, byte-path kernels).
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 
 import numpy as np
 
 from ..genetics.dataset import GenotypeDataset, WindowPlan
+from ..genetics.packed import PackedPanel, pack_genotypes, packed_width
 
 __all__ = ["SharedDatasetHandle", "SharedGenotypeStore", "ShardedGenotypeStore"]
+
+
+def _as_contiguous_int8(array: np.ndarray) -> np.ndarray:
+    """``array`` itself when it is already contiguous int8, else a copy.
+
+    The store only reads from the result, so an existing view (e.g. the
+    read-only ``dataset.genotypes`` of an affected-first dataset) is used
+    as-is instead of being duplicated.
+    """
+    if array.dtype == np.int8 and array.flags.c_contiguous:
+        return array
+    return np.ascontiguousarray(array, dtype=np.int8)
 
 
 def _attach_segment(name: str) -> shared_memory.SharedMemory:
@@ -69,6 +95,8 @@ class SharedDatasetHandle:
     snp_names: tuple[str, ...]
     individual_ids: tuple[str, ...]
     column_window: tuple[int, int] | None = None
+    packed: bool = False
+    unpack_on_attach: bool = False
     _segments: list = field(default_factory=list, repr=False, compare=False)
 
     def __getstate__(self) -> dict:
@@ -90,6 +118,8 @@ class SharedDatasetHandle:
         segment = _attach_segment(self.name)
         self._segments.append(segment)  # keep the mapping alive
         n, m = self.n_individuals, self.n_snps
+        if self.packed:
+            return self._load_packed(segment)
         genotypes = np.frombuffer(segment.buf, dtype=np.int8, count=n * m).reshape(n, m)
         status = np.frombuffer(segment.buf, dtype=np.int8, count=n, offset=n * m)
         genotypes.flags.writeable = False
@@ -106,6 +136,39 @@ class SharedDatasetHandle:
             individual_ids=self.individual_ids,
         )
 
+    def _load_packed(self, segment: shared_memory.SharedMemory) -> GenotypeDataset:
+        n, m = self.n_individuals, self.n_snps
+        width = packed_width(n)
+        data = np.frombuffer(segment.buf, dtype=np.uint8, count=m * width).reshape(m, width)
+        status = np.frombuffer(segment.buf, dtype=np.int8, count=n, offset=m * width)
+        data.flags.writeable = False
+        status.flags.writeable = False
+        snp_names = self.snp_names
+        if self.column_window is not None:
+            start, stop = self.column_window
+            data = data[start:stop]  # SNP-major: a column window is a row slice
+            snp_names = snp_names[start:stop]
+        panel = PackedPanel(data, n)
+        if self.unpack_on_attach:
+            # private byte copy, byte-path kernels (opt-out escape hatch)
+            return GenotypeDataset(
+                panel.unpack(),
+                status,
+                snp_names=snp_names,
+                individual_ids=self.individual_ids,
+            )
+        return GenotypeDataset(
+            None,
+            status,
+            snp_names=snp_names,
+            individual_ids=self.individual_ids,
+            packed=panel,
+        )
+
+    def with_unpack_on_attach(self, flag: bool = True) -> "SharedDatasetHandle":
+        """This handle with the attach-time unpack behaviour toggled."""
+        return dataclasses.replace(self, unpack_on_attach=bool(flag), _segments=[])
+
     def window(self, start: int, stop: int) -> "SharedDatasetHandle":
         """A handle onto the same segment restricted to columns ``[start, stop)``.
 
@@ -121,6 +184,8 @@ class SharedDatasetHandle:
             snp_names=self.snp_names,
             individual_ids=self.individual_ids,
             column_window=(int(start), int(stop)),
+            packed=self.packed,
+            unpack_on_attach=self.unpack_on_attach,
         )
 
     def detach(self) -> None:
@@ -150,20 +215,37 @@ class SharedGenotypeStore:
     as a context manager).
     """
 
-    def __init__(self, dataset: GenotypeDataset) -> None:
+    def __init__(
+        self,
+        dataset: GenotypeDataset,
+        *,
+        packed: bool = False,
+        unpack_on_attach: bool = False,
+    ) -> None:
         order = np.concatenate(
             [np.flatnonzero(dataset.affected_mask), np.flatnonzero(dataset.unaffected_mask)]
         )
         if order.size == 0:
             raise ValueError("the dataset has no individuals with known status")
-        genotypes = np.ascontiguousarray(dataset.genotypes[order], dtype=np.int8)
-        status = np.ascontiguousarray(dataset.status[order], dtype=np.int8)
-        n, m = genotypes.shape
-        self._segment = shared_memory.SharedMemory(create=True, size=n * m + n)
+        n = order.size
+        m = dataset.n_snps
+        identity = n == dataset.n_individuals and np.array_equal(order, np.arange(n))
+        status = _as_contiguous_int8(
+            dataset.status if identity else dataset.status[order]
+        )
+        if packed:
+            panel = self._affected_first_panel(dataset, order, identity)
+            payload = np.ascontiguousarray(panel.data).view(np.uint8).ravel()
+        else:
+            genotypes = _as_contiguous_int8(
+                dataset.genotypes if identity else dataset.genotypes[order]
+            )
+            payload = genotypes.view(np.uint8).ravel()
+        self._segment = shared_memory.SharedMemory(create=True, size=payload.size + n)
         # explicit bounds: some platforms page-round the segment size upward
-        buffer = np.frombuffer(self._segment.buf, dtype=np.int8)
-        buffer[: n * m] = genotypes.ravel()
-        buffer[n * m: n * m + n] = status
+        buffer = np.frombuffer(self._segment.buf, dtype=np.uint8)
+        buffer[: payload.size] = payload
+        buffer[payload.size : payload.size + n] = status.view(np.uint8)
         del buffer  # drop the exported view so close() can release the mmap
         self._released = False
         self._handle = SharedDatasetHandle(
@@ -172,7 +254,31 @@ class SharedGenotypeStore:
             n_snps=m,
             snp_names=tuple(dataset.snp_names),
             individual_ids=tuple(dataset.individual_ids[i] for i in order),
+            packed=bool(packed),
+            unpack_on_attach=bool(packed and unpack_on_attach),
         )
+
+    @staticmethod
+    def _affected_first_panel(
+        dataset: GenotypeDataset, order: np.ndarray, identity: bool
+    ) -> PackedPanel:
+        """The dataset's rows in ``order``, as a canonical packed panel.
+
+        An existing panel already in segment layout (row 0 at bit 0, no spare
+        capacity bytes) is reused without copying; otherwise the rows are
+        re-packed — chunk-wise from a packed source, directly from bytes
+        otherwise.
+        """
+        source = dataset.packed
+        if source is not None:
+            canonical = source.row_start == 0 and source.data.shape[1] == packed_width(
+                source.n_individuals
+            )
+            if identity and canonical:
+                return source
+            return source.reorder_individuals(order)
+        rows = dataset.genotypes if identity else dataset.genotypes[order]
+        return PackedPanel(pack_genotypes(rows), order.size)
 
     # ------------------------------------------------------------------ #
     @property
@@ -233,12 +339,21 @@ class ShardedGenotypeStore:
     worker holding the full-panel handle serves *every* window.
     """
 
-    def __init__(self, dataset: GenotypeDataset, plan: WindowPlan | None = None) -> None:
+    def __init__(
+        self,
+        dataset: GenotypeDataset,
+        plan: WindowPlan | None = None,
+        *,
+        packed: bool = False,
+        unpack_on_attach: bool = False,
+    ) -> None:
         if plan is not None and plan.n_snps != dataset.n_snps:
             raise ValueError(
                 f"plan covers {plan.n_snps} SNPs but the dataset has {dataset.n_snps}"
             )
-        self._store = SharedGenotypeStore(dataset)
+        self._store = SharedGenotypeStore(
+            dataset, packed=packed, unpack_on_attach=unpack_on_attach
+        )
         self._plan = plan
         self._window_handles: dict[tuple[int, int], SharedDatasetHandle] = {}
 

@@ -30,17 +30,31 @@ from .report import WindowResult, window_result_from_json, window_result_to_json
 __all__ = ["ScanJournal", "CheckpointMismatchError", "checkpoint_meta"]
 
 #: bump when the journal layout changes incompatibly
-JOURNAL_VERSION = 1
+#: (v2: the header names the panel representation and its content hash)
+JOURNAL_VERSION = 2
 
 
 class CheckpointMismatchError(ValueError):
     """The journal does not belong to this scan (or is corrupt mid-file)."""
 
 
-def checkpoint_meta(plan: ScanPlan, n_snps: int) -> dict:
+def checkpoint_meta(
+    plan: ScanPlan,
+    n_snps: int,
+    *,
+    panel: str = "byte",
+    panel_fingerprint: str | None = None,
+) -> dict:
     """The identity header of a scan's journal: resuming requires an exact
-    match on geometry and seeding, since those determine every window result."""
-    return {
+    match on geometry and seeding, since those determine every window result.
+
+    ``panel`` names the genotype substrate the scan runs on (``"byte"`` or
+    ``"packed"``) and ``panel_fingerprint`` (optional) pins the panel's
+    content hash (:meth:`~repro.genetics.dataset.GenotypeDataset.fingerprint`),
+    so a resume can never silently mix packed and byte substrates — or two
+    different panels that happen to share a shape.
+    """
+    meta = {
         "kind": "scan-checkpoint",
         "version": JOURNAL_VERSION,
         "n_snps": int(n_snps),
@@ -50,7 +64,11 @@ def checkpoint_meta(plan: ScanPlan, n_snps: int) -> dict:
         "statistic": plan.statistic,
         "seed": plan.base_seed,
         "n_runs": plan.n_runs,
+        "panel": str(panel),
     }
+    if panel_fingerprint is not None:
+        meta["panel_fingerprint"] = str(panel_fingerprint)
+    return meta
 
 
 class ScanJournal:

@@ -112,9 +112,18 @@ def execute_plan(
     journal = None
     completed: dict[int, WindowResult] = {}
     if checkpoint_path is not None:
+        # the journal pins the substrate representation and the panel's
+        # content hash: a resume against a byte journal with --packed (or
+        # against a different panel entirely) fails loudly instead of
+        # silently merging results from incompatible substrates
         journal, completed = ScanJournal.open(
             checkpoint_path,
-            checkpoint_meta(plan, scheduler.dataset.n_snps),
+            checkpoint_meta(
+                plan,
+                scheduler.dataset.n_snps,
+                panel="packed" if scheduler.packed else "byte",
+                panel_fingerprint=scheduler.dataset.fingerprint(),
+            ),
             resume=resume,
         )
     try:
@@ -190,6 +199,7 @@ def run_scan(
     recovery: FarmRecoveryPolicy | None = None,
     checkpoint_path=None,
     resume: bool = False,
+    packed: bool = False,
 ) -> ScanReport:
     """Scan a panel with one GA job per overlapping locus window.
 
@@ -217,6 +227,11 @@ def run_scan(
     instead of re-running them — a scan killed halfway resumes to the same
     report an uninterrupted run produces (window results are pure functions
     of their seeds).
+
+    ``packed=True`` runs the scan on the 2-bit packed genotype substrate
+    (~4× smaller shared-memory panels, packed class-counting kernels) with a
+    bit-identical report; like ``recovery``, it configures a scan-owned
+    scheduler and is ignored when an existing ``scheduler`` is passed.
     """
     if cost_model is None and jobs > 1:
         cost_model = EvaluationCostModel()
@@ -240,6 +255,7 @@ def run_scan(
             chunk_size=chunk_size,
             jobs=jobs,
             recovery=recovery,
+            packed=packed,
         )
     stats_before = scheduler.stats
     try:

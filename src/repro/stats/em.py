@@ -59,6 +59,7 @@ from typing import Sequence
 import numpy as np
 
 from ..genetics.alleles import GENOTYPE_MISSING, n_haplotype_states
+from ..genetics.packed import CODE_MISSING, PackedPanel
 from ..lru import LRUCache
 
 __all__ = [
@@ -67,6 +68,7 @@ __all__ = [
     "PhaseExpansionCache",
     "StackedExpansion",
     "expand_phases",
+    "expand_phases_packed",
     "concat_expansions",
     "stack_expansions",
     "expansion_log_likelihood",
@@ -391,6 +393,82 @@ def expand_phases(genotypes: np.ndarray) -> PhaseExpansion:
     )
 
 
+#: histogram span cap for the packed class-counting path; denser spans fall
+#: back to sorting the radix codes (``np.unique``), which is O(n log n) in the
+#: number of individuals instead of O(4^L) in the state space.
+_PACKED_BINCOUNT_MAX = 1 << 20
+
+#: loci bound of the int64 radix code (4^31 < 2^63); larger subsets unpack.
+_PACKED_MAX_LOCI = 31
+
+
+def expand_phases_packed(
+    panel: PackedPanel, snps: Sequence[int] | np.ndarray
+) -> PhaseExpansion:
+    """Packed fast path of :func:`expand_phases` — bit-identical output.
+
+    Instead of slicing byte columns and running ``np.unique`` over rows, the
+    genotype classes are counted as base-4 radix codes built straight from the
+    packed 2-bit columns (:meth:`PackedPanel.codes`): a histogram (or a code
+    sort for large state spaces) yields the classes in ascending code order.
+
+    Bit-identity argument: the radix code puts locus 0 in the most significant
+    digit, so ascending code order *is* the lexicographic row order
+    ``np.unique(genotypes, axis=0)`` sorts complete rows into (genotype values
+    0/1/2 order identically as bytes and as 2-bit digits).  Individuals with a
+    missing genotype carry digit 3 somewhere; the byte path drops those rows
+    before uniquing, this path drops the classes containing digit 3 after
+    counting — same surviving classes, same order, same counts.  The decoded
+    classes then feed the same :func:`_enumerate_pairs`, so every
+    :class:`PhaseExpansion` field matches the byte path exactly.
+    """
+    idx = np.asarray(snps, dtype=np.intp)
+    n_loci = idx.shape[0]
+    if n_loci == 0:
+        raise ValueError("at least one locus is required")
+    if n_loci > _PACKED_MAX_LOCI:
+        return expand_phases(panel.unpack_columns(idx))
+
+    codes = panel.codes(idx)
+    n_states = 4**n_loci
+    if n_states <= min(_PACKED_BINCOUNT_MAX, max(4096, 4 * codes.size)):
+        histogram = np.bincount(codes, minlength=n_states)
+        present = np.flatnonzero(histogram)
+        counts = histogram[present]
+    else:
+        present, counts = np.unique(codes, return_counts=True)
+
+    shifts = 2 * (n_loci - 1 - np.arange(n_loci))
+    digits = (present[:, None] >> shifts) & 3
+    complete = ~np.any(digits == CODE_MISSING, axis=1)
+    digits = digits[complete]
+    counts = counts[complete]
+
+    if digits.shape[0] == 0:
+        return PhaseExpansion(
+            n_loci=n_loci,
+            class_counts=np.zeros(0, dtype=np.int64),
+            pair_a=np.zeros(0, dtype=np.int64),
+            pair_b=np.zeros(0, dtype=np.int64),
+            pair_class=np.zeros(0, dtype=np.int64),
+            pair_multiplicity=np.zeros(0, dtype=np.float64),
+            class_genotypes=np.zeros((0, n_loci), dtype=np.int8),
+        )
+
+    classes = digits.astype(np.int8)
+    pa, pb, pc = _enumerate_pairs(classes)
+    multiplicity = np.where(pa == pb, 1.0, 2.0)
+    return PhaseExpansion(
+        n_loci=n_loci,
+        class_counts=counts.astype(np.int64),
+        pair_a=pa,
+        pair_b=pb,
+        pair_class=pc,
+        pair_multiplicity=multiplicity,
+        class_genotypes=classes,
+    )
+
+
 def concat_expansions(first: PhaseExpansion, second: PhaseExpansion) -> PhaseExpansion:
     """Pool two expansions over the same loci by concatenating class tables.
 
@@ -438,18 +516,27 @@ class PhaseExpansionCache:
     ----------
     genotypes:
         The full ``(n_individuals, n_snps)`` genotype matrix the cached
-        expansions are column subsets of.
+        expansions are column subsets of — either a byte matrix or a 2-bit
+        :class:`~repro.genetics.packed.PackedPanel` (misses then build
+        through :func:`expand_phases_packed`, never touching byte storage).
     max_size:
         Bound on the number of cached expansions (least-recently-used entries
         are evicted); ``None`` means unbounded.
     """
 
-    def __init__(self, genotypes: np.ndarray, *, max_size: int | None = 256) -> None:
+    def __init__(
+        self, genotypes: np.ndarray | PackedPanel, *, max_size: int | None = 256
+    ) -> None:
         if max_size is not None and max_size <= 0:
             raise ValueError("max_size must be positive or None")
-        self._genotypes = np.asarray(genotypes)
-        if self._genotypes.ndim != 2:
-            raise ValueError("genotypes must be 2-D (individuals x loci)")
+        if isinstance(genotypes, PackedPanel):
+            self._panel: PackedPanel | None = genotypes
+            self._genotypes = None
+        else:
+            self._panel = None
+            self._genotypes = np.asarray(genotypes)
+            if self._genotypes.ndim != 2:
+                raise ValueError("genotypes must be 2-D (individuals x loci)")
         self._cache: LRUCache = LRUCache(max_size)
         self._hits = 0
         self._misses = 0
@@ -490,7 +577,10 @@ class PhaseExpansionCache:
             self._hits += 1
             return cached
         self._misses += 1
-        expansion = expand_phases(self._genotypes[:, np.asarray(key, dtype=np.intp)])
+        if self._panel is not None:
+            expansion = expand_phases_packed(self._panel, np.asarray(key, dtype=np.intp))
+        else:
+            expansion = expand_phases(self._genotypes[:, np.asarray(key, dtype=np.intp)])
         self._cache.put(key, expansion)
         return expansion
 

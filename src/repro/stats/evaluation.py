@@ -67,6 +67,7 @@ from .em import (
     PhaseExpansionCache,
     concat_expansions,
     expand_phases,
+    expand_phases_packed,
 )
 
 __all__ = ["EvaluationRecord", "HaplotypeEvaluator", "FitnessFunction"]
@@ -196,9 +197,22 @@ class HaplotypeEvaluator:
         enabled = size is None or size > 0
         self._expansion_caches: dict[str, PhaseExpansionCache] | None = None
         if enabled:
+            # packed-aware group panels: when a group dataset carries a 2-bit
+            # panel, cache misses count classes straight from packed columns
+            # (expand_phases_packed) instead of slicing the byte matrix
             self._expansion_caches = {
-                "affected": PhaseExpansionCache(self._affected.genotypes, max_size=size),
-                "unaffected": PhaseExpansionCache(self._unaffected.genotypes, max_size=size),
+                "affected": PhaseExpansionCache(
+                    self._affected.packed
+                    if self._affected.packed is not None
+                    else self._affected.genotypes,
+                    max_size=size,
+                ),
+                "unaffected": PhaseExpansionCache(
+                    self._unaffected.packed
+                    if self._unaffected.packed is not None
+                    else self._unaffected.genotypes,
+                    max_size=size,
+                ),
             }
         self._result_caches: dict[str, LRUCache] | None = (
             {group: LRUCache(size) for group in _GROUPS} if enabled else None
@@ -301,6 +315,8 @@ class HaplotypeEvaluator:
             # cache can use it as-is instead of re-sorting per lookup
             return self._expansion_caches[group].get(snps, presorted=True)
         source = self._affected if group == "affected" else self._unaffected
+        if source.packed is not None:
+            return expand_phases_packed(source.packed, np.asarray(snps, dtype=np.intp))
         return expand_phases(source.genotypes_at(np.asarray(snps, dtype=np.intp)))
 
     def _warm_frequencies(self, group: str, snps: tuple[int, ...]) -> np.ndarray | None:
