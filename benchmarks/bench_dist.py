@@ -1,0 +1,307 @@
+"""Benchmark: shared-memory steal deques vs master-mediated stealing, plus
+a localhost remote-backend parity run.
+
+Measures what the shm-deque substrate was built for: dispatch latency.  With
+master-mediated queues every chunk a slave runs costs a result→dispatch
+round-trip through the master process; with the shared-memory deques the
+master seeds whole batches into per-slave rings and slaves self-serve their
+next chunk (and steal a victim's ring tail) without waking the master at
+all.  On a *skewed-window-cost* trace — many cheap evaluations plus an
+expensive minority, the regime of a chromosome scan with heterogeneous
+clamped windows — the round-trips dominate the cheap majority, so the deque
+substrate finishes the same work measurably faster on the identical farm.
+
+Workload
+--------
+Evaluation cost is *modelled*, not measured: the fitness sleeps for the
+paper's Figure-4 exponential cost ``base_seconds * growth ** (size - 1)``
+(:class:`repro.parallel.pvm.EvaluationCostModel`'s calibration) and returns
+a deterministic value, so the measurement isolates dispatch quality from
+host core count.  Both modes evaluate the identical batches and must return
+identical values and work counters (asserted).
+
+The second section starts a real socket worker host on localhost
+(:class:`repro.runtime.remote.LocalWorkerHost`), runs the same trace over
+the ``remote`` transport and asserts checksum/counter parity — the
+distributed backend is recorded as *correct*, not raced against the local
+farms (two slaves on loopback measure socket overhead, not cluster scaling).
+
+Records everything to ``BENCH_dist.json`` (diffable with
+``scripts/bench_compare.py``, which also gates the ``*_gain*`` leaves).
+
+Usage::
+
+    python benchmarks/bench_dist.py            # full run
+    python benchmarks/bench_dist.py --quick    # CI smoke
+    python benchmarks/bench_dist.py -o out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.parallel.farm import ChunkedWorkerFarm, affinity_worker  # noqa: E402
+from repro.parallel.pvm import EvaluationCostModel  # noqa: E402
+from repro.runtime.remote import LocalWorkerHost, RemoteSlavePool  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_dist.json"
+)
+
+N_WORKERS = 8
+N_REMOTE_SLAVES = 2
+TRACE_SEED = 0
+N_SNPS = 240
+EXPENSIVE_SIZE = 7
+CHEAP_SIZE = 2
+
+
+class CostModelFitness:
+    """Picklable fitness whose runtime is the paper's cost model (a sleep)."""
+
+    def __init__(self, base_seconds: float, growth_factor: float = 2.4) -> None:
+        self.model = EvaluationCostModel(
+            base_seconds=base_seconds, growth_factor=growth_factor
+        )
+
+    def __call__(self, snps) -> float:
+        key = tuple(sorted(int(s) for s in snps))
+        time.sleep(self.model.cost(len(key)))
+        return float(sum(key)) / (1.0 + len(key))
+
+
+class _FitnessFactory:
+    """Picklable zero-argument factory the farm ships to every slave."""
+
+    def __init__(self, fitness: CostModelFitness) -> None:
+        self._fitness = fitness
+
+    def __call__(self) -> CostModelFitness:
+        return self._fitness
+
+
+def skewed_trace(
+    *, n_batches: int, n_expensive: int, n_cheap: int, seed: int = TRACE_SEED
+) -> list[list[tuple[int, ...]]]:
+    """Generation batches of mostly-cheap haplotypes with an expensive minority."""
+    rng = np.random.default_rng(seed)
+    batches = []
+    for _ in range(n_batches):
+        batch: list[tuple[int, ...]] = []
+        seen: set[tuple[int, ...]] = set()
+
+        def draw(size: int, count: int) -> None:
+            while sum(1 for b in batch if len(b) == size) < count:
+                key = tuple(
+                    sorted(int(x) for x in rng.choice(N_SNPS, size, replace=False))
+                )
+                if key not in seen:
+                    seen.add(key)
+                    batch.append(key)
+
+        draw(EXPENSIVE_SIZE, n_expensive)
+        draw(CHEAP_SIZE, n_cheap)
+        rng.shuffle(batch)
+        batches.append([tuple(int(s) for s in b) for b in batch])
+    return batches
+
+
+def static_imbalance(batches: list[list[tuple[int, ...]]]) -> float:
+    """Mean ratio of the most-loaded slave's expensive share to the fair share."""
+    ratios = []
+    for batch in batches:
+        counts = [0] * N_WORKERS
+        for key in batch:
+            if len(key) == EXPENSIVE_SIZE:
+                counts[affinity_worker(key, N_WORKERS)] += 1
+        total = sum(counts)
+        if total:
+            ratios.append(max(counts) / (total / N_WORKERS))
+    return float(np.mean(ratios)) if ratios else 1.0
+
+
+def _drive(farm, batches, *, repetitions: int = 1) -> dict:
+    """Evaluate the trace ``repetitions`` times on a warm farm; keep the best.
+
+    The best-of-N elapsed filters OS scheduling jitter out of a
+    latency-sensitive measurement; the checksum and work counters are
+    asserted identical across repetitions (dedup caches are disabled, so
+    every repetition does the full work).
+    """
+    timings = []
+    n_requests = n_evaluations = 0
+    checksum = 0.0
+    with farm:
+        for repetition in range(repetitions):
+            rep_requests = rep_evaluations = 0
+            rep_checksum = 0.0
+            start = time.perf_counter()
+            for batch in batches:
+                values, stats = farm.evaluate(batch)
+                rep_checksum += sum(values)
+                rep_requests += stats.n_requests
+                rep_evaluations += stats.n_evaluations
+            timings.append(time.perf_counter() - start)
+            if repetition == 0:
+                n_requests, n_evaluations = rep_requests, rep_evaluations
+                checksum = round(rep_checksum, 9)
+            elif (rep_requests, rep_evaluations, round(rep_checksum, 9)) != (
+                n_requests, n_evaluations, checksum
+            ):
+                raise AssertionError("repetitions diverged on the same farm")
+    elapsed = min(timings)
+    return {
+        "elapsed_seconds": elapsed,
+        "evaluations_per_second": n_evaluations / elapsed if elapsed > 0 else 0.0,
+        "n_requests": n_requests,
+        "n_evaluations": n_evaluations,
+        "checksum": checksum,
+    }
+
+
+def run_farm_mode(
+    batches: list[list[tuple[int, ...]]],
+    *,
+    steal_mode: str,
+    base_seconds: float,
+    repetitions: int = 1,
+) -> dict:
+    farm = ChunkedWorkerFarm(
+        _FitnessFactory(CostModelFitness(base_seconds)),
+        N_WORKERS,
+        chunk_size=1,
+        worker_cache_size=0,
+        steal=True,
+        steal_mode=steal_mode,
+        # master mode gets no prefetch so every chunk pays the full dispatch
+        # round-trip — the PR-4 configuration the deques are racing against
+        max_inflight=1,
+    )
+    result = _drive(farm, batches, repetitions=repetitions)
+    result["mode"] = f"steal_{steal_mode}"
+    result["n_workers"] = N_WORKERS
+    return result
+
+
+def run_remote_parity(
+    batches: list[list[tuple[int, ...]]], *, base_seconds: float
+) -> dict:
+    # realistic remote chunking: socket round-trips are amortised over
+    # multi-key chunks with prefetch, unlike the latency-probing local modes
+    host = LocalWorkerHost()
+    try:
+        pool = RemoteSlavePool(
+            _FitnessFactory(CostModelFitness(base_seconds)),
+            [host.host] * N_REMOTE_SLAVES,
+            chunk_size=8,
+            worker_cache_size=0,
+            steal=True,
+            max_inflight=2,
+        )
+        result = _drive(pool, batches)
+    finally:
+        host.close()
+    result["mode"] = "remote_localhost"
+    result["n_workers"] = N_REMOTE_SLAVES
+    return result
+
+
+def run_benchmark(*, quick: bool) -> dict:
+    if quick:
+        base_seconds, n_batches, n_expensive, n_cheap, repetitions = 5e-5, 2, 8, 800, 2
+    else:
+        base_seconds, n_batches, n_expensive, n_cheap, repetitions = 5e-5, 3, 8, 800, 3
+    batches = skewed_trace(
+        n_batches=n_batches, n_expensive=n_expensive, n_cheap=n_cheap
+    )
+    model = EvaluationCostModel(base_seconds=base_seconds)
+    serial_seconds = sum(model.cost(len(key)) for batch in batches for key in batch)
+    report: dict = {
+        "benchmark": "dist",
+        "trace": {
+            "seed": TRACE_SEED,
+            "n_batches": n_batches,
+            "n_expensive_per_batch": n_expensive,
+            "n_cheap_per_batch": n_cheap,
+            "expensive_size": EXPENSIVE_SIZE,
+            "cheap_size": CHEAP_SIZE,
+            "base_seconds": base_seconds,
+            "modelled_serial_seconds": serial_seconds,
+            "static_imbalance": static_imbalance(batches),
+        },
+        "results": {},
+        "headline": {},
+    }
+    report["trace"]["repetitions"] = repetitions
+    master = run_farm_mode(
+        batches, steal_mode="master", base_seconds=base_seconds,
+        repetitions=repetitions,
+    )
+    shm = run_farm_mode(
+        batches, steal_mode="shm", base_seconds=base_seconds,
+        repetitions=repetitions,
+    )
+    remote = run_remote_parity(batches, base_seconds=base_seconds)
+    # all three substrates must do the identical work and agree bit-for-bit;
+    # a divergence is a dispatch correctness bug, not a timing artefact
+    for label, other in (("shm", shm), ("remote", remote)):
+        if other["checksum"] != master["checksum"]:
+            raise AssertionError(
+                f"{label}/master results diverged: "
+                f"{other['checksum']} != {master['checksum']}"
+            )
+        if (other["n_requests"], other["n_evaluations"]) != (
+            master["n_requests"], master["n_evaluations"]
+        ):
+            raise AssertionError(f"{label}/master work counters diverged")
+    report["results"][f"master_steal_{N_WORKERS}w"] = master
+    report["results"][f"shm_deque_steal_{N_WORKERS}w"] = shm
+    report["results"][f"remote_localhost_{N_REMOTE_SLAVES}w"] = remote
+    report["headline"][f"shm_deque_vs_master_steal_gain_at_{N_WORKERS}_workers"] = (
+        master["elapsed_seconds"] / shm["elapsed_seconds"]
+    )
+    report["headline"]["remote_checksum_parity"] = 1.0
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized smoke run")
+    parser.add_argument("-o", "--output", default=DEFAULT_OUTPUT,
+                        help=f"output JSON path (default {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(quick=args.quick)
+
+    print(
+        f"trace: static imbalance {report['trace']['static_imbalance']:.2f}x, "
+        f"modelled serial {report['trace']['modelled_serial_seconds']:.2f}s"
+    )
+    for label, result in report["results"].items():
+        print(
+            f"  {label:22s} {result['elapsed_seconds']:7.2f} s "
+            f"({result['evaluations_per_second']:7.1f} evals/s, "
+            f"{result['n_evaluations']} evals)"
+        )
+    for key, gain in report["headline"].items():
+        print(f"{key}: {gain:.2f}x")
+
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

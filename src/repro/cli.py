@@ -105,6 +105,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run on the 2-bit packed genotype substrate "
                             "(~4x smaller shared-memory panels; results are "
                             "bit-identical to the byte path)")
+    p_run.add_argument("--hosts", nargs="+", default=None, metavar="HOST:PORT",
+                       help="remote worker hosts for the 'remote' backend, "
+                            "one slave per entry (implies --backend remote)")
+    p_run.add_argument("--steal-mode", default="master",
+                       choices=["master", "shm"],
+                       help="chunk-queue substrate of the process farms: "
+                            "'master' routes every refill through the master, "
+                            "'shm' lets slaves self-serve and steal through "
+                            "shared-memory deques (default: master)")
     p_run.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("table1", help="regenerate Table 1 (search-space sizes)")
@@ -164,6 +173,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="scan a PLINK .bed/.bim/.fam fileset (prefix or "
                              ".bed path; memory-mapped, implies --packed; "
                              "mutually exclusive with the study argument)")
+    p_scan.add_argument("--hosts", nargs="+", default=None, metavar="HOST:PORT",
+                        help="remote worker hosts for the 'remote' backend, "
+                             "one slave per entry (requires --backend remote)")
+    p_scan.add_argument("--steal-mode", default="master",
+                        choices=["master", "shm"],
+                        help="chunk-queue substrate of the process farms: "
+                             "'master' routes every refill through the "
+                             "master, 'shm' lets slaves self-serve and steal "
+                             "through shared-memory deques (default: master)")
+    p_scan.add_argument("--cost-model", default=None, metavar="PATH",
+                        help="JSON file with a calibrated evaluation-cost "
+                             "model ({\"base_seconds\": ..., "
+                             "\"growth_factor\": ...}); prices window "
+                             "priorities and farm chunking without re-probing")
     _add_backend_arguments(p_scan, default_seed=0)
 
     p_t2 = sub.add_parser("table2", help="regenerate Table 2 (GA results over repeated runs)")
@@ -196,6 +219,17 @@ def build_parser() -> argparse.ArgumentParser:
                            help="compare candidate objective functions (paper conclusion)")
     p_obj.add_argument("--per-size", type=int, default=40)
     _add_backend_arguments(p_obj)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="run a remote worker host: accept 'remote'-backend masters and "
+             "serve one slave process per connection",
+    )
+    p_worker.add_argument("--bind", required=True, metavar="HOST:PORT",
+                          help="address to listen on, e.g. 0.0.0.0:7777")
+    p_worker.add_argument("--max-connections", type=int, default=None,
+                          help="serve this many master connections, then "
+                               "exit (default: serve forever)")
 
     return parser
 
@@ -257,7 +291,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_generations=args.max_generations,
         seed=args.seed,
     )
-    backend = args.backend or ("process" if args.workers > 1 else "serial")
+    if args.hosts and args.backend not in (None, "remote"):
+        print(f"run --hosts requires --backend remote, not {args.backend!r}",
+              file=sys.stderr)
+        return 2
+    backend = args.backend or (
+        "remote" if args.hosts else ("process" if args.workers > 1 else "serial")
+    )
+    if backend == "remote" and not args.hosts:
+        print("run --backend remote requires --hosts HOST:PORT ...",
+              file=sys.stderr)
+        return 2
     service = RunService(dataset)
     run = service.run(
         RunRequest(
@@ -265,10 +309,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
             statistic=args.statistic,
             backend=backend,
             # an explicit --backend honours --workers exactly (even 1); only
-            # the serial default leaves the worker count to the backend
-            n_workers=args.workers if args.backend or args.workers > 1 else None,
+            # the serial default leaves the worker count to the backend —
+            # and a remote pool runs one slave per host entry
+            n_workers=(
+                None if backend == "remote"
+                else args.workers if args.backend or args.workers > 1
+                else None
+            ),
             chunk_size=args.chunk_size,
             packed=args.packed,
+            hosts=tuple(args.hosts) if args.hosts else None,
+            steal_mode=args.steal_mode,
         )
     )
     result = run.result
@@ -298,6 +349,21 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     if args.self_heal and args.backend in ("serial", "threads"):
         print(
             f"scan --self-heal needs a process-farm backend "
+            f"(process, process-shm, async, remote), not {args.backend!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.backend == "remote" and not args.hosts:
+        print("scan --backend remote requires --hosts HOST:PORT ...",
+              file=sys.stderr)
+        return 2
+    if args.hosts and args.backend != "remote":
+        print(f"scan --hosts requires --backend remote, not {args.backend!r}",
+              file=sys.stderr)
+        return 2
+    if args.steal_mode != "master" and args.backend in ("serial", "threads", "remote"):
+        print(
+            f"scan --steal-mode shm needs a local process-farm backend "
             f"(process, process-shm, async), not {args.backend!r}",
             file=sys.stderr,
         )
@@ -319,6 +385,14 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         dataset = large249().dataset
     else:
         dataset = _load_study_dataset(args.study)
+    cost_model = None
+    if args.cost_model is not None:
+        import json
+
+        from .parallel.pvm import EvaluationCostModel
+
+        with open(args.cost_model, "r", encoding="utf-8") as fh:
+            cost_model = EvaluationCostModel.from_json(json.load(fh))
     config = GAConfig(
         population_size=args.population_size,
         min_haplotype_size=2,
@@ -340,10 +414,13 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         # 0 is the unlimited sentinel; negatives fall through to
         # execute_plan's validation and fail loudly
         max_pending=args.max_pending if args.max_pending != 0 else None,
+        cost_model=cost_model,
         recovery=FarmRecoveryPolicy(respawn=True) if args.self_heal else None,
         checkpoint_path=args.checkpoint,
         resume=args.resume,
         packed=packed,
+        hosts=tuple(args.hosts) if args.hosts else None,
+        steal_mode=args.steal_mode,
     )
     print(report.format(top=args.top))
     print()
@@ -451,6 +528,16 @@ def _cmd_objectives(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .runtime.remote import parse_host, serve
+
+    address = parse_host(args.bind)
+    print(f"repro-ga worker host listening on {address[0]}:{address[1]}",
+          flush=True)
+    serve(address, max_connections=args.max_connections)
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "evaluate": _cmd_evaluate,
@@ -464,6 +551,7 @@ _COMMANDS = {
     "landscape": _cmd_landscape,
     "robustness": _cmd_robustness,
     "objectives": _cmd_objectives,
+    "worker": _cmd_worker,
 }
 
 

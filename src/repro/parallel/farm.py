@@ -26,7 +26,14 @@ engine itself is asynchronous:
   from the *longest* other queue (work stealing on behalf of the idle slave —
   the master is the only party with global queue knowledge, exactly as in the
   paper's master/slave organisation), so one slow slave or one expensive
-  chunk no longer stalls the whole generation.
+  chunk no longer stalls the whole generation;
+* with ``steal_mode="shm"`` the per-slave queues move into a shared-memory
+  deque region (:mod:`repro.parallel.shm_deques`): the master *seeds* rings
+  of encoded chunks and idle slaves refill themselves — popping their own
+  ring in affinity order, stealing from the tail of the longest other ring —
+  without any master round trip per chunk; the master only harvests
+  completions over the per-slave result pipes.  Results, counters and the
+  recovery contract are identical to master-mediated dispatch.
 
 The synchronous entry point :meth:`~ChunkedWorkerFarm.evaluate` is
 ``collect(submit(batch))`` and, with ``steal=False`` (the default), dispatches
@@ -58,6 +65,7 @@ from .base import (
     validate_worker_count,
 )
 from .pvm import EvaluationCostModel
+from .shm_deques import SharedChunkDeques, SharedDequeHandle, encoded_chunk_ints
 
 __all__ = [
     "ChunkStats",
@@ -201,6 +209,53 @@ def affinity_worker(key: tuple[int, ...], n_workers: int) -> int:
     return hash(key) % n_workers
 
 
+def _build_local_evaluator(
+    worker_id: int, factory: EvaluatorFactory, worker_cache_size: int | None, outbox
+):
+    """Build a slave's batch evaluator, reporting start-up failures in-band.
+
+    Returns ``None`` after sending the startup-error message (the master
+    raises it out of the collect loop).
+    """
+    from .serial import SerialEvaluator
+
+    try:
+        fitness = factory()
+        return SerialEvaluator(fitness, cache_size=worker_cache_size)
+    except Exception:
+        try:
+            outbox.send((None, worker_id, None, None, traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+        return None
+
+
+def _evaluate_chunk(local, task_id: int, worker_id: int, chunk) -> tuple:
+    """Evaluate one chunk on a slave's local evaluator; build the reply message.
+
+    Shared by every slave loop (inbox-fed, shared-memory deque, remote
+    socket) so the protocol — values + per-chunk stats, or the traceback of
+    an in-band error — is identical on every transport.
+    """
+    try:
+        before = local.stats.copy()
+        start = time.perf_counter()
+        values = local.evaluate_batch(chunk)
+        elapsed = time.perf_counter() - start
+        delta = local.stats.since(before)
+        stats = ChunkStats(
+            n_requests=delta.n_requests,
+            n_evaluations=delta.n_evaluations,
+            n_cache_hits=delta.n_cache_hits + delta.n_dedup_hits,
+            seconds=elapsed,
+            n_stacked_em=delta.n_stacked_em,
+            n_stacked_problems=delta.n_stacked_problems,
+        )
+        return (task_id, worker_id, values, stats, None)
+    except Exception:
+        return (task_id, worker_id, None, None, traceback.format_exc())
+
+
 def _farm_worker_main(
     worker_id: int,
     factory: EvaluatorFactory,
@@ -215,43 +270,69 @@ def _farm_worker_main(
     can never wedge the other slaves behind a shared writer lock.  A send
     failing because the master closed the pipe (shutdown) ends the loop.
     """
-    from .serial import SerialEvaluator
-
-    try:
-        fitness = factory()
-        local = SerialEvaluator(fitness, cache_size=worker_cache_size)
-    except Exception:  # pragma: no cover - exercised via the startup-error test
-        try:
-            outbox.send((None, worker_id, None, None, traceback.format_exc()))
-        except (BrokenPipeError, OSError):
-            pass
+    local = _build_local_evaluator(worker_id, factory, worker_cache_size, outbox)
+    if local is None:  # pragma: no cover - exercised via the startup-error test
         return
     while True:
         message = inbox.get()
         if message is None:
             break
         task_id, chunk = message
-        try:
-            before = local.stats.copy()
-            start = time.perf_counter()
-            values = local.evaluate_batch(chunk)
-            elapsed = time.perf_counter() - start
-            delta = local.stats.since(before)
-            stats = ChunkStats(
-                n_requests=delta.n_requests,
-                n_evaluations=delta.n_evaluations,
-                n_cache_hits=delta.n_cache_hits + delta.n_dedup_hits,
-                seconds=elapsed,
-                n_stacked_em=delta.n_stacked_em,
-                n_stacked_problems=delta.n_stacked_problems,
-            )
-            reply = (task_id, worker_id, values, stats, None)
-        except Exception:
-            reply = (task_id, worker_id, None, None, traceback.format_exc())
+        reply = _evaluate_chunk(local, task_id, worker_id, chunk)
         try:
             outbox.send(reply)
         except (BrokenPipeError, OSError):  # pragma: no cover - master gone
             return
+
+
+#: shm-deque slaves poll their inbox at this cadence while every ring is
+#: empty (the only time they touch the inbox at all: chunks come from the
+#: rings, the inbox carries just the stop sentinel)
+_SHM_IDLE_POLL_SECONDS = 0.01
+
+
+def _farm_worker_shm_main(
+    worker_id: int,
+    factory: EvaluatorFactory,
+    worker_cache_size: int | None,
+    inbox,
+    outbox,
+    deque_handle: SharedDequeHandle,
+    steal: bool,
+) -> None:
+    """Self-serving slave loop over the shared-memory deques.
+
+    The slave takes its next chunk straight from the shared rings — its own
+    ring first (affinity/FIFO order), the tail of the longest other ring when
+    idle and ``steal`` is on — so between chunks there is no master round
+    trip at all.  The claimed cell is set by ``take`` and cleared only
+    *after* the result was sent: a crash at any point in between leaves the
+    master an exact record of what to replay.
+    """
+    local = _build_local_evaluator(worker_id, factory, worker_cache_size, outbox)
+    if local is None:  # pragma: no cover - exercised via the startup-error test
+        return
+    deques = deque_handle.attach()
+    try:
+        while True:
+            taken = deques.take(worker_id, steal=steal)
+            if taken is None:
+                try:
+                    message = inbox.get(timeout=_SHM_IDLE_POLL_SECONDS)
+                except Empty:
+                    continue
+                if message is None:
+                    break
+                continue  # anything else is a wake nudge: re-check the rings
+            task_id, chunk = taken
+            reply = _evaluate_chunk(local, task_id, worker_id, chunk)
+            try:
+                outbox.send(reply)
+            except (BrokenPipeError, OSError):  # pragma: no cover - master gone
+                return
+            deques.clear_claimed(worker_id)
+    finally:
+        deques.detach()
 
 
 class _Ticket:
@@ -333,9 +414,27 @@ class ChunkedWorkerFarm:
         chunks; an idle slave is refilled from the longest other affinity
         queue.  Fitness values are identical either way (they depend only on
         the haplotype), only which slave's caches serve a re-request changes.
+    steal_mode:
+        ``"master"`` (default) keeps the chunk queues master-side: idle
+        slaves are refilled — and steal — through the master's dispatch
+        engine, one round trip per chunk.  ``"shm"`` moves the queues into a
+        shared-memory deque region (:mod:`repro.parallel.shm_deques`): the
+        master seeds rings of encoded chunks and slaves self-serve, popping
+        their own ring and (with ``steal=True``) stealing from the tail of
+        the longest other ring, with no master round trip between chunks.
+        Results and counters are identical in both modes; ``"shm"`` rejects
+        a recovery ``chunk_timeout`` (a chunk may legitimately sit unclaimed
+        in a ring, so a dispatch-time deadline would misfire).
     max_inflight:
-        Steal mode only: in-flight chunk bound per slave (default 2 — one
-        computing, one buffered, the rest stealable).
+        Master steal mode only: in-flight chunk bound per slave (default 2 —
+        one computing, one buffered, the rest stealable).  With
+        ``steal_mode="shm"`` the rings *are* the slave-side buffer and every
+        chunk in them is stealable, so no bound is needed.
+    deque_slots, deque_slot_ints:
+        ``steal_mode="shm"`` only: the shared arena's slot count and
+        per-slot payload capacity (int64 words).  Chunks too big for a slot
+        are split; when every slot is in use the master stages the overflow
+        and pushes as results free slots.
     recovery:
         Optional :class:`FarmRecoveryPolicy`.  Without one (the default) a
         dead slave raises :class:`FarmDeadError`; with one the farm heals
@@ -352,6 +451,7 @@ class ChunkedWorkerFarm:
     _RESULT_POLL_SECONDS = 0.5
     #: steal mode: auto chunking targets this many stealable chunks per slave
     _STEAL_CHUNKS_PER_WORKER = 4
+    _STEAL_MODES = ("master", "shm")
 
     def __init__(
         self,
@@ -362,9 +462,12 @@ class ChunkedWorkerFarm:
         worker_cache_size: int | None = 4096,
         start_method: str | None = None,
         steal: bool = False,
+        steal_mode: str = "master",
         max_inflight: int = 2,
         cost_model: EvaluationCostModel | None = None,
         recovery: FarmRecoveryPolicy | None = None,
+        deque_slots: int | None = None,
+        deque_slot_ints: int | None = None,
     ) -> None:
         if n_workers is None:
             raise ValueError("n_workers must be a positive integer, got None")
@@ -374,6 +477,16 @@ class ChunkedWorkerFarm:
             raise ValueError(f"max_inflight must be a positive integer, got {max_inflight!r}")
         if recovery is not None and not isinstance(recovery, FarmRecoveryPolicy):
             raise TypeError(f"recovery must be a FarmRecoveryPolicy or None, got {recovery!r}")
+        if steal_mode not in self._STEAL_MODES:
+            raise ValueError(
+                f"steal_mode must be one of {self._STEAL_MODES}, got {steal_mode!r}"
+            )
+        if steal_mode == "shm" and recovery is not None and recovery.chunk_timeout is not None:
+            raise ValueError(
+                "chunk_timeout is incompatible with steal_mode='shm': a chunk "
+                "may sit unclaimed in a shared ring for arbitrarily long, so a "
+                "dispatch-time deadline would reap healthy slaves"
+            )
         context = default_mp_context(start_method)
         self._context = context
         self._factory = factory
@@ -383,6 +496,7 @@ class ChunkedWorkerFarm:
         self._chunk_size = chunk_size
         self._cost_model = cost_model if cost_model is not None else EvaluationCostModel()
         self._steal = bool(steal)
+        self._steal_mode = steal_mode
         self._max_inflight = max_inflight
         self._inboxes = []
         self._result_conns: list = []
@@ -418,11 +532,27 @@ class ChunkedWorkerFarm:
         self._n_chunks_replayed = 0
         self._n_worker_respawns = 0
         self._dead_error: FarmDeadError | None = None
-        for worker_id in range(n_workers):
-            self._inboxes.append(None)
-            self._result_conns.append(None)
-            self._processes.append(None)
-            self._spawn_worker(worker_id)
+        # shm steal mode: the shared deque region plus the master-side slot
+        # bookkeeping (task id -> arena slot, freed when its result lands)
+        self._deques: SharedChunkDeques | None = None
+        self._slot_of_task: dict[int, int] = {}
+        if steal_mode == "shm":
+            deque_kwargs = {}
+            if deque_slots is not None:
+                deque_kwargs["n_slots"] = deque_slots
+            if deque_slot_ints is not None:
+                deque_kwargs["slot_ints"] = deque_slot_ints
+            self._deques = SharedChunkDeques(n_workers, context=context, **deque_kwargs)
+        try:
+            for worker_id in range(n_workers):
+                self._inboxes.append(None)
+                self._result_conns.append(None)
+                self._processes.append(None)
+                self._spawn_worker(worker_id)
+        except BaseException:
+            if self._deques is not None:
+                self._deques.close()
+            raise
 
     def _spawn_worker(self, worker_id: int) -> None:
         """(Re)start the slave in slot ``worker_id`` with a fresh inbox/pipe.
@@ -435,9 +565,14 @@ class ChunkedWorkerFarm:
         """
         inbox = self._context.Queue()
         recv_conn, send_conn = self._context.Pipe(duplex=False)
+        if self._deques is not None:
+            target, extra = _farm_worker_shm_main, (self._deques.handle(), self._steal)
+        else:
+            target, extra = _farm_worker_main, ()
         process = self._context.Process(
-            target=_farm_worker_main,
-            args=(worker_id, self._factory, self._worker_cache_size, inbox, send_conn),
+            target=target,
+            args=(worker_id, self._factory, self._worker_cache_size, inbox, send_conn)
+            + extra,
             daemon=True,
         )
         process.start()
@@ -490,6 +625,11 @@ class ChunkedWorkerFarm:
     def steal(self) -> bool:
         return self._steal
 
+    @property
+    def steal_mode(self) -> str:
+        """Where the chunk queues live: ``"master"`` or ``"shm"``."""
+        return self._steal_mode
+
     def _chunk_cost_target(self, batch: Sequence[tuple[int, ...]]) -> float:
         """Per-chunk cost budget for one batch under the farm's cost model.
 
@@ -519,9 +659,36 @@ class ChunkedWorkerFarm:
         costs = [self._cost_model.cost(len(batch[i])) for i in indices]
         return cost_balanced_chunks(indices, costs, cost_target or 0.0)
 
+    def _split_for_slots(
+        self, indices: list[int], batch: Sequence[tuple[int, ...]]
+    ) -> list[list[int]]:
+        """Split a chunk whose encoding would overflow one shm ring slot."""
+        limit = self._deques.slot_ints
+        parts: list[list[int]] = []
+        current: list[int] = []
+        used = 2  # header: task_id + n_keys
+        for index in indices:
+            need = 1 + len(batch[index])
+            if current and used + need > limit:
+                parts.append(current)
+                current, used = [], 2
+            current.append(index)
+            used += need
+        if current:
+            parts.append(current)
+        return parts
+
     # ------------------------------------------------------------------ #
     # the dispatch engine
     # ------------------------------------------------------------------ #
+    def _on_result_channel_error(self, conn) -> None:
+        """Transport hook: a result channel failed mid-recv (default no-op —
+        process transports rely on the ``is_alive`` health pass instead)."""
+
+    def _send_message(self, worker: int, message) -> None:
+        """Deliver one protocol message to a slave (transport hook)."""
+        self._inboxes[worker].put(message)
+
     def _dispatch(self, worker: int, task_id: int, chunk) -> None:
         deadline = None
         policy = self._recovery
@@ -532,9 +699,20 @@ class ChunkedWorkerFarm:
                 + policy.chunk_timeout
                 + policy.timeout_cost_factor * modelled
             )
-        self._inboxes[worker].put((task_id, chunk))
+        self._send_message(worker, (task_id, chunk))
         self._inflight[worker] += 1
         self._inflight_tasks[task_id] = _Dispatch(worker, chunk, deadline)
+
+    def _push_shm(self, worker: int, task_id: int, chunk) -> bool:
+        """Seed one chunk into a slave's shared ring; False when the arena is
+        full (the chunk stays staged master-side until results free slots)."""
+        slot = self._deques.push(worker, task_id, chunk)
+        if slot is None:
+            return False
+        self._slot_of_task[task_id] = slot
+        self._inflight[worker] += 1
+        self._inflight_tasks[task_id] = _Dispatch(worker, chunk, None)
+        return True
 
     def _steal_source(self, thief: int) -> int | None:
         """The slave whose affinity queue the idle ``thief`` should steal from."""
@@ -549,6 +727,19 @@ class ChunkedWorkerFarm:
 
     def _pump(self) -> None:
         """Dispatch queued chunks within the in-flight bounds (steal when idle)."""
+        if self._deques is not None:
+            # shm mode: seed everything into the rings — the rings are the
+            # slave-side buffer and (with steal on) every entry is stealable,
+            # so there is nothing for a master-side in-flight bound to do
+            for worker, queue in enumerate(self._queues):
+                if not self._alive[worker]:
+                    continue  # drained and rerouted when the death was seen
+                while queue:
+                    task_id, chunk = queue[0]
+                    if not self._push_shm(worker, task_id, chunk):
+                        return  # arena full; retried as results free slots
+                    queue.popleft()
+            return
         if not self._steal:
             # synchronous-farm behaviour: everything goes to its owner upfront
             for worker, queue in enumerate(self._queues):
@@ -586,6 +777,20 @@ class ChunkedWorkerFarm:
             ]
             queue.clear()
             queue.extend(retained)
+        if self._deques is not None:
+            # pull the ticket's not-yet-claimed chunks out of the shared
+            # rings; chunks a slave already claimed finish and come back as
+            # stale results (their slots are freed on receipt)
+            resident = {
+                task_id for task_id in ticket.remaining
+                if task_id in self._slot_of_task
+            }
+            for slot, task_id in self._deques.remove_tasks(resident):
+                self._deques.free_slot(slot)
+                self._slot_of_task.pop(task_id, None)
+                dispatch = self._inflight_tasks.pop(task_id, None)
+                if dispatch is not None and self._inflight[dispatch.worker] > 0:
+                    self._inflight[dispatch.worker] -= 1
         for task_id in list(ticket.remaining):
             self._task_info.pop(task_id, None)
             self._retries.pop(task_id, None)
@@ -618,6 +823,21 @@ class ChunkedWorkerFarm:
         survivors = [w for w in range(self._n_workers) if self._alive[w]]
         return survivors[hash(key) % len(survivors)]
 
+    def _worker_is_alive(self, worker: int) -> bool:
+        """Transport hook: is the worker's process/connection still healthy?"""
+        return self._processes[worker].is_alive()
+
+    def _worker_lost_reason(self, worker: int) -> str:
+        """Transport hook: describe why :meth:`_worker_is_alive` went false."""
+        exitcode = self._processes[worker].exitcode
+        return f"worker process {worker} died (exit code {exitcode})"
+
+    def _kill_worker(self, worker: int) -> None:
+        """Transport hook: forcefully stop a hung worker."""
+        process = self._processes[worker]
+        process.terminate()
+        process.join(timeout=5.0)
+
     def _check_farm_health(self) -> None:
         """Poll-timeout health pass: reap dead slaves, expire overdue chunks.
 
@@ -628,11 +848,8 @@ class ChunkedWorkerFarm:
         if self._closed or self._dead_error is not None:
             return
         for worker in range(self._n_workers):
-            if self._alive[worker] and not self._processes[worker].is_alive():
-                exitcode = self._processes[worker].exitcode
-                self._on_worker_lost(
-                    worker, f"worker process {worker} died (exit code {exitcode})"
-                )
+            if self._alive[worker] and not self._worker_is_alive(worker):
+                self._on_worker_lost(worker, self._worker_lost_reason(worker))
         policy = self._recovery
         if policy is None or policy.chunk_timeout is None:
             return
@@ -645,14 +862,65 @@ class ChunkedWorkerFarm:
             and self._alive[dispatch.worker]
         })
         for worker in overdue:
-            process = self._processes[worker]
-            process.terminate()
-            process.join(timeout=5.0)
+            self._kill_worker(worker)
             self._on_worker_lost(
                 worker,
                 f"worker process {worker} exceeded its chunk deadline and was "
                 f"terminated as hung",
             )
+
+    def _reclaim_worker(self, worker: int) -> tuple[list, list]:
+        """Pull back everything a dead slave was responsible for.
+
+        Returns ``(lost, orphaned)`` as ``(task_id, chunk)`` lists: *lost*
+        chunks were in the dead slave's hands (retry-charged replays);
+        *orphaned* chunks were merely parked on it and are rerouted free.
+        """
+        if self._deques is None:
+            lost = [
+                (task_id, dispatch.chunk)
+                for task_id, dispatch in self._inflight_tasks.items()
+                if dispatch.worker == worker
+            ]
+            for task_id, _chunk in lost:
+                del self._inflight_tasks[task_id]
+            self._inflight[worker] = 0
+            orphaned = list(self._queues[worker])
+            self._queues[worker].clear()
+            return lost, orphaned
+        # shm mode: the dead slave's ring (and any claimed-but-unreported
+        # chunk) is the ground truth — `_Dispatch.worker` records which ring a
+        # chunk was pushed to, not who claimed it, so a thief may legitimately
+        # still be working a chunk "belonging" to the dead slave's ring.
+        orphaned = list(self._queues[worker])
+        self._queues[worker].clear()
+        ring_entries, claimed_task = self._deques.drain_worker(worker)
+        self._inflight[worker] = 0
+        for slot, task_id in ring_entries:
+            self._deques.free_slot(slot)
+            self._slot_of_task.pop(task_id, None)
+            dispatch = self._inflight_tasks.pop(task_id, None)
+            if dispatch is not None:
+                orphaned.append((task_id, dispatch.chunk))
+        lost = []
+        if claimed_task is not None:
+            slot = self._slot_of_task.pop(claimed_task, None)
+            if slot is not None:
+                self._deques.free_slot(slot)
+            dispatch = self._inflight_tasks.pop(claimed_task, None)
+            if dispatch is not None:
+                # died between claiming and reporting: a true in-hand loss
+                # (the claimed chunk may have been stolen from another ring)
+                if self._inflight[dispatch.worker] > 0:
+                    self._inflight[dispatch.worker] -= 1
+                lost.append((claimed_task, dispatch.chunk))
+        return lost, orphaned
+
+    def _respawn_worker(self, worker: int) -> bool:
+        """Transport hook: bring a replacement worker up; True on success."""
+        self._retire_queue(self._inboxes[worker])
+        self._spawn_worker(worker)  # also swaps in a fresh result pipe
+        return True
 
     def _on_worker_lost(self, worker: int, reason: str) -> None:
         """A slave died (or hung past its deadline): heal or fail the farm."""
@@ -662,22 +930,15 @@ class ChunkedWorkerFarm:
             # legacy behaviour, now with a terminal, non-spinning error
             self._fail_farm(f"{reason} while evaluating a batch")
         # reclaim everything the dead slave was responsible for
-        lost = [
-            (task_id, dispatch)
-            for task_id, dispatch in self._inflight_tasks.items()
-            if dispatch.worker == worker
-        ]
-        for task_id, _dispatch in lost:
-            del self._inflight_tasks[task_id]
-        self._inflight[worker] = 0
-        orphaned = list(self._queues[worker])
-        self._queues[worker].clear()
+        lost, orphaned = self._reclaim_worker(worker)
         policy = self._recovery
         if policy.respawn and self._restarts_used < policy.max_worker_restarts:
             self._restarts_used += 1
-            self._n_worker_respawns += 1
-            self._retire_queue(self._inboxes[worker])
-            self._spawn_worker(worker)  # also swaps in a fresh result pipe
+            if self._respawn_worker(worker):
+                self._n_worker_respawns += 1
+            else:
+                self._close_conn(self._result_conns[worker])
+                self._result_conns[worker] = None
         else:
             self._close_conn(self._result_conns[worker])
             self._result_conns[worker] = None
@@ -685,8 +946,8 @@ class ChunkedWorkerFarm:
             self._fail_farm(f"{reason}; no surviving workers")
         # in-flight chunks are bounded-retry replays; never-dispatched queued
         # chunks are simply rerouted (no retry charged)
-        for task_id, dispatch in lost:
-            self._replay_chunk(task_id, dispatch.chunk)
+        for task_id, chunk in lost:
+            self._replay_chunk(task_id, chunk)
         for task_id, chunk in orphaned:
             self._queues[self._affinity_target(chunk[0])].append((task_id, chunk))
         self._pump()
@@ -740,7 +1001,7 @@ class ChunkedWorkerFarm:
             conns = [
                 conn
                 for worker, conn in enumerate(self._result_conns)
-                if self._alive[worker] and conn is not None
+                if self._alive[worker] and conn is not None and not conn.closed
             ]
         message = None
         for conn in _connection_wait(conns, timeout=self._RESULT_POLL_SECONDS):
@@ -751,6 +1012,7 @@ class ChunkedWorkerFarm:
                 # EOF, a closed fd or a torn pickle: leave it to the health
                 # pass (the owning slave is dead or dying; its chunks get
                 # replayed)
+                self._on_result_channel_error(conn)
                 continue
         if message is None:
             with self._lock:
@@ -760,6 +1022,13 @@ class ChunkedWorkerFarm:
         if received_id is None:
             raise RuntimeError(f"a worker failed during start-up:\n{error}")
         with self._lock:
+            if self._deques is not None:
+                # free the ring slot even for stale results: the slot was
+                # reserved for exactly this task id, so any report of it —
+                # live or stale — retires the reservation
+                slot = self._slot_of_task.pop(received_id, None)
+                if slot is not None:
+                    self._deques.free_slot(slot)
             # release the slot only for a tracked dispatch: a late result of a
             # chunk already replayed elsewhere must not free anyone's slot
             dispatch = self._inflight_tasks.pop(received_id, None)
@@ -838,7 +1107,14 @@ class ChunkedWorkerFarm:
                 else None
             )
             for worker, indices in sorted(by_worker.items()):
-                for chunk_indices in self._chunks_for_worker(indices, batch, cost_target):
+                chunk_runs = self._chunks_for_worker(indices, batch, cost_target)
+                if self._deques is not None:
+                    chunk_runs = [
+                        part
+                        for run in chunk_runs
+                        for part in self._split_for_slots(run, batch)
+                    ]
+                for chunk_indices in chunk_runs:
                     chunk = [batch[i] for i in chunk_indices]
                     task_id = self._next_task_id
                     self._next_task_id += 1
@@ -935,6 +1211,19 @@ class ChunkedWorkerFarm:
         if self._closed:
             return
         self._closed = True
+        self._shutdown_transport(force=force, join_timeout=join_timeout)
+        if self._deques is not None:
+            self._deques.close()
+        with self._lock:
+            for affinity_queue in self._queues:
+                affinity_queue.clear()
+            self._inflight_tasks.clear()
+            self._task_info.clear()
+            self._retries.clear()
+            self._slot_of_task.clear()
+
+    def _shutdown_transport(self, *, force: bool, join_timeout: float) -> None:
+        """Transport hook: reap slaves and detach their channels."""
         if force:
             for process in self._processes:
                 if process.is_alive():
@@ -957,12 +1246,6 @@ class ChunkedWorkerFarm:
             self._close_conn(conn)
         for queue in self._inboxes:
             self._retire_queue(queue)
-        with self._lock:
-            for affinity_queue in self._queues:
-                affinity_queue.clear()
-            self._inflight_tasks.clear()
-            self._task_info.clear()
-            self._retries.clear()
 
     def __enter__(self) -> "ChunkedWorkerFarm":
         return self

@@ -123,6 +123,19 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
         between the two can shift when a re-requested haplotype reaches the
         slaves, since a stolen chunk is served by the thief's cache or
         re-evaluated there instead of hitting its owner's cache.
+    steal_mode:
+        Chunked dispatch only: ``"master"`` (default) keeps chunk queues
+        master-side; ``"shm"`` moves them into the shared-memory deque
+        region, so slaves self-serve refills and steal from each other's
+        ring tails with no master round trip per chunk (see
+        :class:`~repro.parallel.farm.ChunkedWorkerFarm`).  Results and
+        counters are identical in both modes.
+    hosts:
+        Distributed chunked dispatch: a sequence of ``"host:port"`` worker
+        hosts (see :mod:`repro.runtime.remote`).  One slave slot per entry —
+        ``n_workers``, if given, must equal ``len(hosts)``.  Slaves run on
+        the remote hosts behind authenticated sockets; requires
+        ``dispatch="chunked"`` and ``steal_mode="master"``.
     recovery:
         Chunked dispatch only: a
         :class:`~repro.parallel.farm.FarmRecoveryPolicy` making the farm
@@ -167,11 +180,13 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
         dispatch: str = "individual",
         worker_cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE,
         steal: bool = False,
+        steal_mode: str = "master",
         max_inflight: int = 2,
         cost_model: EvaluationCostModel | None = None,
         recovery: FarmRecoveryPolicy | None = None,
         worker_wrapper=None,
         start_method: str | None = None,
+        hosts: Sequence | None = None,
         dedup: bool = True,
         cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE,
     ) -> None:
@@ -188,7 +203,20 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
             raise ValueError("recovery requires dispatch='chunked'")
         if worker_wrapper is not None and dispatch != "chunked":
             raise ValueError("worker_wrapper requires dispatch='chunked'")
-        self._n_workers = n_workers or default_worker_count()
+        if hosts is not None:
+            if dispatch != "chunked":
+                raise ValueError("hosts requires dispatch='chunked'")
+            if steal_mode != "master":
+                raise ValueError(
+                    "hosts requires steal_mode='master': a shared-memory "
+                    "deque arena cannot span hosts"
+                )
+            if n_workers is not None and n_workers != len(hosts):
+                raise ValueError(
+                    f"n_workers={n_workers} conflicts with len(hosts)="
+                    f"{len(hosts)}; remote pools run one slave per host entry"
+                )
+        self._n_workers = len(hosts) if hosts is not None else (n_workers or default_worker_count())
         self._chunk_size = chunk_size
         self._dispatch = dispatch
         factory = evaluator_factory if evaluator_factory is not None else _CallableFactory(fitness)
@@ -197,7 +225,22 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
         self._closed = False
         self._pool = None
         self._farm: ChunkedWorkerFarm | None = None
-        if dispatch == "chunked":
+        if hosts is not None:
+            # lazy import: the remote transport pulls in the socket layer,
+            # which local farms never need
+            from ..runtime.remote import RemoteSlavePool
+
+            self._farm = RemoteSlavePool(
+                factory,
+                hosts,
+                chunk_size=chunk_size,
+                worker_cache_size=worker_cache_size,
+                steal=steal,
+                max_inflight=max_inflight,
+                cost_model=cost_model,
+                recovery=recovery,
+            )
+        elif dispatch == "chunked":
             self._farm = ChunkedWorkerFarm(
                 factory,
                 self._n_workers,
@@ -205,6 +248,7 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
                 worker_cache_size=worker_cache_size,
                 start_method=start_method,
                 steal=steal,
+                steal_mode=steal_mode,
                 max_inflight=max_inflight,
                 cost_model=cost_model,
                 recovery=recovery,
@@ -231,6 +275,11 @@ class MasterSlaveEvaluator(BaseBatchEvaluator):
     def steal(self) -> bool:
         """Whether the chunked farm runs the work-stealing dispatch engine."""
         return self._farm.steal if self._farm is not None else False
+
+    @property
+    def steal_mode(self) -> str:
+        """The chunked farm's queue substrate (``"master"`` or ``"shm"``)."""
+        return self._farm.steal_mode if self._farm is not None else "master"
 
     def recovery_counters(self) -> dict[str, int]:
         """The farm's lifetime recovery counters (all zero without a farm)."""

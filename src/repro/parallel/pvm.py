@@ -67,6 +67,32 @@ class EvaluationCostModel:
             raise ValueError("haplotype sizes must be positive")
         return self.base_seconds * np.power(self.growth_factor, sizes - 1, dtype=np.float64)
 
+    def to_json(self) -> dict:
+        """A JSON-serialisable snapshot (see :meth:`from_json`)."""
+        return {
+            "base_seconds": float(self.base_seconds),
+            "growth_factor": float(self.growth_factor),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "EvaluationCostModel":
+        """Rebuild a model persisted by :meth:`to_json`.
+
+        Lets a calibration measured once (e.g. by the scheduler's probe) be
+        reused across invocations and shipped to remote dispatchers instead
+        of re-probing every run: ``scan --cost-model model.json``.
+        """
+        try:
+            return cls(
+                base_seconds=float(payload["base_seconds"]),
+                growth_factor=float(payload["growth_factor"]),
+            )
+        except KeyError as exc:
+            raise ValueError(
+                f"cost-model JSON must contain base_seconds and growth_factor, "
+                f"missing {exc.args[0]!r}"
+            ) from None
+
     @classmethod
     def fit(cls, sizes: Sequence[int], seconds: Sequence[float]) -> "EvaluationCostModel":
         """Calibrate the model on measured (size, seconds) pairs by log-linear fit."""

@@ -1,0 +1,377 @@
+"""Shared-memory steal deques: slave-side self-serve chunk queues.
+
+PR 4's work-stealing engine keeps every chunk queue master-side: an idle
+slave only receives more work after its previous result has crossed a pipe,
+been folded in by the master, and a refill message has crossed back.  That
+round trip — queue feeder latency + master scheduling + pipe latency — is
+pure dead time per chunk, and it is paid by *every* chunk once chunks are
+small enough to steal.
+
+This module moves the per-slave chunk queues into one
+:mod:`multiprocessing.shared_memory` segment the master and every slave map:
+
+* one **ring** of slot indices per slave (the slave's deque: the master
+  pushes fresh chunks at the tail, the owner pops from the head in affinity
+  order, and an idle slave *steals from the tail* of the longest other ring —
+  the tail is the work least likely to benefit from the owner's caches soon);
+* a **claimed cell** per slave recording the task it is currently computing
+  (the crash-recovery breadcrumb: a dead slave's claimed task is replayed,
+  its ring is rerouted);
+* a **slot arena** of fixed-size int64 payload slots holding the encoded
+  chunks (``[task_id, n_keys, (key_len, *snps)...]``), allocated and freed
+  exclusively by the master.
+
+Slaves therefore refill *themselves*: finishing a chunk and taking the next
+one is a few shared-memory words under a lock, not a master round trip.  The
+master's remaining jobs are seeding batches into the rings (and staging the
+overflow when the arena is full) and harvesting completions over the
+existing per-slave result pipes.
+
+All ring/claim operations happen under one farm-wide
+``multiprocessing.Lock``; they touch a handful of words each, so the lock is
+never the bottleneck next to millisecond-scale evaluations, and a single
+lock keeps the pop-vs-steal-vs-drain interleavings trivially correct.  The
+master acquires it with a timeout so a slave SIGKILLed in the microseconds
+it holds the lock degrades into a loud error, never a wedged farm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedChunkDeques", "SharedDequeHandle"]
+
+#: Default arena size: chunk slots shared by all rings.
+DEFAULT_N_SLOTS = 1024
+#: Default slot payload capacity in int64 words (task_id + n_keys + keys).
+DEFAULT_SLOT_INTS = 512
+
+_NO_CLAIM = -1
+_MASTER_LOCK_TIMEOUT = 10.0
+
+
+def encoded_chunk_ints(chunk) -> int:
+    """Payload words one chunk needs in a slot (header + per-key length runs)."""
+    return 2 + sum(1 + len(key) for key in chunk)
+
+
+class _DequeArrays:
+    """The numpy views both sides carve out of the shared segment."""
+
+    def __init__(self, buffer, n_workers: int, n_slots: int, slot_ints: int) -> None:
+        ints = np.frombuffer(buffer, dtype=np.int64)
+        offset = 0
+
+        def take(count: int) -> np.ndarray:
+            nonlocal offset
+            view = ints[offset: offset + count]
+            offset += count
+            return view
+
+        # each ring can hold every slot at once, so a push can never overflow
+        self.rings = take(n_workers * n_slots).reshape(n_workers, n_slots)
+        self.heads = take(n_workers)
+        self.counts = take(n_workers)
+        self.claimed = take(n_workers)
+        self.slots = take(n_slots * slot_ints).reshape(n_slots, slot_ints)
+
+    @staticmethod
+    def n_ints(n_workers: int, n_slots: int, slot_ints: int) -> int:
+        return n_workers * n_slots + 3 * n_workers + n_slots * slot_ints
+
+
+def _decode_slot(slot_row: np.ndarray) -> tuple[int, list[tuple[int, ...]]]:
+    """Rebuild ``(task_id, chunk)`` from one slot's payload words."""
+    task_id = int(slot_row[0])
+    n_keys = int(slot_row[1])
+    chunk: list[tuple[int, ...]] = []
+    cursor = 2
+    for _ in range(n_keys):
+        length = int(slot_row[cursor])
+        cursor += 1
+        chunk.append(tuple(int(s) for s in slot_row[cursor: cursor + length]))
+        cursor += length
+    return task_id, chunk
+
+
+@dataclass(frozen=True)
+class SharedDequeHandle:
+    """Picklable pointer a slave uses to attach to the deque segment.
+
+    Carries the segment name, the geometry, and the farm-wide lock (a
+    ``multiprocessing`` lock travels to child processes through ``Process``
+    arguments).  ``attach()`` maps the segment and returns the slave-side
+    view; the attachment lives for the slave's lifetime.
+    """
+
+    name: str
+    n_workers: int
+    n_slots: int
+    slot_ints: int
+    lock: object = field(compare=False)
+
+    def attach(self) -> "_WorkerDeques":
+        return _WorkerDeques(self)
+
+
+class _WorkerDeques:
+    """Slave-side view: ``take`` (pop own head / steal a tail) + claim cells."""
+
+    def __init__(self, handle: SharedDequeHandle) -> None:
+        self._handle = handle
+        self._segment = shared_memory.SharedMemory(name=handle.name)
+        self._arrays = _DequeArrays(
+            self._segment.buf, handle.n_workers, handle.n_slots, handle.slot_ints
+        )
+        self._lock = handle.lock
+
+    def take(
+        self, worker: int, *, steal: bool
+    ) -> tuple[int, list[tuple[int, ...]]] | None:
+        """Pop this slave's next chunk, stealing from the longest ring if idle.
+
+        Returns ``(task_id, chunk)`` — with the claimed cell already set to
+        the task, so a crash any time before :meth:`clear_claimed` leaves the
+        master a replayable record — or ``None`` when every ring is empty.
+        """
+        arrays = self._arrays
+        with self._lock:
+            source = worker
+            if arrays.counts[worker] == 0:
+                if not steal:
+                    return None
+                source = -1
+                longest = 0
+                for victim in range(self._handle.n_workers):
+                    if victim != worker and arrays.counts[victim] > longest:
+                        source, longest = victim, int(arrays.counts[victim])
+                if source < 0:
+                    return None
+            if source == worker:
+                # the owner drains its own ring in affinity (FIFO) order
+                position = int(arrays.heads[source])
+                arrays.heads[source] = (position + 1) % self._handle.n_slots
+            else:
+                # the thief takes the victim's *tail*
+                position = int(
+                    (arrays.heads[source] + arrays.counts[source] - 1)
+                    % self._handle.n_slots
+                )
+            slot = int(arrays.rings[source, position])
+            arrays.counts[source] -= 1
+            task_id, chunk = _decode_slot(arrays.slots[slot])
+            arrays.claimed[worker] = task_id
+        return task_id, chunk
+
+    def clear_claimed(self, worker: int) -> None:
+        """Forget the claimed task — call only *after* its result was sent."""
+        with self._lock:
+            self._arrays.claimed[worker] = _NO_CLAIM
+
+    def detach(self) -> None:
+        self._arrays = None
+        try:
+            self._segment.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+class SharedChunkDeques:
+    """Master-side owner of the deque segment (create, seed, reclaim, destroy).
+
+    The master is the only allocator: it pushes encoded chunks into free
+    slots, frees a slot when the chunk's result (or its death-reclaim) comes
+    back, and drains a dead slave's ring wholesale.  Slaves never allocate —
+    they only move ring entries and claim cells — so the free list needs no
+    cross-process coordination at all.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        *,
+        context,
+        n_slots: int = DEFAULT_N_SLOTS,
+        slot_ints: int = DEFAULT_SLOT_INTS,
+    ) -> None:
+        if n_slots < n_workers:
+            raise ValueError(
+                f"n_slots must be at least n_workers ({n_workers}), got {n_slots}"
+            )
+        if slot_ints < 4:
+            raise ValueError(f"slot_ints must be at least 4, got {slot_ints}")
+        self._n_workers = n_workers
+        self._n_slots = n_slots
+        self._slot_ints = slot_ints
+        self._lock = context.Lock()
+        n_bytes = 8 * _DequeArrays.n_ints(n_workers, n_slots, slot_ints)
+        self._segment = shared_memory.SharedMemory(create=True, size=n_bytes)
+        self._arrays = _DequeArrays(self._segment.buf, n_workers, n_slots, slot_ints)
+        self._arrays.rings[:] = 0
+        self._arrays.heads[:] = 0
+        self._arrays.counts[:] = 0
+        self._arrays.claimed[:] = _NO_CLAIM
+        self._free: list[int] = list(range(n_slots - 1, -1, -1))
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_slots(self) -> int:
+        return self._n_slots
+
+    @property
+    def slot_ints(self) -> int:
+        return self._slot_ints
+
+    @property
+    def n_free_slots(self) -> int:
+        return len(self._free)
+
+    def max_chunk_keys(self, key_size: int) -> int:
+        """Largest chunk of uniformly ``key_size``-sized keys a slot can hold."""
+        return (self._slot_ints - 2) // (1 + key_size)
+
+    def handle(self) -> SharedDequeHandle:
+        return SharedDequeHandle(
+            name=self._segment.name,
+            n_workers=self._n_workers,
+            n_slots=self._n_slots,
+            slot_ints=self._slot_ints,
+            lock=self._lock,
+        )
+
+    def _acquire(self):
+        if not self._lock.acquire(timeout=_MASTER_LOCK_TIMEOUT):
+            raise RuntimeError(
+                "the shared deque lock is stuck (a slave likely died while "
+                "holding it); terminate the farm"
+            )
+        return self._lock
+
+    # ------------------------------------------------------------------ #
+    def push(self, worker: int, task_id: int, chunk) -> int | None:
+        """Encode ``chunk`` into a free slot and push it onto ``worker``'s ring.
+
+        Returns the slot index (the master keeps it to free later), or
+        ``None`` when the arena is full — the caller then stages the chunk
+        master-side and retries as results free slots.
+        """
+        if not self._free:
+            return None
+        needed = encoded_chunk_ints(chunk)
+        if needed > self._slot_ints:
+            raise ValueError(
+                f"chunk needs {needed} payload words but slots hold "
+                f"{self._slot_ints}; split the chunk"
+            )
+        slot = self._free.pop()
+        arrays = self._arrays
+        self._acquire()
+        try:
+            row = arrays.slots[slot]
+            row[0] = task_id
+            row[1] = len(chunk)
+            cursor = 2
+            for key in chunk:
+                row[cursor] = len(key)
+                cursor += 1
+                row[cursor: cursor + len(key)] = key
+                cursor += len(key)
+            position = int(
+                (arrays.heads[worker] + arrays.counts[worker]) % self._n_slots
+            )
+            arrays.rings[worker, position] = slot
+            arrays.counts[worker] += 1
+        finally:
+            self._lock.release()
+        return slot
+
+    def free_slot(self, slot: int) -> None:
+        """Return a slot to the arena (its chunk's result — or reclaim — landed)."""
+        self._free.append(slot)
+
+    def drain_worker(self, worker: int) -> tuple[list[tuple[int, int]], int | None]:
+        """Empty a dead slave's ring and read its claimed cell.
+
+        Returns ``(ring_entries, claimed_task_id)`` where ``ring_entries`` is
+        ``[(slot, task_id), ...]`` in ring order (chunks that were queued but
+        never claimed — reroutable without a retry charge) and
+        ``claimed_task_id`` is the task the slave died computing (``None``
+        when it died idle).  Slots are *not* freed — the caller decides their
+        fate.
+        """
+        arrays = self._arrays
+        self._acquire()
+        try:
+            entries: list[tuple[int, int]] = []
+            head = int(arrays.heads[worker])
+            for offset in range(int(arrays.counts[worker])):
+                slot = int(arrays.rings[worker, (head + offset) % self._n_slots])
+                entries.append((slot, int(arrays.slots[slot, 0])))
+            arrays.heads[worker] = 0
+            arrays.counts[worker] = 0
+            claimed = int(arrays.claimed[worker])
+            arrays.claimed[worker] = _NO_CLAIM
+        finally:
+            self._lock.release()
+        return entries, (None if claimed == _NO_CLAIM else claimed)
+
+    def remove_tasks(self, task_ids: set[int]) -> list[tuple[int, int]]:
+        """Pull every ring-resident chunk of ``task_ids`` out of the rings.
+
+        Used when a ticket fails: its not-yet-claimed chunks must not burn
+        slave time.  Claimed chunks cannot be removed (a slave is computing
+        them); their results arrive later and are discarded as stale.
+        Returns the removed ``[(slot, task_id), ...]`` — slots not yet freed.
+        """
+        if not task_ids:
+            return []
+        arrays = self._arrays
+        removed: list[tuple[int, int]] = []
+        self._acquire()
+        try:
+            for worker in range(self._n_workers):
+                head = int(arrays.heads[worker])
+                count = int(arrays.counts[worker])
+                kept: list[int] = []
+                for offset in range(count):
+                    slot = int(arrays.rings[worker, (head + offset) % self._n_slots])
+                    task_id = int(arrays.slots[slot, 0])
+                    if task_id in task_ids:
+                        removed.append((slot, task_id))
+                    else:
+                        kept.append(slot)
+                if len(kept) != count:
+                    arrays.heads[worker] = 0
+                    arrays.counts[worker] = len(kept)
+                    for position, slot in enumerate(kept):
+                        arrays.rings[worker, position] = slot
+        finally:
+            self._lock.release()
+        return removed
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Unmap and destroy the segment; idempotent.  Call after the slaves
+        exited (their attachments keep the mapping valid either way)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._arrays = None
+        try:
+            self._segment.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        try:
+            self._segment.unlink()
+        except (OSError, FileNotFoundError):  # pragma: no cover - already gone
+            pass
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown path
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -18,6 +18,14 @@ async      work-stealing master/slave farm: bounded per-slave in-flight
            chunks, idle slaves refilled from the longest affinity queue,
            completions streamed instead of barrier-joined; shared-memory
            data when a spec + dataset is available, pickled otherwise
+           (``steal_mode="shm"`` moves the chunk queues themselves into a
+           shared-memory deque arena: slaves self-serve and steal without a
+           master round trip per chunk)
+remote     multi-host master/slave farm over authenticated sockets
+           (``hosts=["host:port", ...]``, one slave per entry): each
+           connection ships the 2-bit packed panel once, then only
+           haplotype chunks travel; dead connections replay like dead
+           slaves
 ========== ==================================================================
 
 A backend factory receives the normalised request — an
@@ -30,7 +38,7 @@ call site.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from ..genetics.dataset import GenotypeDataset, as_packed_dataset
 from ..parallel.base import BaseBatchEvaluator, BatchEvaluator, FitnessCallable
@@ -41,7 +49,12 @@ from ..parallel.serial import SerialEvaluator
 from ..parallel.threads import ThreadPoolEvaluator
 from ..stats.evaluation import HaplotypeEvaluator
 from .shm import SharedGenotypeStore
-from .spec import EvaluatorSpec, InMemoryDatasetHandle, SpecEvaluatorFactory
+from .spec import (
+    EvaluatorSpec,
+    InMemoryDatasetHandle,
+    PackedDatasetHandle,
+    SpecEvaluatorFactory,
+)
 
 __all__ = [
     "BackendRequest",
@@ -79,6 +92,8 @@ class BackendRequest:
     recovery: FarmRecoveryPolicy | None = None
     worker_wrapper: Callable | None = None
     packed: bool = False
+    hosts: tuple[str, ...] | None = None
+    steal_mode: str = "master"
 
     def local_fitness(self) -> FitnessCallable:
         """A fitness callable usable in the calling process."""
@@ -139,6 +154,8 @@ def create_evaluator(
     recovery: FarmRecoveryPolicy | None = None,
     worker_wrapper: Callable | None = None,
     packed: bool = False,
+    hosts: Sequence[str] | None = None,
+    steal_mode: str = "master",
 ) -> BatchEvaluator:
     """Build a batch evaluator on the named backend.
 
@@ -161,6 +178,11 @@ def create_evaluator(
     counted from packed columns.  Results are bit-identical to the byte
     path.  Requires the spec form (a bare fitness callable carries no
     dataset to pack).
+
+    ``hosts`` (the ``remote`` backend only) lists the worker hosts as
+    ``"host:port"`` specs, one slave per entry.  ``steal_mode`` selects the
+    chunked farms' queue substrate: ``"master"`` (default) or ``"shm"``
+    (shared-memory steal deques; local process farms only).
     """
     spec: EvaluatorSpec | None = None
     fitness: FitnessCallable | None = None
@@ -203,6 +225,8 @@ def create_evaluator(
         recovery=recovery,
         worker_wrapper=worker_wrapper,
         packed=packed,
+        hosts=tuple(hosts) if hosts is not None else None,
+        steal_mode=steal_mode,
     )
     return resolve_backend(backend)(request)
 
@@ -217,6 +241,25 @@ def _require_process_farm_features_unused(request: BackendRequest, backend: str)
             f"the {backend!r} backend runs in-process and supports neither a "
             f"recovery policy nor a worker_wrapper; use a process-farm backend "
             f"(process, process-shm, async)"
+        )
+    if request.hosts is not None:
+        raise TypeError(
+            f"the {backend!r} backend runs in-process and cannot use remote "
+            f"hosts; use the 'remote' backend"
+        )
+    if request.steal_mode != "master":
+        raise TypeError(
+            f"the {backend!r} backend runs in-process and has no shared-memory "
+            f"deque arena; steal_mode applies to the process-farm backends"
+        )
+
+
+def _require_local_farm(request: BackendRequest, backend: str) -> None:
+    """Local process farms cannot reach remote hosts."""
+    if request.hosts is not None:
+        raise TypeError(
+            f"the {backend!r} backend runs local slave processes and ignores "
+            f"hosts; use the 'remote' backend for multi-host dispatch"
         )
 
 
@@ -260,6 +303,7 @@ def _farm_kwargs(request: BackendRequest, *, steal: bool) -> dict:
         dedup=request.dedup,
         cache_size=request.cache_size,
         steal=steal,
+        steal_mode=request.steal_mode,
         cost_model=request.cost_model,
         recovery=request.recovery,
         worker_wrapper=request.worker_wrapper,
@@ -267,6 +311,7 @@ def _farm_kwargs(request: BackendRequest, *, steal: bool) -> dict:
 
 
 def _process_backend(request: BackendRequest, *, steal: bool = False) -> BatchEvaluator:
+    _require_local_farm(request, "process")
     if request.spec is not None and request.dataset is not None:
         factory = SpecEvaluatorFactory(request.spec, InMemoryDatasetHandle(request.dataset))
         return MasterSlaveEvaluator(
@@ -278,6 +323,7 @@ def _process_backend(request: BackendRequest, *, steal: bool = False) -> BatchEv
 def _shm_farm_backend(
     request: BackendRequest, *, backend_name: str, steal: bool
 ) -> BatchEvaluator:
+    _require_local_farm(request, backend_name)
     spec, dataset = request.require_spec(backend_name)
     store = SharedGenotypeStore(dataset, packed=request.packed)
     try:
@@ -310,8 +356,41 @@ def _async_backend(request: BackendRequest) -> BatchEvaluator:
     return _process_backend(request, steal=True)
 
 
+def _remote_backend(request: BackendRequest) -> BatchEvaluator:
+    """The multi-host farm: slaves behind sockets, packed panel shipped once.
+
+    Requires the spec form (the factory must be rebuilt on another machine)
+    and ``hosts``.  The dataset always crosses the wire in its 2-bit packed
+    form — bit-identical to the byte path and ~4× cheaper to ship.  Stealing
+    stays master-mediated (the shm arena cannot span hosts), and the PR-6
+    recovery engine treats a dead connection exactly like a dead local slave.
+    """
+    from .remote import RemoteSlavePool  # noqa: F401 - validates availability
+
+    spec, dataset = request.require_spec("remote")
+    if request.hosts is None:
+        raise TypeError(
+            "the 'remote' backend needs hosts=[\"host:port\", ...] naming the "
+            "worker hosts (one slave per entry)"
+        )
+    if request.steal_mode != "master":
+        raise TypeError(
+            "the 'remote' backend requires steal_mode='master': a "
+            "shared-memory deque arena cannot span hosts"
+        )
+    kwargs = _farm_kwargs(request, steal=True)
+    kwargs.pop("n_workers")  # one slave per host entry
+    kwargs.pop("start_method")  # slaves are started by their hosts
+    return MasterSlaveEvaluator(
+        evaluator_factory=SpecEvaluatorFactory(spec, PackedDatasetHandle(dataset)),
+        hosts=request.hosts,
+        **kwargs,
+    )
+
+
 register_backend("serial", _serial_backend)
 register_backend("threads", _threads_backend)
 register_backend("process", _process_backend)
 register_backend("process-shm", _process_shm_backend)
 register_backend("async", _async_backend)
+register_backend("remote", _remote_backend)

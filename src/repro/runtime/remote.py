@@ -1,0 +1,370 @@
+"""Multi-host slave pools over authenticated, length-prefixed sockets.
+
+The paper ran its master/slave GA on a PVM cluster.  This module is the
+socket-era equivalent: worker *hosts* run :func:`serve` (CLI:
+``repro-ga worker --bind HOST:PORT``), accepting one connection per slave and
+evaluating chunks in a dedicated process per connection;
+:class:`RemoteSlavePool` is a :class:`~repro.parallel.farm.ChunkedWorkerFarm`
+whose transport is those connections instead of local child processes — the
+whole ticket engine (affinity routing, stealing, PR-6 recovery replay)
+is inherited unchanged, only the five transport hooks differ.
+
+Wire protocol (``multiprocessing.connection`` — length-prefixed pickles over
+TCP, HMAC-authenticated with a shared key):
+
+* master → slave, once: ``(worker_id, evaluator_factory, worker_cache_size)``
+  — the factory carries the picklable :class:`~repro.runtime.spec.EvaluatorSpec`
+  plus a dataset handle; the ``remote`` backend ships the 2-bit packed panel
+  (:class:`~repro.runtime.spec.PackedDatasetHandle`, ~4× smaller than bytes)
+  exactly once per connection, after which only haplotype chunks travel.
+* master → slave, per chunk: ``(task_id, [haplotype, ...])``; ``None`` stops.
+* slave → master, per chunk: ``(task_id, worker_id, values, ChunkStats,
+  error)`` — byte-for-byte the local farm's result message.
+
+A dead connection is treated exactly like a dead local slave: the recovery
+engine replays its chunks onto survivors (bit-identical by fitness purity)
+and raises :class:`~repro.parallel.farm.FarmDeadError` when none remain.
+
+The shared key defaults to a well-known development value; set
+``REPRO_REMOTE_AUTHKEY`` on every host for anything beyond localhost.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing.connection import Client, Listener
+from typing import Sequence
+
+from ..parallel.base import default_mp_context
+from ..parallel.farm import (
+    ChunkedWorkerFarm,
+    EvaluatorFactory,
+    FarmRecoveryPolicy,
+    _build_local_evaluator,
+    _evaluate_chunk,
+)
+from ..parallel.pvm import EvaluationCostModel
+
+__all__ = [
+    "RemoteSlavePool",
+    "LocalWorkerHost",
+    "serve",
+    "parse_host",
+    "parse_hosts",
+    "default_authkey",
+]
+
+_DEFAULT_AUTHKEY = b"repro-ga-dist"
+
+
+def default_authkey() -> bytes:
+    """The wire-authentication key: ``REPRO_REMOTE_AUTHKEY`` or a dev default."""
+    value = os.environ.get("REPRO_REMOTE_AUTHKEY")
+    if value:
+        return value.encode("utf-8")
+    return _DEFAULT_AUTHKEY
+
+
+def parse_host(host) -> tuple[str, int]:
+    """``"host:port"`` (or a ``(host, port)`` pair) → ``(host, port)``."""
+    if isinstance(host, str):
+        name, sep, port = host.rpartition(":")
+        if not sep or not name:
+            raise ValueError(
+                f"remote host must be 'host:port', got {host!r}"
+            )
+        try:
+            return (name, int(port))
+        except ValueError:
+            raise ValueError(
+                f"remote host must be 'host:port' with an integer port, got {host!r}"
+            ) from None
+    name, port = host
+    return (str(name), int(port))
+
+
+def parse_hosts(hosts: Sequence) -> tuple[tuple[str, int], ...]:
+    """Parse a sequence of host specs; order defines worker-slot numbering."""
+    parsed = tuple(parse_host(host) for host in hosts)
+    if not parsed:
+        raise ValueError("at least one remote host is required")
+    return parsed
+
+
+# --------------------------------------------------------------------- #
+# worker-host side
+# --------------------------------------------------------------------- #
+def _remote_worker_loop(conn) -> None:
+    """Serve one master connection: setup once, then evaluate chunks forever."""
+    try:
+        setup = conn.recv()
+    except (EOFError, OSError):
+        return
+    worker_id, factory, worker_cache_size = setup
+    local = _build_local_evaluator(worker_id, factory, worker_cache_size, conn)
+    if local is None:
+        return  # start-up failure already reported over the connection
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return  # master went away; nothing left to serve
+            if message is None:
+                return
+            task_id, chunk = message
+            reply = _evaluate_chunk(local, task_id, worker_id, chunk)
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):
+                return
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+def serve(
+    bind: tuple[str, int] | str,
+    *,
+    authkey: bytes | None = None,
+    max_connections: int | None = None,
+    start_method: str | None = None,
+    _ready=None,
+) -> None:
+    """Run a worker host: accept master connections, one slave process each.
+
+    ``bind`` is ``(host, port)`` or ``"host:port"`` (port ``0`` binds an
+    ephemeral port; the resolved address is reported over ``_ready`` when
+    given).  Each accepted connection gets its own daemon process running
+    :func:`_remote_worker_loop`, so one master's heavy chunk cannot block
+    another master's slave.  ``max_connections`` bounds how many connections
+    are served before returning (``None`` serves forever).
+    """
+    if isinstance(bind, str):
+        bind = parse_host(bind)
+    context = default_mp_context(start_method)
+    listener = Listener(bind, authkey=authkey or default_authkey())
+    try:
+        if _ready is not None:
+            _ready.send(listener.address)
+            _ready.close()
+        served = 0
+        while max_connections is None or served < max_connections:
+            try:
+                conn = listener.accept()
+            except OSError:  # pragma: no cover - listener closed under us
+                return
+            except Exception:
+                # failed authentication or a scanner poking the port: keep
+                # serving legitimate masters
+                continue
+            worker = context.Process(
+                target=_remote_worker_loop, args=(conn,), daemon=True
+            )
+            worker.start()
+            conn.close()  # the slave process owns it now
+            served += 1
+    finally:
+        listener.close()
+
+
+class LocalWorkerHost:
+    """A worker host on an ephemeral localhost port (tests and benchmarks).
+
+    Starts :func:`serve` in a child process bound to ``127.0.0.1:0`` and
+    exposes the resolved ``host:port``::
+
+        with LocalWorkerHost() as host:
+            pool = RemoteSlavePool(factory, hosts=[host.host])
+    """
+
+    def __init__(
+        self,
+        *,
+        authkey: bytes | None = None,
+        max_connections: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        context = default_mp_context(start_method)
+        ready_recv, ready_send = context.Pipe(duplex=False)
+        # not a daemon: the server forks one slave process per connection,
+        # and daemonic processes may not have children
+        self._process = context.Process(
+            target=serve,
+            args=(("127.0.0.1", 0),),
+            kwargs={
+                "authkey": authkey,
+                "max_connections": max_connections,
+                "start_method": start_method,
+                "_ready": ready_send,
+            },
+        )
+        self._process.start()
+        ready_send.close()
+        self.address: tuple[str, int] = ready_recv.recv()
+        ready_recv.close()
+
+    @property
+    def host(self) -> str:
+        """The ``"host:port"`` spec to hand to ``--hosts`` / ``hosts=``."""
+        return f"{self.address[0]}:{self.address[1]}"
+
+    def close(self) -> None:
+        """Stop accepting connections; idempotent.
+
+        Slaves already serving a master keep running until that master sends
+        the stop sentinel or closes the connection.
+        """
+        if self._process.is_alive():
+            self._process.terminate()
+        self._process.join(timeout=5.0)
+
+    def __enter__(self) -> "LocalWorkerHost":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------- #
+# master side
+# --------------------------------------------------------------------- #
+class RemoteSlavePool(ChunkedWorkerFarm):
+    """The chunked ticket engine over socket connections to worker hosts.
+
+    One slave slot per entry of ``hosts`` (a host serving N slaves is simply
+    listed N times).  All of :class:`ChunkedWorkerFarm`'s semantics carry
+    over — affinity routing, master-mediated stealing, recovery replay,
+    counter parity — with connections in place of child processes:
+
+    * a torn connection is a dead slave (replay onto survivors, optional
+      reconnect as the respawn, :class:`FarmDeadError` when none remain);
+    * ``steal_mode`` is fixed at ``"master"`` — a shared-memory arena cannot
+      span hosts;
+    * ``recovery.chunk_timeout`` hangs are healed by dropping the connection.
+    """
+
+    def __init__(
+        self,
+        factory: EvaluatorFactory,
+        hosts: Sequence,
+        *,
+        authkey: bytes | None = None,
+        chunk_size: int | None = None,
+        worker_cache_size: int | None = 4096,
+        steal: bool = False,
+        max_inflight: int = 2,
+        cost_model: EvaluationCostModel | None = None,
+        recovery: FarmRecoveryPolicy | None = None,
+    ) -> None:
+        addresses = parse_hosts(hosts)
+        # transport state must exist before super().__init__ runs the
+        # _spawn_worker loop
+        self._addresses = addresses
+        self._authkey = authkey or default_authkey()
+        self._broken = [False] * len(addresses)
+        super().__init__(
+            factory,
+            len(addresses),
+            chunk_size=chunk_size,
+            worker_cache_size=worker_cache_size,
+            steal=steal,
+            steal_mode="master",
+            max_inflight=max_inflight,
+            cost_model=cost_model,
+            recovery=recovery,
+        )
+
+    # ------------------------------------------------------------------ #
+    # transport hooks
+    # ------------------------------------------------------------------ #
+    def _spawn_worker(self, worker_id: int) -> None:
+        """Connect slot ``worker_id`` to its host and ship the setup message."""
+        address = self._addresses[worker_id]
+        try:
+            conn = Client(address, authkey=self._authkey)
+            conn.send((worker_id, self._factory, self._worker_cache_size))
+        except Exception as exc:
+            raise ConnectionError(
+                f"could not connect worker {worker_id} to remote host "
+                f"{address[0]}:{address[1]}: {exc}"
+            ) from exc
+        self._close_conn(self._result_conns[worker_id])
+        self._result_conns[worker_id] = conn
+        self._broken[worker_id] = False
+        self._inflight[worker_id] = 0
+        self._alive[worker_id] = True
+
+    def _send_message(self, worker: int, message) -> None:
+        conn = self._result_conns[worker]
+        try:
+            conn.send(message)
+        except Exception:
+            # the health pass reaps the broken slave and replays its chunks
+            self._broken[worker] = True
+
+    def _on_result_channel_error(self, conn) -> None:
+        for worker, candidate in enumerate(self._result_conns):
+            if candidate is conn:
+                self._broken[worker] = True
+
+    def _worker_is_alive(self, worker: int) -> bool:
+        return not self._broken[worker]
+
+    def _worker_lost_reason(self, worker: int) -> str:
+        host, port = self._addresses[worker]
+        return f"remote worker {worker} at {host}:{port} disconnected"
+
+    def _kill_worker(self, worker: int) -> None:
+        self._broken[worker] = True
+        self._close_conn(self._result_conns[worker])
+        self._result_conns[worker] = None
+
+    def _respawn_worker(self, worker: int) -> bool:
+        """Respawn = reconnect to the same host (it may have restarted)."""
+        try:
+            self._spawn_worker(worker)
+        except ConnectionError:
+            return False
+        return True
+
+    def _shutdown_transport(self, *, force: bool, join_timeout: float) -> None:
+        for worker, conn in enumerate(self._result_conns):
+            if conn is None:
+                continue
+            if not force and not self._broken[worker]:
+                try:
+                    conn.send(None)
+                except (OSError, ValueError):  # pragma: no cover - conn gone
+                    pass
+            self._close_conn(conn)
+
+
+def main(argv: Sequence[str] | None = None) -> None:
+    """``python -m repro.runtime.remote --bind HOST:PORT`` worker-host entry."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Run a repro-ga remote worker host."
+    )
+    parser.add_argument(
+        "--bind",
+        required=True,
+        help="address to listen on, e.g. 0.0.0.0:7777 (port 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--max-connections",
+        type=int,
+        default=None,
+        help="serve this many master connections, then exit (default: forever)",
+    )
+    options = parser.parse_args(argv)
+    address = parse_host(options.bind)
+    print(f"repro-ga worker host listening on {address[0]}:{address[1]}", flush=True)
+    serve(address, max_connections=options.max_connections)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    main()

@@ -131,6 +131,10 @@ class RunRequest:
     packed:
         Run on the 2-bit packed genotype substrate (bit-identical results,
         ~4× smaller shared-memory panels).
+    hosts:
+        ``backend="remote"`` only: worker hosts as ``"host:port"`` specs.
+    steal_mode:
+        Chunked process farms' queue substrate (``"master"`` or ``"shm"``).
     """
 
     config: GAConfig | None = None
@@ -147,6 +151,8 @@ class RunRequest:
     worker_cache_size: int | None = BaseBatchEvaluator.DEFAULT_CACHE_SIZE
     constraints: HaplotypeConstraints | None = None
     packed: bool = False
+    hosts: tuple[str, ...] | None = None
+    steal_mode: str = "master"
 
     def resolved_spec(self) -> EvaluatorSpec:
         return self.spec if self.spec is not None else EvaluatorSpec(statistic=self.statistic)
@@ -306,6 +312,13 @@ class RunScheduler:
         Optional picklable wrapper applied to the worker evaluator factory
         before it ships to the slaves (fault-injection harness; see
         :mod:`repro.testing.faults`).
+    hosts:
+        ``backend="remote"`` only: the worker hosts as ``"host:port"``
+        specs, one slave per entry (see :mod:`repro.runtime.remote`).
+    steal_mode:
+        Queue substrate of the chunked process farms: ``"master"`` (default)
+        or ``"shm"`` (shared-memory steal deques — slaves self-serve refills
+        and steal with no master round trip per chunk).
     """
 
     def __init__(
@@ -325,6 +338,8 @@ class RunScheduler:
         recovery: FarmRecoveryPolicy | None = None,
         worker_wrapper=None,
         packed: bool = False,
+        hosts: Sequence[str] | None = None,
+        steal_mode: str = "master",
     ) -> None:
         if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
             raise ValueError(f"jobs must be a positive integer, got {jobs!r}")
@@ -375,6 +390,8 @@ class RunScheduler:
             recovery=recovery,
             worker_wrapper=worker_wrapper,
             packed=packed,
+            hosts=hosts,
+            steal_mode=steal_mode,
         )
 
     # ------------------------------------------------------------------ #
@@ -708,6 +725,8 @@ class RunService:
             cache_size=request.cache_size,
             worker_cache_size=request.worker_cache_size,
             packed=request.packed,
+            hosts=request.hosts,
+            steal_mode=request.steal_mode,
         )
         try:
             result = scheduler.run(request)

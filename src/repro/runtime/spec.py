@@ -17,13 +17,14 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Protocol, runtime_checkable
 
-from ..genetics.dataset import GenotypeDataset
+from ..genetics.dataset import GenotypeDataset, as_packed_dataset
 from ..stats.evaluation import HaplotypeEvaluator
 
 __all__ = [
     "EvaluatorSpec",
     "DatasetHandle",
     "InMemoryDatasetHandle",
+    "PackedDatasetHandle",
     "SpecEvaluatorFactory",
 ]
 
@@ -42,6 +43,27 @@ class InMemoryDatasetHandle:
     """The trivial handle: the dataset itself travels with the message."""
 
     dataset: GenotypeDataset
+
+    def load(self) -> GenotypeDataset:
+        return self.dataset
+
+
+@dataclass(frozen=True)
+class PackedDatasetHandle:
+    """An embedded handle that ships the 2-bit packed panel, not the bytes.
+
+    Construction converts the dataset to its packed affected-first form
+    (:func:`~repro.genetics.dataset.as_packed_dataset`), whose pickle carries
+    only the packed panels (~4× smaller than the byte matrix) — the wire
+    format of choice for the ``remote`` backend, where the dataset crosses a
+    socket once per connection.  Workers evaluate on the packed substrate,
+    which is bit-identical to the byte path.
+    """
+
+    dataset: GenotypeDataset
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dataset", as_packed_dataset(self.dataset))
 
     def load(self) -> GenotypeDataset:
         return self.dataset

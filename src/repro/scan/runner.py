@@ -18,7 +18,7 @@ locus coordinates.
 from __future__ import annotations
 
 import time
-from typing import Callable
+from typing import Callable, Sequence
 
 from ..core.config import GAConfig
 from ..genetics.dataset import GenotypeDataset, LocusWindow
@@ -200,6 +200,8 @@ def run_scan(
     checkpoint_path=None,
     resume: bool = False,
     packed: bool = False,
+    hosts: Sequence[str] | None = None,
+    steal_mode: str = "master",
 ) -> ScanReport:
     """Scan a panel with one GA job per overlapping locus window.
 
@@ -232,6 +234,15 @@ def run_scan(
     (~4× smaller shared-memory panels, packed class-counting kernels) with a
     bit-identical report; like ``recovery``, it configures a scan-owned
     scheduler and is ignored when an existing ``scheduler`` is passed.
+
+    ``hosts`` (with ``backend="remote"``) scans against remote worker hosts
+    (``"host:port"`` specs, one slave per entry); ``steal_mode="shm"`` runs
+    the local process farms on the shared-memory steal deques.  Both ride
+    the same scan-owned-scheduler rule as ``recovery``/``packed``, and the
+    report stays bit-identical — per-window results are pure functions of
+    their seeds.  A persisted, calibrated ``cost_model``
+    (:meth:`~repro.parallel.pvm.EvaluationCostModel.from_json`) both
+    prioritises window jobs and drives the farm's cost-balanced chunking.
     """
     if cost_model is None and jobs > 1:
         cost_model = EvaluationCostModel()
@@ -254,8 +265,11 @@ def run_scan(
             n_workers=n_workers,
             chunk_size=chunk_size,
             jobs=jobs,
+            cost_model=cost_model,
             recovery=recovery,
             packed=packed,
+            hosts=hosts,
+            steal_mode=steal_mode,
         )
     stats_before = scheduler.stats
     try:

@@ -38,6 +38,28 @@ class TestParser:
         with pytest.raises(SystemExit):
             parser.parse_args(["run", "--backend", "carrier-pigeon"])
 
+    def test_distributed_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["run", "--hosts", "node1:7777", "node2:7777", "--steal-mode", "shm"]
+        )
+        assert args.hosts == ["node1:7777", "node2:7777"]
+        assert args.steal_mode == "shm"
+        args = parser.parse_args(["scan", "--cost-model", "model.json",
+                                  "--hosts", "node1:7777"])
+        assert args.cost_model == "model.json" and args.hosts == ["node1:7777"]
+        with pytest.raises(SystemExit):
+            parser.parse_args(["scan", "--steal-mode", "carrier-pigeon"])
+
+    def test_worker_command_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(["worker", "--bind", "0.0.0.0:7777"])
+        assert args.command == "worker" and args.bind == "0.0.0.0:7777"
+        args = parser.parse_args(["worker", "--bind", ":0", "--max-connections", "2"])
+        assert args.max_connections == 2
+        with pytest.raises(SystemExit):
+            parser.parse_args(["worker"])  # --bind is required
+
 
 class TestCommands:
     def test_table1_command(self, capsys):
@@ -99,6 +121,71 @@ class TestCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "evaluation backend: process-shm" in out
+
+    def test_run_distributed_flag_validation(self, tmp_path, capsys):
+        study_dir = tmp_path / "study"
+        main(["simulate", str(study_dir), "--n-snps", "10",
+              "--n-affected", "12", "--n-unaffected", "12", "--seed", "9"])
+        capsys.readouterr()
+        assert main(["run", str(study_dir), "--backend", "threads",
+                     "--hosts", "localhost:7777"]) == 2
+        assert "remote" in capsys.readouterr().err
+        assert main(["run", str(study_dir), "--backend", "remote"]) == 2
+        assert "--hosts" in capsys.readouterr().err
+
+    def test_scan_distributed_flag_validation(self, capsys):
+        assert main(["scan", "--backend", "remote"]) == 2
+        assert "--hosts" in capsys.readouterr().err
+        assert main(["scan", "--hosts", "localhost:7777"]) == 2
+        assert "remote" in capsys.readouterr().err
+        assert main(["scan", "--steal-mode", "shm", "--backend", "serial"]) == 2
+        assert "process-farm" in capsys.readouterr().err
+
+    def test_run_over_local_worker_host(self, tmp_path, capsys):
+        from repro.runtime.remote import LocalWorkerHost
+
+        study_dir = tmp_path / "study"
+        main(["simulate", str(study_dir), "--n-snps", "10",
+              "--n-affected", "12", "--n-unaffected", "12", "--seed", "9"])
+        capsys.readouterr()
+        host = LocalWorkerHost()
+        try:
+            # --hosts alone implies --backend remote
+            assert main([
+                "run", str(study_dir), "--hosts", host.host,
+                "--population-size", "10", "--max-size", "3",
+                "--stagnation", "2", "--max-generations", "3", "--seed", "1",
+            ]) == 0
+        finally:
+            host.close()
+        assert "evaluation backend: remote" in capsys.readouterr().out
+
+    def test_scan_with_cost_model_file(self, tmp_path, capsys):
+        import json
+
+        from repro.parallel.pvm import EvaluationCostModel
+
+        study_dir = tmp_path / "study"
+        main(["simulate", str(study_dir), "--n-snps", "12",
+              "--n-affected", "12", "--n-unaffected", "12", "--seed", "5"])
+        model_path = tmp_path / "cost.json"
+        model_path.write_text(json.dumps(
+            EvaluationCostModel(base_seconds=0.001, growth_factor=2.2).to_json()
+        ))
+        capsys.readouterr()
+        assert main([
+            "scan", str(study_dir), "--window-size", "6", "--window-overlap", "2",
+            "--population-size", "6", "--max-size", "2", "--stagnation", "1",
+            "--max-generations", "2", "--seed", "17",
+            "--cost-model", str(model_path),
+        ]) == 0
+        assert "windows" in capsys.readouterr().out
+
+    def test_scan_cost_model_file_must_be_valid(self, tmp_path, capsys):
+        model_path = tmp_path / "cost.json"
+        model_path.write_text('{"base_seconds": 0.001}')
+        with pytest.raises(ValueError, match="growth_factor"):
+            main(["scan", "--window-size", "6", "--cost-model", str(model_path)])
 
     def test_speedup_command_simulated_only(self, capsys):
         assert main(["speedup"]) == 0

@@ -38,6 +38,26 @@ class TestEvaluationCostModel:
         with pytest.raises(ValueError):
             EvaluationCostModel.fit([3, 4], [0.01, 0.0])
 
+    def test_json_round_trip(self):
+        model = EvaluationCostModel(base_seconds=0.0025, growth_factor=2.3)
+        payload = model.to_json()
+        assert payload == {"base_seconds": 0.0025, "growth_factor": 2.3}
+        restored = EvaluationCostModel.from_json(payload)
+        assert restored.base_seconds == model.base_seconds
+        assert restored.growth_factor == model.growth_factor
+
+    def test_from_json_names_the_missing_key(self):
+        with pytest.raises(ValueError, match="growth_factor"):
+            EvaluationCostModel.from_json({"base_seconds": 0.001})
+        with pytest.raises(ValueError, match="base_seconds"):
+            EvaluationCostModel.from_json({"growth_factor": 2.0})
+
+    def test_from_json_validates_values(self):
+        with pytest.raises(ValueError):
+            EvaluationCostModel.from_json(
+                {"base_seconds": 0.0, "growth_factor": 2.0}
+            )
+
     def test_paper_figure4_shape(self):
         """The default model reflects Figure 4: ~6 ms at size 3, ~200 ms at size 7."""
         model = EvaluationCostModel.fit([3, 7], [0.006, 0.201])

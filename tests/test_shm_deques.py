@@ -1,0 +1,262 @@
+"""Tests of the shared-memory steal-deque substrate (``steal_mode="shm"``).
+
+Two layers: the arena itself (:mod:`repro.parallel.shm_deques` — ring
+discipline, claims, drain/remove bookkeeping) and the farm running on it
+(bit-identical results and counter parity vs. the master-mediated modes,
+backpressure when the arena is full, oversize-chunk splitting, validation).
+"""
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.parallel.farm import ChunkedWorkerFarm, FarmRecoveryPolicy
+from repro.parallel.master_slave import MasterSlaveEvaluator
+from repro.parallel.shm_deques import (
+    SharedChunkDeques,
+    encoded_chunk_ints,
+)
+
+FAST_POLL = 0.05
+
+
+def _linear_fitness(snps):
+    return float(sum((i + 1) * (s + 1) for i, s in enumerate(sorted(snps))))
+
+
+class _LinearFactory:
+    def __call__(self):
+        return _linear_fitness
+
+
+def _batch(n):
+    return [(i, i + 1) for i in range(n)]
+
+
+def _expected(batch):
+    return [_linear_fitness(snps) for snps in batch]
+
+
+@pytest.fixture()
+def deques():
+    arena = SharedChunkDeques(3, context=mp.get_context(), n_slots=8, slot_ints=16)
+    yield arena
+    arena.close()
+
+
+class TestSharedChunkDeques:
+    def test_encoded_chunk_ints(self):
+        assert encoded_chunk_ints([(1, 2), (3, 4, 5)]) == 2 + 3 + 4
+
+    def test_push_take_fifo_for_owner(self, deques):
+        handle = deques.handle()
+        for task_id, chunk in [(10, [(1, 2)]), (11, [(3, 4)]), (12, [(5, 6)])]:
+            assert deques.push(0, task_id, chunk) is not None
+        worker_view = handle.attach()
+        try:
+            taken = [worker_view.take(0, steal=False) for _ in range(3)]
+            assert [t[0] for t in taken] == [10, 11, 12]  # FIFO from own ring
+            assert taken[0][1] == [(1, 2)]
+            assert worker_view.take(0, steal=False) is None
+        finally:
+            worker_view.detach()
+
+    def test_thief_pops_victim_tail(self, deques):
+        handle = deques.handle()
+        for task_id in (20, 21, 22):
+            deques.push(0, task_id, [(task_id, task_id + 1)])
+        worker_view = handle.attach()
+        try:
+            stolen = worker_view.take(2, steal=True)
+            assert stolen[0] == 22  # newest (tail) goes to the thief
+            owned = worker_view.take(0, steal=False)
+            assert owned[0] == 20  # owner still drains its head
+        finally:
+            worker_view.detach()
+
+    def test_no_steal_without_flag(self, deques):
+        deques.push(0, 30, [(0, 1)])
+        worker_view = deques.handle().attach()
+        try:
+            assert worker_view.take(1, steal=False) is None
+        finally:
+            worker_view.detach()
+
+    def test_take_sets_claim_and_clear_claimed(self, deques):
+        deques.push(0, 40, [(0, 1)])
+        worker_view = deques.handle().attach()
+        try:
+            worker_view.take(0, steal=False)
+            _entries, claimed = deques.drain_worker(0)
+            assert claimed == 40
+            # the claim outlives the drain only until the worker clears it
+            deques.push(1, 41, [(2, 3)])
+            worker_view.take(1, steal=False)
+            worker_view.clear_claimed(1)
+            _entries, claimed = deques.drain_worker(1)
+            assert claimed is None
+        finally:
+            worker_view.detach()
+
+    def test_arena_full_returns_none_and_free_slot_recycles(self, deques):
+        slots = [deques.push(0, 50 + i, [(i, i + 1)]) for i in range(8)]
+        assert all(slot is not None for slot in slots)
+        assert deques.push(1, 99, [(0, 1)]) is None  # all 8 slots in use
+        # a drain hands back every ring entry; freeing their slots makes the
+        # arena accept pushes again
+        entries, _claimed = deques.drain_worker(0)
+        assert {task_id for _slot, task_id in entries} == {50 + i for i in range(8)}
+        for slot, _task_id in entries:
+            deques.free_slot(slot)
+        assert deques.push(1, 99, [(0, 1)]) is not None
+
+    def test_oversize_chunk_rejected(self, deques):
+        huge = [tuple(range(20))]  # 2 + 21 ints > slot_ints=16
+        with pytest.raises(ValueError, match="slot"):
+            deques.push(0, 60, huge)
+
+    def test_remove_tasks_filters_and_compacts(self, deques):
+        for task_id in (70, 71, 72, 73):
+            deques.push(0, task_id, [(task_id, task_id + 1)])
+        removed = deques.remove_tasks({71, 73})
+        assert sorted(task_id for _slot, task_id in removed) == [71, 73]
+        worker_view = deques.handle().attach()
+        try:
+            remaining = [worker_view.take(0, steal=False)[0] for _ in range(2)]
+            assert remaining == [70, 72]  # survivors keep FIFO order
+            assert worker_view.take(0, steal=False) is None
+        finally:
+            worker_view.detach()
+
+    def test_close_idempotent(self):
+        arena = SharedChunkDeques(2, context=mp.get_context(), n_slots=4, slot_ints=8)
+        arena.close()
+        arena.close()
+
+    def test_validation(self):
+        context = mp.get_context()
+        with pytest.raises(ValueError):
+            SharedChunkDeques(4, context=context, n_slots=2)  # fewer slots than workers
+        with pytest.raises(ValueError):
+            SharedChunkDeques(2, context=context, slot_ints=2)
+
+
+def _make_farm(*, steal_mode="shm", n_workers=3, recovery=None, **kwargs):
+    kwargs.setdefault("chunk_size", 1)
+    kwargs.setdefault("steal", True)
+    kwargs.setdefault("worker_cache_size", 0)
+    farm = ChunkedWorkerFarm(
+        _LinearFactory(), n_workers, steal_mode=steal_mode, recovery=recovery, **kwargs
+    )
+    farm._RESULT_POLL_SECONDS = FAST_POLL
+    return farm
+
+
+class TestShmFarm:
+    @pytest.mark.parametrize("steal", [True, False])
+    def test_bit_identical_to_master_mode(self, steal):
+        batch = _batch(24)
+        with _make_farm(steal_mode="master", steal=steal) as farm:
+            master_values, master_stats = farm.evaluate(batch)
+        with _make_farm(steal_mode="shm", steal=steal) as farm:
+            shm_values, shm_stats = farm.evaluate(batch)
+        assert shm_values == master_values == _expected(batch)
+        # counter parity: same requests, same total answered
+        assert shm_stats.n_requests == master_stats.n_requests
+        assert (
+            shm_stats.n_evaluations + shm_stats.n_cache_hits
+            == master_stats.n_evaluations + master_stats.n_cache_hits
+        )
+
+    def test_multi_ticket_streaming(self):
+        batch = _batch(32)
+        with _make_farm() as farm:
+            tickets = [farm.submit(batch[i::4]) for i in range(4)]
+            seen = {}
+            for ticket_id, values, _stats in farm.as_completed(tickets):
+                seen[ticket_id] = values
+            for i, ticket_id in enumerate(tickets):
+                assert seen[ticket_id] == _expected(batch[i::4])
+
+    def test_tiny_arena_backpressure(self):
+        # 4 slots for 3 workers: most of the batch must wait master-side and
+        # flow in as results free slots
+        batch = _batch(40)
+        with _make_farm(deque_slots=4, deque_slot_ints=8) as farm:
+            values, stats = farm.evaluate(batch)
+        assert values == _expected(batch)
+        assert stats.n_requests == len(batch)
+
+    def test_oversize_chunks_split_across_slots(self):
+        # chunk_size=None + steal=False sends whole shares, far bigger than
+        # one 8-int slot; the farm must split them on push
+        batch = _batch(30)
+        with _make_farm(chunk_size=None, steal=False, deque_slot_ints=8) as farm:
+            values, _stats = farm.evaluate(batch)
+        assert values == _expected(batch)
+
+    def test_steal_mode_property(self):
+        with _make_farm() as farm:
+            assert farm.steal_mode == "shm"
+        with _make_farm(steal_mode="master") as farm:
+            assert farm.steal_mode == "master"
+
+    def test_worker_error_fails_only_its_ticket(self):
+        class _BadFactory:
+            def __call__(self):
+                def fitness(snps):
+                    if sorted(snps) == [2, 3]:
+                        raise RuntimeError("poison haplotype")
+                    return _linear_fitness(snps)
+
+                return fitness
+
+        farm = ChunkedWorkerFarm(
+            _BadFactory(), 2, chunk_size=1, steal_mode="shm", worker_cache_size=0
+        )
+        farm._RESULT_POLL_SECONDS = FAST_POLL
+        with farm:
+            good_batch = [(10 + i, 11 + i) for i in range(6)]
+            bad = farm.submit([(0, 1), (2, 3), (4, 5)])
+            good = farm.submit(good_batch)
+            with pytest.raises(RuntimeError, match="poison"):
+                farm.collect(bad)
+            values, _stats = farm.collect(good)
+            assert values == _expected(good_batch)
+
+    def test_rejects_unknown_steal_mode(self):
+        with pytest.raises(ValueError, match="steal_mode"):
+            ChunkedWorkerFarm(_LinearFactory(), 2, steal_mode="bogus")
+
+    def test_rejects_chunk_timeout(self):
+        with pytest.raises(ValueError, match="chunk_timeout"):
+            ChunkedWorkerFarm(
+                _LinearFactory(),
+                2,
+                steal_mode="shm",
+                recovery=FarmRecoveryPolicy(chunk_timeout=1.0),
+            )
+
+
+class TestMasterSlaveShm:
+    def test_evaluator_parity_and_property(self):
+        batch = _batch(20)
+        with MasterSlaveEvaluator(
+            evaluator_factory=_LinearFactory(),
+            dispatch="chunked",
+            n_workers=3,
+            steal=True,
+            steal_mode="shm",
+            chunk_size=2,
+        ) as evaluator:
+            assert evaluator.steal_mode == "shm"
+            assert evaluator.evaluate_batch(batch) == _expected(batch)
+
+    def test_hosts_reject_shm_mode(self):
+        with pytest.raises(ValueError, match="steal_mode"):
+            MasterSlaveEvaluator(
+                evaluator_factory=_LinearFactory(),
+                dispatch="chunked",
+                steal_mode="shm",
+                hosts=["localhost:1"],
+            )
