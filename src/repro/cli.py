@@ -9,6 +9,9 @@ main workflows:
 * ``run``        — run the adaptive multi-population GA on a dataset;
 * ``scan``       — windowed genome-scale scan: one GA job per overlapping
   locus window, multiplexed over one persistent scheduler/worker farm;
+* ``serve``      — scan-as-a-service daemon: one warm farm serving scan/run
+  requests from many clients, with a cross-request result cache and
+  cost-aware admission (``run``/``scan`` submit to it via ``--connect``);
 * ``table1`` / ``figure4`` / ``table2`` / ``ablation`` / ``speedup`` /
   ``landscape`` — regenerate the corresponding experiment of the paper.
 
@@ -115,6 +118,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "'shm' lets slaves self-serve and steal through "
                             "shared-memory deques (default: master)")
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--connect", default=None, metavar="HOST:PORT",
+                       help="submit the run to a running 'repro serve' daemon "
+                            "instead of building a local substrate (the "
+                            "daemon's backend/workers/statistic apply)")
+    p_run.add_argument("--client-id", default=None,
+                       help="tenant identity reported to --connect's daemon "
+                            "(default: hostname-pid)")
 
     sub.add_parser("table1", help="regenerate Table 1 (search-space sizes)")
 
@@ -187,6 +197,23 @@ def build_parser() -> argparse.ArgumentParser:
                              "model ({\"base_seconds\": ..., "
                              "\"growth_factor\": ...}); prices window "
                              "priorities and farm chunking without re-probing")
+    p_scan.add_argument("--vcf", default=None, metavar="PATH",
+                        help="scan a VCF (.vcf or .vcf.gz; GT fields, missing "
+                             "calls -> missing code; implies --packed; "
+                             "mutually exclusive with the study argument and "
+                             "--bed)")
+    p_scan.add_argument("--pheno", default=None, metavar="PATH",
+                        help="phenotype sidecar for --vcf ('id pheno' rows or "
+                             "a .fam file, linkage convention: 2 = affected, "
+                             "1 = unaffected)")
+    p_scan.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="submit the scan to a running 'repro serve' "
+                             "daemon instead of building a local substrate "
+                             "(the daemon's panel and backend apply; cached "
+                             "windows replay bit-identically)")
+    p_scan.add_argument("--client-id", default=None,
+                        help="tenant identity reported to --connect's daemon "
+                             "(default: hostname-pid)")
     _add_backend_arguments(p_scan, default_seed=0)
 
     p_t2 = sub.add_parser("table2", help="regenerate Table 2 (GA results over repeated runs)")
@@ -231,6 +258,68 @@ def build_parser() -> argparse.ArgumentParser:
                           help="serve this many master connections, then "
                                "exit (default: serve forever)")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="scan-as-a-service daemon: one warm farm + cross-request result "
+             "cache + cost-aware admission, serving many concurrent clients",
+    )
+    p_serve.add_argument("study", nargs="?", default=None,
+                         help="study directory (default: the built-in "
+                              "249-SNP chromosome-scale panel)")
+    p_serve.add_argument("--bind", default="127.0.0.1:7788", metavar="HOST:PORT",
+                         help="address to listen on (default 127.0.0.1:7788; "
+                              "port 0 binds an ephemeral port)")
+    p_serve.add_argument("--status", action="store_true",
+                         help="probe the daemon at --bind and print its "
+                              "status (cache, admission, per-tenant metrics) "
+                              "instead of starting one")
+    p_serve.add_argument("--bed", default=None, metavar="PREFIX",
+                         help="serve a PLINK .bed/.bim/.fam fileset "
+                              "(memory-mapped, implies --packed)")
+    p_serve.add_argument("--vcf", default=None, metavar="PATH",
+                         help="serve a VCF (.vcf/.vcf.gz; implies --packed)")
+    p_serve.add_argument("--pheno", default=None, metavar="PATH",
+                         help="phenotype sidecar for --vcf")
+    p_serve.add_argument("--statistic", default="t1",
+                         choices=["t1", "t2", "t3", "t4", "lrt"],
+                         help="the statistic this daemon evaluates (one "
+                              "daemon = one evaluator recipe)")
+    p_serve.add_argument("--chunk-size", type=int, default=None,
+                         help="individuals per worker message for the "
+                              "chunked backends")
+    p_serve.add_argument("--packed", action="store_true",
+                         help="run the substrate on the 2-bit packed panel")
+    p_serve.add_argument("--hosts", nargs="+", default=None, metavar="HOST:PORT",
+                         help="remote worker hosts for the 'remote' backend")
+    p_serve.add_argument("--steal-mode", default="master",
+                         choices=["master", "shm"],
+                         help="chunk-queue substrate of the process farms")
+    p_serve.add_argument("--cost-model", default=None, metavar="PATH",
+                         help="calibrated evaluation-cost model JSON; prices "
+                              "requests for admission and drives "
+                              "cost-balanced chunking")
+    p_serve.add_argument("--cache-bytes", type=int, default=None,
+                         help="bytes budget of the cross-request window-"
+                              "result cache (default 64 MiB; 0 disables)")
+    p_serve.add_argument("--max-active", type=int, default=4,
+                         help="requests executing concurrently (default 4)")
+    p_serve.add_argument("--max-queued", type=int, default=16,
+                         help="requests waiting for a slot before new "
+                              "arrivals are rejected (default 16)")
+    p_serve.add_argument("--max-inflight-per-client", type=int, default=2,
+                         help="per-tenant cap on concurrent requests "
+                              "(default 2)")
+    p_serve.add_argument("--max-cost-seconds", type=float, default=None,
+                         help="budget on the summed estimated cost of "
+                              "admitted-but-unfinished work (default: "
+                              "unlimited)")
+    p_serve.add_argument("--over-budget", default="queue",
+                         choices=["queue", "reject"],
+                         help="what happens to a request exceeding "
+                              "--max-cost-seconds: wait its turn or be "
+                              "rejected (default: queue)")
+    _add_backend_arguments(p_serve, default_backend="process-shm", default_seed=0)
+
     return parser
 
 
@@ -242,6 +331,53 @@ def _load_study_dataset(path: str | None):
         return lille51().dataset
     dataset, _freq, _ld = read_study_tables(path)
     return dataset
+
+
+def _panel_flags_error(command: str, args: argparse.Namespace) -> str | None:
+    """Validate the study/--bed/--vcf/--pheno combination; None when sane."""
+    sources = [
+        name
+        for name, present in (
+            ("a study directory", args.study is not None),
+            ("--bed", args.bed is not None),
+            ("--vcf", args.vcf is not None),
+        )
+        if present
+    ]
+    if len(sources) > 1:
+        return (f"{command} takes one panel source, not both "
+                + " and ".join(sources))
+    if args.pheno is not None and args.vcf is None:
+        return f"{command} --pheno only applies to --vcf panels"
+    return None
+
+
+def _load_panel(args: argparse.Namespace):
+    """The panel a scan/serve command operates on (study, .bed, or VCF)."""
+    if args.bed is not None:
+        from .genetics.io import read_bed
+
+        return read_bed(args.bed)
+    if args.vcf is not None:
+        from .genetics.io import read_vcf
+
+        return read_vcf(args.vcf, pheno=args.pheno)
+    if args.study is None:
+        from .experiments.datasets import large249
+
+        return large249().dataset
+    return _load_study_dataset(args.study)
+
+
+def _load_cost_model(path: str | None):
+    if path is None:
+        return None
+    import json
+
+    from .parallel.pvm import EvaluationCostModel
+
+    with open(path, "r", encoding="utf-8") as fh:
+        return EvaluationCostModel.from_json(json.load(fh))
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -283,7 +419,6 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from .core.config import GAConfig
     from .runtime.service import RunRequest, RunService
 
-    dataset = _load_study_dataset(args.study)
     config = GAConfig(
         population_size=args.population_size,
         max_haplotype_size=args.max_size,
@@ -291,6 +426,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_generations=args.max_generations,
         seed=args.seed,
     )
+    if args.connect is not None:
+        if args.hosts or args.study is not None:
+            print("run --connect executes on the daemon's panel and "
+                  "substrate; drop the study argument and --hosts",
+                  file=sys.stderr)
+            return 2
+        from .runtime.client import ScanClient
+
+        with ScanClient(args.connect, client_id=args.client_id) as client:
+            run = client.run(
+                RunRequest(config=config, statistic=args.statistic)
+            )
+        result = run.result
+        print(
+            f"finished after {result.n_generations} generations, "
+            f"{result.n_evaluations} evaluations ({result.termination_reason}), "
+            f"{result.elapsed_seconds:.1f}s (served by {args.connect})"
+        )
+        print(run.summary_line())
+        for row in result.summary_rows():
+            print(
+                f"  size {row['size']}: [{row['haplotype']}] "
+                f"fitness {row['fitness']:.3f} "
+                f"(found after {row['evaluations_to_best']} evaluations)"
+            )
+        return 0
+    dataset = _load_study_dataset(args.study)
     if args.hosts and args.backend not in (None, "remote"):
         print(f"run --hosts requires --backend remote, not {args.backend!r}",
               file=sys.stderr)
@@ -343,6 +505,45 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     from .parallel.farm import FarmRecoveryPolicy
     from .scan import run_scan
 
+    if args.connect is not None:
+        # served scans run on the daemon's panel and substrate: every local
+        # execution/dataset flag is either meaningless or misleading here
+        for flag, present in (
+            ("--checkpoint", args.checkpoint is not None),
+            ("--resume", args.resume),
+            ("--hosts", bool(args.hosts)),
+            ("--bed", args.bed is not None),
+            ("--vcf", args.vcf is not None),
+            ("--self-heal", args.self_heal),
+            ("a study argument", args.study is not None),
+        ):
+            if present:
+                print(f"scan --connect serves the daemon's panel; {flag} "
+                      f"cannot be combined with it", file=sys.stderr)
+                return 2
+        from .runtime.client import ScanClient
+
+        config = GAConfig(
+            population_size=args.population_size,
+            min_haplotype_size=2,
+            max_haplotype_size=min(args.max_size, args.window_size),
+            termination_stagnation=args.stagnation,
+            max_generations=args.max_generations,
+        )
+        with ScanClient(args.connect, client_id=args.client_id) as client:
+            report = run_scan(
+                None,
+                window_size=args.window_size,
+                overlap=args.window_overlap,
+                config=config,
+                seed=args.seed,
+                statistic=args.statistic,
+                client=client,
+            )
+        print(report.format(top=args.top))
+        print()
+        print(report.summary_line())
+        return 0
     if args.resume and args.checkpoint is None:
         print("scan --resume requires --checkpoint PATH", file=sys.stderr)
         return 2
@@ -368,31 +569,16 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.bed is not None and args.study is not None:
-        print("scan takes either a study directory or --bed PREFIX, not both",
-              file=sys.stderr)
+    error = _panel_flags_error("scan", args)
+    if error is not None:
+        print(error, file=sys.stderr)
         return 2
-    # a .bed fileset is already 2-bit packed on disk, so scanning it byte-wise
-    # would only add an unpack step; --bed therefore implies --packed
-    packed = args.packed or args.bed is not None
-    if args.bed is not None:
-        from .genetics.io import read_bed
-
-        dataset = read_bed(args.bed)
-    elif args.study is None:
-        from .experiments.datasets import large249
-
-        dataset = large249().dataset
-    else:
-        dataset = _load_study_dataset(args.study)
-    cost_model = None
-    if args.cost_model is not None:
-        import json
-
-        from .parallel.pvm import EvaluationCostModel
-
-        with open(args.cost_model, "r", encoding="utf-8") as fh:
-            cost_model = EvaluationCostModel.from_json(json.load(fh))
+    # .bed filesets and VCF GT fields load straight into the 2-bit panel, so
+    # scanning them byte-wise would only add an unpack step: both imply
+    # --packed
+    packed = args.packed or args.bed is not None or args.vcf is not None
+    dataset = _load_panel(args)
+    cost_model = _load_cost_model(args.cost_model)
     config = GAConfig(
         population_size=args.population_size,
         min_haplotype_size=2,
@@ -529,12 +715,125 @@ def _cmd_objectives(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
+    import threading
+    from multiprocessing import Pipe
+
     from .runtime.remote import parse_host, serve
 
-    address = parse_host(args.bind)
-    print(f"repro-ga worker host listening on {address[0]}:{address[1]}",
-          flush=True)
-    serve(address, max_connections=args.max_connections)
+    # announce only once serve() reports readiness over the pipe: by then the
+    # listener is bound (the banner carries the resolved ephemeral port) and
+    # the SIGTERM/SIGINT drain handlers are installed
+    recv_end, send_end = Pipe(duplex=False)
+
+    def announce() -> None:
+        try:
+            host, port = recv_end.recv()
+        except (EOFError, OSError):  # serve failed before binding
+            return
+        print(f"repro-ga worker host listening on {host}:{port}", flush=True)
+
+    threading.Thread(target=announce, daemon=True).start()
+    serve(parse_host(args.bind), max_connections=args.max_connections,
+          _ready=send_end)
+    return 0
+
+
+def _print_status(status: dict) -> None:
+    cache = status["result_cache"]
+    admission = status["admission"]
+    print(
+        f"scan service on {status['backend']}: {status['n_snps']} SNPs "
+        f"({'packed' if status['packed'] else 'byte'} panel, statistic "
+        f"{status['statistic'].upper()}), up {status['uptime_seconds']:.0f}s, "
+        f"{status['n_completed_requests']} request(s) completed"
+    )
+    print(f"  {status['summary']}")
+    print(
+        f"  result cache: {cache['n_entries']} window(s), "
+        f"{cache['bytes']}/{cache['max_bytes']} bytes, "
+        f"{cache['n_hits']} hit(s) / {cache['n_misses']} miss(es), "
+        f"{cache['n_evictions']} eviction(s)"
+    )
+    print(
+        f"  admission: {admission['n_active']} active, "
+        f"{admission['n_queued']} queued "
+        f"({admission['outstanding_cost_seconds']:.3f}s est. outstanding), "
+        f"{admission['n_admitted']} admitted / "
+        f"{admission['n_rejected']} rejected, "
+        f"{admission['total_wait_seconds']:.3f}s total queue wait"
+    )
+    for client_id, row in sorted(status["tenants"].items()):
+        stats = row["stats"]
+        print(
+            f"  tenant {client_id}: {row['n_requests']} request(s) "
+            f"({row['n_scans']} scan(s), {row['n_runs']} run(s)), "
+            f"{row['n_windows']} window(s) of which "
+            f"{row['n_result_cache_hits']} replayed, "
+            f"{stats['n_requests']} evaluation request(s) -> "
+            f"{stats['n_evaluations']} evaluated, "
+            f"{row['n_rejected']} rejected, "
+            f"{row['admission_wait_seconds']:.3f}s queued"
+        )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.status:
+        from .runtime.client import ScanClient
+
+        with ScanClient(args.bind, client_id="status-probe") as client:
+            _print_status(client.status())
+        return 0
+    error = _panel_flags_error("serve", args)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
+    if args.backend == "remote" and not args.hosts:
+        print("serve --backend remote requires --hosts HOST:PORT ...",
+              file=sys.stderr)
+        return 2
+    if args.hosts and args.backend != "remote":
+        print(f"serve --hosts requires --backend remote, not {args.backend!r}",
+              file=sys.stderr)
+        return 2
+    from .runtime.server import AdmissionPolicy, ScanServer
+
+    packed = args.packed or args.bed is not None or args.vcf is not None
+    dataset = _load_panel(args)
+    policy = AdmissionPolicy(
+        max_active=args.max_active,
+        max_queued=args.max_queued,
+        max_inflight_per_client=args.max_inflight_per_client,
+        max_outstanding_cost_seconds=args.max_cost_seconds,
+        over_budget=args.over_budget,
+    )
+    server = ScanServer(
+        dataset,
+        statistic=args.statistic,
+        backend=args.backend,
+        n_workers=args.workers,
+        chunk_size=args.chunk_size,
+        cost_model=_load_cost_model(args.cost_model),
+        packed=packed,
+        hosts=tuple(args.hosts) if args.hosts else None,
+        steal_mode=args.steal_mode,
+        **({} if args.cache_bytes is None else {"cache_bytes": args.cache_bytes}),
+        admission=policy,
+    )
+    try:
+        host, port = server.start(args.bind)
+        # handlers first, banner second: a SIGTERM racing the announcement
+        # must already drain cleanly
+        with server.signal_handlers():
+            print(
+                f"repro-ga scan service on {host}:{port} — backend "
+                f"{server.scheduler.backend}, {dataset.n_snps} SNPs, statistic "
+                f"{server.statistic.upper()} (SIGTERM/SIGINT drain and exit)",
+                flush=True,
+            )
+            server.wait(install_signal_handlers=False)
+    finally:
+        server.close()
+    print("scan service shut down cleanly", flush=True)
     return 0
 
 
@@ -552,6 +851,7 @@ _COMMANDS = {
     "robustness": _cmd_robustness,
     "objectives": _cmd_objectives,
     "worker": _cmd_worker,
+    "serve": _cmd_serve,
 }
 
 

@@ -42,6 +42,7 @@ __all__ = [
     "read_ped",
     "read_bed",
     "write_bed",
+    "read_vcf",
     "write_frequency_table",
     "read_frequency_table",
     "write_ld_table",
@@ -415,6 +416,138 @@ def read_bed(prefix: str | Path, *, mmap: bool = True) -> GenotypeDataset:
         status,
         snp_names=snp_names,
         individual_ids=individual_ids,
+        packed=PackedPanel(data, n),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# VCF (sites + GT genotypes)
+# --------------------------------------------------------------------------- #
+#: Packed-field code for a missing call (mirrors packed.CODE_MISSING without
+#: importing the kernel module here).
+_VCF_MISSING = 3
+
+
+def _vcf_open(path: str | Path) -> TextIO:
+    if str(path).endswith(".gz"):
+        import gzip
+
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def _read_phenotypes(path: str | Path) -> dict[str, int]:
+    """``individual pheno`` sidecar (or .fam rows) → status by individual id.
+
+    Two whitespace-separated layouts are accepted per row: ``id pheno`` and
+    the 6+-column .fam layout (``fam id father mother sex pheno``); the
+    phenotype uses the linkage convention (2 = affected, 1 = unaffected,
+    anything else unknown).
+    """
+    phenotypes: dict[str, int] = {}
+    for row in _read_table_rows(Path(path), 2, "phenotype"):
+        if len(row) >= 6:  # .fam layout
+            iid, pheno = row[1], row[5]
+        else:
+            iid, pheno = row[0], row[1]
+        phenotypes[iid] = _PHENO_TO_STATUS.get(pheno, STATUS_UNKNOWN)
+    return phenotypes
+
+
+def read_vcf(path: str | Path, *, pheno: str | Path | None = None) -> GenotypeDataset:
+    """Read a minimal VCF (``.vcf`` or ``.vcf.gz``) into a packed dataset.
+
+    Only the GT field of each sample is used: the genotype digit is the
+    number of non-reference alleles (``0/0`` → 0, ``0/1`` → 1, ``1/1`` → 2,
+    any allele ``.`` — e.g. ``./.`` — → the missing code 3; every non-zero
+    allele index counts as the alternate, so multi-allelic records collapse
+    to ref vs non-ref; a haploid call is read as homozygous).  VCF is
+    site-major like ``.bed``, so each record packs straight into one row of
+    the 2-bit panel and the byte genotype matrix is never materialised.
+
+    SNP names come from the ID column (``chrom:pos`` when ID is ``.``);
+    case/control status from the ``pheno`` sidecar (``id pheno`` rows or a
+    .fam file, linkage convention), defaulting to *unknown* — most scan
+    statistics need affected individuals, so a missing sidecar usually wants
+    to be an explicit choice by the caller.
+    """
+    phenotypes = {} if pheno is None else _read_phenotypes(pheno)
+    sample_ids: list[str] | None = None
+    snp_names: list[str] = []
+    packed_rows: list[np.ndarray] = []
+    n = 0
+    width = 0
+    with _vcf_open(path) as fh:
+        for number, line in enumerate(fh, start=1):
+            line = line.rstrip("\n")
+            if not line or line.startswith("##"):
+                continue
+            if line.startswith("#"):
+                header = line[1:].split("\t")
+                if len(header) < 10 or header[8] != "FORMAT":
+                    raise ValueError(
+                        f"{path}:{number}: VCF header must carry FORMAT and "
+                        f"at least one sample column"
+                    )
+                sample_ids = header[9:]
+                n = len(sample_ids)
+                width = packed_width(n)
+                continue
+            if sample_ids is None:
+                raise ValueError(f"{path}:{number}: data before the #CHROM header")
+            fields = line.split("\t")
+            if len(fields) != 9 + n:
+                raise ValueError(
+                    f"{path}:{number}: expected {9 + n} tab-separated fields, "
+                    f"got {len(fields)}"
+                )
+            chrom, pos, snp_id = fields[0], fields[1], fields[2]
+            snp_names.append(snp_id if snp_id not in (".", "") else f"{chrom}:{pos}")
+            fmt = fields[8].split(":")
+            try:
+                gt_index = fmt.index("GT")
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{number}: record has no GT field (FORMAT "
+                    f"{fields[8]!r})"
+                ) from None
+            codes = np.full(width * 4, _VCF_MISSING, dtype=np.uint8)
+            for i, sample in enumerate(fields[9:]):
+                call = sample.split(":")[gt_index] if ":" in sample else sample
+                alleles = call.replace("|", "/").split("/")
+                if "." in alleles or call == "":
+                    continue  # stays missing
+                try:
+                    alts = sum(1 for a in alleles if int(a) != 0)
+                except ValueError:
+                    raise ValueError(
+                        f"{path}:{number}: malformed GT {call!r} for sample "
+                        f"{sample_ids[i]!r}"
+                    ) from None
+                if len(alleles) == 1:  # haploid: read as homozygous
+                    alts *= 2
+                codes[i] = min(alts, 2)
+            # pack 4 fields per byte, field k at bits 2k (pack_genotypes'
+            # layout; padding fields already hold the missing code)
+            packed_rows.append(
+                codes[0::4]
+                | (codes[1::4] << 2)
+                | (codes[2::4] << 4)
+                | (codes[3::4] << 6)
+            )
+    if sample_ids is None:
+        raise ValueError(f"{path}: missing #CHROM header line")
+    if not packed_rows:
+        raise ValueError(f"{path}: no variant records")
+    status = np.array(
+        [phenotypes.get(iid, STATUS_UNKNOWN) for iid in sample_ids], dtype=np.int8
+    )
+    data = np.vstack(packed_rows)
+    return GenotypeDataset(
+        None,
+        status,
+        snp_names=snp_names,
+        individual_ids=sample_ids,
         packed=PackedPanel(data, n),
     )
 

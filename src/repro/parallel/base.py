@@ -221,6 +221,13 @@ class EvaluationStats:
         *infrastructure* events, not evaluation work — a faulty run performs
         exactly the same requests/evaluations as a fault-free one — so, like
         the stacked-EM counters, they are excluded from :meth:`counters`.
+    n_result_cache_hits:
+        Whole window/run *results* replayed from a cross-request result cache
+        (the scan service's daemon layer) instead of being recomputed.  A
+        replayed result performs zero evaluations here, so — like the
+        recovery counters — this is a service-layer account excluded from
+        :meth:`counters` (a served scan with a warm cache must still
+        fingerprint-match a cold one).
     """
 
     n_evaluations: int = 0
@@ -235,6 +242,7 @@ class EvaluationStats:
     n_worker_deaths: int = 0
     n_chunks_replayed: int = 0
     n_worker_respawns: int = 0
+    n_result_cache_hits: int = 0
 
     def record_batch(
         self,
@@ -298,6 +306,7 @@ class EvaluationStats:
         self.n_worker_deaths += other.n_worker_deaths
         self.n_chunks_replayed += other.n_chunks_replayed
         self.n_worker_respawns += other.n_worker_respawns
+        self.n_result_cache_hits += other.n_result_cache_hits
 
     def since(self, snapshot: "EvaluationStats") -> "EvaluationStats":
         """Stats accumulated after ``snapshot`` was taken (field-wise difference)."""
@@ -314,6 +323,7 @@ class EvaluationStats:
             n_worker_deaths=self.n_worker_deaths - snapshot.n_worker_deaths,
             n_chunks_replayed=self.n_chunks_replayed - snapshot.n_chunks_replayed,
             n_worker_respawns=self.n_worker_respawns - snapshot.n_worker_respawns,
+            n_result_cache_hits=self.n_result_cache_hits - snapshot.n_result_cache_hits,
         )
 
     @property

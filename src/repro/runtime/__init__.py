@@ -8,10 +8,13 @@ that actually executes fitness evaluations:
   (``serial`` / ``threads`` / ``process`` / ``process-shm``);
 * :mod:`repro.runtime.shm` — the one-copy shared-memory genotype store;
 * :mod:`repro.runtime.service` — the synchronous ``RunRequest -> RunResult``
-  service used by the CLI and the experiment harnesses.
+  service used by the CLI and the experiment harnesses;
+* :mod:`repro.runtime.server` / :mod:`repro.runtime.client` — the
+  scan-as-a-service daemon (warm farm + cross-request result cache +
+  cost-aware admission) and its socket client.
 
-``service`` is re-exported lazily: it imports the GA core, which itself
-resolves its default backend through this package.
+``service``/``server``/``client`` are re-exported lazily: they import the GA
+core, which itself resolves its default backend through this package.
 """
 
 from .backends import (
@@ -48,15 +51,27 @@ __all__ = [
     "RunResult",
     "RunScheduler",
     "RunService",
+    "ScanServer",
+    "ScanClient",
+    "AdmissionPolicy",
+    "AdmissionRejected",
 ]
 
 
 def __getattr__(name: str):
-    # Lazy re-export: service.py imports the GA core, which in turn imports
-    # this package for its default backend; importing it eagerly here would
-    # create a cycle.
+    # Lazy re-export: service.py (and the scan-service modules built on it)
+    # imports the GA core, which in turn imports this package for its default
+    # backend; importing them eagerly here would create a cycle.
     if name in ("RunRequest", "RunResult", "RunScheduler", "RunService"):
         from . import service
 
         return getattr(service, name)
+    if name in ("ScanServer", "AdmissionPolicy", "AdmissionRejected"):
+        from . import server
+
+        return getattr(server, name)
+    if name == "ScanClient":
+        from . import client
+
+        return getattr(client, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,219 @@
+"""Client side of the scan service: talk to a ``repro serve`` daemon.
+
+:class:`ScanClient` opens one authenticated ``multiprocessing.connection``
+socket to a :class:`~repro.runtime.server.ScanServer`, identifies itself with
+a :class:`~repro.runtime.spec.ClientHello` (the ``client_id`` scopes the
+daemon's per-tenant metrics and in-flight caps), and then issues scans, runs
+and status probes over it.  A scan streams back per-window completions as
+the warm farm finishes them, so a ``progress`` callback observes windows in
+submission order exactly like the in-process runner's.
+
+The client deliberately knows nothing about execution: backend, worker
+count, packing and the statistic all belong to the daemon's substrate.  What
+comes back is a plain :class:`~repro.scan.report.ScanReport` whose
+fingerprint matches the in-process scan of the same (geometry, config, seed)
+— cached or computed, the daemon's replies are bit-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from multiprocessing.connection import Client
+
+from ..core.config import GAConfig
+from ..parallel.base import EvaluationStats
+from ..scan.report import ScanReport, WindowResult, window_result_from_json
+from .server import AdmissionRejected
+from .service import RunRequest, RunResult
+from .spec import (
+    ClientHello,
+    RunEnvelope,
+    ScanEnvelope,
+    ShutdownCommand,
+    StatusProbe,
+)
+from .remote import default_authkey, parse_host
+
+__all__ = ["ScanClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered with an error, or the connection died mid-request."""
+
+
+def _default_client_id() -> str:
+    return f"{os.uname().nodename}-{os.getpid()}"
+
+
+class ScanClient:
+    """One authenticated connection to a running scan service.
+
+    Parameters
+    ----------
+    address:
+        ``"host:port"`` spec or ``(host, port)`` tuple of the daemon.
+    authkey:
+        HMAC key; defaults to :func:`~repro.runtime.remote.default_authkey`
+        (``REPRO_REMOTE_AUTHKEY`` or the dev default) — must match the
+        daemon's.
+    client_id:
+        Tenant identity for metrics and in-flight caps; defaults to
+        ``hostname-pid``.
+
+    A client holds one socket and serialises its own requests with a lock, so
+    a single instance is safe to share across threads — though each request
+    occupies one of the tenant's in-flight slots for its full duration, so
+    concurrent tenants usually want one client (one connection) per thread.
+    """
+
+    def __init__(
+        self,
+        address: str | tuple[str, int],
+        *,
+        authkey: bytes | None = None,
+        client_id: str | None = None,
+    ) -> None:
+        if isinstance(address, str):
+            address = parse_host(address)
+        self._client_id = client_id or _default_client_id()
+        self._lock = threading.Lock()
+        self._conn = Client(tuple(address), authkey=authkey or default_authkey())
+        try:
+            self._conn.send(ClientHello(client_id=self._client_id))
+            kind, payload = self._recv()
+            if kind != "ok":
+                raise ServiceError(f"service refused the connection: {payload}")
+        except BaseException:
+            self._conn.close()
+            raise
+        self._info = dict(payload)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def client_id(self) -> str:
+        return self._client_id
+
+    @property
+    def info(self) -> dict:
+        """The daemon's handshake card: backend, statistic, n_snps, packed,
+        panel_fingerprint."""
+        return dict(self._info)
+
+    def _recv(self):
+        try:
+            return self._conn.recv()
+        except (EOFError, OSError) as exc:
+            raise ServiceError(
+                "connection to the scan service was closed"
+            ) from exc
+
+    # ------------------------------------------------------------------ #
+    def scan(
+        self,
+        *,
+        window_size: int,
+        overlap: int = 0,
+        config: GAConfig | None = None,
+        seed: int = 0,
+        statistic: str = "t1",
+        n_runs: int = 1,
+        progress=None,
+    ) -> ScanReport:
+        """Run a windowed scan on the daemon's warm substrate.
+
+        Blocks until the scan completes, invoking ``progress(window_result)``
+        for each streamed window (the in-process runner's hook signature).
+        Raises
+        :class:`~repro.runtime.server.AdmissionRejected` when the daemon's
+        admission policy refuses the request and :class:`ServiceError` on
+        service-side failures.
+        """
+        envelope = ScanEnvelope(
+            window_size=window_size,
+            overlap=overlap,
+            config=config,
+            seed=seed,
+            statistic=statistic,
+            n_runs=n_runs,
+        )
+        start = time.perf_counter()
+        with self._lock:
+            self._conn.send(envelope)
+            windows: list[WindowResult] = []
+            meta: dict | None = None
+            while True:
+                message = self._recv()
+                kind = message[0]
+                if kind == "window":
+                    _kind, payload, _cached = message
+                    result = window_result_from_json(payload)
+                    windows.append(result)
+                    if progress is not None:
+                        progress(result)
+                elif kind == "done":
+                    meta = message[1]
+                    break
+                elif kind == "rejected":
+                    raise AdmissionRejected(message[1])
+                elif kind == "error":
+                    raise ServiceError(message[1])
+                else:  # pragma: no cover - protocol violation
+                    raise ServiceError(f"unexpected reply {kind!r}")
+        stats = EvaluationStats(**meta["stats"])
+        return ScanReport(
+            windows=windows,
+            backend=str(meta["backend"]),
+            n_jobs=int(meta["jobs"]),
+            stats=stats,
+            elapsed_seconds=time.perf_counter() - start,
+            n_snps=int(self._info["n_snps"]),
+            window_size=window_size,
+            overlap=overlap,
+            statistic=statistic.lower(),
+            seed=seed,
+            n_cached_windows=int(meta["n_cached_windows"]),
+            admission_wait_seconds=float(meta["admission_wait_seconds"]),
+        )
+
+    def run(self, request: RunRequest) -> RunResult:
+        """Execute one GA run on the daemon; returns its full RunResult."""
+        with self._lock:
+            self._conn.send(RunEnvelope(request=request))
+            kind, payload = self._recv()
+        if kind == "result":
+            return payload
+        if kind == "rejected":
+            raise AdmissionRejected(payload)
+        raise ServiceError(payload)
+
+    def status(self) -> dict:
+        """The daemon's status dict (cache, admission, tenants, summary)."""
+        with self._lock:
+            self._conn.send(StatusProbe())
+            kind, payload = self._recv()
+        if kind != "status":
+            raise ServiceError(payload)
+        return payload
+
+    def shutdown_server(self, *, drain: bool = True) -> None:
+        """Ask the daemon to drain and exit; the connection closes with it."""
+        with self._lock:
+            self._conn.send(ShutdownCommand(drain=drain))
+            try:
+                self._conn.recv()
+            except (EOFError, OSError):
+                pass  # server may close before the ack arrives
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def __enter__(self) -> "ScanClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

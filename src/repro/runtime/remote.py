@@ -32,6 +32,8 @@ The shared key defaults to a well-known development value; set
 from __future__ import annotations
 
 import os
+import signal
+import threading
 from multiprocessing.connection import Client, Listener
 from typing import Sequence
 
@@ -94,8 +96,45 @@ def parse_hosts(hosts: Sequence) -> tuple[tuple[str, int], ...]:
 # --------------------------------------------------------------------- #
 # worker-host side
 # --------------------------------------------------------------------- #
+def _install_stop_handlers(stop: threading.Event, on_stop=None) -> None:
+    """SIGTERM/SIGINT → set ``stop`` so serving loops drain and exit cleanly.
+
+    ``on_stop`` additionally runs inside the handler — e.g. closing a
+    listener so a blocked ``accept()`` (retried after handlers per PEP 475)
+    actually wakes up.  Signal handlers can only be installed from a
+    process's main thread; elsewhere (e.g. a slave loop driven from a thread
+    in tests) this is a silent no-op and the loop simply relies on
+    connection teardown.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return
+
+    def handler(signum, frame):  # pragma: no cover - signal delivery
+        stop.set()
+        if on_stop is not None:
+            try:
+                on_stop()
+            except OSError:
+                pass
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic runtime
+            return
+
+
 def _remote_worker_loop(conn) -> None:
-    """Serve one master connection: setup once, then evaluate chunks forever."""
+    """Serve one master connection: setup once, then evaluate chunks forever.
+
+    SIGTERM/SIGINT request a graceful stop: the loop polls the connection
+    instead of blocking in ``recv``, so a terminated host finishes (and
+    replies to) the chunk it is evaluating, then closes the connection — the
+    master sees an orderly disconnect instead of a mid-chunk tear it must
+    discover via replay.
+    """
+    stop = threading.Event()
+    _install_stop_handlers(stop)
     try:
         setup = conn.recv()
     except (EOFError, OSError):
@@ -105,8 +144,10 @@ def _remote_worker_loop(conn) -> None:
     if local is None:
         return  # start-up failure already reported over the connection
     try:
-        while True:
+        while not stop.is_set():
             try:
+                if not conn.poll(0.2):
+                    continue
                 message = conn.recv()
             except (EOFError, OSError):
                 return  # master went away; nothing left to serve
@@ -141,20 +182,37 @@ def serve(
     :func:`_remote_worker_loop`, so one master's heavy chunk cannot block
     another master's slave.  ``max_connections`` bounds how many connections
     are served before returning (``None`` serves forever).
+
+    SIGTERM/SIGINT shut the host down gracefully: the accept loop stops, and
+    every slave process is SIGTERMed — its own handler lets the in-flight
+    chunk finish and its reply be delivered before the connection closes —
+    then joined (with an escalation to ``kill`` for stragglers).
     """
     if isinstance(bind, str):
         bind = parse_host(bind)
     context = default_mp_context(start_method)
+    stop = threading.Event()
     listener = Listener(bind, authkey=authkey or default_authkey())
+    # the handler must close the listener as well as set the flag: a blocked
+    # accept() is retried after a signal handler returns (PEP 475), so the
+    # close is what actually wakes the loop
+    _install_stop_handlers(stop, on_stop=listener.close)
+    workers: list = []
     try:
         if _ready is not None:
             _ready.send(listener.address)
             _ready.close()
         served = 0
-        while max_connections is None or served < max_connections:
+        while not stop.is_set() and (
+            max_connections is None or served < max_connections
+        ):
             try:
                 conn = listener.accept()
-            except OSError:  # pragma: no cover - listener closed under us
+            except OSError:
+                # listener closed under us, or accept interrupted by a
+                # shutdown signal (EINTR surfaces here on some platforms)
+                if stop.is_set():
+                    break
                 return
             except Exception:
                 # failed authentication or a scanner poking the port: keep
@@ -165,9 +223,24 @@ def serve(
             )
             worker.start()
             conn.close()  # the slave process owns it now
+            workers = [w for w in workers if w.is_alive()]
+            workers.append(worker)
             served += 1
     finally:
-        listener.close()
+        try:
+            listener.close()  # may already be closed by the signal handler
+        except OSError:  # pragma: no cover - platform dependent
+            pass
+        # drain: SIGTERM each slave (its handler finishes the in-flight
+        # chunk and replies first), join, then kill anything still stuck
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+        for worker in workers:
+            worker.join(timeout=10.0)
+            if worker.is_alive():  # pragma: no cover - wedged evaluation
+                worker.kill()
+                worker.join(timeout=1.0)
 
 
 class LocalWorkerHost:

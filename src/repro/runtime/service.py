@@ -94,6 +94,11 @@ def backend_summary_line(backend: str, stats: EvaluationStats) -> str:
             f"({stats.n_chunks_replayed} chunk(s) replayed, "
             f"{stats.n_worker_respawns} respawn(s))"
         )
+    if stats.n_result_cache_hits > 0:
+        line += (
+            f"; {stats.n_result_cache_hits} window result(s) replayed from "
+            f"the cross-request cache"
+        )
     return line
 
 
@@ -534,10 +539,17 @@ class RunScheduler:
         )
 
     def run(self, request: RunRequest) -> RunResult:
-        """Execute one request synchronously, bypassing the queue."""
+        """Execute one request synchronously, bypassing the queue.
+
+        Safe to call from many threads at once (the scan service runs one
+        handler thread per client connection): evaluation batches serialise
+        through the shared substrate, concurrent requests overlap their GA
+        bookkeeping, and each result's stats cover exactly its own work.
+        """
         self._validate(request)
         result = self._execute(request)
-        self._n_completed += 1
+        with self._queue_lock:
+            self._n_completed += 1
         return result
 
     def as_completed(self) -> Iterator[tuple[int, RunResult]]:

@@ -15,10 +15,14 @@ access only once to the data".
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 from ..genetics.dataset import GenotypeDataset, as_packed_dataset
 from ..stats.evaluation import HaplotypeEvaluator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (service imports spec)
+    from ..core.config import GAConfig
+    from .service import RunRequest
 
 __all__ = [
     "EvaluatorSpec",
@@ -26,6 +30,11 @@ __all__ = [
     "InMemoryDatasetHandle",
     "PackedDatasetHandle",
     "SpecEvaluatorFactory",
+    "ClientHello",
+    "ScanEnvelope",
+    "RunEnvelope",
+    "StatusProbe",
+    "ShutdownCommand",
 ]
 
 
@@ -130,6 +139,69 @@ class EvaluatorSpec:
             cache_size=self.cache_size,
             warm_start=self.warm_start,
         )
+
+
+# --------------------------------------------------------------------------- #
+# scan-service request envelopes (the wire protocol of runtime/server.py)
+# --------------------------------------------------------------------------- #
+# Envelopes are plain frozen dataclasses shipped as length-prefixed pickles
+# over an authenticated ``multiprocessing.connection`` socket — the exact
+# transport the remote worker hosts use.  They live here (not in server.py)
+# because both endpoints import them and this module is the runtime layer's
+# designated home for picklable message types.
+
+
+@dataclass(frozen=True)
+class ClientHello:
+    """First message of every connection: who is asking.
+
+    ``client_id`` scopes the per-tenant metrics and in-flight caps; clients
+    sharing an id share a quota (and a metrics row).
+    """
+
+    client_id: str
+
+
+@dataclass(frozen=True)
+class ScanEnvelope:
+    """One windowed-scan request; the server streams per-window completions.
+
+    Geometry/seeding fields mirror :func:`repro.scan.planner.plan_scan`; the
+    execution substrate (backend, workers, packing) is the *server's* and is
+    deliberately absent.  ``statistic`` must match the daemon's substrate —
+    one scheduler is one evaluator recipe.
+    """
+
+    window_size: int
+    overlap: int = 0
+    config: "GAConfig | None" = None
+    seed: int = 0
+    statistic: str = "t1"
+    n_runs: int = 1
+
+
+@dataclass(frozen=True)
+class RunEnvelope:
+    """One direct GA run: a :class:`~repro.runtime.service.RunRequest`.
+
+    The request's own execution fields (backend, workers, hosts, ...) are
+    ignored — the daemon's warm substrate executes it; only the evaluator
+    spec/statistic must match the server's.
+    """
+
+    request: "RunRequest"
+
+
+@dataclass(frozen=True)
+class StatusProbe:
+    """Ask for the daemon's status dict (uptime, cache, admission, tenants)."""
+
+
+@dataclass(frozen=True)
+class ShutdownCommand:
+    """Ask the daemon to drain in-flight work and exit its serve loop."""
+
+    drain: bool = True
 
 
 @dataclass(frozen=True)

@@ -120,6 +120,12 @@ class ScanReport:
         Wall-clock time of the whole scan (farm spin-up included).
     n_snps, window_size, overlap, statistic, seed:
         The scan's geometry and seeding, echoed for reproducibility.
+    n_cached_windows:
+        Windows replayed from a scan service's cross-request result cache
+        (0 for in-process scans and cold-cache service scans).
+    admission_wait_seconds:
+        Time the request spent queued by a scan service's admission
+        controller before execution began (0 in-process).
     """
 
     windows: tuple[WindowResult, ...]
@@ -132,6 +138,8 @@ class ScanReport:
     overlap: int
     statistic: str
     seed: int
+    n_cached_windows: int = 0
+    admission_wait_seconds: float = 0.0
 
     @property
     def n_windows(self) -> int:
@@ -208,13 +216,19 @@ class ScanReport:
         """Human-readable genome-wide report (CLI output)."""
         from ..experiments.reporting import format_table
 
-        lines = [
+        headline = (
             f"Genome-scale scan: {self.n_snps} loci, {self.n_windows} windows "
             f"(size {self.window_size}, overlap {self.overlap}), "
             f"statistic {self.statistic.upper()}, "
             f"{self.n_evaluations} evaluations in {self.elapsed_seconds:.1f}s "
-            f"on {self.backend} (jobs={self.n_jobs})",
-        ]
+            f"on {self.backend} (jobs={self.n_jobs})"
+        )
+        if self.n_cached_windows > 0:
+            headline += (
+                f"; {self.n_cached_windows} window(s) replayed from the "
+                f"service result cache"
+            )
+        lines = [headline]
         headers = ["window", "loci", "best haplotype", "fitness", "# eval", "seconds"]
         rows = [
             [
@@ -257,6 +271,8 @@ class ScanReport:
             "backend": self.backend,
             "jobs": self.n_jobs,
             "elapsed_seconds": self.elapsed_seconds,
+            "n_cached_windows": self.n_cached_windows,
+            "admission_wait_seconds": self.admission_wait_seconds,
             "n_evaluations": self.n_evaluations,
             "reuse_rate": self.stats.reuse_rate,
             "stats": {
@@ -287,6 +303,9 @@ class ScanReport:
             overlap=int(payload["overlap"]),
             statistic=str(payload["statistic"]),
             seed=int(payload["seed"]),
+            # absent in pre-service payloads: legacy reports still load
+            n_cached_windows=int(payload.get("n_cached_windows", 0)),
+            admission_wait_seconds=float(payload.get("admission_wait_seconds", 0.0)),
         )
 
 

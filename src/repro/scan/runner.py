@@ -180,7 +180,7 @@ def execute_plan(
 
 
 def run_scan(
-    dataset: GenotypeDataset,
+    dataset: GenotypeDataset | None,
     *,
     window_size: int,
     overlap: int = 0,
@@ -193,6 +193,7 @@ def run_scan(
     chunk_size: int | None = None,
     jobs: int = 1,
     scheduler: RunScheduler | None = None,
+    client=None,
     progress: ProgressCallback | None = None,
     max_pending: int | None = DEFAULT_MAX_PENDING,
     cost_model: EvaluationCostModel | None = None,
@@ -243,7 +244,36 @@ def run_scan(
     their seeds.  A persisted, calibrated ``cost_model``
     (:meth:`~repro.parallel.pvm.EvaluationCostModel.from_json`) both
     prioritises window jobs and drives the farm's cost-balanced chunking.
+
+    ``client`` (a :class:`~repro.runtime.client.ScanClient`) submits the scan
+    to a running ``repro serve`` daemon instead of building any local
+    substrate: the daemon's warm farm executes (or replays from its result
+    cache) every window, and all execution parameters — and ``dataset``,
+    which may be ``None`` — are ignored in favour of the service's.  The
+    report is fingerprint-identical to the in-process scan of the same
+    (geometry, config, seed).  Checkpointing is the daemon's concern, so
+    ``client`` is mutually exclusive with ``scheduler`` and
+    ``checkpoint_path``.
     """
+    if client is not None:
+        if scheduler is not None:
+            raise ValueError("pass either client or scheduler, not both")
+        if checkpoint_path is not None or resume:
+            raise ValueError(
+                "checkpointing happens daemon-side; client scans cannot take "
+                "checkpoint_path/resume"
+            )
+        return client.scan(
+            window_size=window_size,
+            overlap=overlap,
+            config=config,
+            seed=seed,
+            statistic=statistic,
+            n_runs=n_runs,
+            progress=progress,
+        )
+    if dataset is None:
+        raise ValueError("dataset may only be omitted when a client is given")
     if cost_model is None and jobs > 1:
         cost_model = EvaluationCostModel()
     start = time.perf_counter()

@@ -111,3 +111,134 @@ class TestStudyTables:
         assert loaded == dataset
         assert freq.snp_names == dataset.snp_names
         assert ld.n_snps == dataset.n_snps
+
+
+class TestVcf:
+    HEADER = "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT"
+
+    def _write(self, tmp_path, body, name="panel.vcf"):
+        path = tmp_path / name
+        path.write_text("##fileformat=VCFv4.2\n" + body, encoding="utf-8")
+        return path
+
+    def test_gt_fields_pack_identically_to_pack_genotypes(self, tmp_path):
+        from repro.genetics.alleles import GENOTYPE_MISSING
+        from repro.genetics.io import read_vcf
+        from repro.genetics.packed import pack_genotypes
+
+        body = (
+            f"{self.HEADER}\tS1\tS2\tS3\tS4\tS5\n"
+            "1\t100\trs1\tA\tG\t.\tPASS\t.\tGT:DP\t0/0:10\t0/1:9\t1/1:8\t./.:0\t0|1:3\n"
+            "1\t200\t.\tC\tT\t.\tPASS\t.\tGT\t1/1\t0/0\t.\t1\t0/2\n"
+        )
+        dataset = read_vcf(self._write(tmp_path, body))
+        assert dataset.n_individuals == 5
+        assert dataset.snp_names == ("rs1", "1:200")  # ID, else chrom:pos
+        assert dataset.packed is not None  # packed-native load
+        # phased and unphased calls agree; any '.' allele is the missing
+        # code; a non-zero allele index counts as the alternate; a haploid
+        # call reads as homozygous
+        expected = np.array(
+            [[0, 1, 2, GENOTYPE_MISSING, 1], [2, 0, GENOTYPE_MISSING, 2, 1]],
+            dtype=np.int8,
+        ).T
+        assert np.array_equal(dataset.packed.data, pack_genotypes(expected))
+
+    def test_gzip_and_phenotype_sidecar(self, tmp_path):
+        import gzip
+
+        from repro.genetics.alleles import (
+            STATUS_AFFECTED,
+            STATUS_UNAFFECTED,
+            STATUS_UNKNOWN,
+        )
+        from repro.genetics.io import read_vcf
+
+        body = (
+            f"{self.HEADER}\tS1\tS2\tS3\n"
+            "1\t1\trs1\tA\tG\t.\t.\t.\tGT\t0/0\t0/1\t1/1\n"
+        )
+        plain = self._write(tmp_path, body)
+        gz = tmp_path / "panel.vcf.gz"
+        with gzip.open(gz, "wt") as fh:
+            fh.write(plain.read_text(encoding="utf-8"))
+        pheno = tmp_path / "pheno.txt"
+        pheno.write_text("S1 2\nS2 1\n", encoding="utf-8")
+        dataset = read_vcf(gz, pheno=pheno)
+        assert dataset.fingerprint() == read_vcf(plain, pheno=pheno).fingerprint()
+        assert list(dataset.status) == [
+            STATUS_AFFECTED, STATUS_UNAFFECTED, STATUS_UNKNOWN,
+        ]
+        # without a sidecar every status is unknown (an explicit choice)
+        assert list(read_vcf(plain).status) == [STATUS_UNKNOWN] * 3
+
+    def test_fam_style_sidecar(self, tmp_path):
+        from repro.genetics.alleles import STATUS_AFFECTED, STATUS_UNAFFECTED
+        from repro.genetics.io import read_vcf
+
+        body = (
+            f"{self.HEADER}\tS1\tS2\n"
+            "1\t1\trs1\tA\tG\t.\t.\t.\tGT\t0/0\t0/1\n"
+        )
+        fam = tmp_path / "panel.fam"
+        fam.write_text("FAM1 S1 0 0 0 2\nFAM1 S2 0 0 0 1\n", encoding="utf-8")
+        dataset = read_vcf(self._write(tmp_path, body), pheno=fam)
+        assert list(dataset.status) == [STATUS_AFFECTED, STATUS_UNAFFECTED]
+
+    def test_vcf_evaluates_like_equivalent_byte_dataset(self, dataset, tmp_path):
+        """A written-out panel read back via VCF scores identically."""
+        from repro.genetics.alleles import GENOTYPE_MISSING
+        from repro.genetics.io import read_vcf
+        from repro.stats.evaluation import HaplotypeEvaluator
+
+        rows = []
+        for j in range(dataset.n_snps):
+            calls = []
+            for i in range(dataset.n_individuals):
+                g = int(dataset.genotypes[i, j])
+                calls.append(
+                    "./." if g == GENOTYPE_MISSING
+                    else ["0/0", "0/1", "1/1"][g]
+                )
+            rows.append(f"1\t{j + 1}\t{dataset.snp_names[j]}\t"
+                        f"A\tG\t.\t.\t.\tGT\t" + "\t".join(calls))
+        header = self.HEADER + "\t" + "\t".join(dataset.individual_ids)
+        path = self._write(tmp_path, header + "\n" + "\n".join(rows) + "\n")
+        pheno = tmp_path / "status.txt"
+        pheno.write_text(
+            "".join(
+                f"{iid} {2 if s == 1 else 1}\n"
+                for iid, s in zip(dataset.individual_ids, dataset.status)
+            ),
+            encoding="utf-8",
+        )
+        loaded = read_vcf(path, pheno=pheno)
+        assert loaded.fingerprint() == dataset.fingerprint()
+        snps = (1, 5, 9)
+        assert HaplotypeEvaluator(loaded).evaluate(snps) == pytest.approx(
+            HaplotypeEvaluator(dataset).evaluate(snps)
+        )
+
+    def test_malformed_inputs_rejected(self, tmp_path):
+        from repro.genetics.io import read_vcf
+
+        no_header = tmp_path / "nohdr.vcf"
+        no_header.write_text("1\t1\trs1\tA\tG\t.\t.\t.\tGT\t0/0\n",
+                             encoding="utf-8")
+        with pytest.raises(ValueError, match="header"):
+            read_vcf(no_header)
+        body = (
+            f"{self.HEADER}\tS1\n"
+            "1\t1\trs1\tA\tG\t.\t.\t.\tDP\t10\n"
+        )
+        with pytest.raises(ValueError, match="GT"):
+            read_vcf(self._write(tmp_path, body, name="nogt.vcf"))
+        body = (
+            f"{self.HEADER}\tS1\n"
+            "1\t1\trs1\tA\tG\t.\t.\t.\tGT\t0/x\n"
+        )
+        with pytest.raises(ValueError, match="malformed GT"):
+            read_vcf(self._write(tmp_path, body, name="badgt.vcf"))
+        body = f"{self.HEADER}\tS1\n"
+        with pytest.raises(ValueError, match="no variant"):
+            read_vcf(self._write(tmp_path, body, name="empty.vcf"))

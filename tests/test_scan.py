@@ -530,9 +530,38 @@ class TestScanReportRoundTrip:
 
         payload = report.to_json()
         payload.pop("stats")
+        for key in ("n_cached_windows", "admission_wait_seconds"):
+            payload.pop(key)  # pre-scan-service payloads lack these
         for window in payload["windows"]:
             for key in ("best_per_size", "n_distinct_evaluations",
                         "n_generations", "seed"):
                 window.pop(key)
         reloaded = ScanReport.from_json(payload)
         assert _scan_key(reloaded) == _scan_key(report)
+        assert reloaded.n_cached_windows == 0
+        assert reloaded.admission_wait_seconds == 0.0
+
+    def test_service_counters_round_trip(self, report):
+        """The scan-service counters (cache replays, admission wait, the
+        per-request result-cache-hit stat) survive to_json/from_json."""
+        import dataclasses
+        import json
+
+        from repro.scan.report import ScanReport
+
+        stats = report.stats.copy()
+        stats.n_result_cache_hits = 4
+        served = dataclasses.replace(
+            report,
+            stats=stats,
+            n_cached_windows=4,
+            admission_wait_seconds=0.125,
+        )
+        reloaded = ScanReport.from_json(json.loads(json.dumps(served.to_json())))
+        assert reloaded.n_cached_windows == 4
+        assert reloaded.admission_wait_seconds == 0.125
+        assert reloaded.stats.n_result_cache_hits == 4
+        assert reloaded.to_json() == served.to_json()
+        # the replay account reaches the human-readable surfaces
+        assert "replayed from the cross-request cache" in reloaded.summary_line()
+        assert "replayed from the service result cache" in reloaded.format(top=2)

@@ -371,3 +371,118 @@ class TestCostAwareExecutor:
                     scheduler.submit(request)
             assert len(collected) == 5
             assert scheduler.n_pending == 0
+
+
+class TestConcurrentMultiClientScheduler:
+    """Many client threads sharing ONE scheduler (the scan-service shape).
+
+    ``RunScheduler.run()`` is documented thread-safe: the scan service runs
+    one handler thread per connected client, all submitting against the same
+    warm substrate.  These tests pin down the two contracts that serving
+    depends on: per-job stats partition the substrate's lifetime counters
+    exactly, and every client's results are bit-identical to running its
+    scan alone.
+    """
+
+    N_CLIENTS = 4
+
+    @staticmethod
+    def _client_jobs(n_snps, quick_config, client):
+        """Client ``client``'s interleaved scan: its own seed and geometry.
+
+        Clients get different window sizes (hence different clamped configs
+        and estimated costs — the mixed-priority traffic an admission queue
+        sees) and different seeds, so no two clients submit the same work.
+        """
+        from repro.scan.planner import plan_scan
+
+        return list(
+            plan_scan(
+                n_snps,
+                window_size=4 + client % 2,
+                overlap=2,
+                config=quick_config,
+                seed=11 + client,
+            ).requests()
+        )
+
+    def test_interleaved_clients_match_isolated_reference(
+        self, small_dataset, quick_config
+    ):
+        import threading
+
+        from repro.scan.runner import _window_result
+
+        def fingerprint(window, run):
+            result = _window_result(window, run)
+            return (
+                result.window.index,
+                result.best_snps,
+                result.best_fitness,
+                sorted(result.best_per_size.items()),
+                result.n_evaluations,
+            )
+
+        # reference: each client's scan alone on a fresh, cold scheduler
+        reference = {}
+        for client in range(self.N_CLIENTS):
+            with RunScheduler(small_dataset) as scheduler:
+                reference[client] = [
+                    fingerprint(window, scheduler.run(request))
+                    for window, request in self._client_jobs(
+                        small_dataset.n_snps, quick_config, client
+                    )
+                ]
+
+        served: dict[int, list] = {}
+        deltas: dict[int, list] = {}
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(self.N_CLIENTS)
+        with RunScheduler(small_dataset) as scheduler:
+            def client_thread(client):
+                try:
+                    rows, stats = [], []
+                    jobs = self._client_jobs(
+                        small_dataset.n_snps, quick_config, client
+                    )
+                    barrier.wait()  # maximise interleaving
+                    for window, request in jobs:
+                        run = scheduler.run(request)
+                        rows.append(fingerprint(window, run))
+                        stats.append(run.stats)
+                    served[client] = rows
+                    deltas[client] = stats
+                except BaseException as exc:  # surfaced by the main thread
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client_thread, args=(client,))
+                for client in range(self.N_CLIENTS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not errors, errors
+            total = scheduler.stats
+            assert scheduler.n_completed == sum(
+                len(self._client_jobs(small_dataset.n_snps, quick_config, c))
+                for c in range(self.N_CLIENTS)
+            )
+
+        # bit-identical per-client results despite interleaving: fitness is
+        # pure, so whichever cache answers a request returns the same value
+        for client in range(self.N_CLIENTS):
+            assert served[client] == reference[client]
+
+        # per-job deltas partition the substrate-lifetime counters exactly
+        # (each job's since() delta is taken under the evaluation lock)
+        for counter in ("n_requests", "n_evaluations", "n_batches"):
+            assert sum(
+                getattr(s, counter) for stats in deltas.values() for s in stats
+            ) == getattr(total, counter), counter
+        assert sum(
+            s.n_dedup_hits + s.n_cache_hits
+            for stats in deltas.values()
+            for s in stats
+        ) == total.n_dedup_hits + total.n_cache_hits
