@@ -18,6 +18,14 @@ leaves):
    ``run_scan(..., resume=True)`` against re-running the scan cold.  Both
    reports must be fingerprint-identical.
 
+3. **Served restart recovery.**  A served scan is torn down halfway by a
+   :class:`repro.testing.faults.ConnectionChaos` link severance, the daemon
+   is replaced by a fresh :class:`repro.runtime.server.ScanServer` (cold
+   cache) on the same ``journal_dir``, and the client re-submits.  The
+   headline compares the recovered scan — journaled windows replayed, the
+   remainder recomputed — against a cold served scan; both must be
+   fingerprint-identical to the in-process reference.
+
 Usage::
 
     python benchmarks/bench_faults.py            # full run
@@ -151,7 +159,8 @@ class _Interrupted(Exception):
     """Stand-in for the scan process being killed mid-flight."""
 
 
-def bench_checkpoint_resume(*, quick: bool) -> tuple[dict, dict]:
+def _acceptance_panel(*, quick: bool):
+    """The (study, config) pair shared by the resume and served benchmarks."""
     n_snps = 101 if quick else 201
     model = PopulationModel(n_snps=n_snps, block_size=6, within_block_correlation=0.4)
     disease = DiseaseModel(
@@ -176,6 +185,11 @@ def bench_checkpoint_resume(*, quick: bool) -> tuple[dict, dict]:
         max_generations=2,
         point_mutation_trials=1,
     )
+    return study, config
+
+
+def bench_checkpoint_resume(*, quick: bool) -> tuple[dict, dict]:
+    study, config = _acceptance_panel(quick=quick)
 
     def scan(**kwargs):
         return run_scan(
@@ -225,9 +239,81 @@ def bench_checkpoint_resume(*, quick: bool) -> tuple[dict, dict]:
     return cold_result, resume_result
 
 
+def bench_served_restart(*, quick: bool) -> tuple[dict, dict]:
+    from repro.runtime.client import ConnectionLostError, ScanClient
+    from repro.runtime.server import ScanServer
+    from repro.testing.faults import ChaosConnection, ConnectionChaos
+
+    study, config = _acceptance_panel(quick=quick)
+
+    def serve(journal_dir: str) -> ScanServer:
+        server = ScanServer(study.dataset, journal_dir=journal_dir)
+        server.start(("127.0.0.1", 0))
+        return server
+
+    def served_scan(server, **client_kwargs):
+        with ScanClient(server.address, **client_kwargs) as client:
+            return client.scan(
+                window_size=SCAN_WINDOW_SIZE,
+                overlap=SCAN_OVERLAP,
+                config=config,
+                seed=SCAN_SEED,
+            )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # cold served scan: fresh daemon, empty journal
+        with serve(os.path.join(tmp, "cold")) as server:
+            start = time.perf_counter()
+            cold = served_scan(server, client_id="bench-cold")
+            cold_seconds = time.perf_counter() - start
+
+        # the link tears halfway through the stream (hello is recv #1),
+        # then the daemon is replaced by a cold-cache restart on the same
+        # journal and the client re-submits
+        journal_dir = os.path.join(tmp, "served")
+        half = cold.n_windows // 2
+        chaos = ConnectionChaos(sever_on_recv=half + 2)
+        with serve(journal_dir) as server:
+            try:
+                served_scan(
+                    server,
+                    client_id="bench-doomed",
+                    retry=None,
+                    wrap_connection=lambda conn: ChaosConnection(conn, chaos),
+                )
+            except ConnectionLostError:
+                pass
+            else:
+                raise AssertionError("the severed scan should not complete")
+        with serve(journal_dir) as server:
+            start = time.perf_counter()
+            recovered = served_scan(server, client_id="bench-recovered")
+            restart_seconds = time.perf_counter() - start
+            health = server.health()
+
+    if recovered.fingerprint() != cold.fingerprint():
+        raise AssertionError("recovered served scan diverged from the cold scan")
+    n_replayed = health["journal"]["n_recovered_windows"]
+    if n_replayed < 1:
+        raise AssertionError("restarted daemon replayed no journaled windows")
+    cold_result = {
+        "mode": "served_cold_scan",
+        "n_windows": cold.n_windows,
+        "elapsed_seconds": cold_seconds,
+    }
+    restart_result = {
+        "mode": "served_restart_from_journal",
+        "n_windows": recovered.n_windows,
+        "n_windows_replayed": n_replayed,
+        "elapsed_seconds": restart_seconds,
+    }
+    return cold_result, restart_result
+
+
 def run_benchmark(*, quick: bool) -> dict:
     fault_free, faulty, overhead = bench_recovery_overhead(quick=quick)
     cold, resumed = bench_checkpoint_resume(quick=quick)
+    served_cold, served_restart = bench_served_restart(quick=quick)
     report: dict = {
         "benchmark": "faults",
         "results": {
@@ -235,14 +321,20 @@ def run_benchmark(*, quick: bool) -> dict:
             f"one_death_{N_WORKERS}w": faulty,
             "scan_cold": cold,
             "scan_resume": resumed,
+            "served_cold": served_cold,
+            "served_restart": served_restart,
         },
         "headline": {
-            # both are *_gain leaves for scripts/bench_compare.py --gains-only
+            # all three are *_gain leaves for scripts/bench_compare.py --gains-only
             f"recovery_vs_faultfree_gain_at_{N_WORKERS}_workers": (
                 fault_free["elapsed_seconds"] / faulty["elapsed_seconds"]
             ),
             "resume_vs_cold_gain": (
                 cold["elapsed_seconds"] / resumed["elapsed_seconds"]
+            ),
+            "served_restart_resume_vs_cold_gain": (
+                served_cold["elapsed_seconds"]
+                / served_restart["elapsed_seconds"]
             ),
             "recovery_overhead_fraction": overhead,
         },
@@ -273,7 +365,9 @@ def main(argv=None) -> int:
     print(
         f"one slave death costs "
         f"{headline['recovery_overhead_fraction']:+.1%} wall-clock; "
-        f"resume vs cold rescan: {headline['resume_vs_cold_gain']:.2f}x"
+        f"resume vs cold rescan: {headline['resume_vs_cold_gain']:.2f}x; "
+        f"served restart vs cold: "
+        f"{headline['served_restart_resume_vs_cold_gain']:.2f}x"
     )
 
     with open(args.output, "w") as handle:

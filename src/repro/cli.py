@@ -125,6 +125,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--client-id", default=None,
                        help="tenant identity reported to --connect's daemon "
                             "(default: hostname-pid)")
+    p_run.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="deadline for the whole --connect request; past "
+                            "it the client raises instead of blocking forever")
+    p_run.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="re-submit a --connect request up to N times if "
+                            "the daemon connection dies mid-flight (served "
+                            "requests are idempotent: completed work replays "
+                            "from the daemon's result cache; default 2)")
 
     sub.add_parser("table1", help="regenerate Table 1 (search-space sizes)")
 
@@ -214,6 +222,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_scan.add_argument("--client-id", default=None,
                         help="tenant identity reported to --connect's daemon "
                              "(default: hostname-pid)")
+    p_scan.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="deadline for the whole --connect scan; past it "
+                             "the client raises instead of blocking forever")
+    p_scan.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="re-submit a --connect scan up to N times if the "
+                             "daemon connection dies mid-flight (served scans "
+                             "are idempotent: completed windows replay from "
+                             "the daemon's result cache; default 2)")
     _add_backend_arguments(p_scan, default_seed=0)
 
     p_t2 = sub.add_parser("table2", help="regenerate Table 2 (GA results over repeated runs)")
@@ -271,8 +288,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "port 0 binds an ephemeral port)")
     p_serve.add_argument("--status", action="store_true",
                          help="probe the daemon at --bind and print its "
-                              "status (cache, admission, per-tenant metrics) "
-                              "instead of starting one")
+                              "status (cache, admission, farm health, "
+                              "per-tenant metrics) instead of starting one")
+    p_serve.add_argument("--journal-dir", default=None, metavar="DIR",
+                         help="journal every in-flight scan's completed "
+                              "windows to JSONL files in DIR; a daemon "
+                              "restarted on the same DIR replays journaled "
+                              "windows instead of recomputing them "
+                              "(fingerprint-identical reports)")
     p_serve.add_argument("--bed", default=None, metavar="PREFIX",
                          help="serve a PLINK .bed/.bim/.fam fileset "
                               "(memory-mapped, implies --packed)")
@@ -434,9 +457,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
         from .runtime.client import ScanClient
 
-        with ScanClient(args.connect, client_id=args.client_id) as client:
+        with ScanClient(
+            args.connect,
+            client_id=args.client_id,
+            retry=_retry_policy(args.retries),
+        ) as client:
             run = client.run(
-                RunRequest(config=config, statistic=args.statistic)
+                RunRequest(config=config, statistic=args.statistic),
+                timeout=args.timeout,
             )
         result = run.result
         print(
@@ -530,7 +558,11 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             termination_stagnation=args.stagnation,
             max_generations=args.max_generations,
         )
-        with ScanClient(args.connect, client_id=args.client_id) as client:
+        with ScanClient(
+            args.connect,
+            client_id=args.client_id,
+            retry=_retry_policy(args.retries),
+        ) as client:
             report = run_scan(
                 None,
                 window_size=args.window_size,
@@ -539,6 +571,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 statistic=args.statistic,
                 client=client,
+                client_timeout=args.timeout,
             )
         print(report.format(top=args.top))
         print()
@@ -738,6 +771,14 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _retry_policy(retries: int | None):
+    """Map a --retries flag to a client RetryPolicy (None = client default,
+    0 = fail on the first transport loss)."""
+    from .runtime.client import RetryPolicy
+
+    return RetryPolicy() if retries is None else RetryPolicy(max_attempts=retries + 1)
+
+
 def _print_status(status: dict) -> None:
     cache = status["result_cache"]
     admission = status["admission"]
@@ -759,9 +800,43 @@ def _print_status(status: dict) -> None:
         f"{admission['n_queued']} queued "
         f"({admission['outstanding_cost_seconds']:.3f}s est. outstanding), "
         f"{admission['n_admitted']} admitted / "
-        f"{admission['n_rejected']} rejected, "
+        f"{admission['n_rejected']} rejected / "
+        f"{admission.get('n_cancelled', 0)} cancelled, "
         f"{admission['total_wait_seconds']:.3f}s total queue wait"
     )
+    health = status.get("health")
+    if health is not None:
+        farm = health["farm"]
+        alive = farm["n_alive_workers"]
+        alive_text = "?" if alive is None else str(alive)
+        line = (
+            f"  farm: {alive_text}/{farm['n_workers']} worker(s) alive "
+            f"on {farm['backend']}"
+        )
+        recovery = farm["recovery"]
+        if recovery is not None:
+            line += (
+                f", {recovery['n_worker_deaths']} death(s) / "
+                f"{recovery['n_chunks_replayed']} chunk(s) replayed / "
+                f"{recovery['n_worker_respawns']} respawn(s)"
+            )
+        print(line)
+        for row in farm["hosts"] or ():
+            state = "alive" if row["alive"] else (
+                f"dead (retry in {row['reconnect_in_seconds']:.1f}s)"
+            )
+            print(
+                f"    host {row['host']} (worker {row['worker']}): {state}, "
+                f"last heartbeat {row['seconds_since_heartbeat']:.1f}s ago"
+            )
+        journal = health["journal"]
+        if journal["dir"] is not None:
+            print(
+                f"  journal: {journal['dir']} — "
+                f"{journal.get('n_inflight_scans', 0)} in-flight scan(s), "
+                f"{journal['n_recovered_windows']} window(s) replayed across "
+                f"{journal['n_recovered_scans']} recovered scan(s)"
+            )
     for client_id, row in sorted(status["tenants"].items()):
         stats = row["stats"]
         print(
@@ -818,6 +893,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         steal_mode=args.steal_mode,
         **({} if args.cache_bytes is None else {"cache_bytes": args.cache_bytes}),
         admission=policy,
+        journal_dir=args.journal_dir,
     )
     try:
         host, port = server.start(args.bind)

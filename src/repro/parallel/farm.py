@@ -685,6 +685,16 @@ class ChunkedWorkerFarm:
         """Transport hook: a result channel failed mid-recv (default no-op —
         process transports rely on the ``is_alive`` health pass instead)."""
 
+    def _handle_control_message(self, message) -> bool:
+        """Transport hook: consume non-result traffic on the result channel.
+
+        Returns True when ``message`` was control traffic (e.g. a remote
+        host's heartbeat) and must not be folded in as a chunk result.  The
+        local process transport has no control traffic, so the default
+        recognises nothing.
+        """
+        return False
+
     def _send_message(self, worker: int, message) -> None:
         """Deliver one protocol message to a slave (transport hook)."""
         self._inboxes[worker].put(message)
@@ -1018,6 +1028,8 @@ class ChunkedWorkerFarm:
             with self._lock:
                 self._check_farm_health()
             return False
+        if self._handle_control_message(message):
+            return True
         received_id, worker_id, values, stats, error = message
         if received_id is None:
             raise RuntimeError(f"a worker failed during start-up:\n{error}")

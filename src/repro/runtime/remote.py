@@ -25,6 +25,17 @@ A dead connection is treated exactly like a dead local slave: the recovery
 engine replays its chunks onto survivors (bit-identical by fitness purity)
 and raises :class:`~repro.parallel.farm.FarmDeadError` when none remain.
 
+Liveness is active, not just reactive: every slave process runs a heartbeat
+thread beating over its connection (``("heartbeat", worker_id, ts)`` —
+shape-distinct from the 5-tuple result message, consumed by the farm's
+control-message hook), so a host that *silently* stops answering — black-holed
+route, frozen VM, partitioned switch — is reaped after ``heartbeat_timeout``
+seconds exactly like a torn connection, and its in-flight chunks replay onto
+survivors.  Reconnects (the respawn path) go through
+:func:`connect_with_timeout` so a black-holed host cannot wedge the master in
+an unbounded handshake, and failed reconnects back off exponentially per host
+— a flapping host is re-admitted when it answers again, not hammered.
+
 The shared key defaults to a well-known development value; set
 ``REPRO_REMOTE_AUTHKEY`` on every host for anything beyond localhost.
 """
@@ -34,6 +45,7 @@ from __future__ import annotations
 import os
 import signal
 import threading
+import time
 from multiprocessing.connection import Client, Listener
 from typing import Sequence
 
@@ -54,9 +66,58 @@ __all__ = [
     "parse_host",
     "parse_hosts",
     "default_authkey",
+    "connect_with_timeout",
 ]
 
 _DEFAULT_AUTHKEY = b"repro-ga-dist"
+
+#: first element of a slave→master heartbeat message (shape-distinct from the
+#: 5-tuple chunk result, so the farm's control hook can intercept it)
+_HEARTBEAT = "heartbeat"
+
+#: how often a slave process beats while serving a master
+DEFAULT_HEARTBEAT_INTERVAL = 1.0
+
+#: master-side silence budget before a host is reaped as dead
+DEFAULT_HEARTBEAT_TIMEOUT = 30.0
+
+
+def connect_with_timeout(
+    address: tuple[str, int], *, authkey: bytes, timeout: float | None
+):
+    """``Client(address, authkey=...)`` with a connect/handshake deadline.
+
+    ``multiprocessing.connection.Client`` has no timeout: against a
+    black-holed host (SYN accepted, HMAC challenge never answered) it blocks
+    forever, which would wedge the master's reconnect path.  The attempt runs
+    on a daemon thread and is abandoned past ``timeout`` — the thread (and
+    its half-open socket) dies with the process, bounded by the recovery
+    policy's restart budget.  ``timeout=None`` is a plain blocking connect.
+    """
+    address = tuple(address)
+    if timeout is None:
+        return Client(address, authkey=authkey)
+    box: dict = {}
+    done = threading.Event()
+
+    def attempt() -> None:
+        try:
+            box["conn"] = Client(address, authkey=authkey)
+        except BaseException as exc:
+            box["error"] = exc
+        finally:
+            done.set()
+
+    thread = threading.Thread(target=attempt, daemon=True)
+    thread.start()
+    if not done.wait(timeout):
+        raise TimeoutError(
+            f"connecting to {address[0]}:{address[1]} did not complete "
+            f"within {timeout:.1f}s"
+        )
+    if "error" in box:
+        raise box["error"]
+    return box["conn"]
 
 
 def default_authkey() -> bytes:
@@ -124,7 +185,9 @@ def _install_stop_handlers(stop: threading.Event, on_stop=None) -> None:
             return
 
 
-def _remote_worker_loop(conn) -> None:
+def _remote_worker_loop(
+    conn, heartbeat_interval: float | None = DEFAULT_HEARTBEAT_INTERVAL
+) -> None:
     """Serve one master connection: setup once, then evaluate chunks forever.
 
     SIGTERM/SIGINT request a graceful stop: the loop polls the connection
@@ -132,6 +195,12 @@ def _remote_worker_loop(conn) -> None:
     replies to) the chunk it is evaluating, then closes the connection — the
     master sees an orderly disconnect instead of a mid-chunk tear it must
     discover via replay.
+
+    With ``heartbeat_interval`` set, a daemon thread beats over the
+    connection so the master can tell "evaluating a heavy chunk" from "gone"
+    — the beat keeps flowing *during* evaluation, which is exactly when a
+    reply-only protocol is silent.  Replies and beats share a send lock so
+    their pickles never interleave on the wire.
     """
     stop = threading.Event()
     _install_stop_handlers(stop)
@@ -143,6 +212,22 @@ def _remote_worker_loop(conn) -> None:
     local = _build_local_evaluator(worker_id, factory, worker_cache_size, conn)
     if local is None:
         return  # start-up failure already reported over the connection
+    send_lock = threading.Lock()
+    beats: threading.Thread | None = None
+    if heartbeat_interval is not None:
+
+        def _beat() -> None:
+            while not stop.wait(heartbeat_interval):
+                try:
+                    with send_lock:
+                        conn.send((_HEARTBEAT, worker_id, time.monotonic()))
+                except (BrokenPipeError, ConnectionError, OSError, ValueError):
+                    return
+
+        beats = threading.Thread(
+            target=_beat, daemon=True, name=f"remote-worker-{worker_id}-beat"
+        )
+        beats.start()
     try:
         while not stop.is_set():
             try:
@@ -156,10 +241,14 @@ def _remote_worker_loop(conn) -> None:
             task_id, chunk = message
             reply = _evaluate_chunk(local, task_id, worker_id, chunk)
             try:
-                conn.send(reply)
+                with send_lock:
+                    conn.send(reply)
             except (BrokenPipeError, OSError):
                 return
     finally:
+        stop.set()
+        if beats is not None:
+            beats.join(timeout=2.0)
         try:
             conn.close()
         except OSError:  # pragma: no cover - already closed
@@ -172,6 +261,7 @@ def serve(
     authkey: bytes | None = None,
     max_connections: int | None = None,
     start_method: str | None = None,
+    heartbeat_interval: float | None = DEFAULT_HEARTBEAT_INTERVAL,
     _ready=None,
 ) -> None:
     """Run a worker host: accept master connections, one slave process each.
@@ -219,7 +309,9 @@ def serve(
                 # serving legitimate masters
                 continue
             worker = context.Process(
-                target=_remote_worker_loop, args=(conn,), daemon=True
+                target=_remote_worker_loop,
+                args=(conn, heartbeat_interval),
+                daemon=True,
             )
             worker.start()
             conn.close()  # the slave process owns it now
@@ -259,6 +351,8 @@ class LocalWorkerHost:
         authkey: bytes | None = None,
         max_connections: int | None = None,
         start_method: str | None = None,
+        heartbeat_interval: float | None = DEFAULT_HEARTBEAT_INTERVAL,
+        bind: tuple[str, int] | None = None,
     ) -> None:
         context = default_mp_context(start_method)
         ready_recv, ready_send = context.Pipe(duplex=False)
@@ -266,11 +360,12 @@ class LocalWorkerHost:
         # and daemonic processes may not have children
         self._process = context.Process(
             target=serve,
-            args=(("127.0.0.1", 0),),
+            args=(bind or ("127.0.0.1", 0),),
             kwargs={
                 "authkey": authkey,
                 "max_connections": max_connections,
                 "start_method": start_method,
+                "heartbeat_interval": heartbeat_interval,
                 "_ready": ready_send,
             },
         )
@@ -316,7 +411,15 @@ class RemoteSlavePool(ChunkedWorkerFarm):
       reconnect as the respawn, :class:`FarmDeadError` when none remain);
     * ``steal_mode`` is fixed at ``"master"`` — a shared-memory arena cannot
       span hosts;
-    * ``recovery.chunk_timeout`` hangs are healed by dropping the connection.
+    * ``recovery.chunk_timeout`` hangs are healed by dropping the connection;
+    * a host silent past ``heartbeat_timeout`` (its slave beats every
+      :data:`DEFAULT_HEARTBEAT_INTERVAL` seconds, evaluating or idle) is
+      reaped exactly like a torn connection — the black-holed-route failure
+      mode a reply-only protocol cannot see;
+    * reconnect attempts are bounded by ``connect_timeout`` and back off
+      exponentially per host (``reconnect_backoff`` →
+      ``max_reconnect_backoff``); a host that answers again is re-admitted
+      on the next health pass (within the recovery restart budget).
     """
 
     def __init__(
@@ -331,13 +434,32 @@ class RemoteSlavePool(ChunkedWorkerFarm):
         max_inflight: int = 2,
         cost_model: EvaluationCostModel | None = None,
         recovery: FarmRecoveryPolicy | None = None,
+        heartbeat_timeout: float | None = DEFAULT_HEARTBEAT_TIMEOUT,
+        connect_timeout: float | None = 10.0,
+        reconnect_backoff: float = 0.5,
+        max_reconnect_backoff: float = 30.0,
     ) -> None:
         addresses = parse_hosts(hosts)
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise ValueError(
+                f"heartbeat_timeout must be positive, got {heartbeat_timeout!r}"
+            )
         # transport state must exist before super().__init__ runs the
         # _spawn_worker loop
         self._addresses = addresses
         self._authkey = authkey or default_authkey()
         self._broken = [False] * len(addresses)
+        self._heartbeat_timeout = (
+            None if heartbeat_timeout is None else float(heartbeat_timeout)
+        )
+        self._connect_timeout = (
+            None if connect_timeout is None else float(connect_timeout)
+        )
+        self._reconnect_backoff_base = float(reconnect_backoff)
+        self._max_reconnect_backoff = float(max_reconnect_backoff)
+        self._last_heartbeat = [time.monotonic()] * len(addresses)
+        self._reconnect_backoff = [self._reconnect_backoff_base] * len(addresses)
+        self._reconnect_at = [0.0] * len(addresses)
         super().__init__(
             factory,
             len(addresses),
@@ -357,7 +479,9 @@ class RemoteSlavePool(ChunkedWorkerFarm):
         """Connect slot ``worker_id`` to its host and ship the setup message."""
         address = self._addresses[worker_id]
         try:
-            conn = Client(address, authkey=self._authkey)
+            conn = connect_with_timeout(
+                address, authkey=self._authkey, timeout=self._connect_timeout
+            )
             conn.send((worker_id, self._factory, self._worker_cache_size))
         except Exception as exc:
             raise ConnectionError(
@@ -369,6 +493,9 @@ class RemoteSlavePool(ChunkedWorkerFarm):
         self._broken[worker_id] = False
         self._inflight[worker_id] = 0
         self._alive[worker_id] = True
+        self._last_heartbeat[worker_id] = time.monotonic()
+        self._reconnect_backoff[worker_id] = self._reconnect_backoff_base
+        self._reconnect_at[worker_id] = 0.0
 
     def _send_message(self, worker: int, message) -> None:
         conn = self._result_conns[worker]
@@ -383,11 +510,50 @@ class RemoteSlavePool(ChunkedWorkerFarm):
             if candidate is conn:
                 self._broken[worker] = True
 
+    def _handle_control_message(self, message) -> bool:
+        """Consume a slave heartbeat arriving on the result channel."""
+        if (
+            isinstance(message, tuple)
+            and len(message) == 3
+            and message[0] == _HEARTBEAT
+        ):
+            worker = int(message[1])
+            if 0 <= worker < self._n_workers:
+                with self._lock:
+                    self._last_heartbeat[worker] = time.monotonic()
+            return True
+        return False
+
+    def _heartbeat_overdue(self, worker: int) -> bool:
+        timeout = self._heartbeat_timeout
+        if timeout is None:
+            return False
+        if time.monotonic() - self._last_heartbeat[worker] <= timeout:
+            return False
+        # beats accumulate unread while no collect loop is draining (between
+        # batches, or on an external health probe): readable bytes mean the
+        # host is talking, only an *empty* channel past the budget is silence
+        conn = self._result_conns[worker]
+        if conn is not None and not conn.closed:
+            try:
+                if conn.poll(0):
+                    self._last_heartbeat[worker] = time.monotonic()
+                    return False
+            except (OSError, ValueError):
+                pass
+        return True
+
     def _worker_is_alive(self, worker: int) -> bool:
-        return not self._broken[worker]
+        return not self._broken[worker] and not self._heartbeat_overdue(worker)
 
     def _worker_lost_reason(self, worker: int) -> str:
         host, port = self._addresses[worker]
+        if not self._broken[worker] and self._heartbeat_overdue(worker):
+            silent = time.monotonic() - self._last_heartbeat[worker]
+            return (
+                f"remote worker {worker} at {host}:{port} went silent "
+                f"(no heartbeat for {silent:.1f}s)"
+            )
         return f"remote worker {worker} at {host}:{port} disconnected"
 
     def _kill_worker(self, worker: int) -> None:
@@ -396,12 +562,92 @@ class RemoteSlavePool(ChunkedWorkerFarm):
         self._result_conns[worker] = None
 
     def _respawn_worker(self, worker: int) -> bool:
-        """Respawn = reconnect to the same host (it may have restarted)."""
+        """Respawn = reconnect to the same host (it may have restarted).
+
+        Failed reconnects back off exponentially per host: while the backoff
+        window is open further attempts are refused immediately, so a dead
+        host costs one bounded connect per window instead of a hammering
+        loop.  A successful reconnect resets the backoff.
+        """
+        now = time.monotonic()
+        if now < self._reconnect_at[worker]:
+            return False
         try:
             self._spawn_worker(worker)
         except ConnectionError:
+            backoff = self._reconnect_backoff[worker]
+            self._reconnect_at[worker] = now + backoff
+            self._reconnect_backoff[worker] = min(
+                backoff * 2.0, self._max_reconnect_backoff
+            )
             return False
         return True
+
+    def _check_farm_health(self) -> None:
+        """The base health pass, plus re-admission of recovered hosts."""
+        super()._check_farm_health()
+        self._readmit_hosts()
+
+    def _readmit_hosts(self) -> None:
+        """Reconnect dead host slots whose backoff window has elapsed.
+
+        Runs under the engine lock (health passes always do).  Re-admission
+        spends the same restart budget as any respawn, so a flapping host
+        cannot consume unbounded reconnects.
+        """
+        policy = self._recovery
+        if (
+            policy is None
+            or not policy.respawn
+            or self._closed
+            or self._dead_error is not None
+        ):
+            return
+        now = time.monotonic()
+        for worker in range(self._n_workers):
+            if self._alive[worker] or now < self._reconnect_at[worker]:
+                continue
+            if self._restarts_used >= policy.max_worker_restarts:
+                return
+            self._restarts_used += 1
+            if self._respawn_worker(worker):
+                self._n_worker_respawns += 1
+                self._pump()
+
+    # ------------------------------------------------------------------ #
+    # liveness introspection (the scan service's health probe)
+    # ------------------------------------------------------------------ #
+    def host_statuses(self) -> list[dict]:
+        """Per-host liveness: heartbeat age, broken flag, reconnect backoff."""
+        with self._lock:
+            now = time.monotonic()
+            return [
+                {
+                    "worker": worker,
+                    "host": f"{host}:{port}",
+                    "alive": bool(self._alive[worker]),
+                    "broken": bool(self._broken[worker]),
+                    "seconds_since_heartbeat": now - self._last_heartbeat[worker],
+                    "reconnect_backoff_seconds": self._reconnect_backoff[worker],
+                    "reconnect_in_seconds": max(
+                        0.0, self._reconnect_at[worker] - now
+                    ),
+                }
+                for worker, (host, port) in enumerate(self._addresses)
+            ]
+
+    def check_hosts(self) -> list[dict]:
+        """Run a health pass now (reap silent hosts, re-admit recovered ones)
+        and return :meth:`host_statuses`.  Never raises: a farm found fully
+        dead is reported through the statuses, not an exception."""
+        from ..parallel.farm import FarmDeadError
+
+        try:
+            with self._lock:
+                self._check_farm_health()
+        except FarmDeadError:
+            pass
+        return self.host_statuses()
 
     def _shutdown_transport(self, *, force: bool, join_timeout: float) -> None:
         for worker, conn in enumerate(self._result_conns):

@@ -42,6 +42,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 import signal
 import socket
 import threading
@@ -57,8 +58,9 @@ from ..genetics.dataset import GenotypeDataset, LocusWindow
 from ..parallel.base import BaseBatchEvaluator, EvaluationStats
 from ..parallel.farm import FarmRecoveryPolicy
 from ..parallel.pvm import EvaluationCostModel
+from ..scan.checkpoint import CheckpointMismatchError, ScanJournal, checkpoint_meta
 from ..scan.planner import plan_scan
-from ..scan.report import window_result_to_json
+from ..scan.report import window_result_from_json, window_result_to_json
 from ..scan.runner import _window_result
 from .backends import DEFAULT_BACKEND
 from .remote import default_authkey, parse_host
@@ -70,6 +72,7 @@ from .service import (
 )
 from .spec import (
     ClientHello,
+    HealthProbe,
     RunEnvelope,
     ScanEnvelope,
     ShutdownCommand,
@@ -82,6 +85,7 @@ __all__ = [
     "AdmissionPolicy",
     "AdmissionController",
     "AdmissionRejected",
+    "AdmissionCancelled",
     "TenantMetrics",
     "config_digest",
     "DEFAULT_CACHE_BYTES",
@@ -190,6 +194,16 @@ class AdmissionRejected(RuntimeError):
         self.reason = reason
 
 
+class AdmissionCancelled(RuntimeError):
+    """A queued admission whose client disconnected before a slot freed up.
+
+    The reservation (queue slot, in-flight count, cost) is rolled back, so
+    abandoned requests stop consuming admission capacity — without this, a
+    client that times out and hangs up would still get its scan *executed*
+    when its turn came, burning farm time nobody is waiting for.
+    """
+
+
 @dataclass(frozen=True)
 class AdmissionPolicy:
     """Cost-aware admission knobs of the scan service.
@@ -259,6 +273,7 @@ class AdmissionController:
         self._inflight: dict[str, int] = {}
         self.n_admitted = 0
         self.n_rejected = 0
+        self.n_cancelled = 0
         self.total_wait_seconds = 0.0
         self.rejections: dict[str, int] = {}
 
@@ -271,12 +286,25 @@ class AdmissionController:
         self.rejections[reason] = self.rejections.get(reason, 0) + 1
         raise AdmissionRejected(reason)
 
-    def admit(self, client_id: str, cost: float) -> AdmissionTicket:
+    def admit(
+        self,
+        client_id: str,
+        cost: float,
+        *,
+        cancelled=None,
+        poll_seconds: float = 0.05,
+    ) -> AdmissionTicket:
         """Admit a request priced at ``cost`` seconds, blocking while queued.
 
         Raises :class:`AdmissionRejected` — without blocking — when the
         client's in-flight cap is hit, the wait queue is full, or the cost
         budget is exceeded under the ``reject`` policy.
+
+        ``cancelled`` (optional, a zero-argument callable) is polled every
+        ``poll_seconds`` while the request waits in the queue; when it
+        returns True the reservation is rolled back and
+        :class:`AdmissionCancelled` raised — the freed queue slot and
+        in-flight count immediately benefit other waiters.
         """
         policy = self._policy
         cost = float(cost)
@@ -305,7 +333,24 @@ class AdmissionController:
             self._outstanding_cost += cost
             self._queued += 1
             while self._active >= policy.max_active:
-                self._cond.wait()
+                if cancelled is not None and cancelled():
+                    # roll the reservation back: the freed queue slot /
+                    # in-flight count / cost budget go to live waiters
+                    self._queued -= 1
+                    self._outstanding_cost = max(0.0, self._outstanding_cost - cost)
+                    remaining = self._inflight.get(client_id, 1) - 1
+                    if remaining > 0:
+                        self._inflight[client_id] = remaining
+                    else:
+                        self._inflight.pop(client_id, None)
+                    self.n_cancelled += 1
+                    self._cond.notify_all()
+                    raise AdmissionCancelled(
+                        f"client {client_id!r} disconnected while queued"
+                    )
+                self._cond.wait(
+                    timeout=poll_seconds if cancelled is not None else None
+                )
             self._queued -= 1
             self._active += 1
             self.n_admitted += 1
@@ -332,6 +377,7 @@ class AdmissionController:
                 "outstanding_cost_seconds": self._outstanding_cost,
                 "n_admitted": self.n_admitted,
                 "n_rejected": self.n_rejected,
+                "n_cancelled": self.n_cancelled,
                 "rejections": dict(self.rejections),
                 "total_wait_seconds": self.total_wait_seconds,
                 "policy": self._policy.to_json(),
@@ -442,6 +488,7 @@ class ScanServer:
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         admission: AdmissionPolicy | None = None,
         authkey: bytes | None = None,
+        journal_dir: str | None = None,
     ) -> None:
         self._scheduler = RunScheduler(
             dataset,
@@ -468,6 +515,16 @@ class ScanServer:
         self._tenants = TenantMetrics()
         self._authkey = authkey or default_authkey()
         self._panel_fingerprint = self._scheduler.dataset.fingerprint()
+        # crash recovery: with a journal_dir every in-flight scan is journaled
+        # through ScanJournal (one file per scan identity); a restarted daemon
+        # replays completed windows from disk and recomputes only the rest
+        self._journal_dir = None if journal_dir is None else str(journal_dir)
+        if self._journal_dir is not None:
+            os.makedirs(self._journal_dir, exist_ok=True)
+        self._journal_guard = threading.Lock()
+        self._journal_locks: dict[str, threading.Lock] = {}
+        self._n_recovered_windows = 0
+        self._n_recovered_scans = 0
         self._started_at = time.monotonic()
         self._listener: Listener | None = None
         self._address: tuple[str, int] | None = None
@@ -695,6 +752,8 @@ class ScanServer:
                     return
                 if isinstance(envelope, StatusProbe):
                     self._send(conn, ("status", self.status()))
+                elif isinstance(envelope, HealthProbe):
+                    self._send(conn, ("health", self.health()))
                 elif isinstance(envelope, ShutdownCommand):
                     self._send(conn, ("ok", "shutting down"))
                     self.request_shutdown()
@@ -726,6 +785,68 @@ class ScanServer:
             int(request.n_runs),
         )
 
+    @staticmethod
+    def _client_attached(conn) -> bool:
+        """Is the client still there?  While its request waits in the
+        admission queue a well-behaved client sends nothing, so a *readable*
+        connection means EOF (hangup) or a protocol violation — either way,
+        nobody is waiting for this request anymore."""
+        try:
+            return not conn.closed and not conn.poll(0)
+        except (OSError, ValueError):
+            return False
+
+    # ------------------------------------------------------------------ #
+    # scan journaling (daemon crash recovery)
+    # ------------------------------------------------------------------ #
+    def _scan_journal_meta(self, plan, envelope: ScanEnvelope) -> dict:
+        """The scan's identity header — exactly what :class:`ScanJournal`
+        validates on resume, plus the GA-config digest (geometry and seeding
+        alone do not pin the search parameters)."""
+        meta = checkpoint_meta(
+            plan,
+            self._scheduler.dataset.n_snps,
+            panel="packed" if self._scheduler.packed else "byte",
+            panel_fingerprint=self._panel_fingerprint,
+        )
+        meta["config_digest"] = config_digest(envelope.config)
+        return meta
+
+    def _journal_path(self, meta: dict) -> str:
+        digest = hashlib.sha256(
+            json.dumps(meta, sort_keys=True).encode("utf-8")
+        ).hexdigest()[:20]
+        return os.path.join(self._journal_dir, f"scan-{digest}.jsonl")
+
+    def _journal_lock(self, path: str) -> threading.Lock:
+        """One lock per journal path: two identical concurrent scans must not
+        interleave appends to the same file (the second waits, then replays
+        the first's windows from the cache/journal)."""
+        with self._journal_guard:
+            lock = self._journal_locks.get(path)
+            if lock is None:
+                lock = threading.Lock()
+                self._journal_locks[path] = lock
+            return lock
+
+    def _open_scan_journal(self, plan, envelope: ScanEnvelope):
+        """Open (resuming) this scan's journal; returns
+        ``(journal, restored_payloads_by_index)``."""
+        meta = self._scan_journal_meta(plan, envelope)
+        path = self._journal_path(meta)
+        try:
+            journal, completed = ScanJournal.open(path, meta, resume=True)
+        except CheckpointMismatchError:
+            # a digest collision or mid-file corruption: this journal cannot
+            # be trusted, so recompute everything rather than refuse to scan
+            os.remove(path)
+            journal, completed = ScanJournal.open(path, meta, resume=False)
+        restored = {
+            index: window_result_to_json(result)
+            for index, result in completed.items()
+        }
+        return journal, restored
+
     def _serve_scan(self, conn, client_id: str, envelope: ScanEnvelope) -> None:
         try:
             statistic = str(envelope.statistic).lower()
@@ -752,28 +873,70 @@ class ScanServer:
             self._send(conn, ("error", str(exc)))
             return
         try:
-            ticket = self._admission.admit(client_id, cost)
+            ticket = self._admission.admit(
+                client_id, cost, cancelled=lambda: not self._client_attached(conn)
+            )
+        except AdmissionCancelled:
+            return  # the client hung up while queued; nothing to answer
         except AdmissionRejected as exc:
             self._tenants.record_rejection(client_id)
             self._send(conn, ("rejected", exc.reason))
             return
         start = time.perf_counter()
+        journal = None
+        journal_lock = None
         try:
+            restored: dict[int, dict] = {}
+            if self._journal_dir is not None:
+                journal_lock = self._journal_lock(
+                    self._journal_path(self._scan_journal_meta(plan, envelope))
+                )
+                journal_lock.acquire()
+                journal, restored = self._open_scan_journal(plan, envelope)
             stats = EvaluationStats()
             n_cached = 0
+            n_recovered = 0
             for window, request in jobs:
                 key = self._window_key(window, request)
                 payload = self._cache.get(key)
                 cached = payload is not None
+                if not cached and window.index in restored:
+                    # a window the pre-crash daemon completed and journaled:
+                    # replay it (and warm the cache) instead of recomputing
+                    payload = restored[window.index]
+                    cached = True
+                    n_recovered += 1
+                    self._cache.put(key, payload)
                 if cached:
                     n_cached += 1
+                    if journal is not None:
+                        journal.append(window_result_from_json(payload))
                 else:
                     run = self._scheduler.run(request)
-                    payload = window_result_to_json(_window_result(window, run))
+                    result = _window_result(window, run)
+                    payload = window_result_to_json(result)
+                    # journal before acknowledging: any window the client
+                    # (or the cache) has seen survives a daemon crash
+                    if journal is not None:
+                        journal.append(result)
                     self._cache.put(key, payload)
                     stats.merge(run.stats)
                 if not self._send(conn, ("window", payload, cached)):
                     return  # client went away; stop burning farm time on it
+            # the scan completed: its journal has served its purpose (warm
+            # replays now come from the result cache), so retire the file
+            # and keep journal_dir bounded to scans actually in flight
+            if journal is not None:
+                journal.close()
+                try:
+                    os.remove(journal.path)
+                except OSError:  # pragma: no cover - already gone
+                    pass
+                journal = None
+            if n_recovered:
+                with self._journal_guard:
+                    self._n_recovered_windows += n_recovered
+                    self._n_recovered_scans += 1
             stats.n_result_cache_hits = n_cached
             self._tenants.record_scan(
                 client_id,
@@ -792,6 +955,7 @@ class ScanServer:
                         "stats": _stats_dict(stats),
                         "n_windows": len(jobs),
                         "n_cached_windows": n_cached,
+                        "n_recovered_windows": n_recovered,
                         "admission_wait_seconds": ticket.wait_seconds,
                         "elapsed_seconds": time.perf_counter() - start,
                     },
@@ -800,6 +964,10 @@ class ScanServer:
         except Exception as exc:  # surface, don't kill the connection
             self._send(conn, ("error", f"{type(exc).__name__}: {exc}"))
         finally:
+            if journal is not None:
+                journal.close()
+            if journal_lock is not None:
+                journal_lock.release()
             self._admission.release(ticket)
 
     def _serve_run(self, conn, client_id: str, envelope: RunEnvelope) -> None:
@@ -817,7 +985,11 @@ class ScanServer:
             self._send(conn, ("error", str(exc)))
             return
         try:
-            ticket = self._admission.admit(client_id, cost)
+            ticket = self._admission.admit(
+                client_id, cost, cancelled=lambda: not self._client_attached(conn)
+            )
+        except AdmissionCancelled:
+            return  # the client hung up while queued; nothing to answer
         except AdmissionRejected as exc:
             self._tenants.record_rejection(client_id)
             self._send(conn, ("rejected", exc.reason))
@@ -834,6 +1006,40 @@ class ScanServer:
             self._admission.release(ticket)
 
     # ------------------------------------------------------------------ #
+    def health(self) -> dict:
+        """The daemon's liveness card: farm/worker-host health, admission
+        queue depth, and the crash-recovery journal account — the cheap
+        answer to a :class:`~repro.runtime.spec.HealthProbe`."""
+        admission = self._admission.snapshot()
+        with self._journal_guard:
+            n_recovered_windows = self._n_recovered_windows
+            n_recovered_scans = self._n_recovered_scans
+        journal: dict = {
+            "dir": self._journal_dir,
+            "n_recovered_windows": n_recovered_windows,
+            "n_recovered_scans": n_recovered_scans,
+        }
+        if self._journal_dir is not None:
+            try:
+                journal["n_inflight_scans"] = sum(
+                    1
+                    for name in os.listdir(self._journal_dir)
+                    if name.startswith("scan-") and name.endswith(".jsonl")
+                )
+            except OSError:  # pragma: no cover - journal dir vanished
+                journal["n_inflight_scans"] = None
+        return {
+            "status": "ok",
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "backend": self._scheduler.backend,
+            "statistic": self._statistic,
+            "n_active_requests": admission["n_active"],
+            "n_queued_requests": admission["n_queued"],
+            "n_cancelled_admissions": admission["n_cancelled"],
+            "farm": self._scheduler.farm_health(),
+            "journal": journal,
+        }
+
     def status(self) -> dict:
         """The daemon's full status dict (what ``repro serve --status`` prints)."""
         lifetime = self._scheduler.stats
@@ -853,4 +1059,5 @@ class ScanServer:
             "result_cache": self._cache.snapshot(),
             "admission": self._admission.snapshot(),
             "tenants": self._tenants.snapshot(),
+            "health": self.health(),
         }

@@ -447,6 +447,36 @@ class RunScheduler:
         """Scheduler-lifetime reuse account (same format as ``run``'s)."""
         return backend_summary_line(self._backend, self._evaluator.stats)
 
+    def farm_health(self) -> dict:
+        """Liveness of the execution substrate (the health probe's farm card).
+
+        Worker counts and lifetime recovery counters for farm backends; for
+        the ``remote`` backend additionally the per-host statuses (heartbeat
+        age, reconnect backoff) from
+        :meth:`~repro.runtime.remote.RemoteSlavePool.check_hosts` — which
+        also runs a health pass, so probing the daemon reaps silent hosts
+        and re-admits recovered ones even between batches.
+        """
+        evaluator = self._evaluator
+        farm = getattr(evaluator, "_farm", None)
+        health: dict = {
+            "backend": self._backend,
+            "n_workers": getattr(evaluator, "n_workers", 1),
+            "n_alive_workers": None,
+            "recovery": None,
+            "hosts": None,
+        }
+        if farm is not None:
+            health["n_alive_workers"] = farm.n_alive_workers
+            health["recovery"] = farm.recovery_counters()
+            check_hosts = getattr(farm, "check_hosts", None)
+            if check_hosts is not None:
+                health["hosts"] = check_hosts()
+                health["n_alive_workers"] = farm.n_alive_workers
+        elif hasattr(evaluator, "recovery_counters"):
+            health["recovery"] = evaluator.recovery_counters()
+        return health
+
     def probe_evaluator(self) -> BatchEvaluator:
         """A job-scoped view of the substrate for calibration/timing probes.
 

@@ -34,6 +34,7 @@ __all__ = [
     "ScanEnvelope",
     "RunEnvelope",
     "StatusProbe",
+    "HealthProbe",
     "ShutdownCommand",
 ]
 
@@ -195,6 +196,13 @@ class RunEnvelope:
 @dataclass(frozen=True)
 class StatusProbe:
     """Ask for the daemon's status dict (uptime, cache, admission, tenants)."""
+
+
+@dataclass(frozen=True)
+class HealthProbe:
+    """Ask for the daemon's liveness card: farm/worker-host health, admission
+    queue depth, and the crash-recovery journal account.  Cheaper and more
+    targeted than :class:`StatusProbe` — the monitoring heartbeat request."""
 
 
 @dataclass(frozen=True)

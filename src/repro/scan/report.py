@@ -126,6 +126,12 @@ class ScanReport:
     admission_wait_seconds:
         Time the request spent queued by a scan service's admission
         controller before execution began (0 in-process).
+    n_client_retries:
+        Transport-level retries the service client spent completing this
+        scan (0 in-process and on a fault-free served scan).  Retried
+        windows replay from the daemon's result cache/journal, so retries
+        never change the fingerprint — like the timings, this is excluded
+        from it.
     """
 
     windows: tuple[WindowResult, ...]
@@ -140,6 +146,7 @@ class ScanReport:
     seed: int
     n_cached_windows: int = 0
     admission_wait_seconds: float = 0.0
+    n_client_retries: int = 0
 
     @property
     def n_windows(self) -> int:
@@ -273,6 +280,7 @@ class ScanReport:
             "elapsed_seconds": self.elapsed_seconds,
             "n_cached_windows": self.n_cached_windows,
             "admission_wait_seconds": self.admission_wait_seconds,
+            "n_client_retries": self.n_client_retries,
             "n_evaluations": self.n_evaluations,
             "reuse_rate": self.stats.reuse_rate,
             "stats": {
@@ -306,6 +314,7 @@ class ScanReport:
             # absent in pre-service payloads: legacy reports still load
             n_cached_windows=int(payload.get("n_cached_windows", 0)),
             admission_wait_seconds=float(payload.get("admission_wait_seconds", 0.0)),
+            n_client_retries=int(payload.get("n_client_retries", 0)),
         )
 
 

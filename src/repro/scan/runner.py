@@ -203,6 +203,7 @@ def run_scan(
     packed: bool = False,
     hosts: Sequence[str] | None = None,
     steal_mode: str = "master",
+    client_timeout: float | None = None,
 ) -> ScanReport:
     """Scan a panel with one GA job per overlapping locus window.
 
@@ -253,7 +254,11 @@ def run_scan(
     report is fingerprint-identical to the in-process scan of the same
     (geometry, config, seed).  Checkpointing is the daemon's concern, so
     ``client`` is mutually exclusive with ``scheduler`` and
-    ``checkpoint_path``.
+    ``checkpoint_path``.  ``client_timeout`` bounds the whole served scan
+    (seconds): the client's deadline/retry machinery
+    (:class:`~repro.runtime.client.RetryPolicy`) re-submits idempotently on
+    transport loss and raises
+    :class:`~repro.runtime.client.DeadlineExceeded` past the budget.
     """
     if client is not None:
         if scheduler is not None:
@@ -271,6 +276,7 @@ def run_scan(
             statistic=statistic,
             n_runs=n_runs,
             progress=progress,
+            timeout=client_timeout,
         )
     if dataset is None:
         raise ValueError("dataset may only be omitted when a client is given")

@@ -20,15 +20,30 @@ the property the recovery tests assert.  With a ``token_path``, only the
 first slave to claim the token file fires (``O_CREAT | O_EXCL`` — atomic
 across processes), turning "every slave would die on call 3" into the
 realistic "exactly one slave dies".
+
+The *network* chaos layer mirrors the evaluation one for the service fabric:
+:class:`ConnectionChaos` describes one transport fault (sever, delay or
+black-hole, on the N-th message) and :class:`ChaosConnection` wraps a
+``multiprocessing.connection`` endpoint to fire it deterministically — so a
+daemon losing its client mid-scan, a client whose replies arrive late, or a
+worker host that goes silent are all driven by a counted message, not luck.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass
 
-__all__ = ["ChaosPolicy", "ChaosError", "ChaosFactory", "chaos_wrapper"]
+__all__ = [
+    "ChaosPolicy",
+    "ChaosError",
+    "ChaosFactory",
+    "chaos_wrapper",
+    "ConnectionChaos",
+    "ChaosConnection",
+]
 
 
 class ChaosError(RuntimeError):
@@ -170,3 +185,180 @@ def chaos_wrapper(policy: ChaosPolicy) -> _ChaosWrapper:
     ``worker_wrapper`` parameter.
     """
     return _ChaosWrapper(policy)
+
+
+# --------------------------------------------------------------------------- #
+# network chaos: deterministic transport faults for the service fabric
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ConnectionChaos:
+    """One injected transport fault, fired on the N-th message (1-based).
+
+    Exactly one trigger must be set:
+
+    * ``sever_on_send=N`` — the N-th outbound message tears the connection
+      (the peer sees EOF; the sender gets ``BrokenPipeError``), what a
+      crashed process or a RST mid-stream looks like;
+    * ``sever_on_recv=N`` — the connection tears just as the N-th inbound
+      message would be delivered (``EOFError`` on ``recv``);
+    * ``delay_on_recv=N`` — from the moment the N-th inbound message is
+      first awaited, nothing is readable for ``delay_seconds`` (a slow or
+      congested link: ``poll`` returns False until the delay elapses);
+    * ``black_hole_on_recv=N`` — from the N-th inbound message on, nothing
+      is ever readable again (``poll`` always False, ``recv`` blocks until
+      the wrapper is closed), what a silently dropped route looks like.
+    """
+
+    sever_on_send: int | None = None
+    sever_on_recv: int | None = None
+    delay_on_recv: int | None = None
+    black_hole_on_recv: int | None = None
+    delay_seconds: float = 0.5
+
+    def __post_init__(self) -> None:
+        triggers = [
+            self.sever_on_send,
+            self.sever_on_recv,
+            self.delay_on_recv,
+            self.black_hole_on_recv,
+        ]
+        if sum(value is not None for value in triggers) != 1:
+            raise ValueError(
+                "exactly one of sever_on_send, sever_on_recv, delay_on_recv "
+                "or black_hole_on_recv must be set"
+            )
+        for name in (
+            "sever_on_send",
+            "sever_on_recv",
+            "delay_on_recv",
+            "black_hole_on_recv",
+        ):
+            value = getattr(self, name)
+            if value is not None and (
+                not isinstance(value, int) or isinstance(value, bool) or value < 1
+            ):
+                raise ValueError(f"{name} must be a positive integer, got {value!r}")
+        if self.delay_seconds < 0:
+            raise ValueError(
+                f"delay_seconds must be non-negative, got {self.delay_seconds!r}"
+            )
+
+
+class ChaosConnection:
+    """A ``multiprocessing.connection`` endpoint with one scripted fault.
+
+    Wraps the real connection and counts messages; the
+    :class:`ConnectionChaos` trigger fires at its exact ordinal, every
+    earlier message flows untouched — so a test (or bench) drives "the
+    daemon died after window 3" or "the link went dark after the hello"
+    deterministically.  Implements the ``send``/``recv``/``poll``/``close``
+    surface the service clients and farms use, so it drops in anywhere a
+    plain connection does (e.g. ``ScanClient(wrap_connection=...)``).
+    """
+
+    def __init__(self, conn, chaos: ConnectionChaos) -> None:
+        self._conn = conn
+        self._chaos = chaos
+        self._n_sends = 0
+        self._n_recvs = 0
+        self._delay_until: float | None = None
+        self._closed_event = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_sends(self) -> int:
+        return self._n_sends
+
+    @property
+    def n_recvs(self) -> int:
+        return self._n_recvs
+
+    @property
+    def closed(self) -> bool:
+        return self._closed_event.is_set() or getattr(self._conn, "closed", False)
+
+    def fileno(self) -> int:
+        return self._conn.fileno()
+
+    def close(self) -> None:
+        self._closed_event.set()
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+    def _sever(self) -> None:
+        """Tear the underlying transport mid-message."""
+        self._closed_event.set()
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    def send(self, obj) -> None:
+        chaos = self._chaos
+        self._n_sends += 1
+        if chaos.sever_on_send is not None and self._n_sends >= chaos.sever_on_send:
+            self._sever()
+            raise BrokenPipeError(
+                f"chaos: connection severed on send #{self._n_sends}"
+            )
+        self._conn.send(obj)
+
+    def _black_holed(self) -> bool:
+        chaos = self._chaos
+        return (
+            chaos.black_hole_on_recv is not None
+            and self._n_recvs + 1 >= chaos.black_hole_on_recv
+        )
+
+    def _delay_remaining(self) -> float:
+        """Seconds the next inbound message is still scripted to be late."""
+        chaos = self._chaos
+        if chaos.delay_on_recv is None or self._n_recvs + 1 != chaos.delay_on_recv:
+            return 0.0
+        if self._delay_until is None:
+            # the delay clock starts the first time the message is awaited
+            self._delay_until = time.monotonic() + chaos.delay_seconds
+        return max(0.0, self._delay_until - time.monotonic())
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        if self._closed_event.is_set():
+            return self._conn.poll(0)
+        if self._black_holed():
+            self._closed_event.wait(timeout=max(0.0, timeout or 0.0))
+            return False
+        remaining = self._delay_remaining()
+        if remaining > 0.0:
+            budget = max(0.0, timeout or 0.0)
+            if budget <= remaining:
+                self._closed_event.wait(timeout=budget)
+                return False
+            self._closed_event.wait(timeout=remaining)
+            return self._conn.poll(budget - remaining)
+        return self._conn.poll(timeout)
+
+    def recv(self):
+        chaos = self._chaos
+        if self._black_holed():
+            # nothing will ever arrive; block until the wrapper is closed
+            self._closed_event.wait()
+            raise EOFError("chaos: connection black-holed")
+        remaining = self._delay_remaining()
+        if remaining > 0.0:
+            self._closed_event.wait(timeout=remaining)
+        if chaos.sever_on_recv is not None and self._n_recvs + 1 >= chaos.sever_on_recv:
+            self._sever()
+            raise EOFError(
+                f"chaos: connection severed on recv #{self._n_recvs + 1}"
+            )
+        message = self._conn.recv()
+        self._n_recvs += 1
+        return message
+
+    def __enter__(self) -> "ChaosConnection":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
